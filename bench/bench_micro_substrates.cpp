@@ -1,0 +1,168 @@
+//===- bench/bench_micro_substrates.cpp - google-benchmark microbenches ---------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput microbenchmarks of the substrate components, so regressions
+// in the numeric kernels (NNLS, QR, CART, MLP, scheduler, synthesis) are
+// visible. Not a paper table; complements the table-reproduction
+// binaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdditivityChecker.h"
+#include "ml/LinearRegression.h"
+#include "ml/NeuralNetwork.h"
+#include "ml/RandomForest.h"
+#include "pmc/CounterScheduler.h"
+#include "pmc/PlatformEvents.h"
+#include "sim/Machine.h"
+#include "sim/TestSuite.h"
+#include "stats/Nnls.h"
+#include "stats/Solve.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slope;
+
+namespace {
+
+stats::Matrix randomMatrix(size_t Rows, size_t Cols, uint64_t Seed) {
+  Rng R(Seed);
+  stats::Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M.at(I, J) = R.uniform(0, 2);
+  return M;
+}
+
+std::vector<double> randomVector(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = R.uniform(0, 5);
+  return V;
+}
+
+ml::Dataset randomDataset(size_t Rows, size_t Cols, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::string> Names;
+  for (size_t J = 0; J < Cols; ++J)
+    Names.push_back("f" + std::to_string(J));
+  ml::Dataset D(Names);
+  for (size_t I = 0; I < Rows; ++I) {
+    std::vector<double> X(Cols);
+    double Y = 0;
+    for (size_t J = 0; J < Cols; ++J) {
+      X[J] = R.uniform(0, 10);
+      Y += (J + 1) * X[J];
+    }
+    D.addRow(X, Y + R.gaussian(0, 1));
+  }
+  return D;
+}
+
+void BM_NnlsSolve(benchmark::State &State) {
+  size_t Rows = State.range(0);
+  stats::Matrix A = randomMatrix(Rows, 8, 1);
+  std::vector<double> B = randomVector(Rows, 2);
+  for (auto _ : State) {
+    auto Solution = stats::solveNnls(A, B);
+    benchmark::DoNotOptimize(Solution);
+  }
+}
+BENCHMARK(BM_NnlsSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QrLeastSquares(benchmark::State &State) {
+  size_t Rows = State.range(0);
+  stats::Matrix A = randomMatrix(Rows, 8, 3);
+  std::vector<double> B = randomVector(Rows, 4);
+  for (auto _ : State) {
+    auto Solution = stats::solveLeastSquaresQR(A, B);
+    benchmark::DoNotOptimize(Solution);
+  }
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RandomForestFit(benchmark::State &State) {
+  ml::Dataset D = randomDataset(State.range(0), 6, 5);
+  ml::RandomForestOptions Options;
+  Options.NumTrees = 30;
+  for (auto _ : State) {
+    ml::RandomForest Forest(Options);
+    auto Fit = Forest.fit(D);
+    benchmark::DoNotOptimize(Fit);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(128)->Arg(512);
+
+void BM_NeuralNetworkFit(benchmark::State &State) {
+  ml::Dataset D = randomDataset(256, 6, 6);
+  ml::NeuralNetworkOptions Options;
+  Options.Epochs = State.range(0);
+  for (auto _ : State) {
+    ml::NeuralNetwork Net(Options);
+    auto Fit = Net.fit(D);
+    benchmark::DoNotOptimize(Fit);
+  }
+}
+BENCHMARK(BM_NeuralNetworkFit)->Arg(10)->Arg(50);
+
+void BM_SchedulerFullRegistry(benchmark::State &State) {
+  pmc::EventRegistry R = State.range(0) == 0 ? pmc::buildHaswellRegistry()
+                                             : pmc::buildSkylakeRegistry();
+  std::vector<pmc::EventId> Significant;
+  for (pmc::EventId Id : R.allEvents())
+    if (!R.event(Id).Model.Coeffs.empty())
+      Significant.push_back(Id);
+  for (auto _ : State) {
+    auto Plan = pmc::planCollection(R, Significant);
+    benchmark::DoNotOptimize(Plan);
+  }
+}
+BENCHMARK(BM_SchedulerFullRegistry)->Arg(0)->Arg(1);
+
+void BM_MachineRun(benchmark::State &State) {
+  sim::Machine M(sim::Platform::intelHaswellServer(), 7);
+  sim::Application App(sim::KernelKind::MklDgemm, 12000);
+  for (auto _ : State) {
+    sim::Execution E = M.run(App);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_MachineRun);
+
+void BM_CounterSynthesisAllEvents(benchmark::State &State) {
+  sim::Machine M(sim::Platform::intelSkylakeServer(), 8);
+  sim::Execution E = M.run(sim::Application(sim::KernelKind::MklFft, 24000));
+  std::vector<pmc::EventId> All = M.registry().allEvents();
+  for (auto _ : State) {
+    std::vector<double> Counts = M.readCounters(All, E);
+    benchmark::DoNotOptimize(Counts);
+  }
+}
+BENCHMARK(BM_CounterSynthesisAllEvents);
+
+void BM_AdditivityCheckSixPmcs(benchmark::State &State) {
+  for (auto _ : State) {
+    sim::Machine M(sim::Platform::intelHaswellServer(), 9);
+    core::AdditivityChecker Checker(M);
+    Rng R(9);
+    std::vector<sim::Application> Bases =
+        sim::diverseBaseSuite(M.platform(), 12, R.fork("b"));
+    std::vector<sim::CompoundApplication> Compounds =
+        sim::makeCompoundSuite(Bases, 6, R.fork("p"));
+    std::vector<pmc::EventId> Six;
+    for (const std::string &Name : pmc::haswellClassAPmcNames())
+      Six.push_back(*M.registry().lookup(Name));
+    auto Results = Checker.checkAll(Six, Compounds);
+    benchmark::DoNotOptimize(Results);
+  }
+}
+BENCHMARK(BM_AdditivityCheckSixPmcs);
+
+} // namespace
+
+BENCHMARK_MAIN();

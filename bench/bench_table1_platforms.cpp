@@ -1,0 +1,42 @@
+//===- bench/bench_table1_platforms.cpp - Table 1 reproduction ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Prints the simulated platform specifications in the layout of the
+// paper's Table 1, plus the derived machine-model quantities the
+// simulator adds (peak flops, memory bandwidth, event-catalogue size).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "sim/Platform.h"
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::sim;
+
+int main() {
+  bench::banner("Table 1: platform specifications");
+  Platform H = Platform::intelHaswellServer();
+  Platform S = Platform::intelSkylakeServer();
+  std::printf("%s\n", core::renderTable1(H, S).c_str());
+
+  TablePrinter Derived(
+      {"Derived model quantity", "Haswell", "Skylake"});
+  Derived.setCaption("Simulator-model extensions (not in the paper's "
+                     "table; used by the kernel models).");
+  Derived.addRow({"Peak DP GFLOP/s", str::compact(H.peakGflops(), 5),
+                  str::compact(S.peakGflops(), 5)});
+  Derived.addRow({"Memory bandwidth (GB/s)",
+                  str::compact(H.MemBandwidthGBs, 4),
+                  str::compact(S.MemBandwidthGBs, 4)});
+  Derived.addRow({"Likwid-style events offered",
+                  std::to_string(H.buildRegistry().size()),
+                  std::to_string(S.buildRegistry().size())});
+  std::printf("%s\n", Derived.render().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/bench_table7b_class_c.cpp - Table 7b reproduction -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 7b: the online four-PMC setting. PA4 holds the four
+// most energy-correlated PMCs of PA; PNA4 the four most correlated of
+// PNA. The paper's conclusion — correlation alone cannot rescue
+// non-additive PMCs — is checked explicitly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::core;
+
+int main() {
+  bench::banner("Table 7b: Class C four-PMC online models");
+  ClassBCResult Result = runClassBC(bench::fullClassBC());
+
+  std::printf("PA4  = { %s }\n", str::join(Result.Pa4, ", ").c_str());
+  std::printf("PNA4 = { %s }\n  (paper: PA4 = {X1,X2,X4,X8}, "
+              "PNA4 = {Y1,Y3,Y8,Y9})\n\n",
+              str::join(Result.Pna4, ", ").c_str());
+
+  TablePrinter T({"Model", "PMCs", "Reproduced [Min, Avg, Max]",
+                  "Paper [Min, Avg, Max]"});
+  T.setCaption("Table 7b. Class C experiments using four PMCs.");
+  for (size_t I = 0; I < Result.ClassC.size(); ++I) {
+    const ModelEvalRow &Row = Result.ClassC[I];
+    const paper::ErrorTriple &P = paper::Table7b[I];
+    T.addRow({Row.Label, I % 2 == 0 ? "PA4" : "PNA4", Row.Errors.str(),
+              "(" + str::compact(P.Min) + ", " + str::compact(P.Avg) +
+                  ", " + str::compact(P.Max) + ")"});
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  for (size_t I = 0; I + 1 < Result.ClassC.size(); I += 2)
+    std::printf("  %s avg %.3f%%  vs  %s avg %.3f%%  -> %s\n",
+                Result.ClassC[I].Label.c_str(),
+                Result.ClassC[I].Errors.Avg,
+                Result.ClassC[I + 1].Label.c_str(),
+                Result.ClassC[I + 1].Errors.Avg,
+                Result.ClassC[I].Errors.Avg < Result.ClassC[I + 1].Errors.Avg
+                    ? "confirmed"
+                    : "VIOLATED");
+  std::printf("\nPaper conclusion check — PNA4 (correlation-selected "
+              "non-additive PMCs) does not improve on PNA:\n");
+  for (size_t I = 0; I + 1 < Result.ClassC.size(); I += 2)
+    std::printf("  %s avg %.3f%%  (nine-PMC %s avg: see Table 7a)\n",
+                Result.ClassC[I + 1].Label.c_str(),
+                Result.ClassC[I + 1].Errors.Avg,
+                Result.ClassC[I + 1].Label.substr(0, 2).c_str());
+  return 0;
+}

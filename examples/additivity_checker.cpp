@@ -1,0 +1,183 @@
+//===- examples/additivity_checker.cpp - AdditivityChecker CLI ------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line mirror of the paper's AdditivityChecker tool: scans PMCs
+// of a platform for additivity over a generated compound suite and
+// prints a ranked report.
+//
+// Usage:
+//   additivity_checker [--platform haswell|skylake] [--match SUBSTR]...
+//                      [--bases N] [--compounds N] [--tolerance PCT]
+//                      [--suite diverse|dgemm-fft] [--top N] [--seed S]
+//
+// Examples:
+//   additivity_checker --platform skylake --suite dgemm-fft --match IDQ
+//   additivity_checker --platform haswell --tolerance 10 --top 25
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdditivityChecker.h"
+#include "core/PmcSelector.h"
+#include "sim/TestSuite.h"
+#include "support/Str.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+namespace {
+struct CliOptions {
+  std::string PlatformName = "haswell";
+  std::vector<std::string> Matches;
+  size_t NumBases = 24;
+  size_t NumCompounds = 12;
+  double TolerancePct = 5.0;
+  std::string Suite = "diverse";
+  size_t Top = 0; // 0 = all.
+  uint64_t Seed = 2019;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: additivity_checker [--platform haswell|skylake]\n"
+      "                          [--match SUBSTR]... [--bases N]\n"
+      "                          [--compounds N] [--tolerance PCT]\n"
+      "                          [--suite diverse|dgemm-fft] [--top N]\n"
+      "                          [--seed S]\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--help" || Arg == "-h")
+      return false;
+    if (Arg == "--platform") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.PlatformName = V;
+    } else if (Arg == "--match") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Matches.push_back(V);
+    } else if (Arg == "--bases") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.NumBases = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--compounds") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.NumCompounds = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--tolerance") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.TolerancePct = std::strtod(V, nullptr);
+    } else if (Arg == "--suite") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Suite = V;
+    } else if (Arg == "--top") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Top = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Options.Seed = std::strtoull(V, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage();
+    return 1;
+  }
+
+  Platform Plat;
+  if (str::lower(Options.PlatformName) == "haswell") {
+    Plat = Platform::intelHaswellServer();
+  } else if (str::lower(Options.PlatformName) == "skylake") {
+    Plat = Platform::intelSkylakeServer();
+  } else {
+    std::fprintf(stderr, "error: unknown platform '%s'\n",
+                 Options.PlatformName.c_str());
+    return 1;
+  }
+
+  Machine M(Plat, Options.Seed);
+  Rng R(Options.Seed);
+
+  std::vector<Application> Bases;
+  if (Options.Suite == "dgemm-fft")
+    Bases = dgemmFftAdditivityBases(Options.NumBases);
+  else
+    Bases = diverseBaseSuite(M.platform(), Options.NumBases, R.fork("b"));
+  std::vector<CompoundApplication> Compounds =
+      makeCompoundSuite(Bases, Options.NumCompounds, R.fork("p"));
+
+  std::vector<pmc::EventId> Events =
+      Options.Matches.empty() ? M.registry().allEvents()
+                              : M.registry().findByName(Options.Matches);
+  if (Events.empty()) {
+    std::fprintf(stderr, "error: no events match the given filters\n");
+    return 1;
+  }
+
+  std::printf("AdditivityChecker: %zu event(s) on %s, %zu bases, %zu "
+              "compounds, tolerance %.1f%%\n\n",
+              Events.size(), M.platform().Name.c_str(), Bases.size(),
+              Compounds.size(), Options.TolerancePct);
+
+  AdditivityTestConfig Config;
+  Config.TolerancePct = Options.TolerancePct;
+  AdditivityChecker Checker(M, Config);
+  std::vector<AdditivityResult> Results =
+      rankByAdditivity(Checker.checkAll(Events, Compounds));
+  if (Options.Top != 0 && Results.size() > Options.Top)
+    Results.resize(Options.Top);
+
+  TablePrinter T({"#", "PMC", "Max err (%)", "Worst CV", "Verdict"});
+  size_t Rank = 1, NumAdditive = 0;
+  for (const AdditivityResult &Res : Results) {
+    const char *Verdict = Res.Additive ? "additive"
+                          : !Res.Significant
+                              ? "insignificant"
+                              : (!Res.Deterministic ? "non-reproducible"
+                                                    : "non-additive");
+    NumAdditive += Res.Additive;
+    T.addRow({std::to_string(Rank++), Res.Name,
+              str::fixed(Res.MaxErrorPct, 2), str::fixed(Res.WorstCv, 3),
+              Verdict});
+  }
+  std::printf("%s\n%zu of %zu tested events are additive at %.1f%%.\n",
+              T.render().c_str(), NumAdditive, Results.size(),
+              Options.TolerancePct);
+  return 0;
+}

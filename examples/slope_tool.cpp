@@ -1,0 +1,160 @@
+//===- examples/slope_tool.cpp - End-to-end workflow CLI ------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small production-style workflow tool chaining the library's
+// persistence layers, the way a lab would actually run the pipeline over
+// days:
+//
+//   slope_tool collect <dataset.csv>   measure a DGEMM/FFT sweep on the
+//                                      simulated Skylake server (PMCs +
+//                                      metered energy) and archive it
+//   slope_tool train <dataset.csv> <model.txt>
+//                                      fit the paper's LR on an archived
+//                                      dataset and save the model
+//   slope_tool predict <model.txt> <dataset.csv>
+//                                      score a saved model against an
+//                                      archived dataset
+//   slope_tool demo                    all three steps through temp files
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DatasetBuilder.h"
+#include "ml/DatasetIo.h"
+#include "ml/Metrics.h"
+#include "ml/ModelIo.h"
+#include "pmc/PlatformEvents.h"
+#include "stats/Descriptive.h"
+#include "support/Str.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace slope;
+using namespace slope::sim;
+
+namespace {
+
+int usage() {
+  std::printf("usage: slope_tool collect <dataset.csv>\n"
+              "       slope_tool train <dataset.csv> <model.txt>\n"
+              "       slope_tool predict <model.txt> <dataset.csv>\n"
+              "       slope_tool demo\n");
+  return 1;
+}
+
+/// `collect`: sweep DGEMM/FFT, measure 4 additive PMCs + energy, archive.
+int runCollect(const std::string &DatasetPath) {
+  Machine M(Platform::intelSkylakeServer(), 2024);
+  power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+  core::DatasetBuilder Builder(M, Meter);
+
+  std::vector<CompoundApplication> Apps;
+  for (uint64_t N = 6400; N <= 38400; N += 640)
+    Apps.emplace_back(Application(KernelKind::MklDgemm, N));
+  for (uint64_t N = 22400; N < 41600; N += 640)
+    Apps.emplace_back(Application(KernelKind::MklFft, N));
+
+  std::vector<std::string> Pa = pmc::skylakePaNames();
+  std::vector<std::string> Subset = {Pa[0], Pa[1], Pa[3], Pa[7]}; // PA4.
+  auto Data = Builder.buildByName(Apps, Subset);
+  if (!Data) {
+    std::fprintf(stderr, "error: %s\n", Data.error().message().c_str());
+    return 1;
+  }
+  if (auto Ok = ml::writeDatasetCsv(*Data, DatasetPath); !Ok) {
+    std::fprintf(stderr, "error: %s\n", Ok.error().message().c_str());
+    return 1;
+  }
+  std::printf("collected %zu runs (%zu PMCs + metered energy) -> %s\n",
+              Data->numRows(), Data->numFeatures(), DatasetPath.c_str());
+  return 0;
+}
+
+/// `train`: archived dataset -> saved LR model.
+int runTrain(const std::string &DatasetPath, const std::string &ModelPath) {
+  auto Data = ml::readDatasetCsv(DatasetPath);
+  if (!Data) {
+    std::fprintf(stderr, "error: %s\n", Data.error().message().c_str());
+    return 1;
+  }
+  ml::LinearRegression Model;
+  if (auto Fit = Model.fit(*Data); !Fit) {
+    std::fprintf(stderr, "error: %s\n", Fit.error().message().c_str());
+    return 1;
+  }
+  ml::SavedLinearModel Saved =
+      ml::snapshotLinearModel(Model, Data->featureNames());
+  if (auto Ok = ml::writeLinearModel(Saved, ModelPath); !Ok) {
+    std::fprintf(stderr, "error: %s\n", Ok.error().message().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu rows -> %s\n", Data->numRows(),
+              ModelPath.c_str());
+  for (size_t I = 0; I < Saved.PmcNames.size(); ++I)
+    std::printf("  %-40s %s\n", Saved.PmcNames[I].c_str(),
+                str::scientific(Saved.Coefficients[I]).c_str());
+  return 0;
+}
+
+/// `predict`: saved model + archived dataset -> error report.
+int runPredict(const std::string &ModelPath,
+               const std::string &DatasetPath) {
+  auto Saved = ml::readLinearModel(ModelPath);
+  if (!Saved) {
+    std::fprintf(stderr, "error: %s\n", Saved.error().message().c_str());
+    return 1;
+  }
+  auto Data = ml::readDatasetCsv(DatasetPath);
+  if (!Data) {
+    std::fprintf(stderr, "error: %s\n", Data.error().message().c_str());
+    return 1;
+  }
+  if (Data->featureNames() != Saved->PmcNames) {
+    std::fprintf(stderr,
+                 "error: dataset columns do not match the model's PMCs\n");
+    return 1;
+  }
+  std::vector<double> Errors;
+  for (size_t R = 0; R < Data->numRows(); ++R)
+    Errors.push_back(stats::percentageError(Saved->predict(Data->row(R)),
+                                            Data->target(R)));
+  stats::ErrorSummary Summary = stats::summarizeErrors(Errors);
+  std::printf("%zu rows: prediction errors %s %%\n", Data->numRows(),
+              Summary.str().c_str());
+  return 0;
+}
+
+int runDemo() {
+  std::string Dir = "/tmp";
+  std::string DatasetPath = Dir + "/slope_demo_dataset.csv";
+  std::string ModelPath = Dir + "/slope_demo_model.txt";
+  if (int Rc = runCollect(DatasetPath))
+    return Rc;
+  if (int Rc = runTrain(DatasetPath, ModelPath))
+    return Rc;
+  int Rc = runPredict(ModelPath, DatasetPath);
+  std::remove(DatasetPath.c_str());
+  std::remove(ModelPath.c_str());
+  return Rc;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+  if (Command == "collect" && Argc == 3)
+    return runCollect(Argv[2]);
+  if (Command == "train" && Argc == 4)
+    return runTrain(Argv[2], Argv[3]);
+  if (Command == "predict" && Argc == 4)
+    return runPredict(Argv[2], Argv[3]);
+  if (Command == "demo" && Argc == 2)
+    return runDemo();
+  return usage();
+}

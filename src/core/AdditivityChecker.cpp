@@ -1,0 +1,111 @@
+//===- core/AdditivityChecker.cpp - The additivity test -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdditivityChecker.h"
+
+#include "stats/Descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+AdditivityChecker::AdditivityChecker(Machine &M, AdditivityTestConfig Config)
+    : M(M), Config(Config) {
+  assert(Config.TolerancePct > 0 && "tolerance must be positive");
+  assert(Config.ReproducibilityRuns >= 2 && "stage 1 needs repeated runs");
+  assert(Config.RunsPerMean >= 1 && "sample means need at least one run");
+}
+
+const std::vector<Execution> &
+AdditivityChecker::executionsFor(const CompoundApplication &App,
+                                 unsigned Runs) {
+  std::vector<Execution> &Stored = Cache[App.str()];
+  while (Stored.size() < Runs)
+    Stored.push_back(M.run(App));
+  return Stored;
+}
+
+double AdditivityChecker::meanCount(pmc::EventId Id,
+                                    const CompoundApplication &App,
+                                    unsigned Runs) {
+  const std::vector<Execution> &Execs = executionsFor(App, Runs);
+  double Sum = 0;
+  for (unsigned I = 0; I < Runs; ++I)
+    Sum += M.readCounter(Id, Execs[I]);
+  return Sum / Runs;
+}
+
+AdditivityResult
+AdditivityChecker::check(pmc::EventId Id,
+                         const std::vector<CompoundApplication> &Compounds) {
+  assert(!Compounds.empty() && "additivity test needs compound apps");
+  AdditivityResult Result;
+  Result.Id = Id;
+  Result.Name = M.registry().event(Id).Name;
+
+  // Collect the distinct base applications of the suite.
+  std::vector<Application> Bases;
+  for (const CompoundApplication &Compound : Compounds)
+    for (const Application &Base : Compound.Phases)
+      if (std::find(Bases.begin(), Bases.end(), Base) == Bases.end())
+        Bases.push_back(Base);
+
+  // --- Stage 1: determinism / reproducibility over the base apps. An
+  // event is significant if it reports meaningful counts for at least one
+  // application (an event may legitimately count ~0 for kernels that do
+  // not exercise it — the paper's "counts <= 10" filter is platform-wide,
+  // not per-app); reproducibility is judged where counts are significant.
+  bool AnySignificant = false;
+  for (const Application &Base : Bases) {
+    const std::vector<Execution> &Execs = executionsFor(
+        CompoundApplication(Base), Config.ReproducibilityRuns);
+    std::vector<double> Counts;
+    Counts.reserve(Config.ReproducibilityRuns);
+    for (unsigned I = 0; I < Config.ReproducibilityRuns; ++I)
+      Counts.push_back(M.readCounter(Id, Execs[I]));
+    double Mean = stats::mean(Counts);
+    if (Mean <= Config.MinMeanCount)
+      continue;
+    AnySignificant = true;
+    double Cv = stats::sampleStdDev(Counts) / Mean;
+    Result.WorstCv = std::max(Result.WorstCv, Cv);
+  }
+  Result.Significant = AnySignificant;
+  Result.Deterministic = Result.Significant && Result.WorstCv <= Config.MaxCv;
+
+  // --- Stage 2: Eq. 1 over every compound in the suite.
+  for (const CompoundApplication &Compound : Compounds) {
+    assert(Compound.numPhases() >= 2 && "stage 2 needs real compounds");
+    double SumOfBases = 0;
+    for (const Application &Base : Compound.Phases)
+      SumOfBases +=
+          meanCount(Id, CompoundApplication(Base), Config.RunsPerMean);
+    double CompoundMean = meanCount(Id, Compound, Config.RunsPerMean);
+    double ErrorPct = SumOfBases > 0
+                          ? std::fabs(SumOfBases - CompoundMean) /
+                                SumOfBases * 100.0
+                          : (CompoundMean > 0 ? 100.0 : 0.0);
+    Result.Errors.push_back({Compound, ErrorPct});
+    Result.MaxErrorPct = std::max(Result.MaxErrorPct, ErrorPct);
+  }
+
+  Result.Additive = Result.Deterministic && Result.Significant &&
+                    Result.MaxErrorPct <= Config.TolerancePct;
+  return Result;
+}
+
+std::vector<AdditivityResult> AdditivityChecker::checkAll(
+    const std::vector<pmc::EventId> &Ids,
+    const std::vector<CompoundApplication> &Compounds) {
+  std::vector<AdditivityResult> Results;
+  Results.reserve(Ids.size());
+  for (pmc::EventId Id : Ids)
+    Results.push_back(check(Id, Compounds));
+  return Results;
+}

@@ -1,0 +1,58 @@
+//===- core/AdditivityStudy.cpp - Full-catalogue additivity scans ---------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdditivityStudy.h"
+
+#include <algorithm>
+
+using namespace slope;
+using namespace slope::core;
+
+std::vector<size_t> AdditivityStudyResult::errorHistogram(
+    const std::vector<double> &Edges) const {
+  assert(Edges.size() >= 2 && "histogram needs at least two edges");
+  assert(std::is_sorted(Edges.begin(), Edges.end()) &&
+         "histogram edges must be ascending");
+  std::vector<size_t> Buckets(Edges.size(), 0);
+  for (const AdditivityResult &R : Results) {
+    if (!R.Deterministic || !R.Significant)
+      continue;
+    if (R.MaxErrorPct >= Edges.back()) {
+      ++Buckets.back();
+      continue;
+    }
+    for (size_t I = 0; I + 1 < Edges.size(); ++I)
+      if (R.MaxErrorPct >= Edges[I] && R.MaxErrorPct < Edges[I + 1]) {
+        ++Buckets[I];
+        break;
+      }
+  }
+  return Buckets;
+}
+
+AdditivityStudyResult core::runAdditivityStudy(
+    sim::Machine &M, const std::vector<sim::CompoundApplication> &Compounds,
+    const AdditivityTestConfig &Config) {
+  AdditivityChecker Checker(M, Config);
+  std::vector<pmc::EventId> Events;
+  for (pmc::EventId Id : M.registry().allEvents())
+    if (!M.registry().event(Id).Model.Coeffs.empty())
+      Events.push_back(Id);
+
+  AdditivityStudyResult Study;
+  Study.Results = Checker.checkAll(Events, Compounds);
+  for (const AdditivityResult &R : Study.Results) {
+    if (!R.Significant)
+      ++Study.NumInsignificant;
+    else if (!R.Deterministic)
+      ++Study.NumNonReproducible;
+    else if (R.Additive)
+      ++Study.NumAdditive;
+    else
+      ++Study.NumNonAdditive;
+  }
+  return Study;
+}

@@ -1,0 +1,53 @@
+//===- core/AdditivityStudy.h - Full-catalogue additivity scans --*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Platform-wide additivity study: run the two-stage test over *every*
+/// significant event of a platform and summarize the landscape. This is
+/// the study of the paper's predecessor (Shahid et al., "Additivity: a
+/// selection criterion for performance events for reliable energy
+/// predictive modeling", Supercomput. Front. Innovations 2017), whose
+/// finding — "while many PMCs are potentially additive, a considerable
+/// number of PMCs are not" — motivates this paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_ADDITIVITYSTUDY_H
+#define SLOPE_CORE_ADDITIVITYSTUDY_H
+
+#include "core/AdditivityChecker.h"
+
+namespace slope {
+namespace core {
+
+/// Outcome of a platform-wide scan.
+struct AdditivityStudyResult {
+  std::vector<AdditivityResult> Results; ///< One per tested event.
+  size_t NumAdditive = 0;
+  size_t NumNonAdditive = 0;       ///< Deterministic but failing Eq. 1.
+  size_t NumNonReproducible = 0;   ///< Failing stage 1's CV bound.
+  size_t NumInsignificant = 0;     ///< Below the counts filter.
+
+  size_t numTested() const { return Results.size(); }
+
+  /// Histogram of max additivity errors for the deterministic events:
+  /// bucket i counts errors in [Edges[i], Edges[i+1]); a final bucket
+  /// collects everything >= Edges.back().
+  std::vector<size_t> errorHistogram(const std::vector<double> &Edges) const;
+};
+
+/// Scans every significant event of \p M's registry over \p Compounds.
+/// Significance here means the registry event has a non-empty synthesis
+/// mapping; the checker's stage 1 independently re-filters empirically.
+AdditivityStudyResult
+runAdditivityStudy(sim::Machine &M,
+                   const std::vector<sim::CompoundApplication> &Compounds,
+                   const AdditivityTestConfig &Config = {});
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_ADDITIVITYSTUDY_H

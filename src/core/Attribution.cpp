@@ -1,0 +1,57 @@
+//===- core/Attribution.cpp - Component-level energy attribution ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Attribution.h"
+
+#include "support/Str.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+
+std::vector<EnergyContribution>
+core::attributeEnergy(const ml::LinearRegression &Model,
+                      const std::vector<std::string> &PmcNames,
+                      const std::vector<double> &Counts) {
+  assert(PmcNames.size() == Counts.size() &&
+         "names and counts must pair up");
+  assert(Model.coefficients().size() == Counts.size() &&
+         "model width does not match the observation");
+
+  std::vector<EnergyContribution> Parts;
+  double Total = Model.intercept();
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    EnergyContribution Part;
+    Part.Pmc = PmcNames[I];
+    Part.Joules = Model.coefficients()[I] * Counts[I];
+    Total += Part.Joules;
+    Parts.push_back(std::move(Part));
+  }
+  if (Model.intercept() != 0)
+    Parts.push_back({"(intercept)", Model.intercept(), 0});
+
+  for (EnergyContribution &Part : Parts)
+    Part.Share = Total != 0 ? Part.Joules / Total : 0;
+  std::stable_sort(Parts.begin(), Parts.end(),
+                   [](const EnergyContribution &A,
+                      const EnergyContribution &B) {
+                     return A.Share > B.Share;
+                   });
+  return Parts;
+}
+
+std::string
+core::renderAttribution(const std::vector<EnergyContribution> &Parts) {
+  TablePrinter T({"PMC term", "Energy (J)", "Share (%)"});
+  for (const EnergyContribution &Part : Parts)
+    T.addRow({Part.Pmc, str::compact(Part.Joules, 4),
+              str::fixed(Part.Share * 100, 1)});
+  return T.render();
+}

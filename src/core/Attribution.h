@@ -1,0 +1,51 @@
+//===- core/Attribution.h - Component-level energy attribution ---*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-counter energy attribution for linear models. The paper's
+/// introduction argues the decisive advantage of PMC models over power
+/// meters is *fine-grained component-level decomposition* of an
+/// application's energy; for the paper's linear models that decomposition
+/// is exactly the per-term breakdown  coefficient_i * count_i. This
+/// utility computes it for any fitted LinearRegression, giving the
+/// "which activity class burned the joules" view a meter cannot provide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_ATTRIBUTION_H
+#define SLOPE_CORE_ATTRIBUTION_H
+
+#include "ml/LinearRegression.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace core {
+
+/// One PMC's share of a predicted energy.
+struct EnergyContribution {
+  std::string Pmc;
+  double Joules = 0;
+  double Share = 0; ///< Fraction of the predicted total in [0, 1].
+};
+
+/// Decomposes a linear model's prediction for one observation into
+/// per-PMC contributions, sorted descending by share. The contributions
+/// sum to the model's prediction (plus the intercept, reported under the
+/// pseudo-PMC name "(intercept)" when nonzero).
+std::vector<EnergyContribution>
+attributeEnergy(const ml::LinearRegression &Model,
+                const std::vector<std::string> &PmcNames,
+                const std::vector<double> &Counts);
+
+/// Renders an attribution as an aligned text table.
+std::string renderAttribution(const std::vector<EnergyContribution> &Parts);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_ATTRIBUTION_H

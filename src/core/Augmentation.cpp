@@ -1,0 +1,31 @@
+//===- core/Augmentation.cpp - Additivity-based training augmentation -----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Augmentation.h"
+
+#include <cassert>
+
+using namespace slope;
+using namespace slope::core;
+
+ml::Dataset core::augmentWithSyntheticCompounds(const ml::Dataset &Bases,
+                                                size_t NumSynthetic,
+                                                Rng PairRng) {
+  assert(Bases.numRows() >= 2 && "augmentation needs at least two rows");
+  ml::Dataset Augmented = Bases;
+  for (size_t I = 0; I < NumSynthetic; ++I) {
+    size_t A = PairRng.below(Bases.numRows());
+    size_t B = PairRng.below(Bases.numRows());
+    if (B == A)
+      B = (B + 1) % Bases.numRows();
+    std::vector<double> Row = Bases.row(A);
+    const std::vector<double> &Other = Bases.row(B);
+    for (size_t C = 0; C < Row.size(); ++C)
+      Row[C] += Other[C];
+    Augmented.addRow(Row, Bases.target(A) + Bases.target(B));
+  }
+  return Augmented;
+}

@@ -1,0 +1,45 @@
+//===- core/Augmentation.h - Additivity-based training augmentation -*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compound augmentation — this project's take on the paper's stated
+/// future work: "we will investigate in our future work how additivity
+/// can be used to reduce the maximum error percentage for the three
+/// types of models."
+///
+/// The observation: Class A maximum errors explode because compound test
+/// points lie outside the training hull (Sect. 5.1's RF/NN blow-ups). If
+/// the selected PMCs are additive and dynamic energy obeys conservation,
+/// then for any two training points their *sum* is a physically valid
+/// synthetic training point for a serial compound — no extra
+/// measurements required. Augmenting the training set with such sums
+/// extends the hull exactly where compound test points live. Crucially,
+/// the synthesis is only sound for additive PMCs: applying it to
+/// non-additive counters manufactures points that real compounds do not
+/// match, so the technique is itself an argument for additivity-based
+/// selection. bench_augmentation quantifies both sides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_AUGMENTATION_H
+#define SLOPE_CORE_AUGMENTATION_H
+
+#include "ml/Dataset.h"
+
+namespace slope {
+namespace core {
+
+/// Appends \p NumSynthetic synthetic compound rows to a copy of
+/// \p Bases: each is the feature-wise and target-wise sum of two
+/// distinct randomly drawn base rows (valid under PMC additivity and
+/// energy conservation). Deterministic per \p PairRng seed.
+ml::Dataset augmentWithSyntheticCompounds(const ml::Dataset &Bases,
+                                          size_t NumSynthetic, Rng PairRng);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_AUGMENTATION_H

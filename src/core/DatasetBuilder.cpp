@@ -1,0 +1,49 @@
+//===- core/DatasetBuilder.cpp - Experiment dataset construction ---------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DatasetBuilder.h"
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+Expected<ml::Dataset>
+DatasetBuilder::build(const std::vector<CompoundApplication> &Apps,
+                      const std::vector<EventId> &Events) {
+  std::vector<std::string> Names;
+  Names.reserve(Events.size());
+  for (EventId Id : Events)
+    Names.push_back(M.registry().event(Id).Name);
+
+  ml::Dataset Data(Names);
+  for (const CompoundApplication &App : Apps) {
+    auto Profile = Profiler.collect(App, Events, Options.Repetitions);
+    if (!Profile)
+      return Profile.error();
+    // Energy comes from the same profiling campaign (mean of the
+    // per-run meter readings), as in the paper's setup where PMCs and
+    // energy are recorded for the same application execution.
+    Data.addRow(Profile->Counts, Options.UseTotalEnergy
+                                     ? Profile->TotalEnergyJ
+                                     : Profile->DynamicEnergyJ);
+  }
+  return Data;
+}
+
+Expected<ml::Dataset>
+DatasetBuilder::buildByName(const std::vector<CompoundApplication> &Apps,
+                            const std::vector<std::string> &EventNames) {
+  std::vector<EventId> Events;
+  Events.reserve(EventNames.size());
+  for (const std::string &Name : EventNames) {
+    auto Id = M.registry().lookup(Name);
+    if (!Id)
+      return Id.error();
+    Events.push_back(*Id);
+  }
+  return build(Apps, Events);
+}

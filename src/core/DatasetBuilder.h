@@ -1,0 +1,63 @@
+//===- core/DatasetBuilder.h - Experiment dataset construction --*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the (PMC..., dynamic energy) datasets the models are trained and
+/// validated on: for every application, collect the requested PMCs through
+/// the scheduler-constrained profiler and measure dynamic energy with
+/// HCLWattsUp, producing one ml::Dataset row per application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_DATASETBUILDER_H
+#define SLOPE_CORE_DATASETBUILDER_H
+
+#include "core/PmcProfiler.h"
+#include "ml/Dataset.h"
+
+namespace slope {
+namespace core {
+
+/// Dataset construction knobs.
+struct DatasetBuildOptions {
+  /// Executions per collection run whose counts are averaged.
+  unsigned Repetitions = 1;
+  /// Train against total energy (E_T) instead of dynamic energy
+  /// (E_D = E_T - P_S * T_E). The paper argues for dynamic energy
+  /// (Sect. 2); bench_ablation_dynamic_vs_total quantifies why.
+  bool UseTotalEnergy = false;
+};
+
+/// Builds model datasets from applications, PMCs, and energy readings.
+class DatasetBuilder {
+public:
+  DatasetBuilder(sim::Machine &M, power::HclWattsUp &Meter,
+                 DatasetBuildOptions Options = DatasetBuildOptions())
+      : M(M), Meter(Meter), Profiler(M, &Meter), Options(Options) {}
+
+  /// One row per application in \p Apps; feature columns are the events'
+  /// names in \p Events order; targets are measured dynamic energy (J).
+  /// \returns an error if the event set cannot be scheduled.
+  Expected<ml::Dataset>
+  build(const std::vector<sim::CompoundApplication> &Apps,
+        const std::vector<pmc::EventId> &Events);
+
+  /// Convenience: looks the event names up in the machine's registry.
+  Expected<ml::Dataset>
+  buildByName(const std::vector<sim::CompoundApplication> &Apps,
+              const std::vector<std::string> &EventNames);
+
+private:
+  sim::Machine &M;
+  power::HclWattsUp &Meter;
+  PmcProfiler Profiler;
+  DatasetBuildOptions Options;
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_DATASETBUILDER_H

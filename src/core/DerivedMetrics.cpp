@@ -1,0 +1,112 @@
+//===- core/DerivedMetrics.cpp - likwid-style derived metrics --------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DerivedMetrics.h"
+
+#include "support/Str.h"
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <map>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+
+namespace {
+/// Looks a count up by (exact) event name; 0 if the group lacks it.
+double countOf(const PerformanceGroup &Group,
+               const std::vector<double> &Counts,
+               const std::string &Name) {
+  for (size_t I = 0; I < Group.EventNames.size(); ++I)
+    if (Group.EventNames[I] == Name)
+      return Counts[I];
+  return 0;
+}
+
+/// First present event among \p Names.
+double countOfAny(const PerformanceGroup &Group,
+                  const std::vector<double> &Counts,
+                  const std::vector<std::string> &Names) {
+  for (const std::string &Name : Names) {
+    for (size_t I = 0; I < Group.EventNames.size(); ++I)
+      if (Group.EventNames[I] == Name)
+        return Counts[I];
+  }
+  return 0;
+}
+} // namespace
+
+std::vector<DerivedMetric>
+core::computeDerivedMetrics(const PerformanceGroup &Group,
+                            const std::vector<double> &Counts,
+                            double TimeSec) {
+  assert(Counts.size() == Group.EventNames.size() &&
+         "counts do not match the group");
+  assert(TimeSec > 0 && "derived rates need a positive runtime");
+
+  std::vector<DerivedMetric> Metrics;
+  Metrics.push_back({"Runtime (s)", TimeSec});
+
+  if (Group.Name == "FLOPS_DP") {
+    double Scalar = countOfAny(Group, Counts,
+                               {"FP_ARITH_INST_RETIRED_SCALAR_DOUBLE"});
+    double Packed = countOfAny(
+        Group, Counts, {"AVX_INSTS_ALL", "FP_ARITH_INST_RETIRED_DOUBLE"});
+    Metrics.push_back(
+        {"DP GFLOP/s", (Scalar + Packed) / TimeSec / 1e9});
+  } else if (Group.Name == "MEM") {
+    double Reads = countOf(Group, Counts, "DRAM_CAS_COUNT_RD");
+    double Writes = countOf(Group, Counts, "DRAM_CAS_COUNT_WR");
+    Metrics.push_back(
+        {"Memory read bandwidth (GB/s)", Reads * 64 / TimeSec / 1e9});
+    Metrics.push_back(
+        {"Memory write bandwidth (GB/s)", Writes * 64 / TimeSec / 1e9});
+    Metrics.push_back({"Memory bandwidth (GB/s)",
+                       (Reads + Writes) * 64 / TimeSec / 1e9});
+  } else if (Group.Name == "BRANCH") {
+    double Branches =
+        countOf(Group, Counts, "BR_INST_RETIRED_ALL_BRANCHES");
+    double Misses =
+        countOf(Group, Counts, "BR_MISP_RETIRED_ALL_BRANCHES");
+    if (Branches > 0)
+      Metrics.push_back({"Branch misprediction ratio", Misses / Branches});
+    Metrics.push_back({"Branch rate (G/s)", Branches / TimeSec / 1e9});
+  } else if (Group.Name == "L2") {
+    double References = countOf(Group, Counts, "L2_RQSTS_REFERENCES");
+    double Misses = countOf(Group, Counts, "L2_RQSTS_MISS");
+    if (References > 0)
+      Metrics.push_back({"L2 miss ratio", Misses / References});
+    Metrics.push_back(
+        {"L2 miss bandwidth (GB/s)", Misses * 64 / TimeSec / 1e9});
+  } else if (Group.Name == "L3") {
+    double References = countOf(Group, Counts, "LLC_REFERENCES");
+    double Misses = countOf(Group, Counts, "LLC_MISSES");
+    if (References > 0)
+      Metrics.push_back({"L3 miss ratio", Misses / References});
+    Metrics.push_back(
+        {"L3 miss bandwidth (GB/s)", Misses * 64 / TimeSec / 1e9});
+  } else if (Group.Name == "UOPS") {
+    double Issued = countOf(Group, Counts, "UOPS_ISSUED_ANY");
+    double Executed = countOf(Group, Counts, "UOPS_EXECUTED_CORE");
+    Metrics.push_back({"Uops issued (G/s)", Issued / TimeSec / 1e9});
+    Metrics.push_back({"Uops executed (G/s)", Executed / TimeSec / 1e9});
+  }
+
+  // Generic per-event rates round the table out for every group.
+  for (size_t I = 0; I < Group.EventNames.size(); ++I)
+    Metrics.push_back(
+        {Group.EventNames[I] + " (M/s)", Counts[I] / TimeSec / 1e6});
+  return Metrics;
+}
+
+std::string
+core::renderDerivedMetrics(const std::vector<DerivedMetric> &Metrics) {
+  TablePrinter T({"Metric", "Value"});
+  for (const DerivedMetric &Metric : Metrics)
+    T.addRow({Metric.Name, str::compact(Metric.Value, 5)});
+  return T.render();
+}

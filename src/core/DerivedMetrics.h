@@ -1,0 +1,47 @@
+//===- core/DerivedMetrics.h - likwid-style derived metrics ------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived metrics computed from raw group counts plus runtime, in the
+/// style of likwid-perfctr's per-group metric tables (GFLOP/s, memory
+/// bandwidth, branch misprediction ratio, uops per second, ...). Metrics
+/// are defined per performance group and evaluated against the counts a
+/// profiler collected for that group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_DERIVEDMETRICS_H
+#define SLOPE_CORE_DERIVEDMETRICS_H
+
+#include "pmc/PerformanceGroups.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace core {
+
+/// One computed metric.
+struct DerivedMetric {
+  std::string Name; ///< e.g. "DP GFLOP/s".
+  double Value = 0;
+};
+
+/// Computes the derived metrics of \p Group from its collected
+/// \p Counts (ordered like Group.EventNames) and the run's wall-clock
+/// \p TimeSec. Groups without specific formulas still yield the generic
+/// per-second rate of each raw event. Asserts Counts matches the group.
+std::vector<DerivedMetric>
+computeDerivedMetrics(const pmc::PerformanceGroup &Group,
+                      const std::vector<double> &Counts, double TimeSec);
+
+/// Renders metrics as an aligned table.
+std::string renderDerivedMetrics(const std::vector<DerivedMetric> &Metrics);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_DERIVEDMETRICS_H

@@ -1,0 +1,235 @@
+//===- core/Experiments.cpp - Class A/B/C experiment drivers -------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include "core/DatasetBuilder.h"
+#include "core/PmcSelector.h"
+#include "ml/Metrics.h"
+#include "pmc/PlatformEvents.h"
+#include "sim/TestSuite.h"
+
+#include <algorithm>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+namespace {
+
+/// Builds a family model honoring the experiment's budget knobs.
+std::unique_ptr<ml::Model> makeModel(ModelFamily Family, uint64_t Seed,
+                                     unsigned NnEpochs, size_t RfTrees) {
+  switch (Family) {
+  case ModelFamily::LR:
+    return std::make_unique<ml::LinearRegression>(
+        ml::LinearRegressionOptions::paperDefault());
+  case ModelFamily::RF: {
+    ml::RandomForestOptions Options;
+    Options.NumTrees = RfTrees;
+    Options.Seed = Seed;
+    return std::make_unique<ml::RandomForest>(Options);
+  }
+  case ModelFamily::NN: {
+    ml::NeuralNetworkOptions Options;
+    Options.HiddenLayers = {16};
+    Options.Transfer = ml::Activation::Identity;
+    Options.Epochs = NnEpochs;
+    Options.Seed = Seed;
+    return std::make_unique<ml::NeuralNetwork>(Options);
+  }
+  }
+  assert(false && "unknown model family");
+  return nullptr;
+}
+
+/// Fits a model of \p Family on the named columns and evaluates it on the
+/// test split, producing one table row.
+ModelEvalRow evaluateSubset(ModelFamily Family, const std::string &Label,
+                            const std::vector<std::string> &Pmcs,
+                            const ml::Dataset &Train,
+                            const ml::Dataset &Test, uint64_t Seed,
+                            unsigned NnEpochs, size_t RfTrees) {
+  ModelEvalRow Row;
+  Row.Label = Label;
+  Row.Pmcs = Pmcs;
+  ml::Dataset SubTrain = Train.selectFeatures(Pmcs);
+  ml::Dataset SubTest = Test.selectFeatures(Pmcs);
+  std::unique_ptr<ml::Model> M = makeModel(Family, Seed, NnEpochs, RfTrees);
+  [[maybe_unused]] auto Fit = M->fit(SubTrain);
+  assert(Fit && "experiment model failed to fit");
+  Row.Errors = ml::evaluateModel(*M, SubTest);
+  if (Family == ModelFamily::LR)
+    Row.Coefficients =
+        static_cast<const ml::LinearRegression &>(*M).coefficients();
+  return Row;
+}
+
+/// Wraps base applications as single-phase compounds for the builder.
+std::vector<CompoundApplication>
+asCompounds(const std::vector<Application> &Bases) {
+  std::vector<CompoundApplication> Out;
+  Out.reserve(Bases.size());
+  for (const Application &Base : Bases)
+    Out.emplace_back(Base);
+  return Out;
+}
+
+} // namespace
+
+ClassAResult core::runClassA(const ClassAConfig &Config) {
+  Machine M(Platform::intelHaswellServer(), Config.Seed);
+  power::HclWattsUp Meter(
+      M, std::make_unique<power::WattsUpProMeter>(power::WattsUpOptions(),
+                                                  Config.Seed ^ 0x11));
+
+  Rng ExperimentRng(Config.Seed);
+  std::vector<Application> Bases = diverseBaseSuite(
+      M.platform(), Config.NumBaseApps, ExperimentRng.fork("bases"));
+  std::vector<CompoundApplication> Compounds = makeCompoundSuite(
+      Bases, Config.NumCompounds, ExperimentRng.fork("pairs"));
+
+  // The six selected PMCs, X1..X6.
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name : pmc::haswellClassAPmcNames())
+    Events.push_back(*M.registry().lookup(Name));
+
+  ClassAResult Result;
+  AdditivityChecker Checker(M, Config.Additivity);
+  Result.AdditivityTable = Checker.checkAll(Events, Compounds);
+
+  // Train on base applications, test on the serial compounds — models
+  // must predict the energy of executions they never saw, from counters
+  // whose additivity they implicitly rely on.
+  DatasetBuilder Builder(M, Meter);
+  ml::Dataset Train = *Builder.build(asCompounds(Bases), Events);
+  ml::Dataset Test = *Builder.build(Compounds, Events);
+  Result.TrainRows = Train.numRows();
+  Result.TestRows = Test.numRows();
+
+  std::vector<std::vector<std::string>> Families =
+      nestedSubsetsByAdditivity(Result.AdditivityTable);
+  for (size_t I = 0; I < Families.size(); ++I) {
+    std::string Index = std::to_string(I + 1);
+    Result.Lr.push_back(evaluateSubset(
+        ModelFamily::LR, "LR" + Index, Families[I], Train, Test,
+        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
+    Result.Rf.push_back(evaluateSubset(
+        ModelFamily::RF, "RF" + Index, Families[I], Train, Test,
+        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
+    Result.Nn.push_back(evaluateSubset(
+        ModelFamily::NN, "NN" + Index, Families[I], Train, Test,
+        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
+  }
+  return Result;
+}
+
+ClassBCResult core::runClassBC(const ClassBCConfig &Config) {
+  Machine M(Platform::intelSkylakeServer(), Config.Seed ^ 0x5C7B);
+  power::HclWattsUp Meter(
+      M, std::make_unique<power::WattsUpProMeter>(power::WattsUpOptions(),
+                                                  Config.Seed ^ 0x22));
+
+  Rng ExperimentRng(Config.Seed);
+  ClassBCResult Result;
+
+  // --- Additivity over the DGEMM/FFT base + compound datasets.
+  std::vector<Application> AddBases =
+      dgemmFftAdditivityBases(Config.NumAdditivityBases);
+  std::vector<CompoundApplication> AddCompounds = makeCompoundSuite(
+      AddBases, Config.NumAdditivityCompounds, ExperimentRng.fork("pairs"));
+
+  std::vector<std::string> PaNames = pmc::skylakePaNames();
+  std::vector<std::string> PnaNames = pmc::skylakePnaNames();
+  std::vector<pmc::EventId> PaEvents, PnaEvents, AllEvents;
+  for (const std::string &Name : PaNames)
+    PaEvents.push_back(*M.registry().lookup(Name));
+  for (const std::string &Name : PnaNames)
+    PnaEvents.push_back(*M.registry().lookup(Name));
+  AllEvents = PaEvents;
+  AllEvents.insert(AllEvents.end(), PnaEvents.begin(), PnaEvents.end());
+
+  AdditivityChecker Checker(M, Config.Additivity);
+  std::vector<AdditivityResult> PaAdd =
+      Checker.checkAll(PaEvents, AddCompounds);
+  std::vector<AdditivityResult> PnaAdd =
+      Checker.checkAll(PnaEvents, AddCompounds);
+
+  // --- The 801-point model dataset.
+  std::vector<Application> Points = dgemmFftModelDataset();
+  if (Config.MaxDatasetPoints != 0 &&
+      Points.size() > Config.MaxDatasetPoints) {
+    // Subsample evenly for quick runs.
+    std::vector<Application> Reduced;
+    double Stride = static_cast<double>(Points.size()) /
+                    static_cast<double>(Config.MaxDatasetPoints);
+    for (size_t I = 0; I < Config.MaxDatasetPoints; ++I)
+      Reduced.push_back(Points[static_cast<size_t>(I * Stride)]);
+    Points = std::move(Reduced);
+  }
+
+  DatasetBuilder Builder(M, Meter);
+  ml::Dataset Full = *Builder.buildByName(asCompounds(Points), [&] {
+    std::vector<std::string> All = PaNames;
+    All.insert(All.end(), PnaNames.begin(), PnaNames.end());
+    return All;
+  }());
+
+  // --- Table 6: correlation with dynamic energy over the full dataset.
+  std::vector<double> Correlations = energyCorrelations(Full);
+  auto MakeRows = [&](const std::vector<std::string> &Names,
+                      const std::vector<AdditivityResult> &Add) {
+    std::vector<PmcCorrelationRow> Rows;
+    for (size_t I = 0; I < Names.size(); ++I) {
+      PmcCorrelationRow Row;
+      Row.Name = Names[I];
+      Row.Correlation = Correlations[Full.indexOfFeature(Names[I])];
+      Row.AdditivityErrorPct = Add[I].MaxErrorPct;
+      Row.Additive = Add[I].Additive;
+      Rows.push_back(Row);
+    }
+    return Rows;
+  };
+  Result.Pa = MakeRows(PaNames, PaAdd);
+  Result.Pna = MakeRows(PnaNames, PnaAdd);
+
+  // --- Train/test split (shuffled once, fixed by seed).
+  size_t TrainRows = std::min(Config.TrainRows, Full.numRows());
+  double TestFraction =
+      1.0 - static_cast<double>(TrainRows) /
+                static_cast<double>(Full.numRows());
+  auto [Train, Test] = Full.split(TestFraction, ExperimentRng.fork("split"));
+  Result.TrainRows = Train.numRows();
+  Result.TestRows = Test.numRows();
+
+  // --- Class B: nine-PMC application-specific models.
+  for (ModelFamily Family :
+       {ModelFamily::LR, ModelFamily::RF, ModelFamily::NN}) {
+    std::string Base = modelFamilyName(Family);
+    Result.ClassB.push_back(
+        evaluateSubset(Family, Base + "-A", PaNames, Train, Test,
+                       Config.Seed + 31, Config.NnEpochs, Config.RfTrees));
+    Result.ClassB.push_back(
+        evaluateSubset(Family, Base + "-NA", PnaNames, Train, Test,
+                       Config.Seed + 37, Config.NnEpochs, Config.RfTrees));
+  }
+
+  // --- Class C: four-PMC online models, picked by energy correlation
+  // within each set (the paper's PA4 / PNA4 construction).
+  Result.Pa4 = selectMostCorrelated(Full.selectFeatures(PaNames), 4);
+  Result.Pna4 = selectMostCorrelated(Full.selectFeatures(PnaNames), 4);
+  for (ModelFamily Family :
+       {ModelFamily::LR, ModelFamily::RF, ModelFamily::NN}) {
+    std::string Base = modelFamilyName(Family);
+    Result.ClassC.push_back(
+        evaluateSubset(Family, Base + "-A4", Result.Pa4, Train, Test,
+                       Config.Seed + 41, Config.NnEpochs, Config.RfTrees));
+    Result.ClassC.push_back(
+        evaluateSubset(Family, Base + "-NA4", Result.Pna4, Train, Test,
+                       Config.Seed + 43, Config.NnEpochs, Config.RfTrees));
+  }
+  return Result;
+}

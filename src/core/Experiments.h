@@ -1,0 +1,104 @@
+//===- core/Experiments.h - Class A/B/C experiment drivers ------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drivers reproducing the paper's three experiment classes (Sect. 5):
+///
+///  * Class A (Haswell, diverse suite): additivity errors of the six
+///    selected PMCs (Table 2) and the nested LR/RF/NN model families that
+///    drop the most non-additive PMC one at a time (Tables 3-5).
+///  * Class B (Skylake, DGEMM+FFT): application-specific models built on
+///    the nine most additive PMCs (PA) vs nine non-additive,
+///    literature-popular PMCs (PNA) — Tables 6 and 7a.
+///  * Class C (Skylake): the online four-PMC setting — PA4 vs PNA4
+///    selected by energy correlation — Table 7b.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_EXPERIMENTS_H
+#define SLOPE_CORE_EXPERIMENTS_H
+
+#include "core/AdditivityChecker.h"
+#include "core/ModelZoo.h"
+#include "stats/Descriptive.h"
+
+namespace slope {
+namespace core {
+
+/// One model row of Tables 3-5 / 7.
+struct ModelEvalRow {
+  std::string Label;                ///< "LR1", "RF-A", "NN-A4", ...
+  std::vector<std::string> Pmcs;    ///< Predictor PMC names.
+  std::vector<double> Coefficients; ///< LR only; empty otherwise.
+  stats::ErrorSummary Errors;       ///< Percentage prediction errors.
+};
+
+/// Class A configuration (defaults follow the paper).
+struct ClassAConfig {
+  size_t NumBaseApps = 277;
+  size_t NumCompounds = 50;
+  uint64_t Seed = 2019;
+  AdditivityTestConfig Additivity;
+  /// NN training epochs (reduce for quick runs/tests).
+  unsigned NnEpochs = 300;
+  /// RF ensemble size.
+  size_t RfTrees = 100;
+};
+
+/// Class A outcome.
+struct ClassAResult {
+  /// Additivity verdicts for X1..X6 in presentation order (Table 2).
+  std::vector<AdditivityResult> AdditivityTable;
+  std::vector<ModelEvalRow> Lr; ///< LR1..LR6 (Table 3).
+  std::vector<ModelEvalRow> Rf; ///< RF1..RF6 (Table 4).
+  std::vector<ModelEvalRow> Nn; ///< NN1..NN6 (Table 5).
+  size_t TrainRows = 0;
+  size_t TestRows = 0;
+};
+
+/// Runs the full Class A pipeline on the simulated Haswell server.
+ClassAResult runClassA(const ClassAConfig &Config = ClassAConfig());
+
+/// Class B/C configuration (defaults follow the paper).
+struct ClassBCConfig {
+  size_t NumAdditivityBases = 50;
+  size_t NumAdditivityCompounds = 30;
+  size_t TrainRows = 651; ///< Of the 801-point dataset; 150 test.
+  uint64_t Seed = 2019;
+  AdditivityTestConfig Additivity;
+  unsigned NnEpochs = 300;
+  size_t RfTrees = 100;
+  /// Set to reduce the 801-point model dataset for quick runs (0 = all).
+  size_t MaxDatasetPoints = 0;
+};
+
+/// One Table 6 row: a PMC with its energy correlation and additivity.
+struct PmcCorrelationRow {
+  std::string Name;
+  double Correlation = 0;
+  double AdditivityErrorPct = 0;
+  bool Additive = false;
+};
+
+/// Class B and C outcome.
+struct ClassBCResult {
+  std::vector<PmcCorrelationRow> Pa;  ///< Table 6, additive set.
+  std::vector<PmcCorrelationRow> Pna; ///< Table 6, non-additive set.
+  std::vector<ModelEvalRow> ClassB;   ///< Table 7a rows.
+  std::vector<ModelEvalRow> ClassC;   ///< Table 7b rows.
+  std::vector<std::string> Pa4;       ///< Class C additive subset.
+  std::vector<std::string> Pna4;      ///< Class C non-additive subset.
+  size_t TrainRows = 0;
+  size_t TestRows = 0;
+};
+
+/// Runs the Class B and Class C pipelines on the simulated Skylake server.
+ClassBCResult runClassBC(const ClassBCConfig &Config = ClassBCConfig());
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_EXPERIMENTS_H

@@ -1,0 +1,59 @@
+//===- core/ModelZoo.cpp - Paper model configurations --------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelZoo.h"
+
+#include <cassert>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::ml;
+
+const char *core::modelFamilyName(ModelFamily Family) {
+  switch (Family) {
+  case ModelFamily::LR:
+    return "LR";
+  case ModelFamily::RF:
+    return "RF";
+  case ModelFamily::NN:
+    return "NN";
+  }
+  assert(false && "unknown model family");
+  return "?";
+}
+
+std::unique_ptr<Model> core::makePaperModel(ModelFamily Family,
+                                            uint64_t Seed) {
+  switch (Family) {
+  case ModelFamily::LR:
+    return std::make_unique<LinearRegression>(
+        LinearRegressionOptions::paperDefault());
+  case ModelFamily::RF: {
+    RandomForestOptions Options;
+    Options.NumTrees = 100;
+    Options.Seed = Seed;
+    return std::make_unique<RandomForest>(Options);
+  }
+  case ModelFamily::NN: {
+    NeuralNetworkOptions Options;
+    Options.HiddenLayers = {16};
+    Options.Transfer = Activation::Identity; // The paper's linear transfer.
+    Options.Epochs = 300;
+    Options.Seed = Seed;
+    return std::make_unique<NeuralNetwork>(Options);
+  }
+  }
+  assert(false && "unknown model family");
+  return nullptr;
+}
+
+std::unique_ptr<Model> core::fitPaperModel(ModelFamily Family, uint64_t Seed,
+                                           const Dataset &Training) {
+  std::unique_ptr<Model> M = makePaperModel(Family, Seed);
+  [[maybe_unused]] auto Fit = M->fit(Training);
+  assert(Fit && "paper model failed to fit an experiment dataset");
+  return M;
+}

@@ -1,0 +1,67 @@
+//===- core/MultiplexedProfiler.cpp - Time-sliced PMC collection ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiplexedProfiler.h"
+
+#include <cmath>
+#include <map>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+Expected<size_t>
+MultiplexedProfiler::numGroups(const std::vector<EventId> &Events) const {
+  auto Plan = planCollection(M.registry(), Events);
+  if (!Plan)
+    return Plan.error();
+  return Plan->numRuns();
+}
+
+Expected<ProfileResult>
+MultiplexedProfiler::collect(const CompoundApplication &App,
+                             const std::vector<EventId> &Events,
+                             unsigned Repetitions) {
+  assert(Repetitions >= 1 && "need at least one repetition");
+  auto Plan = planCollection(M.registry(), Events);
+  if (!Plan)
+    return Plan.error();
+  double Groups = static_cast<double>(Plan->numRuns());
+
+  std::map<EventId, double> Sum;
+  ProfileResult Result;
+  double EnergySum = 0, TimeSum = 0;
+  for (unsigned Rep = 0; Rep < Repetitions; ++Rep) {
+    Execution Exec = M.run(App);
+    ++Result.RunsUsed;
+    TimeSum += Exec.totalTimeSec();
+    if (Meter)
+      EnergySum += Meter->readingFor(Exec).DynamicEnergyJ;
+
+    // Each event is observed for a 1/G slice share and extrapolated.
+    // The extrapolation error is deterministic per (run, event) like
+    // every other observation in the simulator.
+    double Phases = static_cast<double>(Exec.Phases.size());
+    double Sigma = Options.ScalingNoiseBase * std::sqrt(Groups - 1.0) *
+                   (1.0 + Options.PhaseImbalanceFactor * (Phases - 1.0));
+    for (const CollectionRun &Group : Plan->Runs)
+      for (EventId Id : Group.Events) {
+        Rng MuxRng = Rng(Exec.RunSeed)
+                         .fork("mux")
+                         .fork(static_cast<uint64_t>(Id) + 1);
+        double True = M.readCounter(Id, Exec);
+        Sum[Id] += True * MuxRng.lognormalFactor(Sigma);
+      }
+  }
+
+  Result.Counts.reserve(Events.size());
+  for (EventId Id : Events)
+    Result.Counts.push_back(Sum[Id] / Repetitions);
+  Result.TimeSec = TimeSum / Repetitions;
+  Result.DynamicEnergyJ = Meter ? EnergySum / Repetitions : 0.0;
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- core/MultiplexedProfiler.h - Time-sliced PMC collection ---*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counter multiplexing: the perf-style alternative to the paper's
+/// multiple-dedicated-runs methodology. All requested events are
+/// collected in a SINGLE application run by time-slicing the PMU among
+/// the scheduler's groups; each event is observed for a 1/G share of the
+/// runtime and its count is extrapolated by G. The price is a scaling
+/// error that grows with the number of groups and with how phase-varying
+/// the counter is — which is why the paper (and Likwid's recommended
+/// practice) uses dedicated runs per group, accepting the ~53/~99-run
+/// cost this library's PmcProfiler models. bench_multiplexing quantifies
+/// the trade and its effect on additivity verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_MULTIPLEXEDPROFILER_H
+#define SLOPE_CORE_MULTIPLEXEDPROFILER_H
+
+#include "core/PmcProfiler.h"
+
+namespace slope {
+namespace core {
+
+/// Error model of time-sliced counting.
+struct MultiplexOptions {
+  /// Scaling-noise scale: the per-event extrapolation error's lognormal
+  /// sigma is ScalingNoiseBase * sqrt(G - 1) for G groups (G == 1 is
+  /// exact: the event was counted the whole run).
+  double ScalingNoiseBase = 0.05;
+  /// Additional error per extra execution phase (compound applications):
+  /// slice boundaries interact with phase boundaries, so phase-varying
+  /// counters extrapolate worse on compounds.
+  double PhaseImbalanceFactor = 0.5;
+};
+
+/// Collects many PMCs in one run via time-division multiplexing.
+class MultiplexedProfiler {
+public:
+  explicit MultiplexedProfiler(sim::Machine &M,
+                               power::HclWattsUp *Meter = nullptr,
+                               MultiplexOptions Options = MultiplexOptions())
+      : M(M), Meter(Meter), Options(Options) {}
+
+  /// Collects \p Events for \p App with \p Repetitions runs (each run
+  /// observes every event through its slice share). RunsUsed equals
+  /// Repetitions — the whole point of multiplexing.
+  /// \returns an error if the request contains duplicates.
+  Expected<ProfileResult> collect(const sim::CompoundApplication &App,
+                                  const std::vector<pmc::EventId> &Events,
+                                  unsigned Repetitions = 1);
+
+  /// \returns the number of time-slice groups \p Events require (the
+  /// G in the error model).
+  Expected<size_t> numGroups(const std::vector<pmc::EventId> &Events) const;
+
+private:
+  sim::Machine &M;
+  power::HclWattsUp *Meter;
+  MultiplexOptions Options;
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_MULTIPLEXEDPROFILER_H

@@ -1,0 +1,68 @@
+//===- core/OnlineEstimator.h - Deployable online energy model ---*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The artifact the paper's pipeline ultimately produces: an *online*
+/// energy estimator — a trained model bound to a PMC subset that fits a
+/// single collection run, so the energy of any application execution can
+/// be estimated from one run with no power meter attached. Class C's
+/// constraint (4 PMCs) is enforced at construction: the chosen events
+/// must be schedulable in one run on the machine's PMU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_ONLINEESTIMATOR_H
+#define SLOPE_CORE_ONLINEESTIMATOR_H
+
+#include "core/DatasetBuilder.h"
+#include "core/ModelZoo.h"
+
+#include <memory>
+
+namespace slope {
+namespace core {
+
+/// A fitted model plus the single-run PMC subset it consumes.
+class OnlineEstimator {
+public:
+  /// Trains an estimator: validates that \p PmcNames fit one collection
+  /// run, builds the (PMC..., energy) dataset over \p TrainingApps with
+  /// \p Meter as ground truth, and fits a \p Family model.
+  /// \returns an error if the events are unknown, cannot be collected in
+  /// a single run, or the fit fails.
+  static Expected<OnlineEstimator>
+  train(sim::Machine &M, power::HclWattsUp &Meter,
+        const std::vector<std::string> &PmcNames,
+        const std::vector<sim::CompoundApplication> &TrainingApps,
+        ModelFamily Family = ModelFamily::LR, uint64_t Seed = 0);
+
+  /// Estimates the dynamic energy (J) of one *fresh* run of \p App:
+  /// executes it once, reads the subset, predicts. No meter involved.
+  double estimateRun(const sim::CompoundApplication &App);
+
+  /// Estimates from an already-performed execution (attach-to-run mode).
+  double estimateExecution(const sim::Execution &Exec) const;
+
+  const std::vector<std::string> &pmcNames() const { return Names; }
+  const ml::Model &model() const { return *FittedModel; }
+
+private:
+  OnlineEstimator(sim::Machine &M, std::vector<pmc::EventId> Events,
+                  std::vector<std::string> Names,
+                  std::unique_ptr<ml::Model> FittedModel)
+      : M(&M), Events(std::move(Events)), Names(std::move(Names)),
+        FittedModel(std::move(FittedModel)) {}
+
+  sim::Machine *M;
+  std::vector<pmc::EventId> Events;
+  std::vector<std::string> Names;
+  std::unique_ptr<ml::Model> FittedModel;
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_ONLINEESTIMATOR_H

@@ -1,0 +1,65 @@
+//===- core/PmcProfiler.cpp - Multi-run PMC collection -------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PmcProfiler.h"
+
+#include <map>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+Expected<ProfileResult>
+PmcProfiler::collect(const CompoundApplication &App,
+                     const std::vector<EventId> &Events,
+                     unsigned Repetitions) {
+  assert(Repetitions >= 1 && "need at least one repetition");
+  auto Plan = planCollection(M.registry(), Events);
+  if (!Plan)
+    return Plan.error();
+
+  std::map<EventId, double> MeanByEvent;
+  ProfileResult Result;
+  double EnergySum = 0, TotalSum = 0, TimeSum = 0;
+  for (const CollectionRun &Run : Plan->Runs) {
+    std::map<EventId, double> GroupSum;
+    for (unsigned Rep = 0; Rep < Repetitions; ++Rep) {
+      Execution Exec = M.run(App);
+      ++Result.RunsUsed;
+      TimeSum += Exec.totalTimeSec();
+      if (Meter) {
+        power::EnergyReading Reading = Meter->readingFor(Exec);
+        EnergySum += Reading.DynamicEnergyJ;
+        TotalSum += Reading.TotalEnergyJ;
+      }
+      for (EventId Id : Run.Events)
+        GroupSum[Id] += M.readCounter(Id, Exec);
+    }
+    for (EventId Id : Run.Events)
+      MeanByEvent[Id] = GroupSum[Id] / Repetitions;
+  }
+
+  Result.Counts.reserve(Events.size());
+  for (EventId Id : Events)
+    Result.Counts.push_back(MeanByEvent[Id]);
+  if (Result.RunsUsed > 0) {
+    Result.TimeSec = TimeSum / static_cast<double>(Result.RunsUsed);
+    Result.DynamicEnergyJ =
+        Meter ? EnergySum / static_cast<double>(Result.RunsUsed) : 0.0;
+    Result.TotalEnergyJ =
+        Meter ? TotalSum / static_cast<double>(Result.RunsUsed) : 0.0;
+  }
+  return Result;
+}
+
+Expected<size_t>
+PmcProfiler::collectionCost(const std::vector<EventId> &Events) const {
+  auto Plan = planCollection(M.registry(), Events);
+  if (!Plan)
+    return Plan.error();
+  return Plan->numRuns();
+}

@@ -1,0 +1,66 @@
+//===- core/PmcProfiler.h - Multi-run PMC collection ------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects a set of PMCs for an application the way real tooling must:
+/// by scheduling the events onto the PMU's limited counter registers
+/// (pmc::planCollection) and executing the application once per
+/// collection run. Reports the number of runs spent, which is the cost
+/// the paper quantifies (~53 runs on Haswell, ~99 on Skylake for the full
+/// catalogue — the motivation for 4-PMC online models).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_PMCPROFILER_H
+#define SLOPE_CORE_PMCPROFILER_H
+
+#include "power/HclWattsUp.h"
+#include "sim/Machine.h"
+
+namespace slope {
+namespace core {
+
+/// Result of one profiling request.
+struct ProfileResult {
+  /// Mean counts, ordered like the requested event ids.
+  std::vector<double> Counts;
+  /// Number of application executions performed.
+  size_t RunsUsed = 0;
+  /// Dynamic energy (J) measured on the profiling runs (mean across
+  /// runs), if an energy meter was attached.
+  double DynamicEnergyJ = 0;
+  /// Total energy (J), same conditions.
+  double TotalEnergyJ = 0;
+  /// Mean wall-clock seconds per run.
+  double TimeSec = 0;
+};
+
+/// Schedules and performs PMC collection runs on a Machine.
+class PmcProfiler {
+public:
+  /// \p Meter may be null; energy fields are then zero.
+  explicit PmcProfiler(sim::Machine &M, power::HclWattsUp *Meter = nullptr)
+      : M(M), Meter(Meter) {}
+
+  /// Collects \p Events for \p App. Each collection run executes the
+  /// application \p Repetitions times and averages the group's counts.
+  /// \returns an error if the request contains duplicates.
+  Expected<ProfileResult> collect(const sim::CompoundApplication &App,
+                                  const std::vector<pmc::EventId> &Events,
+                                  unsigned Repetitions = 1);
+
+  /// \returns the number of runs needed to collect \p Events once.
+  Expected<size_t> collectionCost(const std::vector<pmc::EventId> &Events) const;
+
+private:
+  sim::Machine &M;
+  power::HclWattsUp *Meter;
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_PMCPROFILER_H

@@ -1,0 +1,127 @@
+//===- core/PmcSelector.cpp - Additivity/correlation PMC selection ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PmcSelector.h"
+
+#include "stats/Correlation.h"
+#include "stats/Pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+
+std::vector<AdditivityResult>
+core::rankByAdditivity(std::vector<AdditivityResult> Results) {
+  // Non-deterministic or insignificant events are worse than any finite
+  // additivity error; sink them to the end.
+  std::stable_sort(Results.begin(), Results.end(),
+                   [](const AdditivityResult &A, const AdditivityResult &B) {
+                     bool AUsable = A.Deterministic && A.Significant;
+                     bool BUsable = B.Deterministic && B.Significant;
+                     if (AUsable != BUsable)
+                       return AUsable;
+                     return A.MaxErrorPct < B.MaxErrorPct;
+                   });
+  return Results;
+}
+
+std::vector<std::string>
+core::selectMostAdditive(const std::vector<AdditivityResult> &Results,
+                         size_t K) {
+  assert(K <= Results.size() && "asking for more events than tested");
+  std::vector<AdditivityResult> Ranked = rankByAdditivity(Results);
+  std::vector<std::string> Names;
+  Names.reserve(K);
+  for (size_t I = 0; I < K; ++I)
+    Names.push_back(Ranked[I].Name);
+  return Names;
+}
+
+std::vector<double> core::energyCorrelations(const ml::Dataset &Data) {
+  std::vector<double> Correlations;
+  Correlations.reserve(Data.numFeatures());
+  for (size_t C = 0; C < Data.numFeatures(); ++C)
+    Correlations.push_back(
+        stats::pearson(Data.featureColumn(C), Data.targets()));
+  return Correlations;
+}
+
+std::vector<std::string> core::selectMostCorrelated(const ml::Dataset &Data,
+                                                    size_t K, bool Absolute) {
+  assert(K <= Data.numFeatures() && "asking for more features than exist");
+  std::vector<double> Correlations = energyCorrelations(Data);
+  std::vector<size_t> Order(Correlations.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    double Ra = Absolute ? std::fabs(Correlations[A]) : Correlations[A];
+    double Rb = Absolute ? std::fabs(Correlations[B]) : Correlations[B];
+    return Ra > Rb;
+  });
+  std::vector<std::string> Names;
+  Names.reserve(K);
+  for (size_t I = 0; I < K; ++I)
+    Names.push_back(Data.featureNames()[Order[I]]);
+  return Names;
+}
+
+std::vector<std::string> core::selectByPcaLoading(const ml::Dataset &Data,
+                                                  size_t K,
+                                                  double VarianceTarget) {
+  assert(K <= Data.numFeatures() && "asking for more features than exist");
+  assert(VarianceTarget > 0 && VarianceTarget <= 1 &&
+         "variance target must be in (0, 1]");
+  auto Pca = stats::fitPca(Data.featureMatrix());
+  assert(Pca && "PCA failed on a model dataset");
+
+  // Number of components needed to reach the variance target.
+  size_t NumComponents = 1;
+  while (NumComponents < Data.numFeatures() &&
+         Pca->explainedVariance(NumComponents) < VarianceTarget)
+    ++NumComponents;
+
+  std::vector<double> Scores(Data.numFeatures(), 0.0);
+  for (size_t C = 0; C < NumComponents; ++C) {
+    double Weight = std::max(Pca->Eigen.Values[C], 0.0);
+    for (size_t F = 0; F < Data.numFeatures(); ++F)
+      Scores[F] += Weight * std::fabs(Pca->loading(F, C));
+  }
+
+  std::vector<size_t> Order(Scores.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Scores[A] > Scores[B];
+  });
+  std::vector<std::string> Names;
+  Names.reserve(K);
+  for (size_t I = 0; I < K; ++I)
+    Names.push_back(Data.featureNames()[Order[I]]);
+  return Names;
+}
+
+std::vector<std::vector<std::string>> core::nestedSubsetsByAdditivity(
+    const std::vector<AdditivityResult> &Results) {
+  assert(!Results.empty() && "no additivity results to nest");
+  std::vector<AdditivityResult> Ranked = rankByAdditivity(Results);
+  std::vector<std::vector<std::string>> Families;
+  // Family i keeps the (n - i) most additive events, preserving the
+  // original X-index order within each family like the paper's tables.
+  for (size_t Drop = 0; Drop < Ranked.size(); ++Drop) {
+    std::vector<std::string> Keep;
+    for (size_t I = 0; I + Drop < Ranked.size(); ++I)
+      Keep.push_back(Ranked[I].Name);
+    // Restore presentation order: as listed in Results.
+    std::vector<std::string> Ordered;
+    for (const AdditivityResult &R : Results)
+      if (std::find(Keep.begin(), Keep.end(), R.Name) != Keep.end())
+        Ordered.push_back(R.Name);
+    Families.push_back(std::move(Ordered));
+  }
+  return Families;
+}

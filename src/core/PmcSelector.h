@@ -1,0 +1,65 @@
+//===- core/PmcSelector.h - Additivity/correlation PMC selection -*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PMC selection policies: by additivity error (the paper's contribution),
+/// by correlation with dynamic energy (the state-of-the-art baseline), and
+/// their combination (Class C's PA4 — the most energy-correlated among the
+/// most additive). Also the nested-subset construction of the Class A
+/// model families (drop the most non-additive PMC one at a time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_PMCSELECTOR_H
+#define SLOPE_CORE_PMCSELECTOR_H
+
+#include "core/AdditivityChecker.h"
+#include "ml/Dataset.h"
+
+namespace slope {
+namespace core {
+
+/// Orders \p Results by ascending additivity error (most additive first).
+std::vector<AdditivityResult>
+rankByAdditivity(std::vector<AdditivityResult> Results);
+
+/// \returns the names of the \p K most additive events of \p Results.
+std::vector<std::string>
+selectMostAdditive(const std::vector<AdditivityResult> &Results, size_t K);
+
+/// Per-feature Pearson correlation with the dataset's target (dynamic
+/// energy), in dataset column order.
+std::vector<double> energyCorrelations(const ml::Dataset &Data);
+
+/// \returns the \p K feature names of \p Data with the highest
+/// correlation with energy. \p Absolute ranks by |r| instead of r (the
+/// paper ranks by positive correlation; Table 6 shows negative-r PMCs
+/// at the bottom).
+std::vector<std::string> selectMostCorrelated(const ml::Dataset &Data,
+                                              size_t K,
+                                              bool Absolute = false);
+
+/// PCA-based selection — the other statistical baseline in the paper's
+/// related-work taxonomy: features are scored by their eigenvalue-
+/// weighted absolute loadings over the principal components explaining
+/// \p VarianceTarget of the feature variance, and the top \p K are
+/// returned. Note this looks only at the PMC space, never at energy —
+/// its blindness to both energy and additivity is the point of the
+/// comparison in bench_selection_baselines.
+std::vector<std::string> selectByPcaLoading(const ml::Dataset &Data,
+                                            size_t K,
+                                            double VarianceTarget = 0.95);
+
+/// The Class A nested families: element 0 holds all names; element i
+/// drops the i most non-additive ones (by descending MaxErrorPct); the
+/// last element keeps only the most additive event.
+std::vector<std::vector<std::string>>
+nestedSubsetsByAdditivity(const std::vector<AdditivityResult> &Results);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_PMCSELECTOR_H

@@ -1,0 +1,147 @@
+//===- core/Report.cpp - Paper table rendering ----------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include "pmc/PlatformEvents.h"
+#include "support/Str.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace slope;
+using namespace slope::core;
+
+std::string core::compactPmcList(const std::vector<std::string> &Subset,
+                                 const std::vector<std::string> &Universe,
+                                 char Prefix) {
+  std::vector<std::string> Short;
+  for (const std::string &Name : Subset) {
+    auto It = std::find(Universe.begin(), Universe.end(), Name);
+    if (It == Universe.end()) {
+      Short.push_back(Name);
+      continue;
+    }
+    Short.push_back(std::string(1, Prefix) +
+                    std::to_string(It - Universe.begin() + 1));
+  }
+  return str::join(Short, ",");
+}
+
+std::string core::renderTable1(const sim::Platform &Haswell,
+                               const sim::Platform &Skylake) {
+  TablePrinter T({"Technical Specifications", "Intel Haswell Server",
+                  "Intel Skylake Server"});
+  T.setCaption("Table 1. Specification of the Intel Haswell and Intel "
+               "Skylake multicore CPUs (simulated).");
+  auto Row = [&](const std::string &Label, const std::string &H,
+                 const std::string &S) { T.addRow({Label, H, S}); };
+  Row("Processor", Haswell.Processor, Skylake.Processor);
+  Row("OS", Haswell.Os, Skylake.Os);
+  Row("Micro-architecture", sim::microarchName(Haswell.Arch),
+      sim::microarchName(Skylake.Arch));
+  Row("Thread(s) per core", std::to_string(Haswell.ThreadsPerCore),
+      std::to_string(Skylake.ThreadsPerCore));
+  Row("Cores per socket", std::to_string(Haswell.CoresPerSocket),
+      std::to_string(Skylake.CoresPerSocket));
+  Row("Socket(s)", std::to_string(Haswell.Sockets),
+      std::to_string(Skylake.Sockets));
+  Row("NUMA node(s)", std::to_string(Haswell.NumaNodes),
+      std::to_string(Skylake.NumaNodes));
+  Row("L1d/L1i cache", std::to_string(Haswell.L1DKB) + " KB/" +
+                           std::to_string(Haswell.L1IKB) + " KB",
+      std::to_string(Skylake.L1DKB) + " KB/" +
+          std::to_string(Skylake.L1IKB) + " KB");
+  Row("L2 cache", std::to_string(Haswell.L2KB) + " KB",
+      std::to_string(Skylake.L2KB) + " KB");
+  Row("L3 cache", std::to_string(Haswell.L3KB) + " KB",
+      std::to_string(Skylake.L3KB) + " KB");
+  Row("Main memory", std::to_string(Haswell.MainMemoryGB) + " GB DDR4",
+      std::to_string(Skylake.MainMemoryGB) + " GB DDR4");
+  Row("TDP", str::compact(Haswell.TdpWatts, 4) + " W",
+      str::compact(Skylake.TdpWatts, 4) + " W");
+  Row("Idle Power", str::compact(Haswell.IdlePowerWatts, 4) + " W",
+      str::compact(Skylake.IdlePowerWatts, 4) + " W");
+  return T.render();
+}
+
+std::string core::renderTable2(const ClassAResult &Result) {
+  TablePrinter T({"Selected PMCs", "Additivity test error (%)"});
+  T.setCaption("Table 2. Selected PMCs for modelling with their additivity "
+               "test errors (%).");
+  std::vector<std::string> Universe = pmc::haswellClassAPmcNames();
+  for (size_t I = 0; I < Result.AdditivityTable.size(); ++I) {
+    const AdditivityResult &R = Result.AdditivityTable[I];
+    T.addRow({"X" + std::to_string(I + 1) + ": " + R.Name,
+              str::fixed(R.MaxErrorPct, 0)});
+  }
+  return T.render();
+}
+
+std::string
+core::renderModelFamilyTable(const std::string &Caption,
+                             const std::vector<ModelEvalRow> &Rows,
+                             bool WithCoefficients) {
+  std::vector<std::string> Universe = pmc::haswellClassAPmcNames();
+  std::vector<std::string> Headers = {"Model", "PMCs"};
+  if (WithCoefficients)
+    Headers.push_back("Coefficients");
+  Headers.push_back("Prediction errors (min, avg, max)");
+  TablePrinter T(Headers);
+  T.setCaption(Caption);
+  for (const ModelEvalRow &Row : Rows) {
+    std::vector<std::string> Cells = {
+        Row.Label, compactPmcList(Row.Pmcs, Universe, 'X')};
+    if (WithCoefficients) {
+      std::vector<std::string> Coeffs;
+      for (double C : Row.Coefficients)
+        Coeffs.push_back(str::scientific(C));
+      Cells.push_back(str::join(Coeffs, ", "));
+    }
+    Cells.push_back(Row.Errors.str());
+    T.addRow(Cells);
+  }
+  return T.render();
+}
+
+std::string core::renderTable6(const ClassBCResult &Result) {
+  TablePrinter T({"", "PMC", "Correlation", "Additivity err (%)"});
+  T.setCaption("Table 6. Additive and non-additive PMCs with their "
+               "correlation with dynamic energy.");
+  for (size_t I = 0; I < Result.Pa.size(); ++I) {
+    const PmcCorrelationRow &Row = Result.Pa[I];
+    T.addRow({"X" + std::to_string(I + 1), Row.Name,
+              str::fixed(Row.Correlation, 3),
+              str::fixed(Row.AdditivityErrorPct, 2)});
+  }
+  for (size_t I = 0; I < Result.Pna.size(); ++I) {
+    const PmcCorrelationRow &Row = Result.Pna[I];
+    T.addRow({"Y" + std::to_string(I + 1), Row.Name,
+              str::fixed(Row.Correlation, 3),
+              str::fixed(Row.AdditivityErrorPct, 2)});
+  }
+  return T.render();
+}
+
+std::string core::renderTable7(const ClassBCResult &Result) {
+  TablePrinter T({"Model", "PMCs", "Prediction errors [Min, Avg, Max]"});
+  T.setCaption("Table 7. Prediction accuracies of LR, RF, and NN models. "
+               "(a) Class B: nine PMCs. (b) Class C: four PMCs.");
+  auto SetName = [&](const ModelEvalRow &Row) {
+    if (str::contains(Row.Label, "NA4"))
+      return std::string("PNA4");
+    if (str::contains(Row.Label, "A4"))
+      return std::string("PA4");
+    if (str::contains(Row.Label, "NA"))
+      return std::string("PNA");
+    return std::string("PA");
+  };
+  for (const ModelEvalRow &Row : Result.ClassB)
+    T.addRow({Row.Label, SetName(Row), Row.Errors.str()});
+  for (const ModelEvalRow &Row : Result.ClassC)
+    T.addRow({Row.Label, SetName(Row), Row.Errors.str()});
+  return T.render();
+}

@@ -1,0 +1,51 @@
+//===- core/Report.h - Paper table rendering --------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders experiment results in the layout of the paper's tables so the
+/// bench binaries print directly comparable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_REPORT_H
+#define SLOPE_CORE_REPORT_H
+
+#include "core/Experiments.h"
+#include "sim/Platform.h"
+
+#include <string>
+
+namespace slope {
+namespace core {
+
+/// Table 1: specifications of the two platforms.
+std::string renderTable1(const sim::Platform &Haswell,
+                         const sim::Platform &Skylake);
+
+/// Table 2: the six Class-A PMCs with their additivity test errors.
+std::string renderTable2(const ClassAResult &Result);
+
+/// Tables 3-5: one model family's nested subsets with error triples.
+/// LR rows include the non-negative coefficients (Table 3 layout).
+std::string renderModelFamilyTable(const std::string &Caption,
+                                   const std::vector<ModelEvalRow> &Rows,
+                                   bool WithCoefficients);
+
+/// Table 6: PA and PNA sets with their energy correlations.
+std::string renderTable6(const ClassBCResult &Result);
+
+/// Table 7: Class B (a) and Class C (b) prediction errors side by side.
+std::string renderTable7(const ClassBCResult &Result);
+
+/// Short per-PMC names ("X1".."Xn"/"Y1".."Yn") used in compact rendering.
+std::string compactPmcList(const std::vector<std::string> &Subset,
+                           const std::vector<std::string> &Universe,
+                           char Prefix);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_REPORT_H

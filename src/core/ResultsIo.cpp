@@ -1,0 +1,77 @@
+//===- core/ResultsIo.cpp - Experiment result archival ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultsIo.h"
+
+#include "support/Csv.h"
+#include "support/Str.h"
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::core;
+
+namespace {
+std::string formatDouble(double V) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", V);
+  return Buffer;
+}
+
+void addModelRows(CsvWriter &Writer, const std::string &Family,
+                  const std::vector<ModelEvalRow> &Rows) {
+  for (const ModelEvalRow &Row : Rows)
+    Writer.addRow({"model", Family, Row.Label,
+                   str::join(Row.Pmcs, ";"),
+                   formatDouble(Row.Errors.Min),
+                   formatDouble(Row.Errors.Avg),
+                   formatDouble(Row.Errors.Max)});
+}
+} // namespace
+
+std::string core::classAResultToCsv(const ClassAResult &Result) {
+  CsvWriter Writer(
+      {"kind", "group", "label", "detail", "v1", "v2", "v3"});
+  for (const AdditivityResult &R : Result.AdditivityTable)
+    Writer.addRow({"additivity", "class-a", R.Name,
+                   R.Additive ? "additive" : "non-additive",
+                   formatDouble(R.MaxErrorPct), formatDouble(R.WorstCv),
+                   R.Deterministic ? "deterministic" : "non-reproducible"});
+  addModelRows(Writer, "LR", Result.Lr);
+  addModelRows(Writer, "RF", Result.Rf);
+  addModelRows(Writer, "NN", Result.Nn);
+  return Writer.str();
+}
+
+std::string core::classBCResultToCsv(const ClassBCResult &Result) {
+  CsvWriter Writer(
+      {"kind", "group", "label", "detail", "v1", "v2", "v3"});
+  for (const PmcCorrelationRow &Row : Result.Pa)
+    Writer.addRow({"correlation", "PA", Row.Name,
+                   Row.Additive ? "additive" : "non-additive",
+                   formatDouble(Row.Correlation),
+                   formatDouble(Row.AdditivityErrorPct), ""});
+  for (const PmcCorrelationRow &Row : Result.Pna)
+    Writer.addRow({"correlation", "PNA", Row.Name,
+                   Row.Additive ? "additive" : "non-additive",
+                   formatDouble(Row.Correlation),
+                   formatDouble(Row.AdditivityErrorPct), ""});
+  addModelRows(Writer, "class-b", Result.ClassB);
+  addModelRows(Writer, "class-c", Result.ClassC);
+  return Writer.str();
+}
+
+Expected<bool> core::writeResultCsv(const std::string &Csv,
+                                    const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Csv.data(), 1, Csv.size(), File);
+  std::fclose(File);
+  if (Written != Csv.size())
+    return makeError("short write to '" + Path + "'");
+  return true;
+}

@@ -1,0 +1,41 @@
+//===- core/ResultsIo.h - Experiment result archival -------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV serialization of experiment results so reproduction campaigns can
+/// be archived and diffed across code versions — one row per model with
+/// the (min, avg, max) error triple, and one row per PMC for the
+/// additivity/correlation tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_RESULTSIO_H
+#define SLOPE_CORE_RESULTSIO_H
+
+#include "core/Experiments.h"
+
+#include <string>
+
+namespace slope {
+namespace core {
+
+/// Serializes Class A results as CSV with two sections' worth of rows:
+/// `additivity` rows (pmc, max error, verdict) and `model` rows
+/// (family, label, pmcs, min/avg/max).
+std::string classAResultToCsv(const ClassAResult &Result);
+
+/// Serializes Class B/C results: `correlation` rows (set, pmc,
+/// correlation, additivity error) and `model` rows.
+std::string classBCResultToCsv(const ClassBCResult &Result);
+
+/// Writes \p Csv to \p Path. \returns an error on I/O failure.
+Expected<bool> writeResultCsv(const std::string &Csv,
+                              const std::string &Path);
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_RESULTSIO_H

@@ -1,0 +1,89 @@
+//===- ml/Dataset.cpp - Feature/target dataset -----------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::ml;
+
+void Dataset::addRow(const std::vector<double> &Features, double Target) {
+  assert(Features.size() == FeatureNames.size() &&
+         "feature vector width does not match the schema");
+  Rows.push_back(Features);
+  Targets.push_back(Target);
+}
+
+stats::Matrix Dataset::featureMatrix() const {
+  return stats::Matrix::fromRows(Rows);
+}
+
+std::vector<double> Dataset::featureColumn(size_t C) const {
+  assert(C < FeatureNames.size() && "feature index out of range");
+  std::vector<double> Col(Rows.size());
+  for (size_t R = 0; R < Rows.size(); ++R)
+    Col[R] = Rows[R][C];
+  return Col;
+}
+
+size_t Dataset::indexOfFeature(const std::string &Name) const {
+  for (size_t C = 0; C < FeatureNames.size(); ++C)
+    if (FeatureNames[C] == Name)
+      return C;
+  return FeatureNames.size();
+}
+
+Dataset Dataset::selectFeatures(const std::vector<std::string> &Names) const {
+  std::vector<size_t> Cols;
+  Cols.reserve(Names.size());
+  for (const std::string &Name : Names) {
+    size_t C = indexOfFeature(Name);
+    assert(C < FeatureNames.size() && "selecting an unknown feature");
+    Cols.push_back(C);
+  }
+  Dataset Out(Names);
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    std::vector<double> NewRow(Cols.size());
+    for (size_t I = 0; I < Cols.size(); ++I)
+      NewRow[I] = Rows[R][Cols[I]];
+    Out.addRow(NewRow, Targets[R]);
+  }
+  return Out;
+}
+
+Dataset Dataset::selectRows(const std::vector<size_t> &Indices) const {
+  Dataset Out(FeatureNames);
+  for (size_t R : Indices) {
+    assert(R < Rows.size() && "row index out of range");
+    Out.addRow(Rows[R], Targets[R]);
+  }
+  return Out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double TestFraction,
+                                           Rng SplitRng) const {
+  assert(TestFraction >= 0 && TestFraction <= 1 && "bad test fraction");
+  std::vector<size_t> Indices(Rows.size());
+  std::iota(Indices.begin(), Indices.end(), size_t{0});
+  // Fisher-Yates with the supplied deterministic generator.
+  for (size_t I = Indices.size(); I > 1; --I)
+    std::swap(Indices[I - 1], Indices[SplitRng.below(I)]);
+  size_t NumTest = static_cast<size_t>(TestFraction *
+                                       static_cast<double>(Rows.size()));
+  std::vector<size_t> TestIdx(Indices.begin(), Indices.begin() + NumTest);
+  std::vector<size_t> TrainIdx(Indices.begin() + NumTest, Indices.end());
+  return {selectRows(TrainIdx), selectRows(TestIdx)};
+}
+
+std::pair<Dataset, Dataset> Dataset::splitAt(size_t TrainRows) const {
+  assert(TrainRows <= Rows.size() && "train partition exceeds dataset");
+  std::vector<size_t> TrainIdx(TrainRows), TestIdx(Rows.size() - TrainRows);
+  std::iota(TrainIdx.begin(), TrainIdx.end(), size_t{0});
+  std::iota(TestIdx.begin(), TestIdx.end(), TrainRows);
+  return {selectRows(TrainIdx), selectRows(TestIdx)};
+}

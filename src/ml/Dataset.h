@@ -1,0 +1,86 @@
+//===- ml/Dataset.h - Feature/target dataset --------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tabular dataset the experiments operate on: one row per application
+/// run, one named feature column per PMC, and a dynamic-energy target.
+/// Supports the column-subset and train/test-split operations the Class
+/// A/B/C experiments are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_DATASET_H
+#define SLOPE_ML_DATASET_H
+
+#include "stats/Matrix.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace ml {
+
+/// A supervised-regression dataset with named feature columns.
+class Dataset {
+public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with the given feature names.
+  explicit Dataset(std::vector<std::string> FeatureNames)
+      : FeatureNames(std::move(FeatureNames)) {}
+
+  /// Appends one observation; \p Features must match the column count.
+  void addRow(const std::vector<double> &Features, double Target);
+
+  size_t numRows() const { return Targets.size(); }
+  size_t numFeatures() const { return FeatureNames.size(); }
+
+  const std::vector<std::string> &featureNames() const { return FeatureNames; }
+  const std::vector<double> &targets() const { return Targets; }
+  const std::vector<double> &row(size_t R) const {
+    assert(R < Rows.size() && "row index out of range");
+    return Rows[R];
+  }
+  double target(size_t R) const {
+    assert(R < Targets.size() && "row index out of range");
+    return Targets[R];
+  }
+
+  /// \returns the feature rows as a dense matrix (numRows x numFeatures).
+  stats::Matrix featureMatrix() const;
+
+  /// \returns one feature column by index.
+  std::vector<double> featureColumn(size_t C) const;
+
+  /// \returns the index of the named column, or numFeatures() if absent.
+  size_t indexOfFeature(const std::string &Name) const;
+
+  /// \returns a dataset restricted to the named columns (order preserved
+  /// as given). Asserts every name exists.
+  Dataset selectFeatures(const std::vector<std::string> &Names) const;
+
+  /// \returns a dataset containing the rows with the given indices.
+  Dataset selectRows(const std::vector<size_t> &Indices) const;
+
+  /// Splits into (train, test) with \p TestFraction of rows in the test
+  /// set, shuffled by \p SplitRng. Deterministic for a fixed seed.
+  std::pair<Dataset, Dataset> split(double TestFraction, Rng SplitRng) const;
+
+  /// Splits by position: the first \p TrainRows rows train, the rest test.
+  /// Matches the paper's "651 train / 150 test" fixed partitioning.
+  std::pair<Dataset, Dataset> splitAt(size_t TrainRows) const;
+
+private:
+  std::vector<std::string> FeatureNames;
+  std::vector<std::vector<double>> Rows;
+  std::vector<double> Targets;
+};
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_DATASET_H

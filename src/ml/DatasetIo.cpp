@@ -1,0 +1,82 @@
+//===- ml/DatasetIo.cpp - Dataset CSV import/export -----------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DatasetIo.h"
+
+#include "support/Csv.h"
+#include "support/CsvReader.h"
+
+#include <cstdlib>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+CsvWriter makeWriter(const Dataset &Data) {
+  std::vector<std::string> Header = Data.featureNames();
+  Header.push_back(TargetColumnName);
+  CsvWriter Writer(Header);
+  for (size_t R = 0; R < Data.numRows(); ++R) {
+    std::vector<double> Values = Data.row(R);
+    Values.push_back(Data.target(R));
+    Writer.addNumericRow(Values);
+  }
+  return Writer;
+}
+} // namespace
+
+std::string ml::datasetToCsv(const Dataset &Data) {
+  return makeWriter(Data).str();
+}
+
+Expected<bool> ml::writeDatasetCsv(const Dataset &Data,
+                                   const std::string &Path) {
+  return makeWriter(Data).writeFile(Path);
+}
+
+Expected<Dataset> ml::datasetFromCsv(const std::string &Text) {
+  auto Doc = parseCsv(Text);
+  if (!Doc)
+    return Doc.error();
+  if (Doc->numColumns() < 2)
+    return makeError("a dataset needs at least one feature column plus "
+                     "the target column");
+
+  std::vector<std::string> FeatureNames(Doc->Header.begin(),
+                                        Doc->Header.end() - 1);
+  Dataset Data(FeatureNames);
+  for (size_t R = 0; R < Doc->numRows(); ++R) {
+    std::vector<double> Values;
+    Values.reserve(Doc->numColumns());
+    for (const std::string &Cell : Doc->Rows[R]) {
+      char *End = nullptr;
+      double V = std::strtod(Cell.c_str(), &End);
+      if (End == Cell.c_str() || *End != '\0')
+        return makeError("non-numeric cell '" + Cell + "' in row " +
+                         std::to_string(R + 2));
+      Values.push_back(V);
+    }
+    double Target = Values.back();
+    Values.pop_back();
+    Data.addRow(Values, Target);
+  }
+  return Data;
+}
+
+Expected<Dataset> ml::readDatasetCsv(const std::string &Path) {
+  auto Doc = readCsvFile(Path);
+  if (!Doc)
+    return Doc.error();
+  // Re-serialize through the text parser path for one validation flow.
+  std::string Text;
+  {
+    CsvWriter Writer(Doc->Header);
+    for (const auto &Row : Doc->Rows)
+      Writer.addRow(Row);
+    Text = Writer.str();
+  }
+  return datasetFromCsv(Text);
+}

@@ -1,0 +1,157 @@
+//===- ml/DecisionTree.cpp - CART regression tree ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::ml;
+
+Expected<bool> DecisionTree::fit(const Dataset &Training) {
+  std::vector<size_t> AllRows(Training.numRows());
+  std::iota(AllRows.begin(), AllRows.end(), size_t{0});
+  return fitRows(Training, AllRows);
+}
+
+Expected<bool> DecisionTree::fitRows(const Dataset &Training,
+                                     const std::vector<size_t> &RowIndices) {
+  if (RowIndices.empty())
+    return makeError("cannot fit a tree on an empty dataset");
+  if (Training.numFeatures() == 0)
+    return makeError("cannot fit a tree without features");
+  Nodes.clear();
+  std::vector<size_t> Indices = RowIndices;
+  grow(Training, Indices, 0);
+  Fitted = true;
+  return true;
+}
+
+/// Finds the best (feature, threshold) split of \p Indices by sum-of-
+/// squared-error reduction. \returns false if no valid split exists.
+static bool findBestSplit(const Dataset &Training,
+                          const std::vector<size_t> &Indices,
+                          const std::vector<size_t> &Features,
+                          size_t MinSamplesLeaf, size_t &BestFeature,
+                          double &BestThreshold) {
+  double BestScore = -1;
+  bool Found = false;
+
+  std::vector<std::pair<double, double>> Sorted; // (feature value, target)
+  for (size_t F : Features) {
+    Sorted.clear();
+    Sorted.reserve(Indices.size());
+    for (size_t R : Indices)
+      Sorted.emplace_back(Training.row(R)[F], Training.target(R));
+    std::sort(Sorted.begin(), Sorted.end());
+
+    // Prefix sums let us evaluate every threshold in one sweep.
+    double TotalSum = 0, TotalSq = 0;
+    for (const auto &[_, Y] : Sorted) {
+      TotalSum += Y;
+      TotalSq += Y * Y;
+    }
+    double LeftSum = 0, LeftSq = 0;
+    size_t N = Sorted.size();
+    for (size_t I = 0; I + 1 < N; ++I) {
+      LeftSum += Sorted[I].second;
+      LeftSq += Sorted[I].second * Sorted[I].second;
+      // Can't split between equal feature values.
+      if (Sorted[I].first == Sorted[I + 1].first)
+        continue;
+      size_t NL = I + 1, NR = N - NL;
+      if (NL < MinSamplesLeaf || NR < MinSamplesLeaf)
+        continue;
+      double RightSum = TotalSum - LeftSum;
+      // Variance-reduction score: total SSE minus the children's SSE
+      // collapses to the weighted sum of squared child means.
+      double Score = LeftSum * LeftSum / static_cast<double>(NL) +
+                     RightSum * RightSum / static_cast<double>(NR);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestFeature = F;
+        BestThreshold = 0.5 * (Sorted[I].first + Sorted[I + 1].first);
+        Found = true;
+      }
+    }
+  }
+  return Found;
+}
+
+int32_t DecisionTree::grow(const Dataset &Training,
+                           std::vector<size_t> &Indices, unsigned Depth) {
+  assert(!Indices.empty() && "growing a node over zero rows");
+  int32_t NodeId = static_cast<int32_t>(Nodes.size());
+  Nodes.emplace_back();
+  Nodes[NodeId].Depth = Depth;
+
+  double Sum = 0;
+  for (size_t R : Indices)
+    Sum += Training.target(R);
+  double Mean = Sum / static_cast<double>(Indices.size());
+  Nodes[NodeId].LeafValue = Mean;
+
+  if (Depth >= Options.MaxDepth || Indices.size() < Options.MinSamplesSplit)
+    return NodeId;
+
+  // Candidate feature subset (mtry) for forests; all features otherwise.
+  std::vector<size_t> Features(Training.numFeatures());
+  std::iota(Features.begin(), Features.end(), size_t{0});
+  if (Options.MaxFeatures != 0 && Options.MaxFeatures < Features.size()) {
+    for (size_t I = Features.size(); I > 1; --I)
+      std::swap(Features[I - 1], Features[TreeRng.below(I)]);
+    Features.resize(Options.MaxFeatures);
+  }
+
+  size_t BestFeature = 0;
+  double BestThreshold = 0;
+  if (!findBestSplit(Training, Indices, Features, Options.MinSamplesLeaf,
+                     BestFeature, BestThreshold))
+    return NodeId;
+
+  std::vector<size_t> LeftIdx, RightIdx;
+  for (size_t R : Indices) {
+    if (Training.row(R)[BestFeature] <= BestThreshold)
+      LeftIdx.push_back(R);
+    else
+      RightIdx.push_back(R);
+  }
+  assert(!LeftIdx.empty() && !RightIdx.empty() && "degenerate split");
+
+  // Free the parent's index memory before recursing.
+  Indices.clear();
+  Indices.shrink_to_fit();
+
+  int32_t Left = grow(Training, LeftIdx, Depth + 1);
+  int32_t Right = grow(Training, RightIdx, Depth + 1);
+  Nodes[NodeId].Feature = BestFeature;
+  Nodes[NodeId].Threshold = BestThreshold;
+  Nodes[NodeId].Left = Left;
+  Nodes[NodeId].Right = Right;
+  return NodeId;
+}
+
+double DecisionTree::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted tree");
+  assert(!Nodes.empty() && "fitted tree has no nodes");
+  int32_t Id = 0;
+  while (!Nodes[Id].isLeaf()) {
+    assert(Nodes[Id].Feature < Features.size() &&
+           "feature width does not match the fitted tree");
+    Id = Features[Nodes[Id].Feature] <= Nodes[Id].Threshold ? Nodes[Id].Left
+                                                            : Nodes[Id].Right;
+  }
+  return Nodes[Id].LeafValue;
+}
+
+unsigned DecisionTree::fittedDepth() const {
+  unsigned Max = 0;
+  for (const Node &N : Nodes)
+    Max = std::max(Max, N.Depth);
+  return Max;
+}

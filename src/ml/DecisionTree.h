@@ -1,0 +1,83 @@
+//===- ml/DecisionTree.h - CART regression tree -----------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CART-style regression tree: greedy variance-reduction splits on one
+/// feature at a time, mean prediction at the leaves. Used standalone and
+/// as the base learner of ml::RandomForest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_DECISIONTREE_H
+#define SLOPE_ML_DECISIONTREE_H
+
+#include "ml/Model.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace slope {
+namespace ml {
+
+/// Hyper-parameters of a regression tree.
+struct DecisionTreeOptions {
+  unsigned MaxDepth = 16;        ///< Hard depth cap.
+  size_t MinSamplesLeaf = 2;     ///< Minimum rows on each side of a split.
+  size_t MinSamplesSplit = 4;    ///< Minimum rows to attempt a split.
+  /// Number of candidate features per split; 0 means "all features"
+  /// (plain CART). Random forests set this to mtry.
+  size_t MaxFeatures = 0;
+};
+
+/// CART regression tree.
+class DecisionTree : public Model {
+public:
+  explicit DecisionTree(DecisionTreeOptions Options = DecisionTreeOptions(),
+                        Rng TreeRng = Rng(0x7EE5))
+      : Options(Options), TreeRng(TreeRng) {}
+
+  Expected<bool> fit(const Dataset &Training) override;
+
+  /// Fits on the given subset of \p Training rows (bootstrap support).
+  Expected<bool> fitRows(const Dataset &Training,
+                         const std::vector<size_t> &RowIndices);
+
+  double predict(const std::vector<double> &Features) const override;
+  std::string name() const override { return "Tree"; }
+
+  /// \returns the number of nodes in the fitted tree.
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// \returns the maximum depth actually reached (root = 0).
+  unsigned fittedDepth() const;
+
+private:
+  struct Node {
+    /// Split feature; SIZE_MAX marks a leaf.
+    size_t Feature = SIZE_MAX;
+    double Threshold = 0;   ///< Go left if x[Feature] <= Threshold.
+    double LeafValue = 0;   ///< Mean target (leaves only).
+    int32_t Left = -1;
+    int32_t Right = -1;
+    unsigned Depth = 0;
+
+    bool isLeaf() const { return Feature == SIZE_MAX; }
+  };
+
+  /// Recursively grows the subtree over \p Indices; \returns its node id.
+  int32_t grow(const Dataset &Training, std::vector<size_t> &Indices,
+               unsigned Depth);
+
+  DecisionTreeOptions Options;
+  Rng TreeRng;
+  std::vector<Node> Nodes;
+  bool Fitted = false;
+};
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_DECISIONTREE_H

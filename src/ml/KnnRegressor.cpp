@@ -1,0 +1,91 @@
+//===- ml/KnnRegressor.cpp - Nearest-neighbour energy model --------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/KnnRegressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::ml;
+
+Expected<bool> KnnRegressor::fit(const Dataset &Training) {
+  if (Training.numRows() == 0)
+    return makeError("cannot fit k-NN on an empty dataset");
+  if (Training.numFeatures() == 0)
+    return makeError("cannot fit k-NN without features");
+  assert(Options.K > 0 && "neighbourhood size must be positive");
+
+  size_t N = Training.numRows(), D = Training.numFeatures();
+  FeatureMean.assign(D, 0.0);
+  FeatureStd.assign(D, 1.0);
+  for (size_t C = 0; C < D; ++C) {
+    double Sum = 0;
+    for (size_t R = 0; R < N; ++R)
+      Sum += Training.row(R)[C];
+    FeatureMean[C] = Sum / static_cast<double>(N);
+    double Sq = 0;
+    for (size_t R = 0; R < N; ++R) {
+      double Dx = Training.row(R)[C] - FeatureMean[C];
+      Sq += Dx * Dx;
+    }
+    double Std = std::sqrt(Sq / static_cast<double>(N));
+    FeatureStd[C] = Std > 1e-12 ? Std : 1.0;
+  }
+
+  Rows.assign(N, std::vector<double>(D));
+  Targets.assign(N, 0.0);
+  for (size_t R = 0; R < N; ++R) {
+    for (size_t C = 0; C < D; ++C)
+      Rows[R][C] = (Training.row(R)[C] - FeatureMean[C]) / FeatureStd[C];
+    Targets[R] = Training.target(R);
+  }
+  Fitted = true;
+  return true;
+}
+
+double KnnRegressor::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted k-NN model");
+  assert(Features.size() == FeatureMean.size() &&
+         "feature width does not match the fitted model");
+
+  std::vector<double> Query(Features.size());
+  for (size_t C = 0; C < Features.size(); ++C)
+    Query[C] = (Features[C] - FeatureMean[C]) / FeatureStd[C];
+
+  // Partial sort of (distance^2, index) pairs; N is small enough that a
+  // full nth_element is the simplest correct choice.
+  std::vector<std::pair<double, size_t>> Distances;
+  Distances.reserve(Rows.size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    double Sq = 0;
+    for (size_t C = 0; C < Query.size(); ++C) {
+      double Dx = Rows[R][C] - Query[C];
+      Sq += Dx * Dx;
+    }
+    Distances.emplace_back(Sq, R);
+  }
+  size_t K = std::min(Options.K, Rows.size());
+  std::nth_element(Distances.begin(), Distances.begin() + (K - 1),
+                   Distances.end());
+
+  double WeightSum = 0, ValueSum = 0;
+  for (size_t I = 0; I < K; ++I) {
+    const auto &[Sq, R] = Distances[I];
+    if (Options.DistanceWeighted) {
+      // An exact hit dominates; return its target directly.
+      if (Sq < 1e-24)
+        return Targets[R];
+      double W = 1.0 / std::sqrt(Sq);
+      WeightSum += W;
+      ValueSum += W * Targets[R];
+    } else {
+      WeightSum += 1;
+      ValueSum += Targets[R];
+    }
+  }
+  return ValueSum / WeightSum;
+}

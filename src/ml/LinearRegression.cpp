@@ -1,0 +1,69 @@
+//===- ml/LinearRegression.cpp - Linear energy models ----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/LinearRegression.h"
+
+#include "stats/Nnls.h"
+#include "stats/Solve.h"
+
+using namespace slope;
+using namespace slope::ml;
+
+Expected<bool> LinearRegression::fit(const Dataset &Training) {
+  if (Training.numRows() == 0)
+    return makeError("cannot fit a linear model on an empty dataset");
+  if (Training.numFeatures() == 0)
+    return makeError("cannot fit a linear model without features");
+
+  stats::Matrix X = Training.featureMatrix();
+  // With an intercept, prepend a constant-1 column and treat its
+  // coefficient as the intercept afterwards.
+  if (!Options.ZeroIntercept) {
+    stats::Matrix WithOnes(X.rows(), X.cols() + 1);
+    for (size_t R = 0; R < X.rows(); ++R) {
+      WithOnes.at(R, 0) = 1.0;
+      for (size_t C = 0; C < X.cols(); ++C)
+        WithOnes.at(R, C + 1) = X.at(R, C);
+    }
+    X = WithOnes;
+  }
+
+  std::vector<double> Beta;
+  if (Options.NonNegative) {
+    auto Solution = stats::solveNnls(X, Training.targets(), Options.Lambda);
+    if (!Solution)
+      return Solution.error();
+    Beta = std::move(Solution->X);
+  } else {
+    auto Solution = Options.Lambda > 0
+                        ? stats::solveNormalEquations(X, Training.targets(),
+                                                      Options.Lambda)
+                        : stats::solveLeastSquaresQR(X, Training.targets());
+    if (!Solution)
+      return Solution.error();
+    Beta = Solution.takeValue();
+  }
+
+  if (Options.ZeroIntercept) {
+    Intercept = 0;
+    Coefficients = std::move(Beta);
+  } else {
+    Intercept = Beta.front();
+    Coefficients.assign(Beta.begin() + 1, Beta.end());
+  }
+  Fitted = true;
+  return true;
+}
+
+double LinearRegression::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted model");
+  assert(Features.size() == Coefficients.size() &&
+         "feature width does not match the fitted model");
+  double Sum = Intercept;
+  for (size_t C = 0; C < Features.size(); ++C)
+    Sum += Coefficients[C] * Features[C];
+  return Sum;
+}

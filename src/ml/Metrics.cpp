@@ -1,0 +1,93 @@
+//===- ml/Metrics.cpp - Model evaluation metrics ----------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::ml;
+
+double ml::mse(const std::vector<double> &Predicted,
+               const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && !Predicted.empty() &&
+         "metric over mismatched or empty vectors");
+  double Sum = 0;
+  for (size_t I = 0; I < Predicted.size(); ++I) {
+    double E = Predicted[I] - Actual[I];
+    Sum += E * E;
+  }
+  return Sum / static_cast<double>(Predicted.size());
+}
+
+double ml::mae(const std::vector<double> &Predicted,
+               const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && !Predicted.empty() &&
+         "metric over mismatched or empty vectors");
+  double Sum = 0;
+  for (size_t I = 0; I < Predicted.size(); ++I)
+    Sum += std::fabs(Predicted[I] - Actual[I]);
+  return Sum / static_cast<double>(Predicted.size());
+}
+
+double ml::r2(const std::vector<double> &Predicted,
+              const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && Predicted.size() >= 2 &&
+         "R^2 needs at least two paired points");
+  double Mean = std::accumulate(Actual.begin(), Actual.end(), 0.0) /
+                static_cast<double>(Actual.size());
+  double SsRes = 0, SsTot = 0;
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    SsRes += (Actual[I] - Predicted[I]) * (Actual[I] - Predicted[I]);
+    SsTot += (Actual[I] - Mean) * (Actual[I] - Mean);
+  }
+  if (SsTot == 0)
+    return SsRes == 0 ? 1.0 : 0.0;
+  return 1 - SsRes / SsTot;
+}
+
+stats::ErrorSummary ml::evaluateModel(const Model &M, const Dataset &Test) {
+  assert(Test.numRows() > 0 && "evaluating on an empty test set");
+  return stats::predictionErrorSummary(M.predictAll(Test), Test.targets());
+}
+
+double
+ml::kFoldAvgError(const Dataset &Data, unsigned K, uint64_t Seed,
+                  const std::function<std::unique_ptr<Model>()> &MakeModel) {
+  assert(K >= 2 && "cross validation needs at least two folds");
+  assert(Data.numRows() >= K && "fewer rows than folds");
+
+  // Deterministic shuffled fold assignment.
+  std::vector<size_t> Order(Data.numRows());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  Rng FoldRng(Seed);
+  for (size_t I = Order.size(); I > 1; --I)
+    std::swap(Order[I - 1], Order[FoldRng.below(I)]);
+
+  double TotalError = 0;
+  size_t TotalPoints = 0;
+  for (unsigned Fold = 0; Fold < K; ++Fold) {
+    std::vector<size_t> TrainIdx, TestIdx;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      if (I % K == Fold)
+        TestIdx.push_back(Order[I]);
+      else
+        TrainIdx.push_back(Order[I]);
+    }
+    Dataset Train = Data.selectRows(TrainIdx);
+    Dataset Test = Data.selectRows(TestIdx);
+    auto M = MakeModel();
+    auto Fit = M->fit(Train);
+    assert(Fit && "cross-validation fold failed to fit");
+    (void)Fit;
+    stats::ErrorSummary S = evaluateModel(*M, Test);
+    TotalError += S.Avg * static_cast<double>(Test.numRows());
+    TotalPoints += Test.numRows();
+  }
+  return TotalError / static_cast<double>(TotalPoints);
+}

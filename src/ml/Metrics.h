@@ -1,0 +1,51 @@
+//===- ml/Metrics.h - Model evaluation metrics ------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression metrics and model evaluation helpers. The paper scores every
+/// model by the (min, avg, max) percentage prediction error against
+/// power-meter ground truth; evaluateModel computes exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_METRICS_H
+#define SLOPE_ML_METRICS_H
+
+#include "ml/Model.h"
+#include "stats/Descriptive.h"
+
+#include <functional>
+#include <memory>
+
+namespace slope {
+namespace ml {
+
+/// \returns mean squared error.
+double mse(const std::vector<double> &Predicted,
+           const std::vector<double> &Actual);
+
+/// \returns mean absolute error.
+double mae(const std::vector<double> &Predicted,
+           const std::vector<double> &Actual);
+
+/// \returns the coefficient of determination R^2 (1 is perfect; can be
+/// negative for models worse than the mean predictor).
+double r2(const std::vector<double> &Predicted,
+          const std::vector<double> &Actual);
+
+/// Evaluates \p M on \p Test and \returns the paper-style percentage error
+/// summary.
+stats::ErrorSummary evaluateModel(const Model &M, const Dataset &Test);
+
+/// K-fold cross-validated average percentage error of \p MakeModel's
+/// models over \p Data (deterministic fold assignment from \p Seed).
+double kFoldAvgError(const Dataset &Data, unsigned K, uint64_t Seed,
+                     const std::function<std::unique_ptr<Model>()> &MakeModel);
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_METRICS_H

@@ -1,0 +1,21 @@
+//===- ml/Model.cpp - Regression model interface ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Model.h"
+
+using namespace slope;
+using namespace slope::ml;
+
+// Out-of-line virtual anchor.
+Model::~Model() = default;
+
+std::vector<double> Model::predictAll(const Dataset &Data) const {
+  std::vector<double> Out;
+  Out.reserve(Data.numRows());
+  for (size_t R = 0; R < Data.numRows(); ++R)
+    Out.push_back(predict(Data.row(R)));
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- ml/ModelIo.cpp - Linear-model persistence ---------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ModelIo.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+using namespace slope;
+using namespace slope::ml;
+
+double SavedLinearModel::predict(const std::vector<double> &Counts) const {
+  assert(Counts.size() == Coefficients.size() &&
+         "count vector width does not match the model");
+  double Sum = Intercept;
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Sum += Coefficients[I] * Counts[I];
+  return Sum;
+}
+
+SavedLinearModel
+ml::snapshotLinearModel(const LinearRegression &Model,
+                        const std::vector<std::string> &Names) {
+  assert(Names.size() == Model.coefficients().size() &&
+         "feature names do not match the fitted model");
+  SavedLinearModel Saved;
+  Saved.PmcNames = Names;
+  Saved.Coefficients = Model.coefficients();
+  Saved.Intercept = Model.intercept();
+  return Saved;
+}
+
+std::string ml::linearModelToText(const SavedLinearModel &Model) {
+  std::string Out = "slope-lr-model v1\n";
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "intercept %.17g\n",
+                Model.Intercept);
+  Out += Buffer;
+  for (size_t I = 0; I < Model.PmcNames.size(); ++I) {
+    std::snprintf(Buffer, sizeof(Buffer), " %.17g\n",
+                  Model.Coefficients[I]);
+    Out += "coef " + Model.PmcNames[I] + Buffer;
+  }
+  return Out;
+}
+
+Expected<SavedLinearModel>
+ml::linearModelFromText(const std::string &Text) {
+  std::istringstream Stream(Text);
+  std::string Line;
+  if (!std::getline(Stream, Line) || Line != "slope-lr-model v1")
+    return makeError("missing or unsupported model header");
+
+  SavedLinearModel Model;
+  bool SawIntercept = false;
+  size_t LineNo = 1;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::istringstream Fields(Line);
+    std::string Keyword;
+    Fields >> Keyword;
+    if (Keyword == "intercept") {
+      if (!(Fields >> Model.Intercept))
+        return makeError("bad intercept on line " + std::to_string(LineNo));
+      SawIntercept = true;
+    } else if (Keyword == "coef") {
+      std::string Name;
+      double Value;
+      if (!(Fields >> Name >> Value))
+        return makeError("bad coef on line " + std::to_string(LineNo));
+      Model.PmcNames.push_back(Name);
+      Model.Coefficients.push_back(Value);
+    } else {
+      return makeError("unknown keyword '" + Keyword + "' on line " +
+                       std::to_string(LineNo));
+    }
+  }
+  if (!SawIntercept)
+    return makeError("model has no intercept line");
+  if (Model.PmcNames.empty())
+    return makeError("model has no coefficients");
+  return Model;
+}
+
+Expected<bool> ml::writeLinearModel(const SavedLinearModel &Model,
+                                    const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for writing");
+  std::string Text = linearModelToText(Model);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  if (Written != Text.size())
+    return makeError("short write to '" + Path + "'");
+  return true;
+}
+
+Expected<SavedLinearModel> ml::readLinearModel(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for reading");
+  std::string Text;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Read);
+  std::fclose(File);
+  return linearModelFromText(Text);
+}

@@ -1,0 +1,66 @@
+//===- ml/ModelIo.h - Linear-model persistence -------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Save/load for linear energy models, so a model trained once against
+/// the power meter can be deployed as an online estimator elsewhere. The
+/// format is a small self-describing text file:
+///
+///   slope-lr-model v1
+///   intercept <value>
+///   coef <pmc-name> <value>
+///   ...
+///
+/// Values round-trip at full double precision. Only linear models are
+/// serializable — they are the deployable artifact of the paper's
+/// pipeline (RF/NN models stay in-process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_MODELIO_H
+#define SLOPE_ML_MODELIO_H
+
+#include "ml/LinearRegression.h"
+#include "support/Expected.h"
+
+#include <string>
+
+namespace slope {
+namespace ml {
+
+/// A serializable linear model: coefficients bound to PMC names.
+struct SavedLinearModel {
+  std::vector<std::string> PmcNames;
+  std::vector<double> Coefficients;
+  double Intercept = 0;
+
+  /// Predicts from a count vector ordered like PmcNames.
+  double predict(const std::vector<double> &Counts) const;
+};
+
+/// Captures a fitted LinearRegression with its feature names.
+/// Asserts that the name count matches the model width.
+SavedLinearModel snapshotLinearModel(const LinearRegression &Model,
+                                     const std::vector<std::string> &Names);
+
+/// Serializes to the text format above.
+std::string linearModelToText(const SavedLinearModel &Model);
+
+/// Parses the text format. \returns an error naming the offending line
+/// on malformed input.
+Expected<SavedLinearModel> linearModelFromText(const std::string &Text);
+
+/// Writes \p Model to \p Path.
+Expected<bool> writeLinearModel(const SavedLinearModel &Model,
+                                const std::string &Path);
+
+/// Reads a model from \p Path.
+Expected<SavedLinearModel> readLinearModel(const std::string &Path);
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_MODELIO_H

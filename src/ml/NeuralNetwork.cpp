@@ -1,0 +1,253 @@
+//===- ml/NeuralNetwork.cpp - Multilayer perceptron --------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/NeuralNetwork.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::ml;
+
+const char *ml::activationName(Activation A) {
+  switch (A) {
+  case Activation::Identity:
+    return "identity";
+  case Activation::ReLU:
+    return "relu";
+  case Activation::Tanh:
+    return "tanh";
+  }
+  assert(false && "unknown activation");
+  return "?";
+}
+
+double NeuralNetwork::applyTransfer(double X) const {
+  switch (Options.Transfer) {
+  case Activation::Identity:
+    return X;
+  case Activation::ReLU:
+    return X > 0 ? X : 0;
+  case Activation::Tanh:
+    return std::tanh(X);
+  }
+  assert(false && "unknown activation");
+  return X;
+}
+
+double NeuralNetwork::transferDerivative(double PreAct) const {
+  switch (Options.Transfer) {
+  case Activation::Identity:
+    return 1;
+  case Activation::ReLU:
+    return PreAct > 0 ? 1 : 0;
+  case Activation::Tanh: {
+    double T = std::tanh(PreAct);
+    return 1 - T * T;
+  }
+  }
+  assert(false && "unknown activation");
+  return 1;
+}
+
+void NeuralNetwork::forward(const std::vector<double> &Input,
+                            std::vector<std::vector<double>> &PreActs,
+                            std::vector<std::vector<double>> &Acts) const {
+  PreActs.resize(Layers.size());
+  Acts.resize(Layers.size() + 1);
+  Acts[0] = Input;
+  for (size_t L = 0; L < Layers.size(); ++L) {
+    const Layer &Lay = Layers[L];
+    PreActs[L].assign(Lay.OutDim, 0.0);
+    for (size_t O = 0; O < Lay.OutDim; ++O) {
+      double Sum = Lay.Bias[O];
+      const double *WRow = &Lay.Weights[O * Lay.InDim];
+      for (size_t I = 0; I < Lay.InDim; ++I)
+        Sum += WRow[I] * Acts[L][I];
+      PreActs[L][O] = Sum;
+    }
+    Acts[L + 1].assign(Lay.OutDim, 0.0);
+    bool IsOutput = (L + 1 == Layers.size());
+    for (size_t O = 0; O < Lay.OutDim; ++O)
+      // The output unit is always linear for regression.
+      Acts[L + 1][O] = IsOutput ? PreActs[L][O] : applyTransfer(PreActs[L][O]);
+  }
+}
+
+Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
+  if (Training.numRows() == 0)
+    return makeError("cannot fit a network on an empty dataset");
+  if (Training.numFeatures() == 0)
+    return makeError("cannot fit a network without features");
+
+  size_t N = Training.numRows();
+  size_t D = Training.numFeatures();
+
+  // Standardize features and target; constant columns get Std 1 so they
+  // become exactly zero after centering.
+  FeatureMean.assign(D, 0.0);
+  FeatureStd.assign(D, 1.0);
+  for (size_t C = 0; C < D; ++C) {
+    double Sum = 0;
+    for (size_t R = 0; R < N; ++R)
+      Sum += Training.row(R)[C];
+    FeatureMean[C] = Sum / static_cast<double>(N);
+    double Sq = 0;
+    for (size_t R = 0; R < N; ++R) {
+      double Dx = Training.row(R)[C] - FeatureMean[C];
+      Sq += Dx * Dx;
+    }
+    double Std = std::sqrt(Sq / static_cast<double>(N));
+    FeatureStd[C] = Std > 1e-12 ? Std : 1.0;
+  }
+  {
+    double Sum = std::accumulate(Training.targets().begin(),
+                                 Training.targets().end(), 0.0);
+    TargetMean = Sum / static_cast<double>(N);
+    double Sq = 0;
+    for (double Y : Training.targets()) {
+      double Dy = Y - TargetMean;
+      Sq += Dy * Dy;
+    }
+    double Std = std::sqrt(Sq / static_cast<double>(N));
+    TargetStd = Std > 1e-12 ? Std : 1.0;
+  }
+
+  std::vector<std::vector<double>> Xs(N, std::vector<double>(D));
+  std::vector<double> Ys(N);
+  for (size_t R = 0; R < N; ++R) {
+    for (size_t C = 0; C < D; ++C)
+      Xs[R][C] = (Training.row(R)[C] - FeatureMean[C]) / FeatureStd[C];
+    Ys[R] = (Training.target(R) - TargetMean) / TargetStd;
+  }
+
+  // Build layers: D -> hidden... -> 1, Glorot-uniform initialization.
+  Rng NetRng(Options.Seed);
+  std::vector<size_t> Dims;
+  Dims.push_back(D);
+  for (size_t H : Options.HiddenLayers) {
+    assert(H > 0 && "hidden layer of width zero");
+    Dims.push_back(H);
+  }
+  Dims.push_back(1);
+  Layers.clear();
+  for (size_t L = 0; L + 1 < Dims.size(); ++L) {
+    Layer Lay;
+    Lay.InDim = Dims[L];
+    Lay.OutDim = Dims[L + 1];
+    Lay.Weights.resize(Lay.InDim * Lay.OutDim);
+    Lay.Bias.assign(Lay.OutDim, 0.0);
+    double Limit = std::sqrt(6.0 / static_cast<double>(Lay.InDim + Lay.OutDim));
+    for (double &W : Lay.Weights)
+      W = NetRng.uniform(-Limit, Limit);
+    Lay.MW.assign(Lay.Weights.size(), 0.0);
+    Lay.VW.assign(Lay.Weights.size(), 0.0);
+    Lay.MB.assign(Lay.OutDim, 0.0);
+    Lay.VB.assign(Lay.OutDim, 0.0);
+    Layers.push_back(std::move(Lay));
+  }
+
+  const double Beta1 = 0.9, Beta2 = 0.999, Eps = 1e-8;
+  size_t BatchSize = std::min(Options.BatchSize, N);
+  assert(BatchSize > 0 && "batch size must be positive");
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+
+  std::vector<std::vector<double>> PreActs, Acts;
+  // Per-layer gradient accumulators.
+  std::vector<std::vector<double>> GradW(Layers.size()), GradB(Layers.size());
+  uint64_t AdamStep = 0;
+
+  for (unsigned Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    for (size_t I = N; I > 1; --I)
+      std::swap(Order[I - 1], Order[NetRng.below(I)]);
+
+    double EpochLoss = 0;
+    for (size_t Start = 0; Start < N; Start += BatchSize) {
+      size_t End = std::min(Start + BatchSize, N);
+      double InvBatch = 1.0 / static_cast<double>(End - Start);
+      for (size_t L = 0; L < Layers.size(); ++L) {
+        GradW[L].assign(Layers[L].Weights.size(), 0.0);
+        GradB[L].assign(Layers[L].OutDim, 0.0);
+      }
+
+      for (size_t P = Start; P < End; ++P) {
+        size_t R = Order[P];
+        forward(Xs[R], PreActs, Acts);
+        double Pred = Acts.back()[0];
+        double Err = Pred - Ys[R];
+        EpochLoss += Err * Err;
+
+        // Backpropagate dLoss/dPreAct layer by layer.
+        std::vector<double> Delta(1, 2 * Err * InvBatch);
+        for (size_t Lp1 = Layers.size(); Lp1 > 0; --Lp1) {
+          size_t L = Lp1 - 1;
+          Layer &Lay = Layers[L];
+          bool IsOutput = (L + 1 == Layers.size());
+          // Delta currently holds dLoss/dAct of layer L's output; convert
+          // to dLoss/dPreAct (output layer is linear).
+          if (!IsOutput)
+            for (size_t O = 0; O < Lay.OutDim; ++O)
+              Delta[O] *= transferDerivative(PreActs[L][O]);
+          for (size_t O = 0; O < Lay.OutDim; ++O) {
+            GradB[L][O] += Delta[O];
+            double *GRow = &GradW[L][O * Lay.InDim];
+            for (size_t In = 0; In < Lay.InDim; ++In)
+              GRow[In] += Delta[O] * Acts[L][In];
+          }
+          if (L == 0)
+            break;
+          std::vector<double> Prev(Lay.InDim, 0.0);
+          for (size_t O = 0; O < Lay.OutDim; ++O) {
+            const double *WRow = &Lay.Weights[O * Lay.InDim];
+            for (size_t In = 0; In < Lay.InDim; ++In)
+              Prev[In] += WRow[In] * Delta[O];
+          }
+          Delta = std::move(Prev);
+        }
+      }
+
+      // Adam update.
+      ++AdamStep;
+      double Corr1 = 1 - std::pow(Beta1, static_cast<double>(AdamStep));
+      double Corr2 = 1 - std::pow(Beta2, static_cast<double>(AdamStep));
+      for (size_t L = 0; L < Layers.size(); ++L) {
+        Layer &Lay = Layers[L];
+        for (size_t I = 0; I < Lay.Weights.size(); ++I) {
+          double G = GradW[L][I] + Options.L2 * Lay.Weights[I];
+          Lay.MW[I] = Beta1 * Lay.MW[I] + (1 - Beta1) * G;
+          Lay.VW[I] = Beta2 * Lay.VW[I] + (1 - Beta2) * G * G;
+          Lay.Weights[I] -= Options.LearningRate * (Lay.MW[I] / Corr1) /
+                            (std::sqrt(Lay.VW[I] / Corr2) + Eps);
+        }
+        for (size_t O = 0; O < Lay.OutDim; ++O) {
+          double G = GradB[L][O];
+          Lay.MB[O] = Beta1 * Lay.MB[O] + (1 - Beta1) * G;
+          Lay.VB[O] = Beta2 * Lay.VB[O] + (1 - Beta2) * G * G;
+          Lay.Bias[O] -= Options.LearningRate * (Lay.MB[O] / Corr1) /
+                         (std::sqrt(Lay.VB[O] / Corr2) + Eps);
+        }
+      }
+    }
+    FinalLoss = EpochLoss / static_cast<double>(N);
+  }
+
+  Fitted = true;
+  return true;
+}
+
+double NeuralNetwork::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted network");
+  assert(Features.size() == FeatureMean.size() &&
+         "feature width does not match the fitted network");
+  std::vector<double> X(Features.size());
+  for (size_t C = 0; C < Features.size(); ++C)
+    X[C] = (Features[C] - FeatureMean[C]) / FeatureStd[C];
+  std::vector<std::vector<double>> PreActs, Acts;
+  forward(X, PreActs, Acts);
+  return Acts.back()[0] * TargetStd + TargetMean;
+}

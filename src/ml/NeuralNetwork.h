@@ -1,0 +1,93 @@
+//===- ml/NeuralNetwork.h - Multilayer perceptron ---------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small multilayer perceptron for regression, trained with Adam on MSE.
+/// The paper trains its NN with a *linear transfer function*, so the
+/// default activation is Identity (the network is then a linear map
+/// learned by SGD rather than by a solver); ReLU and Tanh are available
+/// for the ablation bench. Inputs and the target are standardized
+/// internally, and predictions are mapped back to the original scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_NEURALNETWORK_H
+#define SLOPE_ML_NEURALNETWORK_H
+
+#include "ml/Model.h"
+#include "support/Rng.h"
+
+namespace slope {
+namespace ml {
+
+/// Hidden/output unit transfer function.
+enum class Activation {
+  Identity, ///< Linear transfer (paper default).
+  ReLU,
+  Tanh,
+};
+
+/// \returns a short printable name for \p A.
+const char *activationName(Activation A);
+
+/// Hyper-parameters of the MLP.
+struct NeuralNetworkOptions {
+  std::vector<size_t> HiddenLayers = {16};
+  Activation Transfer = Activation::Identity;
+  unsigned Epochs = 400;
+  size_t BatchSize = 32;
+  double LearningRate = 1e-2;
+  double L2 = 1e-5;
+  uint64_t Seed = 0xAE77;
+};
+
+/// Multilayer perceptron regressor.
+class NeuralNetwork : public Model {
+public:
+  explicit NeuralNetwork(NeuralNetworkOptions Options = NeuralNetworkOptions())
+      : Options(Options) {}
+
+  Expected<bool> fit(const Dataset &Training) override;
+  double predict(const std::vector<double> &Features) const override;
+  std::string name() const override { return "NN"; }
+
+  /// Training MSE (standardized target units) after the final epoch.
+  double finalTrainingLoss() const {
+    assert(Fitted && "model not fitted");
+    return FinalLoss;
+  }
+
+private:
+  /// One dense layer: Weights is OutDim x InDim, Bias is OutDim.
+  struct Layer {
+    size_t InDim = 0, OutDim = 0;
+    std::vector<double> Weights;
+    std::vector<double> Bias;
+    // Adam moments, same shapes as Weights/Bias.
+    std::vector<double> MW, VW, MB, VB;
+  };
+
+  /// Forward pass; fills per-layer pre-activations and activations.
+  void forward(const std::vector<double> &Input,
+               std::vector<std::vector<double>> &PreActs,
+               std::vector<std::vector<double>> &Acts) const;
+
+  double applyTransfer(double X) const;
+  double transferDerivative(double PreAct) const;
+
+  NeuralNetworkOptions Options;
+  std::vector<Layer> Layers;
+  // Standardization parameters captured at fit time.
+  std::vector<double> FeatureMean, FeatureStd;
+  double TargetMean = 0, TargetStd = 1;
+  double FinalLoss = 0;
+  bool Fitted = false;
+};
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_NEURALNETWORK_H

@@ -1,0 +1,85 @@
+//===- ml/RandomForest.cpp - Bagged regression forest -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/RandomForest.h"
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::ml;
+
+Expected<bool> RandomForest::fit(const Dataset &Training) {
+  if (Training.numRows() == 0)
+    return makeError("cannot fit a forest on an empty dataset");
+  if (Training.numFeatures() == 0)
+    return makeError("cannot fit a forest without features");
+  assert(Options.NumTrees > 0 && "a forest needs at least one tree");
+
+  size_t Mtry = Options.Tree.MaxFeatures;
+  if (Mtry == 0) {
+    Mtry = static_cast<size_t>(
+        std::ceil(Options.FeatureFraction *
+                  static_cast<double>(Training.numFeatures())));
+    if (Mtry == 0)
+      Mtry = 1;
+  }
+
+  Rng ForestRng(Options.Seed);
+  Trees.clear();
+  Trees.reserve(Options.NumTrees);
+
+  // Out-of-bag bookkeeping: sum/count of OOB predictions per row.
+  std::vector<double> OobSum(Training.numRows(), 0.0);
+  std::vector<unsigned> OobCount(Training.numRows(), 0);
+
+  size_t N = Training.numRows();
+  for (size_t T = 0; T < Options.NumTrees; ++T) {
+    Rng TreeRng = ForestRng.fork(T);
+    std::vector<size_t> Bootstrap(N);
+    std::vector<bool> InBag(N, false);
+    for (size_t I = 0; I < N; ++I) {
+      Bootstrap[I] = TreeRng.below(N);
+      InBag[Bootstrap[I]] = true;
+    }
+
+    DecisionTreeOptions TreeOptions = Options.Tree;
+    TreeOptions.MaxFeatures = Mtry;
+    auto Tree = std::make_unique<DecisionTree>(TreeOptions,
+                                               TreeRng.fork("splits"));
+    if (auto Fit = Tree->fitRows(Training, Bootstrap); !Fit)
+      return Fit.error();
+
+    for (size_t R = 0; R < N; ++R) {
+      if (InBag[R])
+        continue;
+      OobSum[R] += Tree->predict(Training.row(R));
+      ++OobCount[R];
+    }
+    Trees.push_back(std::move(Tree));
+  }
+
+  double SumSq = 0;
+  size_t Counted = 0;
+  for (size_t R = 0; R < N; ++R) {
+    if (OobCount[R] == 0)
+      continue;
+    double Err = OobSum[R] / OobCount[R] - Training.target(R);
+    SumSq += Err * Err;
+    ++Counted;
+  }
+  OobMse = Counted ? SumSq / static_cast<double>(Counted)
+                   : std::nan("");
+  Fitted = true;
+  return true;
+}
+
+double RandomForest::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted forest");
+  double Sum = 0;
+  for (const auto &Tree : Trees)
+    Sum += Tree->predict(Features);
+  return Sum / static_cast<double>(Trees.size());
+}

@@ -1,0 +1,89 @@
+//===- pmc/Activity.cpp - Latent micro-architectural activities ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/Activity.h"
+
+using namespace slope;
+using namespace slope::pmc;
+
+const char *pmc::activityKindName(ActivityKind Kind) {
+  switch (Kind) {
+  case ActivityKind::CoreCycles:
+    return "core_cycles";
+  case ActivityKind::Instructions:
+    return "instructions";
+  case ActivityKind::UopsIssued:
+    return "uops_issued";
+  case ActivityKind::UopsExecuted:
+    return "uops_executed";
+  case ActivityKind::UopsRetired:
+    return "uops_retired";
+  case ActivityKind::Port0:
+    return "port0";
+  case ActivityKind::Port1:
+    return "port1";
+  case ActivityKind::Port2:
+    return "port2";
+  case ActivityKind::Port3:
+    return "port3";
+  case ActivityKind::Port4:
+    return "port4";
+  case ActivityKind::Port5:
+    return "port5";
+  case ActivityKind::Port6:
+    return "port6";
+  case ActivityKind::Port7:
+    return "port7";
+  case ActivityKind::FpScalarDouble:
+    return "fp_scalar_double";
+  case ActivityKind::FpVectorDouble:
+    return "fp_vector_double";
+  case ActivityKind::DivOps:
+    return "div_ops";
+  case ActivityKind::Loads:
+    return "loads";
+  case ActivityKind::Stores:
+    return "stores";
+  case ActivityKind::L1DMisses:
+    return "l1d_misses";
+  case ActivityKind::L2Requests:
+    return "l2_requests";
+  case ActivityKind::L2Misses:
+    return "l2_misses";
+  case ActivityKind::L3Misses:
+    return "l3_misses";
+  case ActivityKind::DramReads:
+    return "dram_reads";
+  case ActivityKind::Branches:
+    return "branches";
+  case ActivityKind::BranchMisses:
+    return "branch_misses";
+  case ActivityKind::ICacheAccesses:
+    return "icache_accesses";
+  case ActivityKind::ICacheMisses:
+    return "icache_misses";
+  case ActivityKind::ITlbMisses:
+    return "itlb_misses";
+  case ActivityKind::DTlbMisses:
+    return "dtlb_misses";
+  case ActivityKind::StlbHits:
+    return "stlb_hits";
+  case ActivityKind::MsUops:
+    return "ms_uops";
+  case ActivityKind::DsbUops:
+    return "dsb_uops";
+  case ActivityKind::MiteUops:
+    return "mite_uops";
+  case ActivityKind::PageFaults:
+    return "page_faults";
+  case ActivityKind::ContextSwitches:
+    return "context_switches";
+  case ActivityKind::RefCycles:
+    return "ref_cycles";
+  }
+  assert(false && "unknown activity kind");
+  return "?";
+}

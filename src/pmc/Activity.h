@@ -1,0 +1,131 @@
+//===- pmc/Activity.h - Latent micro-architectural activities ---*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The latent activity model underlying the simulator. An application run
+/// produces a vector of *true* activity counts (flops, loads, cache misses
+/// per level, uops per port, ...). Ground-truth dynamic energy is a
+/// weighted sum of these activities — which makes energy exactly additive
+/// over serial composition, the physical premise of the paper. PMCs are
+/// (possibly distorted) views of the same activities; see pmc::EventDef.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_PMC_ACTIVITY_H
+#define SLOPE_PMC_ACTIVITY_H
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+
+namespace slope {
+namespace pmc {
+
+/// The latent hardware/software activities tracked by the simulator.
+enum class ActivityKind : unsigned {
+  CoreCycles = 0,   ///< Unhalted core cycles.
+  Instructions,     ///< Retired instructions.
+  UopsIssued,       ///< Uops issued by the front end.
+  UopsExecuted,     ///< Uops executed by the backend ports.
+  UopsRetired,      ///< Retired uops.
+  Port0,            ///< Uops dispatched to execution port 0 (ALU/FMA).
+  Port1,            ///< Port 1 (ALU/FMA).
+  Port2,            ///< Port 2 (load AGU).
+  Port3,            ///< Port 3 (load AGU).
+  Port4,            ///< Port 4 (store data).
+  Port5,            ///< Port 5 (ALU/shuffle).
+  Port6,            ///< Port 6 (ALU/branch).
+  Port7,            ///< Port 7 (store AGU).
+  FpScalarDouble,   ///< Scalar double-precision FP operations.
+  FpVectorDouble,   ///< Packed double-precision FP operations.
+  DivOps,           ///< Divider-unit operations.
+  Loads,            ///< Retired load instructions.
+  Stores,           ///< Retired store instructions.
+  L1DMisses,        ///< L1 data-cache misses (== L2 data requests).
+  L2Requests,       ///< All L2 requests (data + code).
+  L2Misses,         ///< L2 misses (== L3 requests).
+  L3Misses,         ///< L3 misses (== DRAM accesses).
+  DramReads,        ///< Memory-controller read CAS operations.
+  Branches,         ///< Retired branch instructions.
+  BranchMisses,     ///< Mispredicted branches.
+  ICacheAccesses,   ///< Instruction-cache fetch accesses.
+  ICacheMisses,     ///< Instruction-cache misses.
+  ITlbMisses,       ///< Instruction TLB misses.
+  DTlbMisses,       ///< Data TLB misses.
+  StlbHits,         ///< Second-level TLB hits.
+  MsUops,           ///< Uops delivered by the microcode sequencer.
+  DsbUops,          ///< Uops delivered by the decoded-uop cache (DSB).
+  MiteUops,         ///< Uops delivered by the legacy decode path (MITE).
+  PageFaults,       ///< Software events: page faults.
+  ContextSwitches,  ///< Software events: context switches.
+  RefCycles,        ///< Reference (TSC-rate) cycles.
+};
+
+/// Number of ActivityKind values; keep in sync with the enum.
+constexpr size_t NumActivityKinds =
+    static_cast<size_t>(ActivityKind::RefCycles) + 1;
+
+/// \returns a stable printable name for \p Kind.
+const char *activityKindName(ActivityKind Kind);
+
+/// A dense vector of latent activity counts for one execution phase.
+///
+/// Activities are physically additive: composing two phases serially sums
+/// their activity vectors exactly (operator+). All counts are modeled as
+/// doubles since they reach 1e12 and enter linear algebra directly.
+class ActivityVector {
+public:
+  ActivityVector() { Counts.fill(0.0); }
+
+  double &operator[](ActivityKind Kind) {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+  double operator[](ActivityKind Kind) const {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+
+  double &at(size_t Index) {
+    assert(Index < NumActivityKinds && "activity index out of range");
+    return Counts[Index];
+  }
+  double at(size_t Index) const {
+    assert(Index < NumActivityKinds && "activity index out of range");
+    return Counts[Index];
+  }
+
+  ActivityVector &operator+=(const ActivityVector &Other) {
+    for (size_t I = 0; I < NumActivityKinds; ++I)
+      Counts[I] += Other.Counts[I];
+    return *this;
+  }
+
+  friend ActivityVector operator+(ActivityVector A, const ActivityVector &B) {
+    A += B;
+    return A;
+  }
+
+  ActivityVector &operator*=(double Scale) {
+    for (double &C : Counts)
+      C *= Scale;
+    return *this;
+  }
+
+  /// \returns the sum of all counts (used in sanity checks).
+  double total() const {
+    double Sum = 0;
+    for (double C : Counts)
+      Sum += C;
+    return Sum;
+  }
+
+private:
+  std::array<double, NumActivityKinds> Counts;
+};
+
+} // namespace pmc
+} // namespace slope
+
+#endif // SLOPE_PMC_ACTIVITY_H

@@ -1,0 +1,132 @@
+//===- pmc/CounterScheduler.cpp - PMC collection planning -------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/CounterScheduler.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace slope;
+using namespace slope::pmc;
+
+bool CollectionPlan::covers(const std::vector<EventId> &Requested) const {
+  std::set<EventId> Seen;
+  for (const CollectionRun &Run : Runs)
+    for (EventId Id : Run.Events)
+      if (!Seen.insert(Id).second)
+        return false; // Duplicate placement.
+  for (EventId Id : Requested)
+    if (!Seen.count(Id))
+      return false;
+  return Seen.size() == Requested.size();
+}
+
+bool pmc::isFeasibleRun(const EventRegistry &Registry,
+                        const CollectionRun &Run, const PmuSpec &Pmu) {
+  unsigned NumFixed = 0;
+  unsigned NumProgrammable = 0;
+  unsigned NumPair = 0, NumTriple = 0, NumSolo = 0;
+  for (EventId Id : Run.Events) {
+    switch (Registry.event(Id).Constraint) {
+    case CounterConstraintKind::Fixed:
+      ++NumFixed;
+      break;
+    case CounterConstraintKind::AnyProgrammable:
+      ++NumProgrammable;
+      break;
+    case CounterConstraintKind::TripleOnly:
+      ++NumTriple;
+      ++NumProgrammable;
+      break;
+    case CounterConstraintKind::PairOnly:
+      ++NumPair;
+      ++NumProgrammable;
+      break;
+    case CounterConstraintKind::Solo:
+      ++NumSolo;
+      ++NumProgrammable;
+      break;
+    }
+  }
+  if (NumFixed > Pmu.NumFixed || NumProgrammable > Pmu.NumProgrammable)
+    return false;
+  if (NumSolo > 0 && NumProgrammable > 1)
+    return false;
+  if (NumPair > 0 && NumProgrammable > 2)
+    return false;
+  if (NumTriple > 0 && NumProgrammable > 3)
+    return false;
+  return true;
+}
+
+Expected<CollectionPlan>
+pmc::planCollection(const EventRegistry &Registry,
+                    const std::vector<EventId> &Requested,
+                    const PmuSpec &Pmu) {
+  {
+    std::set<EventId> Unique(Requested.begin(), Requested.end());
+    if (Unique.size() != Requested.size())
+      return makeError("duplicate events in collection request");
+  }
+
+  std::vector<EventId> Fixed, Solo, Pair, Triple, General;
+  for (EventId Id : Requested) {
+    switch (Registry.event(Id).Constraint) {
+    case CounterConstraintKind::Fixed:
+      Fixed.push_back(Id);
+      break;
+    case CounterConstraintKind::Solo:
+      Solo.push_back(Id);
+      break;
+    case CounterConstraintKind::PairOnly:
+      Pair.push_back(Id);
+      break;
+    case CounterConstraintKind::TripleOnly:
+      Triple.push_back(Id);
+      break;
+    case CounterConstraintKind::AnyProgrammable:
+      General.push_back(Id);
+      break;
+    }
+  }
+
+  CollectionPlan Plan;
+  auto EmitChunks = [&Plan](const std::vector<EventId> &Ids, size_t Width) {
+    for (size_t Start = 0; Start < Ids.size(); Start += Width) {
+      CollectionRun Run;
+      size_t End = std::min(Start + Width, Ids.size());
+      Run.Events.assign(Ids.begin() + Start, Ids.begin() + End);
+      Plan.Runs.push_back(std::move(Run));
+    }
+  };
+  for (EventId Id : Solo)
+    Plan.Runs.push_back(CollectionRun{{Id}});
+  EmitChunks(Pair, 2);
+  EmitChunks(Triple, 3);
+  EmitChunks(General, Pmu.NumProgrammable);
+
+  // Fixed-counter events ride along: spread them over existing runs,
+  // Pmu.NumFixed per run. If there are no runs yet, they need one.
+  if (!Fixed.empty() && Plan.Runs.empty())
+    Plan.Runs.push_back(CollectionRun{});
+  size_t RunIndex = 0;
+  unsigned UsedInRun = 0;
+  for (EventId Id : Fixed) {
+    if (UsedInRun == Pmu.NumFixed) {
+      ++RunIndex;
+      UsedInRun = 0;
+      if (RunIndex == Plan.Runs.size())
+        Plan.Runs.push_back(CollectionRun{});
+    }
+    Plan.Runs[RunIndex].Events.push_back(Id);
+    ++UsedInRun;
+  }
+
+  for ([[maybe_unused]] const CollectionRun &Run : Plan.Runs)
+    assert(isFeasibleRun(Registry, Run, Pmu) && "planned an infeasible run");
+  assert(Plan.covers(Requested) && "plan does not cover the request");
+  return Plan;
+}

@@ -1,0 +1,70 @@
+//===- pmc/CounterScheduler.h - PMC collection planning ---------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plans how to collect a set of PMCs across multiple application runs.
+/// The PMU has only 4 programmable counter registers (plus 3 fixed ones),
+/// and some events are further restricted to sets of 3, 2, or must run
+/// alone. This is the mechanism behind the paper's observation that
+/// collecting all events takes ~53 runs on Haswell and ~99 on Skylake —
+/// and hence why online models must make do with 4 PMCs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_PMC_COUNTERSCHEDULER_H
+#define SLOPE_PMC_COUNTERSCHEDULER_H
+
+#include "pmc/EventRegistry.h"
+
+#include <vector>
+
+namespace slope {
+namespace pmc {
+
+/// Description of a PMU's counting resources.
+struct PmuSpec {
+  unsigned NumProgrammable = 4; ///< General-purpose counter registers.
+  unsigned NumFixed = 3;        ///< Fixed-function counters.
+};
+
+/// One application execution collecting a group of compatible events.
+struct CollectionRun {
+  std::vector<EventId> Events;
+};
+
+/// A complete plan: every requested event appears in exactly one run
+/// (fixed-counter events are attached to existing runs when possible).
+struct CollectionPlan {
+  std::vector<CollectionRun> Runs;
+
+  size_t numRuns() const { return Runs.size(); }
+
+  /// \returns true if every event in \p Requested appears exactly once.
+  bool covers(const std::vector<EventId> &Requested) const;
+};
+
+/// Plans collection runs for \p Requested events under \p Pmu.
+///
+/// Grouping strategy: events are bucketed by constraint class; Solo events
+/// get singleton runs; Pair/Triple-restricted events fill runs of their
+/// class width; unrestricted events pack 4 per run; fixed-counter events
+/// ride along on the first runs with spare fixed registers (or get their
+/// own run if the plan would otherwise be empty).
+///
+/// \returns an error if \p Requested contains duplicate events.
+Expected<CollectionPlan> planCollection(const EventRegistry &Registry,
+                                        const std::vector<EventId> &Requested,
+                                        const PmuSpec &Pmu = PmuSpec());
+
+/// \returns true if the events of \p Run can legally be measured together
+/// under \p Pmu (register budget and class restrictions).
+bool isFeasibleRun(const EventRegistry &Registry, const CollectionRun &Run,
+                   const PmuSpec &Pmu = PmuSpec());
+
+} // namespace pmc
+} // namespace slope
+
+#endif // SLOPE_PMC_COUNTERSCHEDULER_H

@@ -1,0 +1,47 @@
+//===- pmc/Event.cpp - Performance event definitions ------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/Event.h"
+
+#include <cassert>
+#include <climits>
+
+using namespace slope;
+using namespace slope::pmc;
+
+uint32_t pmc::maxPerRun(CounterConstraintKind Kind) {
+  switch (Kind) {
+  case CounterConstraintKind::Fixed:
+    return UINT32_MAX;
+  case CounterConstraintKind::AnyProgrammable:
+    return 4;
+  case CounterConstraintKind::TripleOnly:
+    return 3;
+  case CounterConstraintKind::PairOnly:
+    return 2;
+  case CounterConstraintKind::Solo:
+    return 1;
+  }
+  assert(false && "unknown counter constraint");
+  return 1;
+}
+
+const char *pmc::counterConstraintName(CounterConstraintKind Kind) {
+  switch (Kind) {
+  case CounterConstraintKind::Fixed:
+    return "fixed";
+  case CounterConstraintKind::AnyProgrammable:
+    return "any";
+  case CounterConstraintKind::TripleOnly:
+    return "triple";
+  case CounterConstraintKind::PairOnly:
+    return "pair";
+  case CounterConstraintKind::Solo:
+    return "solo";
+  }
+  assert(false && "unknown counter constraint");
+  return "?";
+}

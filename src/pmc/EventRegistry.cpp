@@ -1,0 +1,64 @@
+//===- pmc/EventRegistry.cpp - Platform event catalogue ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/EventRegistry.h"
+
+#include "support/Str.h"
+
+#include <numeric>
+
+using namespace slope;
+using namespace slope::pmc;
+
+EventId EventRegistry::addEvent(EventDef Def) {
+  assert(!hasEvent(Def.Name) && "duplicate event name in registry");
+  Events.push_back(std::move(Def));
+  return static_cast<EventId>(Events.size() - 1);
+}
+
+Expected<EventId> EventRegistry::lookup(const std::string &Name) const {
+  for (size_t I = 0; I < Events.size(); ++I)
+    if (Events[I].Name == Name)
+      return static_cast<EventId>(I);
+  return makeError("unknown event '" + Name + "'");
+}
+
+bool EventRegistry::hasEvent(const std::string &Name) const {
+  for (const EventDef &Def : Events)
+    if (Def.Name == Name)
+      return true;
+  return false;
+}
+
+std::vector<EventId> EventRegistry::allEvents() const {
+  std::vector<EventId> Ids(Events.size());
+  std::iota(Ids.begin(), Ids.end(), EventId{0});
+  return Ids;
+}
+
+std::vector<EventId>
+EventRegistry::findByName(const std::vector<std::string> &NameParts) const {
+  std::vector<EventId> Ids;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    bool All = true;
+    for (const std::string &Part : NameParts)
+      if (!str::contains(Events[I].Name, Part)) {
+        All = false;
+        break;
+      }
+    if (All)
+      Ids.push_back(static_cast<EventId>(I));
+  }
+  return Ids;
+}
+
+size_t EventRegistry::countByConstraint(CounterConstraintKind Kind) const {
+  size_t Count = 0;
+  for (const EventDef &Def : Events)
+    if (Def.Constraint == Kind)
+      ++Count;
+  return Count;
+}

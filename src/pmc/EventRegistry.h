@@ -1,0 +1,74 @@
+//===- pmc/EventRegistry.h - Platform event catalogue -----------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalogue of performance events a platform offers, mirroring what
+/// Likwid exposes: 164 events on the Intel Haswell server and 385 on the
+/// Intel Skylake server of the paper's Table 1. Registries are built by
+/// buildHaswellRegistry()/buildSkylakeRegistry() in PlatformEvents.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_PMC_EVENTREGISTRY_H
+#define SLOPE_PMC_EVENTREGISTRY_H
+
+#include "pmc/Event.h"
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace pmc {
+
+/// An immutable-after-construction table of EventDefs with name lookup.
+class EventRegistry {
+public:
+  /// Appends \p Def and \returns its id. Asserts the name is unique.
+  EventId addEvent(EventDef Def);
+
+  size_t size() const { return Events.size(); }
+
+  const EventDef &event(EventId Id) const {
+    assert(Id < Events.size() && "event id out of range");
+    return Events[Id];
+  }
+
+  /// \returns the id of the event named \p Name, or an error.
+  Expected<EventId> lookup(const std::string &Name) const;
+
+  /// \returns true if an event with \p Name exists.
+  bool hasEvent(const std::string &Name) const;
+
+  /// \returns all event ids (0..size-1).
+  std::vector<EventId> allEvents() const;
+
+  /// \returns the ids whose names match all of \p NameParts (substring
+  /// conjunction), e.g. {"IDQ", "UOPS"}.
+  std::vector<EventId>
+  findByName(const std::vector<std::string> &NameParts) const;
+
+  /// \returns the number of events with the given constraint.
+  size_t countByConstraint(CounterConstraintKind Kind) const;
+
+private:
+  std::vector<EventDef> Events;
+};
+
+/// Builds the 164-event catalogue of the dual-socket Intel Haswell server
+/// (Intel E5-2670 v3; Table 1 of the paper). Includes the six Class-A
+/// model PMCs of Table 2.
+EventRegistry buildHaswellRegistry();
+
+/// Builds the 385-event catalogue of the single-socket Intel Skylake
+/// server (Intel Xeon Gold 6152; Table 1). Includes the PA and PNA sets
+/// of Table 6.
+EventRegistry buildSkylakeRegistry();
+
+} // namespace pmc
+} // namespace slope
+
+#endif // SLOPE_PMC_EVENTREGISTRY_H

@@ -1,0 +1,118 @@
+//===- pmc/PerformanceGroups.cpp - Likwid-style event groups ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/PerformanceGroups.h"
+
+#include "support/Str.h"
+
+using namespace slope;
+using namespace slope::pmc;
+
+std::vector<PerformanceGroup> pmc::haswellPerformanceGroups() {
+  return {
+      {"FLOPS_DP",
+       "double-precision flop rate",
+       {"FP_ARITH_INST_RETIRED_SCALAR_DOUBLE", "AVX_INSTS_ALL",
+        "UOPS_EXECUTED_PORT_PORT_0", "UOPS_EXECUTED_PORT_PORT_1"}},
+      {"MEM",
+       "main-memory traffic",
+       {"DRAM_CAS_COUNT_RD", "DRAM_CAS_COUNT_WR"}},
+      {"L2",
+       "L2 cache demand and misses",
+       {"L2_RQSTS_REFERENCES", "L2_RQSTS_MISS",
+        "MEM_UOPS_RETIRED_ALL_LOADS", "MEM_UOPS_RETIRED_ALL_STORES"}},
+      {"L3",
+       "last-level cache behaviour",
+       {"LLC_REFERENCES", "LLC_MISSES"}},
+      {"BRANCH",
+       "branch volume and misprediction",
+       {"BR_INST_RETIRED_ALL_BRANCHES", "BR_MISP_RETIRED_ALL_BRANCHES"}},
+      {"ICACHE",
+       "instruction-cache pressure",
+       {"ICACHE_ACCESSES", "ICACHE_64B_IFTAG_MISS"}},
+      {"TLB",
+       "address-translation misses",
+       {"ITLB_MISSES_MISS_CAUSES_A_WALK",
+        "DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK"}},
+      {"UOPS",
+       "uop pipeline volume",
+       {"UOPS_ISSUED_ANY", "UOPS_EXECUTED_CORE", "UOPS_RETIRED_ALL"}},
+      {"DIVIDER",
+       "divider-unit activity",
+       {"ARITH_DIVIDER_COUNT", "IDQ_MS_UOPS"}},
+      {"ENERGY_MODEL",
+       "the paper's Class-A predictor set, first half",
+       {"IDQ_MITE_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS",
+        "ARITH_DIVIDER_COUNT"}},
+  };
+}
+
+std::vector<PerformanceGroup> pmc::skylakePerformanceGroups() {
+  return {
+      {"FLOPS_DP",
+       "double-precision flop rate",
+       {"FP_ARITH_INST_RETIRED_DOUBLE",
+        "FP_ARITH_INST_RETIRED_SCALAR_SINGLE",
+        "UOPS_DISPATCHED_PORT_PORT_0", "UOPS_DISPATCHED_PORT_PORT_1"}},
+      {"L2",
+       "L2 cache demand and misses",
+       {"L2_RQSTS_REFERENCES", "L2_RQSTS_MISS",
+        "MEM_INST_RETIRED_ALL_LOADS", "MEM_INST_RETIRED_ALL_STORES"}},
+      {"BRANCH",
+       "branch volume and misprediction",
+       {"BR_INST_RETIRED_ALL_BRANCHES", "BR_MISP_RETIRED_ALL_BRANCHES"}},
+      {"ICACHE",
+       "instruction-cache pressure",
+       {"ICACHE_64B_IFTAG_HIT", "ICACHE_64B_IFTAG_MISS",
+        "L2_TRANS_CODE_RD"}},
+      {"TLB",
+       "address-translation misses",
+       {"ITLB_MISSES_STLB_HIT",
+        "DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK"}},
+      {"UOPS",
+       "uop pipeline volume",
+       {"UOPS_ISSUED_ANY", "UOPS_EXECUTED_CORE",
+        "UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC"}},
+      {"FRONTEND",
+       "uop delivery paths",
+       {"IDQ_MITE_UOPS", "IDQ_DSB_UOPS", "IDQ_MS_UOPS"}},
+      {"PA4",
+       "the paper's additive online set (Class C)",
+       {"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC",
+        "FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE",
+        "IDQ_ALL_CYCLES_6_UOPS"}},
+      {"PNA4",
+       "the correlation-picked non-additive set (Class C)",
+       {"ICACHE_64B_IFTAG_MISS", "BR_MISP_RETIRED_ALL_BRANCHES",
+        "IDQ_MS_UOPS", "ARITH_DIVIDER_COUNT"}},
+  };
+}
+
+Expected<PerformanceGroup>
+pmc::findGroup(const std::vector<PerformanceGroup> &Groups,
+               const std::string &Name) {
+  std::vector<std::string> Available;
+  for (const PerformanceGroup &Group : Groups) {
+    if (Group.Name == Name)
+      return Group;
+    Available.push_back(Group.Name);
+  }
+  return makeError("unknown performance group '" + Name +
+                   "' (available: " + str::join(Available, ", ") + ")");
+}
+
+Expected<std::vector<EventId>>
+pmc::resolveGroup(const EventRegistry &Registry,
+                  const PerformanceGroup &Group) {
+  std::vector<EventId> Ids;
+  for (const std::string &Name : Group.EventNames) {
+    auto Id = Registry.lookup(Name);
+    if (!Id)
+      return Id.error();
+    Ids.push_back(*Id);
+  }
+  return Ids;
+}

@@ -1,0 +1,56 @@
+//===- pmc/PerformanceGroups.h - Likwid-style event groups -------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Curated event groups in the style of likwid-perfctr's `-g` presets
+/// (FLOPS_DP, MEM, BRANCH, ...): each is a named, one-run-schedulable
+/// set of events serving one analysis question. Groups are how
+/// practitioners actually drive the tool the paper uses, and they bound
+/// each preset to the PMU's 4 programmable counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_PMC_PERFORMANCEGROUPS_H
+#define SLOPE_PMC_PERFORMANCEGROUPS_H
+
+#include "pmc/EventRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace pmc {
+
+/// One likwid-style preset.
+struct PerformanceGroup {
+  std::string Name;        ///< e.g. "FLOPS_DP".
+  std::string Description; ///< One-line purpose.
+  std::vector<std::string> EventNames;
+};
+
+/// Presets for the Haswell registry. Every group's events exist in
+/// buildHaswellRegistry() and fit a single collection run.
+std::vector<PerformanceGroup> haswellPerformanceGroups();
+
+/// Presets for the Skylake registry, same guarantees against
+/// buildSkylakeRegistry().
+std::vector<PerformanceGroup> skylakePerformanceGroups();
+
+/// \returns the group named \p Name from \p Groups, or an error listing
+/// the available names.
+Expected<PerformanceGroup>
+findGroup(const std::vector<PerformanceGroup> &Groups,
+          const std::string &Name);
+
+/// Resolves a group's events against \p Registry.
+/// \returns an error if any event is missing.
+Expected<std::vector<EventId>> resolveGroup(const EventRegistry &Registry,
+                                            const PerformanceGroup &Group);
+
+} // namespace pmc
+} // namespace slope
+
+#endif // SLOPE_PMC_PERFORMANCEGROUPS_H

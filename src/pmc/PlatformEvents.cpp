@@ -1,0 +1,726 @@
+//===- pmc/PlatformEvents.cpp - Haswell/Skylake event catalogues ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds the two platform registries with the cardinalities the paper
+// reports for Likwid:
+//
+//   Haswell:  164 events total, 151 significant (counts > 10), needing
+//             ~53 runs to collect (4 programmable counters, some events
+//             restricted to sets of 3, 2, or solo).
+//   Skylake:  385 events total, 323 significant, needing ~99 runs.
+//
+// The significant-event constraint mix is chosen so the CounterScheduler
+// reproduces those run counts exactly:
+//
+//   Haswell:  3 fixed + 10 solo + 22 pair + 30 triple + 86 general
+//             -> 10 + 11 + 10 + 22 = 53 runs.
+//   Skylake:  3 fixed +  9 solo + 32 pair + 42 triple + 237 general
+//             ->  9 + 16 + 14 + 60 = 99 runs.
+//
+// Non-additivity parameters of the named events are calibrated against
+// Table 2 (Haswell additivity errors of X1..X6) and Table 6 (Skylake
+// PA/PNA sets); see the per-event comments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/PlatformEvents.h"
+
+#include "pmc/EventRegistry.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace slope;
+using namespace slope::pmc;
+
+namespace {
+
+/// Incrementally assembles a registry while tracking per-constraint quota
+/// usage for significant events, then tops the buckets up with generated
+/// filler events.
+class RegistryAssembler {
+public:
+  explicit RegistryAssembler(uint64_t Seed) : FillerRng(Seed) {}
+
+  /// Adds a named significant event.
+  void add(const std::string &Name, EventDomain Domain,
+           CounterConstraintKind Constraint, SynthesisModel Model) {
+    EventDef Def;
+    Def.Name = Name;
+    Def.Domain = Domain;
+    Def.Constraint = Constraint;
+    Def.Model = std::move(Model);
+    Registry.addEvent(std::move(Def));
+  }
+
+  /// Adds generated significant filler events from \p NamePool until the
+  /// constraint bucket \p Kind holds exactly \p Target significant events.
+  /// Pool names already present in the registry are skipped.
+  void fillBucket(CounterConstraintKind Kind, size_t Target,
+                  const std::vector<std::string> &NamePool, size_t &PoolPos) {
+    while (Registry.countByConstraint(Kind) < Target) {
+      assert(PoolPos < NamePool.size() && "filler name pool exhausted");
+      const std::string &Name = NamePool[PoolPos++];
+      if (Registry.hasEvent(Name))
+        continue;
+      EventDef Def;
+      Def.Name = Name;
+      Def.Domain = pickDomain(Name);
+      Def.Constraint = Kind;
+      Def.Model = makeFillerModel();
+      Registry.addEvent(std::move(Def));
+    }
+  }
+
+  /// Adds \p Count insignificant events (counts <= 10, non-reproducible;
+  /// eliminated by the paper's pre-filter).
+  void addInsignificant(const std::vector<std::string> &Names, size_t Count) {
+    assert(Count <= Names.size() && "not enough insignificant names");
+    for (size_t I = 0; I < Count; ++I) {
+      EventDef Def;
+      Def.Name = Names[I];
+      Def.Domain = EventDomain::Core;
+      Def.Constraint = CounterConstraintKind::AnyProgrammable;
+      // A handful of stray counts with ~100% run-to-run noise: these fail
+      // both the "counts > 10" filter and any reproducibility test.
+      Def.Model.ContextFloor = 0.5 + 0.5 * static_cast<double>(I % 3);
+      Def.Model.NoiseSigma = 0.6;
+      Registry.addEvent(std::move(Def));
+    }
+  }
+
+  EventRegistry take() { return std::move(Registry); }
+
+private:
+  static EventDomain pickDomain(const std::string &Name) {
+    if (Name.rfind("UNC_", 0) == 0)
+      return EventDomain::Uncore;
+    return EventDomain::Core;
+  }
+
+  /// Deterministically varied synthesis models for filler events: a
+  /// rotating palette of activity mappings with a spread of additivity
+  /// characteristics (roughly 60% additive-by-construction).
+  SynthesisModel makeFillerModel() {
+    static const ActivityKind Palette[] = {
+        ActivityKind::UopsIssued,    ActivityKind::UopsExecuted,
+        ActivityKind::UopsRetired,   ActivityKind::Loads,
+        ActivityKind::Stores,        ActivityKind::L1DMisses,
+        ActivityKind::L2Requests,    ActivityKind::L2Misses,
+        ActivityKind::L3Misses,      ActivityKind::DramReads,
+        ActivityKind::Branches,      ActivityKind::BranchMisses,
+        ActivityKind::ICacheAccesses,ActivityKind::ICacheMisses,
+        ActivityKind::DTlbMisses,    ActivityKind::MsUops,
+        ActivityKind::DsbUops,       ActivityKind::MiteUops,
+        ActivityKind::Instructions,  ActivityKind::CoreCycles,
+    };
+    constexpr size_t PaletteSize = sizeof(Palette) / sizeof(Palette[0]);
+
+    SynthesisModel Model;
+    size_t Primary = FillerIndex % PaletteSize;
+    Model.Coeffs.push_back(
+        {Palette[Primary], 0.05 + 1.2 * FillerRng.uniform()});
+    if (FillerIndex % 3 == 0)
+      Model.Coeffs.push_back({Palette[(Primary + 7) % PaletteSize],
+                              0.02 + 0.3 * FillerRng.uniform()});
+    switch (FillerIndex % 5) {
+    case 0:
+    case 1:
+    case 2:
+      // Additive by construction; tight measurement noise.
+      Model.NoiseSigma = 0.002 + 0.006 * FillerRng.uniform();
+      break;
+    case 3:
+      // Mildly context-coupled: fails 5% additivity on branchy suites.
+      Model.NaFraction = 0.1 + 0.2 * FillerRng.uniform();
+      Model.NaBoundaryBeta = 0.5 + 0.5 * FillerRng.uniform();
+      Model.NaJitterSigma = 0.03;
+      Model.NoiseSigma = 0.01;
+      break;
+    case 4:
+      // Strongly context-dominated: non-additive everywhere.
+      Model.NaFraction = 0.5 + 1.0 * FillerRng.uniform();
+      Model.NaBoundaryBeta = 0.6 + 0.4 * FillerRng.uniform();
+      Model.IntensityFloor = 0.4 + 0.4 * FillerRng.uniform();
+      Model.NaJitterSigma = 0.08;
+      Model.NoiseSigma = 0.03;
+      break;
+    }
+    ++FillerIndex;
+    return Model;
+  }
+
+  EventRegistry Registry;
+  Rng FillerRng;
+  size_t FillerIndex = 0;
+};
+
+/// Generates a large pool of realistic Likwid-style event names used to
+/// top up the constraint buckets (offcore response matrix, uncore CBo and
+/// IMC boxes, stall/activity cycles, retirement breakdowns).
+std::vector<std::string> makeFillerNamePool(bool Skylake) {
+  std::vector<std::string> Pool;
+
+  static const char *Requests[] = {
+      "DMND_DATA_RD", "DMND_RFO",      "DMND_CODE_RD", "PF_L2_DATA_RD",
+      "PF_L2_RFO",    "PF_L3_DATA_RD", "ALL_READS",    "ALL_RFO",
+      "ALL_PF",       "STRM_ST"};
+  static const char *Responses[] = {"L3_HIT", "L3_MISS", "LOCAL_DRAM",
+                                    "ANY", "SNOOP_HITM"};
+  for (int Unit = 0; Unit < 2; ++Unit)
+    for (const char *Req : Requests)
+      for (const char *Resp : Responses)
+        Pool.push_back("OFFCORE_RESPONSE_" + std::to_string(Unit) + "_" +
+                       std::string(Req) + "_" + Resp);
+
+  int NumCbo = Skylake ? 22 : 12;
+  for (int Box = 0; Box < NumCbo; ++Box)
+    for (const char *Ev : {"LLC_LOOKUP_ANY", "LLC_VICTIMS_M", "RING_BL_USED"})
+      Pool.push_back("UNC_CBO" + std::to_string(Box) + "_" + Ev);
+
+  for (int Chan = 0; Chan < 4; ++Chan)
+    for (const char *Ev : {"CAS_COUNT_RD", "CAS_COUNT_WR", "PRE_COUNT_MISS",
+                           "ACT_COUNT"})
+      Pool.push_back("UNC_IMC" + std::to_string(Chan) + "_" + Ev);
+
+  static const char *CycleKinds[] = {
+      "STALLS_L1D_MISS",  "STALLS_L2_MISS", "STALLS_L3_MISS",
+      "STALLS_MEM_ANY",   "STALLS_TOTAL",   "CYCLES_L1D_MISS",
+      "CYCLES_L2_MISS",   "CYCLES_MEM_ANY", "CYCLES_NO_EXECUTE"};
+  for (const char *Kind : CycleKinds)
+    Pool.push_back(std::string("CYCLE_ACTIVITY_") + Kind);
+
+  static const char *ExeKinds[] = {"1_PORTS_UTIL", "2_PORTS_UTIL",
+                                   "3_PORTS_UTIL", "4_PORTS_UTIL",
+                                   "BOUND_ON_STORES", "EXE_BOUND_0_PORTS"};
+  for (const char *Kind : ExeKinds)
+    Pool.push_back(std::string("EXE_ACTIVITY_") + Kind);
+
+  static const char *RsKinds[] = {"EMPTY_CYCLES", "EMPTY_END", "ANY_DISPATCH"};
+  for (const char *Kind : RsKinds)
+    Pool.push_back(std::string("RS_EVENTS_") + Kind);
+
+  static const char *LsdKinds[] = {"UOPS", "CYCLES_ACTIVE", "CYCLES_4_UOPS"};
+  for (const char *Kind : LsdKinds)
+    Pool.push_back(std::string("LSD_") + Kind);
+
+  static const char *RetKinds[] = {
+      "TOTAL_CYCLES",   "STALL_CYCLES", "MACRO_FUSED",
+      "RETIRE_SLOTS",   "MS_CYCLES",    "FP_ARITH_CYCLES"};
+  for (const char *Kind : RetKinds)
+    Pool.push_back(std::string("UOPS_RETIRED_") + Kind);
+
+  static const char *MemLoad[] = {
+      "L1_HIT", "L1_MISS", "L2_HIT", "L2_MISS", "L3_HIT", "FB_HIT",
+      "LOCAL_DRAM"};
+  for (const char *Kind : MemLoad)
+    Pool.push_back(std::string("MEM_LOAD_RETIRED_") + Kind);
+
+  static const char *Dsb[] = {"CYCLES_ANY", "CYCLES_4_UOPS", "MISS_ANY",
+                              "FILL_DROPPED"};
+  for (const char *Kind : Dsb)
+    Pool.push_back(std::string("DSB2MITE_") + Kind);
+
+  static const char *L2Trans[] = {"DEMAND_DATA_RD", "RFO", "L1D_WB",
+                                  "L2_FILL", "ALL_REQUESTS"};
+  for (const char *Kind : L2Trans)
+    Pool.push_back(std::string("L2_TRANS_") + Kind);
+
+  static const char *L2Lines[] = {"SILENT", "NON_SILENT", "USELESS_HWPF",
+                                  "ALL"};
+  for (const char *Kind : L2Lines)
+    Pool.push_back(std::string("L2_LINES_OUT_") + Kind);
+
+  static const char *Br[] = {"CONDITIONAL", "NEAR_CALL", "NEAR_RETURN",
+                             "NEAR_TAKEN", "NOT_TAKEN", "FAR_BRANCH"};
+  for (const char *Kind : Br)
+    Pool.push_back(std::string("BR_INST_RETIRED_") + Kind);
+  for (const char *Kind : {"CONDITIONAL", "NEAR_CALL", "NEAR_TAKEN"})
+    Pool.push_back(std::string("BR_MISP_RETIRED_") + Kind);
+
+  static const char *Tlb[] = {"WALK_COMPLETED", "WALK_PENDING",
+                              "WALK_ACTIVE", "STLB_HIT_4K"};
+  for (const char *Kind : Tlb) {
+    Pool.push_back(std::string("DTLB_LOAD_MISSES_") + Kind);
+    Pool.push_back(std::string("DTLB_STORE_MISSES_") + Kind);
+  }
+
+  static const char *Sw[] = {"MINOR_FAULTS", "MAJOR_FAULTS", "CPU_MIGRATIONS",
+                             "ALIGNMENT_FAULTS"};
+  for (const char *Kind : Sw)
+    Pool.push_back(std::string("SW_") + Kind);
+
+  if (Skylake) {
+    // Skylake's much larger catalogue: per-port cycle breakdowns, PEBS
+    // frontend retirement latencies, and power-license counters.
+    for (int Port = 0; Port < 8; ++Port)
+      for (const char *Kind : {"CYCLES", "CORE_CYCLES"})
+        Pool.push_back("UOPS_DISPATCHED_PORT_" + std::to_string(Port) + "_" +
+                       Kind);
+    static const char *Fe[] = {"DSB_MISS",      "L1I_MISS",   "ITLB_MISS",
+                               "STLB_MISS",     "LATENCY_GE_8",
+                               "LATENCY_GE_16", "LATENCY_GE_32"};
+    for (const char *Kind : Fe)
+      Pool.push_back(std::string("FRONTEND_RETIRED_") + Kind);
+    for (const char *Kind : {"LVL0_TURBO_LICENSE", "LVL1_TURBO_LICENSE",
+                             "LVL2_TURBO_LICENSE", "THROTTLE"})
+      Pool.push_back(std::string("CORE_POWER_") + Kind);
+    static const char *IdqVariants[] = {
+        "DSB_CYCLES_ANY",       "DSB_CYCLES_OK",   "MITE_CYCLES_ANY",
+        "MITE_CYCLES_OK",       "MS_CYCLES_ANY",   "MS_SWITCHES",
+        "ALL_MITE_CYCLES_ANY",  "ALL_MITE_CYCLES_4_UOPS",
+        "ALL_DSB_CYCLES_ANY",   "ALL_DSB_CYCLES_4_UOPS"};
+    for (const char *Kind : IdqVariants)
+      Pool.push_back(std::string("IDQ_") + Kind);
+    for (int Box = 0; Box < 10; ++Box)
+      for (const char *Ev : {"TXR_INSERTS", "RING_AD_USED", "RING_AK_USED"})
+        Pool.push_back("UNC_CHA" + std::to_string(Box) + "_" + Ev);
+    static const char *Pebs[] = {"LOAD_LATENCY_GT_4", "LOAD_LATENCY_GT_8",
+                                 "LOAD_LATENCY_GT_16", "LOAD_LATENCY_GT_32",
+                                 "LOAD_LATENCY_GT_64", "LOAD_LATENCY_GT_128"};
+    for (const char *Kind : Pebs)
+      Pool.push_back(std::string("MEM_TRANS_RETIRED_") + Kind);
+  }
+
+  return Pool;
+}
+
+/// Names for events that fail the "counts > 10" significance filter:
+/// transactional memory, SGX, and ISA extensions absent from the machine.
+std::vector<std::string> makeInsignificantNamePool() {
+  std::vector<std::string> Pool;
+  static const char *Rtm[] = {"ABORTED", "ABORTED_MEM", "ABORTED_TIMER",
+                              "ABORTED_UNFRIENDLY", "ABORTED_MEMTYPE",
+                              "ABORTED_EVENTS", "COMMIT", "START"};
+  for (const char *Kind : Rtm)
+    Pool.push_back(std::string("RTM_RETIRED_") + Kind);
+  static const char *Hle[] = {"ABORTED", "ABORTED_MEM", "ABORTED_TIMER",
+                              "COMMIT", "START"};
+  for (const char *Kind : Hle)
+    Pool.push_back(std::string("HLE_RETIRED_") + Kind);
+  static const char *TxMem[] = {
+      "ABORT_CONFLICT", "ABORT_CAPACITY", "ABORT_HLE_STORE_TO_ELIDED_LOCK",
+      "ABORT_HLE_ELISION_BUFFER_NOT_EMPTY", "ABORT_HLE_ELISION_BUFFER_FULL"};
+  for (const char *Kind : TxMem)
+    Pool.push_back(std::string("TX_MEM_") + Kind);
+  static const char *TxExec[] = {"MISC1", "MISC2", "MISC3", "MISC4", "MISC5"};
+  for (const char *Kind : TxExec)
+    Pool.push_back(std::string("TX_EXEC_") + Kind);
+  static const char *Misc[] = {
+      "FP_ASSIST_ANY",          "FP_ASSIST_SIMD_INPUT",
+      "FP_ASSIST_SIMD_OUTPUT",  "FP_ASSIST_X87_INPUT",
+      "FP_ASSIST_X87_OUTPUT",   "MACHINE_CLEARS_SMC",
+      "MACHINE_CLEARS_MASKMOV", "MACHINE_CLEARS_MEMORY_ORDERING",
+      "SGX_ENCLS_ANY",          "SGX_ENCLU_ANY",
+      "AVX512_VL_TRANSITIONS",  "X87_ASSIST_SIMD",
+      "MISALIGN_MEM_REF_LOADS", "MISALIGN_MEM_REF_STORES",
+      "LOCK_CYCLES_SPLIT_LOCK", "ILD_STALL_LCP",
+      "PARTIAL_RAT_STALLS_SCOREBOARD",
+      "LOAD_BLOCKS_NO_SR",      "LOAD_BLOCKS_STORE_FORWARD",
+      "OTHER_ASSISTS_ANY",      "HW_INTERRUPTS_RECEIVED",
+      "BACLEARS_ANY_RARE",      "DECODE_ICACHE_STALLS",
+      "IDQ_EMPTY_RARE",         "TOPDOWN_BAD_SPEC_RARE",
+      "UOP_DROPPING_RARE",      "INT_MISC_CLEARS_COUNT",
+      "INT_MISC_RECOVERY_CYCLES_RARE", "ARITH_FPU_DIV_ACTIVE_RARE",
+      "CPU_CLK_UNHALTED_ONE_THREAD_ACTIVE_RARE",
+      "SGX_EPC_PAGE_EVICT",     "SGX_EPC_PAGE_LOAD",
+      "PKG_CSTATE_DEMOTIONS",   "CORE_CSTATE_DEMOTIONS",
+      "SMI_RECEIVED",           "THERMAL_TRIP_EVENTS",
+      "MCA_CORRECTED_ERRORS",   "BUS_LOCK_CYCLES",
+      "SPLIT_STORES_RARE",      "SPLIT_LOADS_RARE",
+      "AVX512_FMA_RARE",        "AMX_TILE_LOADS_RARE"};
+  for (const char *Kind : Misc)
+    Pool.push_back(Kind);
+  return Pool;
+}
+
+/// Shorthand for a one-term linear mapping.
+SynthesisModel simple(ActivityKind Kind, double Weight = 1.0,
+                      double NoiseSigma = 0.004) {
+  SynthesisModel Model;
+  Model.Coeffs.push_back({Kind, Weight});
+  Model.NoiseSigma = NoiseSigma;
+  return Model;
+}
+
+/// Shorthand for a context-coupled (non-additive) mapping; see Event.h
+/// for the semantics of the parameters.
+SynthesisModel contextCoupled(std::vector<ActivityTerm> Coeffs,
+                              double NaFraction, double Beta,
+                              double IntensityFloor = 0.0,
+                              double Jitter = 0.03, double Noise = 0.01) {
+  SynthesisModel Model;
+  Model.Coeffs = std::move(Coeffs);
+  Model.NaFraction = NaFraction;
+  Model.NaBoundaryBeta = Beta;
+  Model.IntensityFloor = IntensityFloor;
+  Model.NaJitterSigma = Jitter;
+  Model.NoiseSigma = Noise;
+  return Model;
+}
+
+void addFixedCounters(RegistryAssembler &A) {
+  A.add("INSTR_RETIRED_ANY", EventDomain::Core, CounterConstraintKind::Fixed,
+        simple(ActivityKind::Instructions, 1.0, 0.002));
+  A.add("CPU_CLK_UNHALTED_CORE", EventDomain::Core,
+        CounterConstraintKind::Fixed,
+        contextCoupled({{ActivityKind::CoreCycles, 1.0}}, 0.12, 0.6, 0.3,
+                       0.02, 0.006));
+  A.add("CPU_CLK_UNHALTED_REF", EventDomain::Core,
+        CounterConstraintKind::Fixed,
+        contextCoupled({{ActivityKind::RefCycles, 1.0}}, 0.12, 0.6, 0.3,
+                       0.02, 0.006));
+}
+
+} // namespace
+
+EventRegistry pmc::buildHaswellRegistry() {
+  RegistryAssembler A(/*Seed=*/0x4A51ULL);
+  addFixedCounters(A);
+
+  // --- The six Class-A model PMCs (Table 2). NaFraction/Beta pairs are
+  // calibrated so the additivity test's maximum error over the diverse
+  // compound suite lands at the paper's values: with suite context
+  // intensities reaching ~1.2, maxError ~= F*1.2*Beta / (1 + F*1.2).
+  using CC = CounterConstraintKind;
+  A.add("IDQ_MITE_UOPS", EventDomain::Core, CC::AnyProgrammable, // 13%
+        contextCoupled({{ActivityKind::MiteUops, 1.0}}, 0.13, 1.0, 0.1,
+                       0.03, 0.008));
+  A.add("IDQ_MS_UOPS", EventDomain::Core, CC::AnyProgrammable, // 37%
+        contextCoupled({{ActivityKind::MsUops, 1.0}}, 0.50, 1.0, 0.6, 0.05,
+                       0.01));
+  A.add("ICACHE_64B_IFTAG_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.9}}, 0.80, 0.75, // 36%
+                       0.5, 0.05, 0.01));
+  A.add("ARITH_DIVIDER_COUNT", EventDomain::Core, CC::AnyProgrammable, // 80%
+        contextCoupled({{ActivityKind::DivOps, 1.0}}, 4.0, 1.0, 0.8, 0.08,
+                       0.02));
+  A.add("L2_RQSTS_MISS", EventDomain::Core, CC::AnyProgrammable, // 14%
+        contextCoupled({{ActivityKind::L2Misses, 1.0}}, 0.14, 1.0, 0.1,
+                       0.02, 0.006));
+  A.add("UOPS_EXECUTED_PORT_PORT_6", EventDomain::Core,
+        CC::AnyProgrammable, // 10%
+        contextCoupled({{ActivityKind::Port6, 1.0}}, 0.10, 1.0, 0.1, 0.02,
+                       0.005));
+
+  // --- Remaining execution ports.
+  static const ActivityKind PortKinds[] = {
+      ActivityKind::Port0, ActivityKind::Port1, ActivityKind::Port2,
+      ActivityKind::Port3, ActivityKind::Port4, ActivityKind::Port5,
+      ActivityKind::Port7};
+  static const char *PortNames[] = {
+      "UOPS_EXECUTED_PORT_PORT_0", "UOPS_EXECUTED_PORT_PORT_1",
+      "UOPS_EXECUTED_PORT_PORT_2", "UOPS_EXECUTED_PORT_PORT_3",
+      "UOPS_EXECUTED_PORT_PORT_4", "UOPS_EXECUTED_PORT_PORT_5",
+      "UOPS_EXECUTED_PORT_PORT_7"};
+  for (size_t I = 0; I < 7; ++I)
+    A.add(PortNames[I], EventDomain::Core, CC::AnyProgrammable,
+          contextCoupled({{PortKinds[I], 1.0}}, 0.06 + 0.01 * I, 0.8, 0.1,
+                         0.02, 0.005));
+
+  // --- Frontend / uop flow.
+  A.add("UOPS_ISSUED_ANY", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsIssued, 1.0}}, 0.06, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("UOPS_EXECUTED_CORE", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsExecuted, 1.0}}, 0.05, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("UOPS_RETIRED_ALL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsRetired, 1.0}}, 0.05, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("IDQ_DSB_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DsbUops, 1.0}}, 0.08, 0.8, 0.1, 0.02,
+                       0.006));
+  A.add("ICACHE_ACCESSES", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheAccesses, 1.0}}, 0.30, 0.7,
+                       0.3, 0.04, 0.01));
+
+  // --- Memory hierarchy (core side).
+  A.add("L2_RQSTS_REFERENCES", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 1.0}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("MEM_UOPS_RETIRED_ALL_LOADS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0}}, 0.08, 0.8, 0.1, 0.015,
+                       0.004));
+  A.add("MEM_UOPS_RETIRED_ALL_STORES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Stores, 1.0}}, 0.08, 0.8, 0.1, 0.015,
+                       0.004));
+
+  // --- Floating point and branches.
+  A.add("FP_ARITH_INST_RETIRED_SCALAR_DOUBLE", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpScalarDouble, 1.0}}, 0.07, 0.8,
+                       0.1, 0.015, 0.004));
+  A.add("AVX_INSTS_ALL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpVectorDouble, 1.0}}, 0.06, 0.8,
+                       0.1, 0.015, 0.004));
+  A.add("BR_INST_RETIRED_ALL_BRANCHES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 1.0}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  A.add("BR_MISP_RETIRED_ALL_BRANCHES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::BranchMisses, 1.0}}, 0.40, 0.8, 0.4,
+                       0.05, 0.015));
+
+  // --- TLBs.
+  A.add("ITLB_MISSES_MISS_CAUSES_A_WALK", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ITlbMisses, 1.0}}, 1.2, 0.9, 0.7,
+                       0.08, 0.03));
+  A.add("DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DTlbMisses, 1.0}}, 0.35, 0.8, 0.3,
+                       0.04, 0.012));
+
+  // --- Uncore (pair-restricted on this PMU).
+  A.add("LLC_REFERENCES", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L2Misses, 1.0}}, 0.12, 0.8, 0.1,
+                       0.02, 0.008));
+  A.add("LLC_MISSES", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L3Misses, 1.0}}, 0.15, 0.8, 0.1,
+                       0.025, 0.008));
+  A.add("LLC_LOOKUP_ANY_REQUEST", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L2Misses, 1.05}}, 0.12, 0.8, 0.1,
+                       0.02, 0.008));
+  A.add("DRAM_CAS_COUNT_RD", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::DramReads, 1.0}}, 0.12, 0.8, 0.1,
+                       0.02, 0.008));
+  A.add("DRAM_CAS_COUNT_WR", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::DramReads, 0.4}}, 0.12, 0.8, 0.1,
+                       0.02, 0.01));
+
+  // --- PEBS-assisted load breakdowns (triple-restricted).
+  A.add("MEM_LOAD_UOPS_RETIRED_L1_HIT", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::Loads, 0.95}}, 0.10, 0.8, 0.1, 0.02,
+                       0.006));
+  A.add("MEM_LOAD_UOPS_RETIRED_L2_HIT", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::L1DMisses, 0.8}}, 0.15, 0.8, 0.1,
+                       0.03, 0.01));
+  A.add("MEM_LOAD_UOPS_RETIRED_L3_HIT", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::L2Misses, 0.8}}, 0.18, 0.8, 0.1,
+                       0.03, 0.01));
+  A.add("MEM_LOAD_UOPS_RETIRED_L3_MISS", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::L3Misses, 0.8}}, 0.20, 0.8, 0.1,
+                       0.03, 0.012));
+  A.add("OFFCORE_REQUESTS_ALL_DATA_RD", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::L2Misses, 1.1}}, 0.15, 0.8, 0.1,
+                       0.025, 0.01));
+
+  // --- Software events (perf-style; measured alone on this setup).
+  A.add("PAGE_FAULTS", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::PageFaults, 1.0}}, 1.5, 0.9, 0.8,
+                       0.1, 0.05));
+  A.add("CONTEXT_SWITCHES", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::ContextSwitches, 1.0}}, 2.0, 0.9,
+                       0.9, 0.25, 0.1));
+  A.add("CPU_MIGRATIONS", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::ContextSwitches, 0.05}}, 2.0, 0.9,
+                       0.9, 0.3, 0.15));
+
+  // --- Fill the constraint buckets to the Haswell quotas (see file
+  // header): 10 solo, 22 pair, 30 triple, 86 general significant events.
+  std::vector<std::string> Pool = makeFillerNamePool(/*Skylake=*/false);
+  size_t PoolPos = 0;
+  A.fillBucket(CC::Solo, 10, Pool, PoolPos);
+  A.fillBucket(CC::PairOnly, 22, Pool, PoolPos);
+  A.fillBucket(CC::TripleOnly, 30, Pool, PoolPos);
+  A.fillBucket(CC::AnyProgrammable, 86, Pool, PoolPos);
+
+  // --- 13 insignificant events: 164 total, 151 significant.
+  A.addInsignificant(makeInsignificantNamePool(), 13);
+
+  EventRegistry Registry = A.take();
+  assert(Registry.size() == 164 && "Haswell registry must offer 164 events");
+  return Registry;
+}
+
+EventRegistry pmc::buildSkylakeRegistry() {
+  RegistryAssembler A(/*Seed=*/0x5C7BULL);
+  addFixedCounters(A);
+
+  using CC = CounterConstraintKind;
+  // --- PA: the nine highly additive PMCs of Table 6 (X1..X9). Their
+  // context coupling has IntensityFloor 0, so for MKL DGEMM/FFT (context
+  // intensity ~0.03) the additivity error is far below 1%, while the
+  // diverse suite (intensity up to ~1.2) still pushes them past the 5%
+  // tolerance — matching the paper's app-specific additivity findings.
+  A.add("UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsRetired, 0.16}}, 0.18, 0.8, 0.0,
+                       0.015, 0.003));
+  A.add("FP_ARITH_INST_RETIRED_DOUBLE", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpScalarDouble, 1.0},
+                        {ActivityKind::FpVectorDouble, 1.0}},
+                       0.10, 1.0, 0.0, 0.015, 0.003));
+  A.add("MEM_INST_RETIRED_ALL_STORES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Stores, 1.0}}, 0.15, 0.8, 0.0, 0.015,
+                       0.003));
+  A.add("UOPS_EXECUTED_CORE", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsExecuted, 1.0}}, 0.12, 0.9, 0.0,
+                       0.015, 0.003));
+  A.add("UOPS_DISPATCHED_PORT_PORT_4", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Port4, 1.0}}, 0.10, 1.0, 0.0, 0.015,
+                       0.003));
+  A.add("IDQ_DSB_CYCLES_6_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DsbUops, 0.13}}, 0.20, 0.7, 0.0,
+                       0.015, 0.003));
+  A.add("IDQ_ALL_DSB_CYCLES_5_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DsbUops, 0.17}}, 0.18, 0.8, 0.0,
+                       0.015, 0.003));
+  A.add("IDQ_ALL_CYCLES_6_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DsbUops, 0.12},
+                        {ActivityKind::MiteUops, 0.08}},
+                       0.15, 0.9, 0.0, 0.015, 0.003));
+  A.add("MEM_LOAD_RETIRED_L3_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L3Misses, 0.8}}, 0.20, 0.8, 0.0,
+                       0.015, 0.003));
+
+  // --- PNA: nine non-additive but literature-popular PMCs (Y1..Y9).
+  // IntensityFloor >= 0.5 keeps them non-additive even for DGEMM/FFT:
+  // their context is self-generated (microcode, code footprint, snoops).
+  A.add("ICACHE_64B_IFTAG_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.9}}, 0.80, 0.75,
+                       0.55, 0.15, 0.04));
+  A.add("CPU_CLOCK_THREAD_UNHALTED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::CoreCycles, 1.0}}, 0.30, 0.7, 0.5,
+                       0.12, 0.03));
+  A.add("BR_MISP_RETIRED_ALL_BRANCHES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::BranchMisses, 1.0}}, 0.50, 0.9, 0.6,
+                       0.15, 0.04));
+  A.add("MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS", EventDomain::Core,
+        CC::TripleOnly,
+        contextCoupled({{ActivityKind::L2Misses, 0.015}}, 1.5, 0.8, 0.6,
+                       0.35, 0.12));
+  A.add("FRONTEND_RETIRED_L2_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.3}}, 0.9, 0.7, 0.5,
+                       0.20, 0.06));
+  A.add("ITLB_MISSES_STLB_HIT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::StlbHits, 0.5}}, 1.5, 0.9, 0.7, 0.25,
+                       0.08));
+  A.add("L2_TRANS_CODE_RD", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.8},
+                        {ActivityKind::L2Requests, 0.008}},
+                       0.7, 0.8, 0.5, 0.18, 0.05));
+  A.add("IDQ_MS_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::MsUops, 1.0}}, 0.5, 1.0, 0.6, 0.15,
+                       0.04));
+  A.add("ARITH_DIVIDER_COUNT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DivOps, 1.0}}, 3.0, 1.0, 0.7, 0.20,
+                       0.05));
+
+  // --- Additional named Skylake core events.
+  A.add("UOPS_ISSUED_ANY", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsIssued, 1.0}}, 0.08, 0.8, 0.0,
+                       0.015, 0.004));
+  A.add("MEM_INST_RETIRED_ALL_LOADS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0}}, 0.10, 0.8, 0.0, 0.015,
+                       0.004));
+  A.add("IDQ_MITE_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::MiteUops, 1.0}}, 0.13, 1.0, 0.1,
+                       0.03, 0.008));
+  A.add("IDQ_DSB_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DsbUops, 1.0}}, 0.09, 0.8, 0.0,
+                       0.02, 0.006));
+  A.add("L2_RQSTS_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Misses, 1.0}}, 0.14, 1.0, 0.1,
+                       0.02, 0.006));
+  A.add("L2_RQSTS_REFERENCES", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 1.0}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("BR_INST_RETIRED_ALL_BRANCHES", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 1.0}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  A.add("ICACHE_64B_IFTAG_HIT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheAccesses, 0.98}}, 0.25, 0.7,
+                       0.3, 0.03, 0.008));
+  A.add("FP_ARITH_INST_RETIRED_SCALAR_SINGLE", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpScalarDouble, 0.05}}, 0.2, 0.8,
+                       0.2, 0.05, 0.02));
+  A.add("DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DTlbMisses, 1.0}}, 0.35, 0.8, 0.3,
+                       0.04, 0.012));
+  static const ActivityKind SkxPortKinds[] = {
+      ActivityKind::Port0, ActivityKind::Port1, ActivityKind::Port2,
+      ActivityKind::Port3, ActivityKind::Port5, ActivityKind::Port6,
+      ActivityKind::Port7};
+  static const char *SkxPortNames[] = {
+      "UOPS_DISPATCHED_PORT_PORT_0", "UOPS_DISPATCHED_PORT_PORT_1",
+      "UOPS_DISPATCHED_PORT_PORT_2", "UOPS_DISPATCHED_PORT_PORT_3",
+      "UOPS_DISPATCHED_PORT_PORT_5", "UOPS_DISPATCHED_PORT_PORT_6",
+      "UOPS_DISPATCHED_PORT_PORT_7"};
+  for (size_t I = 0; I < 7; ++I)
+    A.add(SkxPortNames[I], EventDomain::Core, CC::AnyProgrammable,
+          contextCoupled({{SkxPortKinds[I], 1.0}}, 0.07 + 0.01 * I, 0.8,
+                         0.1, 0.02, 0.005));
+
+  // --- PEBS load breakdown (triple-restricted).
+  A.add("MEM_LOAD_RETIRED_L2_MISS_PS", EventDomain::Core, CC::TripleOnly,
+        contextCoupled({{ActivityKind::L2Misses, 0.9}}, 0.18, 0.8, 0.1,
+                       0.03, 0.01));
+
+  // --- Software events.
+  A.add("PAGE_FAULTS", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::PageFaults, 1.0}}, 1.5, 0.9, 0.8,
+                       0.1, 0.05));
+  A.add("CONTEXT_SWITCHES", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::ContextSwitches, 1.0}}, 2.0, 0.9,
+                       0.9, 0.25, 0.1));
+
+  // --- Fill to the Skylake quotas (see file header): 9 solo, 32 pair,
+  // 42 triple, 237 general significant events.
+  std::vector<std::string> Pool = makeFillerNamePool(/*Skylake=*/true);
+  size_t PoolPos = 0;
+  A.fillBucket(CC::Solo, 9, Pool, PoolPos);
+  A.fillBucket(CC::PairOnly, 32, Pool, PoolPos);
+  A.fillBucket(CC::TripleOnly, 42, Pool, PoolPos);
+  A.fillBucket(CC::AnyProgrammable, 237, Pool, PoolPos);
+
+  // --- 62 insignificant events: 385 total, 323 significant.
+  A.addInsignificant(makeInsignificantNamePool(), 62);
+
+  EventRegistry Registry = A.take();
+  assert(Registry.size() == 385 && "Skylake registry must offer 385 events");
+  return Registry;
+}
+
+std::vector<std::string> pmc::haswellClassAPmcNames() {
+  return {"IDQ_MITE_UOPS",       "IDQ_MS_UOPS",
+          "ICACHE_64B_IFTAG_MISS", "ARITH_DIVIDER_COUNT",
+          "L2_RQSTS_MISS",       "UOPS_EXECUTED_PORT_PORT_6"};
+}
+
+std::vector<std::string> pmc::skylakePaNames() {
+  return {"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC",
+          "FP_ARITH_INST_RETIRED_DOUBLE",
+          "MEM_INST_RETIRED_ALL_STORES",
+          "UOPS_EXECUTED_CORE",
+          "UOPS_DISPATCHED_PORT_PORT_4",
+          "IDQ_DSB_CYCLES_6_UOPS",
+          "IDQ_ALL_DSB_CYCLES_5_UOPS",
+          "IDQ_ALL_CYCLES_6_UOPS",
+          "MEM_LOAD_RETIRED_L3_MISS"};
+}
+
+std::vector<std::string> pmc::skylakePnaNames() {
+  return {"ICACHE_64B_IFTAG_MISS",
+          "CPU_CLOCK_THREAD_UNHALTED",
+          "BR_MISP_RETIRED_ALL_BRANCHES",
+          "MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS",
+          "FRONTEND_RETIRED_L2_MISS",
+          "ITLB_MISSES_STLB_HIT",
+          "L2_TRANS_CODE_RD",
+          "IDQ_MS_UOPS",
+          "ARITH_DIVIDER_COUNT"};
+}

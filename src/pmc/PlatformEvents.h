@@ -1,0 +1,37 @@
+//===- pmc/PlatformEvents.h - Paper PMC selections --------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named PMC selections used by the paper's experiments: the six Class-A
+/// model PMCs (Table 2, Haswell) and the PA/PNA nine-event sets (Table 6,
+/// Skylake). Registry construction itself is declared in EventRegistry.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_PMC_PLATFORMEVENTS_H
+#define SLOPE_PMC_PLATFORMEVENTS_H
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace pmc {
+
+/// The six PMCs of Table 2 (X1..X6), widely used in energy predictive
+/// models and selected for the Class A experiments, in X-index order.
+std::vector<std::string> haswellClassAPmcNames();
+
+/// The nine highly additive PMCs of Table 6 (PA, X1..X9).
+std::vector<std::string> skylakePaNames();
+
+/// The nine non-additive but literature-popular PMCs of Table 6 (PNA,
+/// Y1..Y9).
+std::vector<std::string> skylakePnaNames();
+
+} // namespace pmc
+} // namespace slope
+
+#endif // SLOPE_PMC_PLATFORMEVENTS_H

@@ -1,0 +1,88 @@
+//===- power/PowerMeter.cpp - System power meter models ----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerMeter.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::power;
+using namespace slope::sim;
+
+// Out-of-line virtual anchor.
+PowerMeter::~PowerMeter() = default;
+
+WattsUpProMeter::WattsUpProMeter(WattsUpOptions Options, uint64_t Seed)
+    : Options(Options), MeterRng(Seed) {
+  assert(Options.SampleHz > 0 && "sampling rate must be positive");
+}
+
+double WattsUpProMeter::sample(double TrueW) {
+  double Noisy = TrueW * (1.0 + Options.GainError) +
+                 MeterRng.gaussian(0.0, Options.SensorNoiseFraction * TrueW);
+  if (Options.QuantizationW <= 0)
+    return Noisy;
+  return std::round(Noisy / Options.QuantizationW) * Options.QuantizationW;
+}
+
+double WattsUpProMeter::measureTotalEnergyJ(const Machine &M,
+                                            const Execution &Exec) {
+  double Idle = M.platform().IdlePowerWatts;
+  double Total = Exec.totalTimeSec();
+  assert(Total > 0 && "execution with no duration");
+
+  // Build the piecewise-constant power profile: per phase, idle power
+  // plus that phase's average dynamic power.
+  std::vector<double> PhaseEnd;
+  std::vector<double> PhasePower;
+  double T = 0;
+  for (const ExecutionPhase &Phase : Exec.Phases) {
+    double DynamicJ =
+        M.energyModel().dynamicEnergyJoules(Phase.Activities);
+    T += Phase.TimeSec;
+    PhaseEnd.push_back(T);
+    PhasePower.push_back(Idle + DynamicJ / Phase.TimeSec);
+  }
+
+  auto PowerAt = [&](double Time) {
+    for (size_t I = 0; I < PhaseEnd.size(); ++I)
+      if (Time < PhaseEnd[I])
+        return PhasePower[I];
+    return PhasePower.back();
+  };
+
+  // Sample at the device rate with a random phase offset; the reading is
+  // the mean sampled power times the (precisely known) duration.
+  double Dt = 1.0 / Options.SampleHz;
+  double Offset = MeterRng.uniform() * Dt;
+  double Sum = 0;
+  size_t Count = 0;
+  for (double Time = Offset; Time < Total; Time += Dt) {
+    Sum += sample(PowerAt(Time));
+    ++Count;
+  }
+  if (Count == 0) {
+    // Sub-sample-period run: one reading mid-run is all the device sees.
+    Sum = sample(PowerAt(Total / 2));
+    Count = 1;
+  }
+  return Sum / static_cast<double>(Count) * Total;
+}
+
+double WattsUpProMeter::measureIdlePowerW(const Machine &M, double Seconds) {
+  assert(Seconds > 0 && "idle observation needs a duration");
+  double Idle = M.platform().IdlePowerWatts;
+  double Dt = 1.0 / Options.SampleHz;
+  double Sum = 0;
+  size_t Count = 0;
+  for (double Time = 0; Time < Seconds; Time += Dt) {
+    Sum += sample(Idle);
+    ++Count;
+  }
+  assert(Count > 0 && "no idle samples taken");
+  return Sum / static_cast<double>(Count);
+}

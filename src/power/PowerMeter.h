@@ -1,0 +1,80 @@
+//===- power/PowerMeter.h - System power meter models -----------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// System-level power measurement, standing in for the paper's WattsUp
+/// Pro meters (periodically calibrated against a Yokogawa WT210). A meter
+/// observes the machine's wall power — idle power plus the running
+/// application's dynamic power profile — through sampling, quantization,
+/// and sensor noise. Models are trained/validated against these readings,
+/// which the paper treats as the ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_POWER_POWERMETER_H
+#define SLOPE_POWER_POWERMETER_H
+
+#include "sim/Machine.h"
+
+#include <string>
+
+namespace slope {
+namespace power {
+
+/// Abstract wall-power meter.
+class PowerMeter {
+public:
+  virtual ~PowerMeter();
+
+  /// Measures the total (static + dynamic) energy in joules consumed
+  /// while \p Exec ran on \p M. Each call models a fresh measurement
+  /// (fresh sampling alignment and sensor noise).
+  virtual double measureTotalEnergyJ(const sim::Machine &M,
+                                     const sim::Execution &Exec) = 0;
+
+  /// Measures the idle machine's power (watts) by observing it for
+  /// \p Seconds with no load. Used for static-power calibration.
+  virtual double measureIdlePowerW(const sim::Machine &M,
+                                   double Seconds) = 0;
+
+  /// \returns a short device name.
+  virtual std::string name() const = 0;
+};
+
+/// Configuration of the WattsUp Pro model.
+struct WattsUpOptions {
+  double SampleHz = 1.0;          ///< Device reports ~1 sample/second.
+  double QuantizationW = 0.1;     ///< Reading resolution.
+  double SensorNoiseFraction = 0.005; ///< Gaussian sigma, fraction of P.
+  /// Calibration drift: multiplicative gain error, re-zeroed when the
+  /// meters are calibrated against the revenue-grade reference.
+  double GainError = 0.0;
+};
+
+/// WattsUp Pro: samples the power profile at ~1 Hz, quantizes to 0.1 W,
+/// adds proportional sensor noise, and integrates samples over the run.
+class WattsUpProMeter : public PowerMeter {
+public:
+  explicit WattsUpProMeter(WattsUpOptions Options = WattsUpOptions(),
+                           uint64_t Seed = 0x3A77);
+
+  double measureTotalEnergyJ(const sim::Machine &M,
+                             const sim::Execution &Exec) override;
+  double measureIdlePowerW(const sim::Machine &M, double Seconds) override;
+  std::string name() const override { return "WattsUp Pro"; }
+
+private:
+  /// One noisy, quantized sample of an instantaneous power \p TrueW.
+  double sample(double TrueW);
+
+  WattsUpOptions Options;
+  Rng MeterRng;
+};
+
+} // namespace power
+} // namespace slope
+
+#endif // SLOPE_POWER_POWERMETER_H

@@ -1,0 +1,42 @@
+//===- power/RepeatedMeasurement.cpp - HCL statistical methodology -----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/RepeatedMeasurement.h"
+
+#include <cassert>
+
+using namespace slope;
+using namespace slope::power;
+
+MeasurementResult
+power::measureRepeatedly(const std::function<double()> &Observe,
+                         const MeasurementPolicy &Policy) {
+  assert(Policy.MinRuns >= 2 && "need at least two runs for a CI");
+  assert(Policy.MaxRuns >= Policy.MinRuns && "inconsistent run bounds");
+
+  MeasurementResult Result;
+  while (Result.Samples.size() < Policy.MaxRuns) {
+    Result.Samples.push_back(Observe());
+    if (Result.Samples.size() < Policy.MinRuns)
+      continue;
+    stats::MeanConfidenceInterval CI =
+        stats::meanConfidenceInterval(Result.Samples, Policy.Confidence);
+    Result.Mean = CI.Mean;
+    Result.CiHalfWidth = CI.HalfWidth;
+    if (CI.withinPrecision(Policy.PrecisionFraction)) {
+      Result.Converged = true;
+      break;
+    }
+  }
+  Result.Runs = static_cast<unsigned>(Result.Samples.size());
+  if (!Result.Converged && Result.Samples.size() >= 2) {
+    stats::MeanConfidenceInterval CI =
+        stats::meanConfidenceInterval(Result.Samples, Policy.Confidence);
+    Result.Mean = CI.Mean;
+    Result.CiHalfWidth = CI.HalfWidth;
+  }
+  return Result;
+}

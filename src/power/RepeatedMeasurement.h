@@ -1,0 +1,52 @@
+//===- power/RepeatedMeasurement.h - HCL statistical methodology -*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repeated-measurement methodology the paper follows ("a sample mean
+/// for a response variable is obtained from several experimental runs"):
+/// repeat an experiment until the Student-t confidence interval of the
+/// sample mean is within a target precision, within bounded repetitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_POWER_REPEATEDMEASUREMENT_H
+#define SLOPE_POWER_REPEATEDMEASUREMENT_H
+
+#include "stats/StudentT.h"
+
+#include <functional>
+#include <vector>
+
+namespace slope {
+namespace power {
+
+/// Stopping rule parameters for the measurement loop.
+struct MeasurementPolicy {
+  unsigned MinRuns = 3;
+  unsigned MaxRuns = 30;
+  double Confidence = 0.95;
+  /// Stop once the CI half-width is within this fraction of |mean|.
+  double PrecisionFraction = 0.025;
+};
+
+/// Result of a repeated measurement.
+struct MeasurementResult {
+  double Mean = 0;
+  double CiHalfWidth = 0;
+  unsigned Runs = 0;
+  bool Converged = false; ///< Precision reached before MaxRuns.
+  std::vector<double> Samples;
+};
+
+/// Runs \p Observe repeatedly under \p Policy and \returns the summary.
+/// \p Observe is invoked once per experimental run.
+MeasurementResult measureRepeatedly(const std::function<double()> &Observe,
+                                    const MeasurementPolicy &Policy = {});
+
+} // namespace power
+} // namespace slope
+
+#endif // SLOPE_POWER_REPEATEDMEASUREMENT_H

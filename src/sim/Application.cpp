@@ -1,0 +1,30 @@
+//===- sim/Application.cpp - Base and compound applications -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Application.h"
+
+using namespace slope;
+using namespace slope::sim;
+
+std::string Application::str() const {
+  return std::string(kernelSpec(Kind).Name) + "(" + std::to_string(Size) +
+         ")";
+}
+
+bool Application::isValid() const {
+  const KernelSpec &Spec = kernelSpec(Kind);
+  return Size >= Spec.SizeMin && Size <= Spec.SizeMax;
+}
+
+std::string CompoundApplication::str() const {
+  std::string Out;
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    if (I != 0)
+      Out += ";";
+    Out += Phases[I].str();
+  }
+  return Out;
+}

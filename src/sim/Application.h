@@ -1,0 +1,68 @@
+//===- sim/Application.h - Base and compound applications -------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Application is a kernel at a concrete problem size — one point of
+/// the paper's datasets. A CompoundApplication is the serial execution of
+/// two or more base applications in a single process: the construction
+/// the additivity test is defined over ("the core computations of the
+/// base applications programmatically placed one after the other").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_APPLICATION_H
+#define SLOPE_SIM_APPLICATION_H
+
+#include "sim/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace sim {
+
+/// One base application: a kernel at a fixed problem size.
+struct Application {
+  KernelKind Kind = KernelKind::MklDgemm;
+  uint64_t Size = 0;
+
+  Application() = default;
+  Application(KernelKind Kind, uint64_t Size) : Kind(Kind), Size(Size) {}
+
+  /// \returns e.g. "mkl-dgemm(10240)".
+  std::string str() const;
+
+  /// \returns true if Size is within the kernel's supported range.
+  bool isValid() const;
+
+  friend bool operator==(const Application &A, const Application &B) {
+    return A.Kind == B.Kind && A.Size == B.Size;
+  }
+};
+
+/// A serial composition of base applications (usually two).
+struct CompoundApplication {
+  std::vector<Application> Phases;
+
+  CompoundApplication() = default;
+
+  /// Wraps a single base application.
+  explicit CompoundApplication(Application App) : Phases({App}) {}
+
+  /// Builds the two-phase compound "A; B".
+  CompoundApplication(Application A, Application B) : Phases({A, B}) {}
+
+  size_t numPhases() const { return Phases.size(); }
+  bool isBase() const { return Phases.size() == 1; }
+
+  /// \returns e.g. "mkl-dgemm(10240);mkl-fft(25600)".
+  std::string str() const;
+};
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_APPLICATION_H

@@ -1,0 +1,55 @@
+//===- sim/CacheModel.h - Working-set miss estimation -----------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytic cache-hierarchy model. Given the access volume, working-set
+/// size, and an access-locality factor of a kernel, estimates miss counts
+/// at L1D, L2, and L3. Intentionally simple — the experiments need miss
+/// counts that scale sensibly with problem size and distinguish compute-
+/// bound from memory-bound kernels, not cycle-accurate simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_CACHEMODEL_H
+#define SLOPE_SIM_CACHEMODEL_H
+
+#include "sim/Platform.h"
+
+namespace slope {
+namespace sim {
+
+/// Estimated misses per hierarchy level for one kernel execution.
+struct CacheMisses {
+  double L1D = 0;
+  double L2 = 0;
+  double L3 = 0;
+};
+
+/// Describes a kernel's memory behaviour to the cache model.
+struct MemoryProfile {
+  double Accesses = 0;        ///< Total loads + stores.
+  double WorkingSetBytes = 0; ///< Touched data footprint.
+  /// Temporal locality in [0, 1]: 1 = perfectly blocked/tiled reuse
+  /// (misses approach the compulsory minimum), 0 = random access (misses
+  /// approach the capacity-limited maximum).
+  double Locality = 0.5;
+};
+
+/// Estimates per-level miss counts for \p Profile on \p P.
+///
+/// Per level with capacity C and working set W:
+///  - compulsory misses = W / 64 (one per touched line);
+///  - if W <= C the level captures the set and only compulsory misses
+///    remain;
+///  - otherwise a (1 - C/W) fraction of accesses is capacity-exposed and
+///    locality scales it down: missRate = (1 - C/W) * (1 - Locality^p).
+/// Misses are clamped to be monotone down the hierarchy.
+CacheMisses estimateMisses(const MemoryProfile &Profile, const Platform &P);
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_CACHEMODEL_H

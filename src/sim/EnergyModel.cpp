@@ -1,0 +1,151 @@
+//===- sim/EnergyModel.cpp - Ground-truth dynamic energy ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EnergyModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+/// Energy cost per activity count in nanojoules (Haswell reference).
+/// Magnitudes follow the usual energy-per-operation hierarchy: register
+/// compute ~0.1 nJ, cache accesses ~1 nJ, DRAM traffic tens of nJ,
+/// OS events micro-joules.
+double baseWeightNj(ActivityKind Kind) {
+  switch (Kind) {
+  case ActivityKind::CoreCycles:
+    return 0.12; // Active-clock baseline.
+  case ActivityKind::RefCycles:
+    return 0.0; // Folded into CoreCycles.
+  case ActivityKind::Instructions:
+    return 0.0; // Folded into uop costs.
+  case ActivityKind::UopsIssued:
+    return 0.03;
+  case ActivityKind::UopsExecuted:
+    return 0.25;
+  case ActivityKind::UopsRetired:
+    return 0.02;
+  case ActivityKind::Port0:
+  case ActivityKind::Port1:
+    return 0.05; // FMA pipes: extra over the generic uop cost.
+  case ActivityKind::Port2:
+  case ActivityKind::Port3:
+  case ActivityKind::Port4:
+  case ActivityKind::Port5:
+  case ActivityKind::Port6:
+  case ActivityKind::Port7:
+    return 0.0; // Covered by UopsExecuted.
+  case ActivityKind::FpScalarDouble:
+    return 0.06;
+  case ActivityKind::FpVectorDouble:
+    return 0.04; // Per flop; vectors amortize control energy.
+  case ActivityKind::DivOps:
+    return 2.0;
+  case ActivityKind::Loads:
+    return 0.15;
+  case ActivityKind::Stores:
+    return 0.20;
+  case ActivityKind::L1DMisses:
+    return 0.5;
+  case ActivityKind::L2Requests:
+    return 0.0; // Covered by L1DMisses + ICacheMisses.
+  case ActivityKind::L2Misses:
+    return 2.0;
+  case ActivityKind::L3Misses:
+    return 6.0;
+  case ActivityKind::DramReads:
+    return 10.0;
+  case ActivityKind::Branches:
+    return 0.02;
+  case ActivityKind::BranchMisses:
+    return 1.5; // Pipeline flush.
+  case ActivityKind::ICacheAccesses:
+    return 0.01;
+  case ActivityKind::ICacheMisses:
+    return 2.0;
+  case ActivityKind::ITlbMisses:
+    return 1.0;
+  case ActivityKind::DTlbMisses:
+    return 1.0;
+  case ActivityKind::StlbHits:
+    return 0.2;
+  case ActivityKind::MsUops:
+    return 0.1;
+  case ActivityKind::DsbUops:
+    return 0.005;
+  case ActivityKind::MiteUops:
+    return 0.03; // Legacy decode burns more than the DSB.
+  case ActivityKind::PageFaults:
+    return 2000.0;
+  case ActivityKind::ContextSwitches:
+    return 5000.0;
+  }
+  assert(false && "unknown activity kind");
+  return 0;
+}
+} // namespace
+
+namespace {
+/// Activities whose energy belongs to the memory subsystem for the
+/// compute/memory overlap correction.
+bool isMemorySide(ActivityKind Kind) {
+  switch (Kind) {
+  case ActivityKind::Loads:
+  case ActivityKind::Stores:
+  case ActivityKind::L1DMisses:
+  case ActivityKind::L2Requests:
+  case ActivityKind::L2Misses:
+  case ActivityKind::L3Misses:
+  case ActivityKind::DramReads:
+  case ActivityKind::DTlbMisses:
+  case ActivityKind::StlbHits:
+    return true;
+  default:
+    return false;
+  }
+}
+} // namespace
+
+EnergyModel::EnergyModel(const Platform &P) {
+  // The Skylake die runs a finer process and a lower TDP envelope; scale
+  // per-event energy down proportionally to TDP per core.
+  double HaswellTdpPerCore = 240.0 / 24.0;
+  double TdpPerCore = P.TdpWatts / static_cast<double>(P.totalCores());
+  Scale = TdpPerCore / HaswellTdpPerCore;
+}
+
+double EnergyModel::weight(ActivityKind Kind) const {
+  return baseWeightNj(Kind) * 1e-9 * Scale;
+}
+
+EnergyModel::EnergySplit
+EnergyModel::dynamicEnergySplit(const pmc::ActivityVector &A) const {
+  EnergySplit Split;
+  for (size_t I = 0; I < NumActivityKinds; ++I) {
+    auto Kind = static_cast<ActivityKind>(I);
+    (isMemorySide(Kind) ? Split.MemoryJ : Split.ComputeJ) +=
+        A.at(I) * weight(Kind);
+  }
+  // Compute/memory power overlap: when both subsystems are busy, the
+  // total is slightly less than the sum of their isolated costs (shared
+  // clocks and voltage rails). This mild concavity is invisible to any
+  // single counter — part of why linear counter models have an error
+  // floor — yet small enough (<= 10% of the lesser side) that serial-
+  // composition energy additivity still holds within the 5% tolerance.
+  Split.OverlapJ = 0.10 * std::min(Split.ComputeJ, Split.MemoryJ);
+  return Split;
+}
+
+double EnergyModel::dynamicEnergyJoules(const pmc::ActivityVector &A) const {
+  EnergySplit Split = dynamicEnergySplit(A);
+  double Joules = Split.ComputeJ + Split.MemoryJ - Split.OverlapJ;
+  assert(Joules >= 0 && "negative dynamic energy");
+  return Joules;
+}

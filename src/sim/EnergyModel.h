@@ -1,0 +1,60 @@
+//===- sim/EnergyModel.h - Ground-truth dynamic energy ----------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's ground-truth dynamic-energy model: a per-activity
+/// energy cost (nanojoules per event) summed over the latent activity
+/// vector. Because energy is linear in activities and activities are
+/// exactly additive over serial composition, dynamic energy obeys the
+/// conservation property the paper's additivity criterion derives from.
+/// Per-platform scale factors reflect process/design differences (the
+/// Skylake part is a 140 W TDP die vs 240 W for the two Haswell sockets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_ENERGYMODEL_H
+#define SLOPE_SIM_ENERGYMODEL_H
+
+#include "pmc/Activity.h"
+#include "sim/Platform.h"
+
+namespace slope {
+namespace sim {
+
+/// Ground-truth mapping from latent activities to dynamic energy.
+class EnergyModel {
+public:
+  /// Creates the model for \p P (captures a per-platform scale).
+  explicit EnergyModel(const Platform &P);
+
+  /// \returns dynamic energy in joules for the activity vector \p A.
+  double dynamicEnergyJoules(const pmc::ActivityVector &A) const;
+
+  /// Component decomposition of the dynamic energy (before the overlap
+  /// correction): core/compute side vs memory side. Used by the on-chip
+  /// sensor model, whose per-domain counters carry different biases.
+  struct EnergySplit {
+    double ComputeJ = 0;
+    double MemoryJ = 0;
+    double OverlapJ = 0; ///< Subtracted overlap (see dynamicEnergyJoules).
+  };
+
+  /// \returns the compute/memory decomposition of \p A's dynamic energy;
+  /// ComputeJ + MemoryJ - OverlapJ == dynamicEnergyJoules(A).
+  EnergySplit dynamicEnergySplit(const pmc::ActivityVector &A) const;
+
+  /// \returns the energy weight (J per count) of \p Kind, after platform
+  /// scaling. Exposed for tests and the ablation benches.
+  double weight(pmc::ActivityKind Kind) const;
+
+private:
+  double Scale = 1.0;
+};
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_ENERGYMODEL_H

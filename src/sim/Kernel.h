@@ -1,0 +1,128 @@
+//===- sim/Kernel.h - Analytic workload models ------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark catalogue standing in for the paper's test suite (MKL
+/// DGEMM and FFT, NAS Parallel Benchmarks, HPCG, stress, naive and
+/// non-scientific codes). Each kernel is an analytic model producing the
+/// latent activity counts and execution time for a given problem size on
+/// a given platform. Kernels are described by a KernelSpec — power-law
+/// work terms C * N^e * log2(N)^l per activity class plus memory/frontend
+/// characteristics — evaluated by a shared engine (Kernels.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_KERNEL_H
+#define SLOPE_SIM_KERNEL_H
+
+#include "pmc/Activity.h"
+#include "sim/Platform.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace sim {
+
+/// The modeled benchmark kernels.
+enum class KernelKind : uint8_t {
+  MklDgemm,   ///< Blocked, vectorized dense matrix multiply (MKL-like).
+  NaiveDgemm, ///< Textbook triple loop, unvectorized.
+  MklFft,     ///< 2-D complex FFT (MKL-like).
+  Stream,     ///< STREAM triad: pure bandwidth.
+  Stress,     ///< Integer spin loop (the 'stress' utility).
+  NpbCg,      ///< NAS CG: sparse conjugate gradient.
+  NpbMg,      ///< NAS MG: multigrid stencil.
+  NpbFt,      ///< NAS FT: 3-D FFT.
+  NpbEp,      ///< NAS EP: embarrassingly parallel RNG.
+  Hpcg,       ///< HPCG: SpMV + Gauss-Seidel multigrid.
+  PtrChase,   ///< Pointer chasing: latency-bound random access.
+  QuickSort,  ///< Branch-heavy comparison sort.
+  Stencil2D,  ///< Iterated 9-point stencil.
+  MonteCarlo, ///< Path simulation: divides, RNG microcode, branches.
+  SpMV,       ///< Standalone sparse matrix-vector product.
+  KMeans,     ///< Distance computations with assignment branches.
+};
+
+/// Number of kernels in the catalogue.
+constexpr size_t NumKernelKinds = static_cast<size_t>(KernelKind::KMeans) + 1;
+
+/// One work term: Coef * N^Exp * log2(max(N,2))^LogPow.
+struct WorkTerm {
+  double Coef = 0;
+  double Exp = 0;
+  double LogPow = 0;
+
+  /// Evaluates the term at problem size \p N.
+  double eval(double N) const;
+};
+
+/// Static description of a kernel's behaviour.
+struct KernelSpec {
+  KernelKind Kind;
+  const char *Name;     ///< e.g. "mkl-dgemm".
+  const char *Category; ///< "compute-bound", "memory-bound", "mixed".
+
+  /// Context-disturbance intensity in [0, ~1.2]: how strongly a run
+  /// perturbs shared state (code footprint, OS interaction, microcode).
+  /// Near 0 for tight optimized kernels; drives app-specific PMC
+  /// non-additivity (see pmc::SynthesisModel).
+  double ContextIntensity;
+
+  WorkTerm FlopsScalar;  ///< Scalar double FP operations.
+  WorkTerm FlopsVector;  ///< Vectorized double FP operations (flop count).
+  WorkTerm IntOps;       ///< Integer ALU operations.
+  WorkTerm Loads;
+  WorkTerm Stores;
+  WorkTerm DivOps;
+  WorkTerm Branches;
+  double BranchMissRate; ///< Fraction of branches mispredicted.
+
+  WorkTerm WorkingSetBytes;
+  double Locality;       ///< Temporal locality for the cache model.
+  double CodeFootprintKB;///< Hot instruction footprint.
+  double DsbFraction;    ///< Share of uops delivered from the DSB.
+  double MsRate;         ///< Microcode uops per instruction.
+  double ParallelEfficiency; ///< Scaling efficiency across all cores.
+
+  uint64_t SizeMin;      ///< Smallest meaningful problem size.
+  uint64_t SizeMax;      ///< Largest supported problem size.
+};
+
+/// \returns the spec of \p Kind.
+const KernelSpec &kernelSpec(KernelKind Kind);
+
+/// \returns every kernel in the catalogue.
+std::vector<KernelKind> allKernels();
+
+/// \returns the latent activity vector of one run of \p Kind at size \p N
+/// on \p P (noise-free; the Machine adds run-to-run variation).
+pmc::ActivityVector kernelActivities(KernelKind Kind, double N,
+                                     const Platform &P);
+
+/// \returns the modeled wall-clock seconds of the run.
+double kernelTimeSeconds(KernelKind Kind, double N, const Platform &P);
+
+/// Compute-side and memory-side time components of a run (before the
+/// soft-max combination). Exposed for the DVFS model and analyses.
+struct TimeBreakdown {
+  double ComputeSec = 0;
+  double MemorySec = 0;
+  double TotalSec = 0; ///< Soft max of the two plus startup.
+
+  /// Memory-boundedness in [0, 1]: 1 when memory time dominates.
+  double memoryShare() const;
+};
+
+/// \returns the time breakdown of \p Kind at size \p N on \p P.
+TimeBreakdown kernelTimeBreakdown(KernelKind Kind, double N,
+                                  const Platform &P);
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_KERNEL_H

@@ -1,0 +1,410 @@
+//===- sim/Kernels.cpp - Analytic workload models ----------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// The kernel catalogue and the shared engine that turns a KernelSpec into
+// latent activities and a time estimate. Work formulas are first-order
+// algorithmic counts (2N^3 flops for DGEMM, 10 N^2 log2 N for a 2-D FFT,
+// ...), memory behaviour runs through sim::CacheModel, and frontend/OS
+// counts are derived from instruction volume and footprint parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Kernel.h"
+
+#include "sim/CacheModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+double WorkTerm::eval(double N) const {
+  if (Coef == 0)
+    return 0;
+  double Log = std::log2(std::max(N, 2.0));
+  return Coef * std::pow(N, Exp) * std::pow(Log, LogPow);
+}
+
+namespace {
+
+/// Shorthand for spec tables: {Coef, Exp, LogPow}.
+constexpr WorkTerm term(double Coef, double Exp, double LogPow = 0) {
+  return WorkTerm{Coef, Exp, LogPow};
+}
+constexpr WorkTerm none() { return WorkTerm{0, 0, 0}; }
+
+const KernelSpec KernelTable[] = {
+    // --- MKL-like DGEMM: 2N^3 flops, fully vectorized, register+cache
+    // blocked so only ~N^3/8 loads reach the memory pipeline.
+    {KernelKind::MklDgemm, "mkl-dgemm", "compute-bound",
+     /*ContextIntensity=*/0.03,
+     /*FlopsScalar=*/none(), /*FlopsVector=*/term(2.0, 3),
+     /*IntOps=*/term(0.03, 3), /*Loads=*/term(0.25, 3),
+     /*Stores=*/term(0.02, 3), /*DivOps=*/term(0.05, 2.5),
+     /*Branches=*/term(0.016, 3), /*BranchMissRate=*/0.002,
+     /*WorkingSetBytes=*/term(24.0, 2), /*Locality=*/0.95,
+     /*CodeFootprintKB=*/24, /*DsbFraction=*/0.60, /*MsRate=*/8e-4,
+     /*ParallelEfficiency=*/0.92, /*SizeMin=*/512, /*SizeMax=*/45000},
+
+    // --- Textbook triple-loop DGEMM: scalar, every operand loaded.
+    {KernelKind::NaiveDgemm, "naive-dgemm", "mixed",
+     0.50,
+     term(2.0, 3), none(),
+     term(1.0, 3), term(2.0, 3),
+     term(1.0, 2), term(10, 1),
+     term(1.0, 3), 0.01,
+     term(24.0, 2), 0.30,
+     8, 0.50, 6e-4,
+     0.85, 256, 8000},
+
+    // --- MKL-like 2-D complex FFT on an N x N grid, batched 30x (the
+    // usual repeat-loop that lifts runtimes past the meter's sampling
+    // floor): 30 * 10 N^2 log2 N flops, strided butterfly passes.
+    {KernelKind::MklFft, "mkl-fft", "memory-bound",
+     0.035,
+     term(60.0, 2, 1), term(240.0, 2, 1),
+     term(30.0, 2, 1), term(60.0, 2, 1),
+     term(30.0, 2, 1), term(2.0, 2),
+     term(6.0, 2, 1), 0.004,
+     term(32.0, 2), 0.75,
+     28, 0.58, 8e-4,
+     0.88, 1024, 45000},
+
+    // --- STREAM triad a[i] = b[i] + s*c[i] over N doubles.
+    {KernelKind::Stream, "stream-triad", "memory-bound",
+     0.25,
+     none(), term(2.0, 1),
+     term(0.2, 1), term(2.0, 1),
+     term(1.0, 1), none(),
+     term(0.0625, 1), 0.001,
+     term(24.0, 1), 0.10,
+     10, 0.55, 5e-4,
+     0.95, 1u << 20, 20000000000ull},
+
+    // --- stress-style integer spin: N ALU iterations, tiny footprint.
+    {KernelKind::Stress, "stress-int", "compute-bound",
+     1.00,
+     none(), none(),
+     term(1.0, 1), term(0.01, 1),
+     term(0.005, 1), none(),
+     term(0.25, 1), 0.02,
+     term(4096.0, 0), 0.90,
+     12, 0.45, 9e-4,
+     0.97, 1u << 22, 2000000000000ull},
+
+    // --- NAS CG class-style sparse conjugate gradient, 27 nnz/row,
+    // 75 iterations.
+    {KernelKind::NpbCg, "npb-cg", "memory-bound",
+     0.70,
+     term(4050.0, 1), none(),
+     term(2000.0, 1), term(5000.0, 1),
+     term(400.0, 1), term(150, 0),
+     term(500.0, 1), 0.02,
+     term(400.0, 1), 0.25,
+     32, 0.42, 8e-4,
+     0.75, 10000, 30000000},
+
+    // --- NAS MG multigrid stencil, ~40 V-cycles.
+    {KernelKind::NpbMg, "npb-mg", "mixed",
+     0.60,
+     term(200.0, 1), term(1000.0, 1),
+     term(400.0, 1), term(1500.0, 1),
+     term(400.0, 1), none(),
+     term(120.0, 1), 0.015,
+     term(48.0, 1), 0.60,
+     40, 0.50, 6e-4,
+     0.80, 100000, 2000000000ull},
+
+    // --- NAS FT: 3-D FFT over N total grid points.
+    {KernelKind::NpbFt, "npb-ft", "memory-bound",
+     0.55,
+     term(4.0, 1, 1), term(11.0, 1, 1),
+     term(2.0, 1, 1), term(4.0, 1, 1),
+     term(2.0, 1, 1), none(),
+     term(0.5, 1, 1), 0.006,
+     term(32.0, 1), 0.70,
+     40, 0.52, 6e-4,
+     0.82, 100000, 4000000000ull},
+
+    // --- NAS EP: independent pseudo-random streams, pure compute.
+    {KernelKind::NpbEp, "npb-ep", "compute-bound",
+     0.40,
+     term(60.0, 1), none(),
+     term(40.0, 1), term(4.0, 1),
+     term(2.0, 1), term(2.0, 1),
+     term(10.0, 1), 0.04,
+     term(1048576.0, 0), 0.90,
+     20, 0.55, 1e-3,
+     0.96, 1u << 20, 100000000000ull},
+
+    // --- HPCG-like SpMV + symmetric Gauss-Seidel, 50 iterations.
+    {KernelKind::Hpcg, "hpcg", "memory-bound",
+     0.75,
+     term(2700.0, 1), none(),
+     term(1500.0, 1), term(4000.0, 1),
+     term(500.0, 1), term(54, 0),
+     term(400.0, 1), 0.025,
+     term(350.0, 1), 0.20,
+     64, 0.40, 1e-3,
+     0.70, 10000, 40000000},
+
+    // --- Pointer chase over an N-node random cycle, 100 hops per node.
+    {KernelKind::PtrChase, "ptr-chase", "memory-bound",
+     0.90,
+     none(), none(),
+     term(100.0, 1), term(100.0, 1),
+     term(0.5, 1), none(),
+     term(25.0, 1), 0.10,
+     term(16.0, 1), 0.02,
+     10, 0.45, 7e-4,
+     0.90, 1u << 18, 1000000000u},
+
+    // --- Parallel quicksort over N 8-byte keys.
+    {KernelKind::QuickSort, "quicksort", "mixed",
+     1.20,
+     none(), none(),
+     term(30.0, 1, 1), term(2.0, 1, 1),
+     term(1.0, 1, 1), none(),
+     term(1.5, 1, 1), 0.12,
+     term(8.0, 1), 0.45,
+     16, 0.40, 1.5e-3,
+     0.70, 1u << 20, 4000000000u},
+
+    // --- Iterated 9-point stencil on an N x N grid, 100 sweeps.
+    {KernelKind::Stencil2D, "stencil2d", "mixed",
+     0.45,
+     term(100.0, 2), term(800.0, 2),
+     term(200.0, 2), term(1100.0, 2),
+     term(110.0, 2), none(),
+     term(60.0, 2), 0.008,
+     term(16.0, 2), 0.80,
+     16, 0.55, 6e-4,
+     0.90, 512, 40000},
+
+    // --- Monte Carlo path simulation: divides, RNG microcode, branches.
+    {KernelKind::MonteCarlo, "montecarlo", "compute-bound",
+     0.85,
+     term(200.0, 1), none(),
+     term(120.0, 1), term(30.0, 1),
+     term(10.0, 1), term(4.0, 1),
+     term(40.0, 1), 0.08,
+     term(1048576.0, 0), 0.85,
+     44, 0.40, 1.5e-3,
+     0.93, 1u << 18, 2000000000u},
+
+    // --- Standalone SpMV, 20 nnz/row, 40 repetitions.
+    {KernelKind::SpMV, "spmv", "memory-bound",
+     0.80,
+     term(1600.0, 1), none(),
+     term(900.0, 1), term(2400.0, 1),
+     term(120.0, 1), none(),
+     term(200.0, 1), 0.02,
+     term(240.0, 1), 0.15,
+     24, 0.42, 5e-4,
+     0.75, 10000, 50000000},
+
+    // --- k-means over N 16-d points, 8 centroids, 30 iterations.
+    {KernelKind::KMeans, "kmeans", "mixed",
+     0.65,
+     term(1500.0, 1), term(6000.0, 1),
+     term(2500.0, 1), term(7000.0, 1),
+     term(300.0, 1), term(30.0, 1),
+     term(400.0, 1), 0.06,
+     term(128.0, 1), 0.50,
+     28, 0.48, 8e-4,
+     0.85, 10000, 100000000},
+};
+
+static_assert(sizeof(KernelTable) / sizeof(KernelTable[0]) == NumKernelKinds,
+              "kernel table out of sync with KernelKind");
+
+/// Instruction-footprint-driven icache miss rate: negligible while the
+/// hot code fits the 32 KB L1I, growing toward ~1.2% for large footprints.
+double icacheMissRate(double CodeFootprintKB) {
+  double Rate = 2e-4 * std::pow(CodeFootprintKB / 24.0, 1.5);
+  return std::clamp(Rate, 5e-5, 1.2e-2);
+}
+
+} // namespace
+
+const KernelSpec &sim::kernelSpec(KernelKind Kind) {
+  size_t Index = static_cast<size_t>(Kind);
+  assert(Index < NumKernelKinds && "kernel kind out of range");
+  assert(KernelTable[Index].Kind == Kind && "kernel table misordered");
+  return KernelTable[Index];
+}
+
+std::vector<KernelKind> sim::allKernels() {
+  std::vector<KernelKind> Kinds;
+  Kinds.reserve(NumKernelKinds);
+  for (size_t I = 0; I < NumKernelKinds; ++I)
+    Kinds.push_back(static_cast<KernelKind>(I));
+  return Kinds;
+}
+
+double TimeBreakdown::memoryShare() const {
+  double C4 = std::pow(ComputeSec, 4);
+  double M4 = std::pow(MemorySec, 4);
+  if (C4 + M4 == 0)
+    return 0;
+  return M4 / (C4 + M4);
+}
+
+TimeBreakdown sim::kernelTimeBreakdown(KernelKind Kind, double N,
+                                       const Platform &P) {
+  const KernelSpec &Spec = kernelSpec(Kind);
+  assert(N >= 1 && "problem size must be positive");
+
+  double FlopsScalar = Spec.FlopsScalar.eval(N);
+  double FlopsVector = Spec.FlopsVector.eval(N);
+  double IntOps = Spec.IntOps.eval(N);
+  double Loads = Spec.Loads.eval(N);
+  double Stores = Spec.Stores.eval(N);
+  double DivOps = Spec.DivOps.eval(N);
+
+  double Cores = static_cast<double>(P.totalCores());
+
+  // Compute-side cycle estimate per core.
+  double ComputeCycles = FlopsVector / P.FlopsPerCorePerCycle +
+                         FlopsScalar / 2.0 + IntOps / 3.0 + DivOps * 16.0 +
+                         (Loads + Stores) / 2.0;
+  TimeBreakdown Breakdown;
+  Breakdown.ComputeSec =
+      ComputeCycles /
+      (Cores * Spec.ParallelEfficiency * P.BaseFreqGHz * 1e9);
+
+  // Memory-side time from DRAM traffic.
+  MemoryProfile Profile;
+  Profile.Accesses = Loads + Stores;
+  Profile.WorkingSetBytes = Spec.WorkingSetBytes.eval(N);
+  Profile.Locality = Spec.Locality;
+  CacheMisses Misses = estimateMisses(Profile, P);
+  Breakdown.MemorySec = Misses.L3 * 64.0 / (P.MemBandwidthGBs * 1e9);
+  // Latency-bound codes (no MLP) see per-access latency, not bandwidth.
+  if (Spec.Locality < 0.05)
+    Breakdown.MemorySec =
+        std::max(Breakdown.MemorySec, Misses.L3 * 90e-9 / Cores);
+
+  // Soft maximum: overlapping compute and memory with mild interference.
+  double P4 = std::pow(Breakdown.ComputeSec, 4) +
+              std::pow(Breakdown.MemorySec, 4);
+  Breakdown.TotalSec = std::pow(P4, 0.25) + 0.002; // + process startup.
+  return Breakdown;
+}
+
+double sim::kernelTimeSeconds(KernelKind Kind, double N, const Platform &P) {
+  return kernelTimeBreakdown(Kind, N, P).TotalSec;
+}
+
+ActivityVector sim::kernelActivities(KernelKind Kind, double N,
+                                     const Platform &P) {
+  const KernelSpec &Spec = kernelSpec(Kind);
+  assert(N >= 1 && "problem size must be positive");
+
+  double FlopsScalar = Spec.FlopsScalar.eval(N);
+  double FlopsVector = Spec.FlopsVector.eval(N);
+  double IntOps = Spec.IntOps.eval(N);
+  double Loads = Spec.Loads.eval(N);
+  double Stores = Spec.Stores.eval(N);
+  double DivOps = Spec.DivOps.eval(N);
+  double Branches = Spec.Branches.eval(N);
+
+  ActivityVector A;
+  A[ActivityKind::FpScalarDouble] = FlopsScalar;
+  A[ActivityKind::FpVectorDouble] = FlopsVector;
+  A[ActivityKind::DivOps] = DivOps;
+  A[ActivityKind::Loads] = Loads;
+  A[ActivityKind::Stores] = Stores;
+  A[ActivityKind::Branches] = Branches;
+  A[ActivityKind::BranchMisses] = Branches * Spec.BranchMissRate;
+
+  // Instruction volume: vector flops retire 4 lanes (and 2 flops per FMA
+  // lane-op) per instruction; the rest map one-to-one.
+  double VectorInstr = FlopsVector / 8.0;
+  double Instructions = FlopsScalar + VectorInstr + IntOps + Loads + Stores +
+                        Branches + DivOps;
+  A[ActivityKind::Instructions] = Instructions;
+
+  // Memory hierarchy.
+  MemoryProfile Profile;
+  Profile.Accesses = Loads + Stores;
+  Profile.WorkingSetBytes = Spec.WorkingSetBytes.eval(N);
+  Profile.Locality = Spec.Locality;
+  CacheMisses Misses = estimateMisses(Profile, P);
+  double ICacheAccesses = Instructions / 4.0;
+  double ICacheMisses = ICacheAccesses * icacheMissRate(Spec.CodeFootprintKB);
+  A[ActivityKind::L1DMisses] = Misses.L1D;
+  A[ActivityKind::L2Requests] = Misses.L1D + ICacheMisses;
+  A[ActivityKind::L2Misses] = Misses.L2 + ICacheMisses * 0.3;
+  A[ActivityKind::L3Misses] = Misses.L3;
+  A[ActivityKind::DramReads] = Misses.L3 * 1.25; // Prefetch overshoot.
+
+  // Frontend.
+  A[ActivityKind::ICacheAccesses] = ICacheAccesses;
+  A[ActivityKind::ICacheMisses] = ICacheMisses;
+  double MsUops = DivOps * 12.0 + Instructions * Spec.MsRate;
+  double UopsIssued = Instructions * 1.05 + MsUops;
+  A[ActivityKind::MsUops] = MsUops;
+  A[ActivityKind::DsbUops] = UopsIssued * Spec.DsbFraction;
+  A[ActivityKind::MiteUops] =
+      std::max(0.0, UopsIssued - A[ActivityKind::DsbUops] - MsUops);
+  A[ActivityKind::UopsIssued] = UopsIssued;
+  A[ActivityKind::UopsRetired] = Instructions * 1.02;
+
+  // Execution ports: compute uops to 0/1/5/6, loads to 2/3, stores to
+  // 4 (data) and 7/2/3 (AGU).
+  double ComputeUops = VectorInstr + FlopsScalar + IntOps + DivOps;
+  A[ActivityKind::Port0] = ComputeUops * 0.40;
+  A[ActivityKind::Port1] = ComputeUops * 0.40;
+  A[ActivityKind::Port2] = Loads * 0.5 + Stores * 0.2;
+  A[ActivityKind::Port3] = Loads * 0.5 + Stores * 0.2;
+  A[ActivityKind::Port4] = Stores;
+  A[ActivityKind::Port5] = ComputeUops * 0.12 + Loads * 0.05;
+  A[ActivityKind::Port6] = Branches + ComputeUops * 0.05;
+  A[ActivityKind::Port7] = Stores * 0.6;
+  double UopsExecuted = 0;
+  for (ActivityKind Port :
+       {ActivityKind::Port0, ActivityKind::Port1, ActivityKind::Port2,
+        ActivityKind::Port3, ActivityKind::Port4, ActivityKind::Port5,
+        ActivityKind::Port6, ActivityKind::Port7})
+    UopsExecuted += A[Port];
+  A[ActivityKind::UopsExecuted] = UopsExecuted;
+
+  // TLBs.
+  double Pages = Profile.WorkingSetBytes / 4096.0;
+  double DTlbMisses =
+      Misses.L1D * 0.08 * (1.0 - Spec.Locality) + Pages;
+  A[ActivityKind::DTlbMisses] = DTlbMisses;
+  double ITlbMisses = ICacheMisses * 0.04 + Spec.CodeFootprintKB / 4.0;
+  A[ActivityKind::ITlbMisses] = ITlbMisses;
+  A[ActivityKind::StlbHits] = 1.5 * (DTlbMisses + ITlbMisses);
+
+  // OS interaction.
+  double TimeSec = kernelTimeSeconds(Kind, N, P);
+  A[ActivityKind::PageFaults] = Pages * 1.05 + 600;
+  A[ActivityKind::ContextSwitches] =
+      100.0 * TimeSec * static_cast<double>(P.totalCores()) * 0.2 + 20;
+
+  // Cycles: all cores busy for the duration. With the optional DVFS
+  // model, the effective core clock depends on the workload's character
+  // (turbo on memory stalls, AVX-license throttle under dense compute);
+  // reference cycles always tick at TSC rate like real fixed counters.
+  double AggregateRefCycles =
+      TimeSec * P.BaseFreqGHz * 1e9 * static_cast<double>(P.totalCores());
+  double FreqFactor = 1.0;
+  if (P.DvfsEnabled) {
+    double MemShare = kernelTimeBreakdown(Kind, N, P).memoryShare();
+    FreqFactor =
+        P.AvxThrottle + (P.TurboBoostMax - P.AvxThrottle) * MemShare;
+  }
+  A[ActivityKind::CoreCycles] = AggregateRefCycles * FreqFactor;
+  A[ActivityKind::RefCycles] = AggregateRefCycles;
+
+  return A;
+}

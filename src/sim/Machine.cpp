@@ -1,0 +1,127 @@
+//===- sim/Machine.cpp - Execution engine and PMC synthesis ------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+ActivityVector Execution::totalActivities() const {
+  ActivityVector Total;
+  for (const ExecutionPhase &Phase : Phases)
+    Total += Phase.Activities;
+  return Total;
+}
+
+double Execution::totalTimeSec() const {
+  double Total = 0;
+  for (const ExecutionPhase &Phase : Phases)
+    Total += Phase.TimeSec;
+  return Total;
+}
+
+Machine::Machine(Platform P, uint64_t Seed)
+    : Plat(std::move(P)), Registry(Plat.buildRegistry()), Energy(Plat),
+      MachineRng(Seed) {}
+
+Execution Machine::run(const CompoundApplication &App) {
+  assert(!App.Phases.empty() && "running an empty compound application");
+  Execution Exec;
+  Exec.RunSeed = MachineRng.fork(++RunCounter).next();
+
+  Rng RunRng(Exec.RunSeed);
+  for (const Application &Base : App.Phases) {
+    assert(Base.isValid() && "problem size outside the kernel's range");
+    const KernelSpec &Spec = kernelSpec(Base.Kind);
+
+    ExecutionPhase Phase;
+    Phase.App = Base;
+    Phase.Activities =
+        kernelActivities(Base.Kind, static_cast<double>(Base.Size), Plat);
+    // Run-to-run workload variation: a common multiplicative factor on
+    // all data-dependent work of the phase (scheduling, frequency wander).
+    double WorkJitter = RunRng.lognormalFactor(0.008);
+    Phase.Activities *= WorkJitter;
+    Phase.TimeSec =
+        kernelTimeSeconds(Base.Kind, static_cast<double>(Base.Size), Plat) *
+        RunRng.lognormalFactor(0.01);
+    Phase.ContextIntensity =
+        Spec.ContextIntensity * RunRng.lognormalFactor(0.05);
+    // With the DVFS model on, the achieved clock also wanders run to
+    // run (thermal state, turbo bins): unhalted-cycle counts pick up
+    // variance that no other counter and no energy component shares.
+    if (Plat.DvfsEnabled)
+      Phase.Activities[ActivityKind::CoreCycles] *=
+          RunRng.lognormalFactor(0.10);
+
+    // Energy carries additional run-to-run variance no counter observes
+    // (thermal state, voltage, fan). Kept at ~3% so serial-composition
+    // energy additivity — the paper's premise — still holds within the
+    // 5% tolerance, while models face some irreducible error.
+    Exec.TrueDynamicEnergyJ += Energy.dynamicEnergyJoules(Phase.Activities) *
+                               RunRng.lognormalFactor(0.03);
+    Exec.Phases.push_back(std::move(Phase));
+  }
+
+  // Phase-transition overhead: ~0.1% of the smaller neighbour's energy
+  // per boundary. Real but far below the 5% additivity tolerance — the
+  // paper's premise that dynamic energy composes additively holds.
+  for (size_t I = 1; I < Exec.Phases.size(); ++I) {
+    double Smaller =
+        std::min(Energy.dynamicEnergyJoules(Exec.Phases[I - 1].Activities),
+                 Energy.dynamicEnergyJoules(Exec.Phases[I].Activities));
+    Exec.TrueDynamicEnergyJ += 0.001 * Smaller;
+  }
+  return Exec;
+}
+
+double Machine::readCounter(EventId Id, const Execution &Exec) const {
+  assert(!Exec.Phases.empty() && "reading a counter without an execution");
+  const SynthesisModel &Model = Registry.event(Id).Model;
+
+  // The counter's observation noise is a pure function of (run, event):
+  // reading the same counter twice against one run gives one value.
+  Rng EventRng = Rng(Exec.RunSeed).fork(static_cast<uint64_t>(Id) + 1);
+
+  double BaseTotal = 0;
+  double ContextSum = 0;
+  for (const ExecutionPhase &Phase : Exec.Phases) {
+    double Base = 0;
+    for (const ActivityTerm &Term : Model.Coeffs)
+      Base += Term.Weight * Phase.Activities[Term.Kind];
+    BaseTotal += Base;
+    ContextSum +=
+        Base * std::max(Phase.ContextIntensity, Model.IntensityFloor);
+  }
+
+  double Boundaries = static_cast<double>(Exec.Phases.size()) - 1.0;
+  double Context = Model.NaFraction * ContextSum *
+                   (1.0 + Model.NaBoundaryBeta * Boundaries) *
+                   EventRng.lognormalFactor(Model.NaJitterSigma);
+
+  double Floor = Model.ContextFloor;
+  if (Floor > 0)
+    Floor *= EventRng.lognormalFactor(Model.NoiseSigma);
+
+  double Count = (BaseTotal + Context + Floor) *
+                 EventRng.lognormalFactor(Model.NoiseSigma);
+  return std::max(Count, 0.0);
+}
+
+std::vector<double>
+Machine::readCounters(const std::vector<EventId> &Ids,
+                      const Execution &Exec) const {
+  std::vector<double> Counts;
+  Counts.reserve(Ids.size());
+  for (EventId Id : Ids)
+    Counts.push_back(readCounter(Id, Exec));
+  return Counts;
+}

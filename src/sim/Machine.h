@@ -1,0 +1,91 @@
+//===- sim/Machine.h - Execution engine and PMC synthesis -------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated machine: runs (compound) applications, producing an
+/// Execution with per-phase latent activities, timing, and ground-truth
+/// dynamic energy; and synthesizes PMC readings for any event of the
+/// platform's registry against a given Execution. Counter readings are a
+/// deterministic function of (execution run seed, event id), so all the
+/// events collected in one run observe one consistent execution context,
+/// while repeated runs of the same application vary realistically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_MACHINE_H
+#define SLOPE_SIM_MACHINE_H
+
+#include "pmc/CounterScheduler.h"
+#include "sim/Application.h"
+#include "sim/EnergyModel.h"
+#include "support/Rng.h"
+
+namespace slope {
+namespace sim {
+
+/// One executed phase of a run.
+struct ExecutionPhase {
+  Application App;
+  pmc::ActivityVector Activities; ///< This run's actual latent counts.
+  double TimeSec = 0;
+  double ContextIntensity = 0;    ///< This run's context disturbance.
+};
+
+/// One completed (compound) application run.
+struct Execution {
+  std::vector<ExecutionPhase> Phases;
+  uint64_t RunSeed = 0;          ///< Identifies this run's context.
+  double TrueDynamicEnergyJ = 0; ///< Ground truth (not observable).
+
+  /// \returns the sum of the phases' activity vectors.
+  pmc::ActivityVector totalActivities() const;
+
+  /// \returns total wall-clock seconds.
+  double totalTimeSec() const;
+};
+
+/// A simulated platform instance with its event registry and energy model.
+class Machine {
+public:
+  /// Creates a machine for \p P; \p Seed fixes all stochastic behaviour.
+  explicit Machine(Platform P, uint64_t Seed = 0xC0FFEE);
+
+  const Platform &platform() const { return Plat; }
+  const pmc::EventRegistry &registry() const { return Registry; }
+  const EnergyModel &energyModel() const { return Energy; }
+
+  /// Executes \p App once. Each call models a fresh process launch with
+  /// new run-to-run variation.
+  Execution run(const CompoundApplication &App);
+
+  /// Convenience overload for a base application.
+  Execution run(const Application &App) {
+    return run(CompoundApplication(App));
+  }
+
+  /// Synthesizes the observed count of \p Id for \p Exec (see
+  /// pmc::SynthesisModel for the formula). Deterministic per
+  /// (Exec.RunSeed, Id).
+  double readCounter(pmc::EventId Id, const Execution &Exec) const;
+
+  /// Reads several counters against one execution. The caller is
+  /// responsible for respecting PMU scheduling constraints (see
+  /// pmc::planCollection); core::PmcProfiler does this.
+  std::vector<double> readCounters(const std::vector<pmc::EventId> &Ids,
+                                   const Execution &Exec) const;
+
+private:
+  Platform Plat;
+  pmc::EventRegistry Registry;
+  EnergyModel Energy;
+  Rng MachineRng;
+  uint64_t RunCounter = 0;
+};
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_MACHINE_H

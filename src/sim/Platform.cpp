@@ -1,0 +1,80 @@
+//===- sim/Platform.cpp - Machine models (paper Table 1) --------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Platform.h"
+
+#include <cassert>
+
+using namespace slope;
+using namespace slope::sim;
+
+const char *sim::microarchName(Microarch Arch) {
+  switch (Arch) {
+  case Microarch::Haswell:
+    return "Haswell";
+  case Microarch::Skylake:
+    return "Skylake";
+  }
+  assert(false && "unknown microarchitecture");
+  return "?";
+}
+
+pmc::EventRegistry Platform::buildRegistry() const {
+  switch (Arch) {
+  case Microarch::Haswell:
+    return pmc::buildHaswellRegistry();
+  case Microarch::Skylake:
+    return pmc::buildSkylakeRegistry();
+  }
+  assert(false && "unknown microarchitecture");
+  return pmc::EventRegistry();
+}
+
+Platform Platform::intelHaswellServer() {
+  Platform P;
+  P.Name = "HCLServer01 (Intel Haswell)";
+  P.Processor = "Intel E5-2670 v3 @2.30GHz";
+  P.Os = "CentOS 7";
+  P.Arch = Microarch::Haswell;
+  P.ThreadsPerCore = 2;
+  P.CoresPerSocket = 12;
+  P.Sockets = 2;
+  P.NumaNodes = 2;
+  P.BaseFreqGHz = 2.3;
+  P.L1DKB = 32;
+  P.L1IKB = 32;
+  P.L2KB = 256;
+  P.L3KB = 30720;
+  P.MainMemoryGB = 64;
+  P.TdpWatts = 240;
+  P.IdlePowerWatts = 58;
+  P.FlopsPerCorePerCycle = 16; // AVX2 FMA, 2x256-bit pipes.
+  P.MemBandwidthGBs = 110;     // Dual socket, 4 DDR4 channels each.
+  return P;
+}
+
+Platform Platform::intelSkylakeServer() {
+  Platform P;
+  P.Name = "HCLServer02 (Intel Skylake)";
+  P.Processor = "Intel Xeon Gold 6152";
+  P.Os = "Ubuntu 16.04 LTS";
+  P.Arch = Microarch::Skylake;
+  P.ThreadsPerCore = 2;
+  P.CoresPerSocket = 22;
+  P.Sockets = 1;
+  P.NumaNodes = 1;
+  P.BaseFreqGHz = 2.1;
+  P.L1DKB = 32;
+  P.L1IKB = 32;
+  P.L2KB = 1024;
+  P.L3KB = 30976;
+  P.MainMemoryGB = 96;
+  P.TdpWatts = 140;
+  P.IdlePowerWatts = 32;
+  P.FlopsPerCorePerCycle = 16; // Modeling the AVX2 path.
+  P.MemBandwidthGBs = 105;     // 6 DDR4-2666 channels.
+  return P;
+}

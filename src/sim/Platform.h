@@ -1,0 +1,99 @@
+//===- sim/Platform.h - Machine models (paper Table 1) ----------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized multicore-CPU platform descriptions carrying the paper's
+/// Table 1 specifications, plus derived quantities (flop rates, memory
+/// bandwidth) the kernel models need. Substitutes for the physical Intel
+/// Haswell and Skylake servers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_PLATFORM_H
+#define SLOPE_SIM_PLATFORM_H
+
+#include "pmc/EventRegistry.h"
+
+#include <string>
+
+namespace slope {
+namespace sim {
+
+/// CPU micro-architecture family.
+enum class Microarch { Haswell, Skylake };
+
+/// \returns a printable name for \p Arch.
+const char *microarchName(Microarch Arch);
+
+/// A multicore CPU platform (one row of the paper's Table 1).
+struct Platform {
+  std::string Name;
+  std::string Processor;
+  std::string Os;
+  Microarch Arch = Microarch::Haswell;
+  unsigned ThreadsPerCore = 2;
+  unsigned CoresPerSocket = 12;
+  unsigned Sockets = 2;
+  unsigned NumaNodes = 2;
+  double BaseFreqGHz = 2.3;
+  unsigned L1DKB = 32;   ///< Per core.
+  unsigned L1IKB = 32;   ///< Per core.
+  unsigned L2KB = 256;   ///< Per core.
+  unsigned L3KB = 30720; ///< Shared per socket.
+  unsigned MainMemoryGB = 64;
+  double TdpWatts = 240;  ///< Whole machine (all sockets).
+  double IdlePowerWatts = 58;
+  /// Peak double-precision flops per core per cycle (2x FMA on 256-bit).
+  double FlopsPerCorePerCycle = 16;
+  /// Aggregate sustainable DRAM bandwidth in GB/s.
+  double MemBandwidthGBs = 100;
+
+  /// Optional DVFS/turbo model (off by default so baseline experiments
+  /// match the paper's fixed-frequency calibration). When enabled, the
+  /// effective core clock of a phase deviates from BaseFreqGHz with the
+  /// workload's character: memory-stall-heavy phases upclock into turbo
+  /// headroom, compute-dense phases downclock under the AVX power
+  /// license. Affects CoreCycles (and every cycle-derived counter);
+  /// RefCycles stay at TSC rate, as on real hardware.
+  bool DvfsEnabled = false;
+  /// Memory-bound upclock ceiling (factor over base frequency).
+  double TurboBoostMax = 1.25;
+  /// Compute-dense downclock floor (AVX license factor).
+  double AvxThrottle = 0.88;
+
+  unsigned totalCores() const { return CoresPerSocket * Sockets; }
+
+  /// Aggregate peak double-precision GFLOP/s.
+  double peakGflops() const {
+    return static_cast<double>(totalCores()) * BaseFreqGHz *
+           FlopsPerCorePerCycle;
+  }
+
+  /// Total shared L3 capacity in bytes (all sockets).
+  double l3Bytes() const {
+    return static_cast<double>(L3KB) * 1024.0 * Sockets;
+  }
+
+  /// Per-core L2 capacity in bytes.
+  double l2Bytes() const { return static_cast<double>(L2KB) * 1024.0; }
+
+  /// Per-core L1D capacity in bytes.
+  double l1Bytes() const { return static_cast<double>(L1DKB) * 1024.0; }
+
+  /// Builds this platform's Likwid-style event catalogue.
+  pmc::EventRegistry buildRegistry() const;
+
+  /// The dual-socket Intel Haswell server (Intel E5-2670 v3 @ 2.30GHz).
+  static Platform intelHaswellServer();
+
+  /// The single-socket Intel Skylake server (Intel Xeon Gold 6152).
+  static Platform intelSkylakeServer();
+};
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_PLATFORM_H

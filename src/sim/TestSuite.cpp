@@ -1,0 +1,182 @@
+//===- sim/TestSuite.cpp - Benchmark suite generators -------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TestSuite.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::sim;
+
+namespace {
+/// Smallest size whose modeled runtime reaches \p TargetSec (monotone
+/// bisection), clamped to the kernel's supported range.
+uint64_t sizeForRuntime(KernelKind Kind, const Platform &P,
+                        double TargetSec) {
+  const KernelSpec &Spec = kernelSpec(Kind);
+  uint64_t Lo = Spec.SizeMin, Hi = Spec.SizeMax;
+  if (kernelTimeSeconds(Kind, static_cast<double>(Hi), P) <= TargetSec)
+    return Hi;
+  if (kernelTimeSeconds(Kind, static_cast<double>(Lo), P) >= TargetSec)
+    return Lo;
+  while (Hi - Lo > 1 && Hi - Lo > Lo / 512) {
+    uint64_t Mid = Lo + (Hi - Lo) / 2;
+    if (kernelTimeSeconds(Kind, static_cast<double>(Mid), P) < TargetSec)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Hi;
+}
+} // namespace
+
+std::vector<Application> sim::diverseBaseSuite(const Platform &P,
+                                               size_t Count, Rng SuiteRng,
+                                               double MinTimeSec,
+                                               double MaxTimeSec) {
+  assert(Count > 0 && "empty suite requested");
+  assert(MinTimeSec < MaxTimeSec && "empty runtime window");
+  std::vector<KernelKind> Kinds = allKernels();
+  std::vector<Application> Suite;
+  Suite.reserve(Count);
+  // Round-robin over kernels; geometric size placement between the sizes
+  // hitting the runtime window's ends, with jitter so sizes do not
+  // repeat exactly.
+  size_t PerKernel = (Count + Kinds.size() - 1) / Kinds.size();
+  for (size_t Slot = 0; Suite.size() < Count; ++Slot) {
+    KernelKind Kind = Kinds[Slot % Kinds.size()];
+    const KernelSpec &Spec = kernelSpec(Kind);
+    size_t Step = Slot / Kinds.size();
+    double Lo = std::log(static_cast<double>(sizeForRuntime(Kind, P,
+                                                            MinTimeSec)));
+    double Hi = std::log(static_cast<double>(sizeForRuntime(Kind, P,
+                                                            MaxTimeSec)));
+    if (Hi < Lo)
+      Hi = Lo;
+    double Frac = PerKernel > 1
+                      ? static_cast<double>(Step) /
+                            static_cast<double>(PerKernel - 1)
+                      : 0.5;
+    double Log = Lo + Frac * (Hi - Lo) + SuiteRng.uniform(-0.02, 0.02);
+    auto Size = static_cast<uint64_t>(std::exp(Log));
+    Size = std::max<uint64_t>(Spec.SizeMin, std::min<uint64_t>(Size,
+                                                               Spec.SizeMax));
+    Suite.emplace_back(Kind, Size);
+  }
+  return Suite;
+}
+
+std::vector<CompoundApplication>
+sim::makeCompoundSuite(const std::vector<Application> &Bases, size_t Count,
+                       Rng PairRng) {
+  assert(Bases.size() >= 2 && "need at least two base applications");
+  std::vector<CompoundApplication> Compounds;
+  Compounds.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    size_t A = PairRng.below(Bases.size());
+    size_t B = PairRng.below(Bases.size());
+    if (B == A)
+      B = (B + 1) % Bases.size();
+    Compounds.emplace_back(Bases[A], Bases[B]);
+  }
+  return Compounds;
+}
+
+std::vector<Application> sim::dgemmFftAdditivityBases(size_t Count) {
+  assert(Count >= 2 && "need at least one application of each kernel");
+  std::vector<Application> Bases;
+  Bases.reserve(Count);
+  size_t NumDgemm = Count / 2;
+  size_t NumFft = Count - NumDgemm;
+  // Paper ranges: DGEMM 6500^2..20000^2, FFT 22400^2..29000^2.
+  for (size_t I = 0; I < NumDgemm; ++I) {
+    uint64_t Size =
+        6500 + (20000 - 6500) * I / (NumDgemm > 1 ? NumDgemm - 1 : 1);
+    Bases.emplace_back(KernelKind::MklDgemm, Size);
+  }
+  for (size_t I = 0; I < NumFft; ++I) {
+    uint64_t Size =
+        22400 + (29000 - 22400) * I / (NumFft > 1 ? NumFft - 1 : 1);
+    Bases.emplace_back(KernelKind::MklFft, Size);
+  }
+  return Bases;
+}
+
+Expected<uint64_t> sim::npbClassSize(KernelKind Kind, char Class) {
+  // Official NPB class dimensions: CG matrix rows; MG/FT total grid
+  // points; EP 2^M random-number pairs.
+  size_t ClassIndex;
+  switch (Class) {
+  case 'A':
+    ClassIndex = 0;
+    break;
+  case 'B':
+    ClassIndex = 1;
+    break;
+  case 'C':
+    ClassIndex = 2;
+    break;
+  case 'D':
+    ClassIndex = 3;
+    break;
+  default:
+    return makeError(std::string("unknown NPB class '") + Class +
+                     "' (supported: A, B, C, D)");
+  }
+
+  uint64_t Size = 0;
+  switch (Kind) {
+  case KernelKind::NpbCg: {
+    static const uint64_t Rows[] = {14000, 75000, 150000, 1500000};
+    Size = Rows[ClassIndex];
+    break;
+  }
+  case KernelKind::NpbMg: {
+    // 256^3, 256^3 (more iterations), 512^3, 1024^3.
+    static const uint64_t Points[] = {16777216, 16777216, 134217728,
+                                      1073741824};
+    Size = Points[ClassIndex];
+    break;
+  }
+  case KernelKind::NpbFt: {
+    // 256^2*128, 512*256^2, 512^3, 2048*1024^2.
+    static const uint64_t Points[] = {8388608, 33554432, 134217728,
+                                      2147483648};
+    Size = Points[ClassIndex];
+    break;
+  }
+  case KernelKind::NpbEp: {
+    // 2^28, 2^30, 2^32, 2^36 pairs.
+    static const uint64_t Pairs[] = {268435456ull, 1073741824ull,
+                                     4294967296ull, 68719476736ull};
+    Size = Pairs[ClassIndex];
+    break;
+  }
+  default:
+    return makeError(std::string("kernel '") + kernelSpec(Kind).Name +
+                     "' is not an NPB-like kernel");
+  }
+
+  const KernelSpec &Spec = kernelSpec(Kind);
+  if (Size < Spec.SizeMin || Size > Spec.SizeMax)
+    return makeError(std::string("NPB class ") + Class +
+                     " is outside the modeled size range of " +
+                     Spec.Name);
+  return Size;
+}
+
+std::vector<Application> sim::dgemmFftModelDataset() {
+  std::vector<Application> Points;
+  // DGEMM 6400..38400 step 64: 501 points; FFT 22400..41536 step 64:
+  // 300 points; 801 total as in Sect. 5.2 of the paper.
+  for (uint64_t N = 6400; N <= 38400; N += 64)
+    Points.emplace_back(KernelKind::MklDgemm, N);
+  for (uint64_t N = 22400; N < 41600; N += 64)
+    Points.emplace_back(KernelKind::MklFft, N);
+  assert(Points.size() == 801 && "dataset cardinality drifted from paper");
+  return Points;
+}

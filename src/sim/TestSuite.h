@@ -1,0 +1,62 @@
+//===- sim/TestSuite.h - Benchmark suite generators -------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the paper's experimental datasets: the diverse Class-A
+/// suite (277 base applications + 50 compounds on Haswell), the Class-B
+/// additivity datasets (50 bases + 30 compounds of MKL DGEMM/FFT on
+/// Skylake), and the 801-point DGEMM/FFT model dataset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SIM_TESTSUITE_H
+#define SLOPE_SIM_TESTSUITE_H
+
+#include "sim/Application.h"
+#include "support/Rng.h"
+
+namespace slope {
+namespace sim {
+
+/// Generates \p Count base applications spanning the whole kernel
+/// catalogue with geometrically spaced problem sizes (the paper's
+/// "applications from our test suite with different problem sizes").
+/// Sizes are restricted so the modeled runtime on \p P falls within
+/// [MinTimeSec, MaxTimeSec] — the paper selects problem sizes with
+/// "reasonable execution time (>3 s)" so the 1 Hz power meter sees
+/// enough samples. Deterministic for a fixed \p SuiteRng seed.
+std::vector<Application> diverseBaseSuite(const Platform &P, size_t Count,
+                                          Rng SuiteRng,
+                                          double MinTimeSec = 3.0,
+                                          double MaxTimeSec = 120.0);
+
+/// Builds \p Count two-phase compound applications by pairing randomly
+/// drawn elements of \p Bases (the paper's serial executions of base
+/// applications).
+std::vector<CompoundApplication>
+makeCompoundSuite(const std::vector<Application> &Bases, size_t Count,
+                  Rng PairRng);
+
+/// The Class-B additivity-test base dataset: \p Count applications split
+/// between MKL DGEMM (paper range 6500..20000) and MKL FFT (22400..29000).
+std::vector<Application> dgemmFftAdditivityBases(size_t Count = 50);
+
+/// The Class-B/C model dataset: 801 applications — DGEMM 6400..38400 and
+/// FFT 22400..41536, both with stride 64 (Sect. 5.2 of the paper).
+std::vector<Application> dgemmFftModelDataset();
+
+/// Maps a NAS Parallel Benchmarks problem class ('A', 'B', 'C', 'D') to
+/// this catalogue's size parameter for the NPB-like kernels (NpbCg,
+/// NpbMg, NpbFt, NpbEp), using the official class dimensions (CG rows,
+/// MG/FT total grid points, EP sample counts). \returns an error for a
+/// non-NPB kernel, an unknown class, or a class outside the kernel's
+/// supported size range.
+Expected<uint64_t> npbClassSize(KernelKind Kind, char Class);
+
+} // namespace sim
+} // namespace slope
+
+#endif // SLOPE_SIM_TESTSUITE_H

@@ -1,0 +1,62 @@
+//===- stats/Correlation.cpp - Correlation measures -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Correlation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::stats;
+
+double stats::pearson(const std::vector<double> &Xs,
+                      const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "correlation needs paired samples");
+  assert(Xs.size() >= 2 && "correlation needs at least two points");
+  double N = static_cast<double>(Xs.size());
+  double MeanX = std::accumulate(Xs.begin(), Xs.end(), 0.0) / N;
+  double MeanY = std::accumulate(Ys.begin(), Ys.end(), 0.0) / N;
+  double Sxy = 0, Sxx = 0, Syy = 0;
+  for (size_t I = 0; I < Xs.size(); ++I) {
+    double Dx = Xs[I] - MeanX;
+    double Dy = Ys[I] - MeanY;
+    Sxy += Dx * Dy;
+    Sxx += Dx * Dx;
+    Syy += Dy * Dy;
+  }
+  // A constant series carries no ordering information; report zero
+  // correlation so correlation-based rankings remain well defined.
+  if (Sxx == 0 || Syy == 0)
+    return 0;
+  return Sxy / std::sqrt(Sxx * Syy);
+}
+
+std::vector<double> stats::midRanks(const std::vector<double> &Xs) {
+  std::vector<size_t> Order(Xs.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t A, size_t B) { return Xs[A] < Xs[B]; });
+  std::vector<double> Ranks(Xs.size());
+  size_t I = 0;
+  while (I < Order.size()) {
+    size_t J = I;
+    while (J + 1 < Order.size() && Xs[Order[J + 1]] == Xs[Order[I]])
+      ++J;
+    // Positions I..J are tied; give each the average 1-based rank.
+    double MidRank = (static_cast<double>(I) + static_cast<double>(J)) / 2 + 1;
+    for (size_t K = I; K <= J; ++K)
+      Ranks[Order[K]] = MidRank;
+    I = J + 1;
+  }
+  return Ranks;
+}
+
+double stats::spearman(const std::vector<double> &Xs,
+                       const std::vector<double> &Ys) {
+  return pearson(midRanks(Xs), midRanks(Ys));
+}

@@ -1,0 +1,36 @@
+//===- stats/Correlation.h - Correlation measures ---------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pearson and Spearman correlation. The paper's Table 6 reports Pearson
+/// correlation of each candidate PMC with dynamic energy; Class C uses the
+/// correlation ranking to pick the 4-PMC online subsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_CORRELATION_H
+#define SLOPE_STATS_CORRELATION_H
+
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// \returns the Pearson product-moment correlation of \p Xs and \p Ys.
+/// Asserts equal sizes and n >= 2. A constant series yields 0 (rather than
+/// NaN) so rankings stay total.
+double pearson(const std::vector<double> &Xs, const std::vector<double> &Ys);
+
+/// \returns Spearman's rank correlation (Pearson over mid-ranks).
+double spearman(const std::vector<double> &Xs, const std::vector<double> &Ys);
+
+/// \returns mid-ranks of \p Xs (ties get the average of their positions).
+std::vector<double> midRanks(const std::vector<double> &Xs);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_CORRELATION_H

@@ -1,0 +1,92 @@
+//===- stats/Descriptive.cpp - Descriptive statistics ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Descriptive.h"
+
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+double stats::mean(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "mean of an empty sample");
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double stats::sampleVariance(const std::vector<double> &Xs) {
+  assert(Xs.size() >= 2 && "sample variance needs at least two points");
+  double Mu = mean(Xs);
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += (X - Mu) * (X - Mu);
+  return Sum / static_cast<double>(Xs.size() - 1);
+}
+
+double stats::sampleStdDev(const std::vector<double> &Xs) {
+  return std::sqrt(sampleVariance(Xs));
+}
+
+double stats::coefficientOfVariation(const std::vector<double> &Xs) {
+  double Mu = mean(Xs);
+  assert(Mu != 0 && "coefficient of variation undefined for zero mean");
+  return sampleStdDev(Xs) / std::fabs(Mu);
+}
+
+double stats::minOf(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "min of an empty sample");
+  return *std::min_element(Xs.begin(), Xs.end());
+}
+
+double stats::maxOf(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "max of an empty sample");
+  return *std::max_element(Xs.begin(), Xs.end());
+}
+
+double stats::median(std::vector<double> Xs) {
+  assert(!Xs.empty() && "median of an empty sample");
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+std::string ErrorSummary::str(int Digits) const {
+  return "(" + str::compact(Min, Digits) + ", " + str::compact(Avg, Digits) +
+         ", " + str::compact(Max, Digits) + ")";
+}
+
+ErrorSummary stats::summarizeErrors(const std::vector<double> &ErrorsPct) {
+  assert(!ErrorsPct.empty() && "summarizing an empty error vector");
+  ErrorSummary Summary;
+  Summary.Min = minOf(ErrorsPct);
+  Summary.Avg = mean(ErrorsPct);
+  Summary.Max = maxOf(ErrorsPct);
+  return Summary;
+}
+
+double stats::percentageError(double Predicted, double Actual) {
+  assert(Actual != 0 && "percentage error against a zero actual value");
+  return std::fabs(Predicted - Actual) / std::fabs(Actual) * 100.0;
+}
+
+ErrorSummary
+stats::predictionErrorSummary(const std::vector<double> &Predicted,
+                              const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && "prediction/actual mismatch");
+  std::vector<double> Errors;
+  Errors.reserve(Predicted.size());
+  for (size_t I = 0; I < Predicted.size(); ++I)
+    Errors.push_back(percentageError(Predicted[I], Actual[I]));
+  return summarizeErrors(Errors);
+}

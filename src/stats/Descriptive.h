@@ -1,0 +1,72 @@
+//===- stats/Descriptive.h - Descriptive statistics -------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sample statistics used throughout the experimental methodology: means,
+/// variances, coefficients of variation, and the (min, avg, max) percentage
+/// error summaries the paper reports for every model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_DESCRIPTIVE_H
+#define SLOPE_STATS_DESCRIPTIVE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// \returns the arithmetic mean; asserts on an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// \returns the unbiased (n-1) sample variance; asserts on n < 2.
+double sampleVariance(const std::vector<double> &Xs);
+
+/// \returns the unbiased sample standard deviation; asserts on n < 2.
+double sampleStdDev(const std::vector<double> &Xs);
+
+/// \returns the coefficient of variation (stddev / |mean|); asserts on a
+/// zero mean or n < 2. Used by the additivity test's reproducibility stage.
+double coefficientOfVariation(const std::vector<double> &Xs);
+
+/// \returns the smallest element; asserts on an empty sample.
+double minOf(const std::vector<double> &Xs);
+
+/// \returns the largest element; asserts on an empty sample.
+double maxOf(const std::vector<double> &Xs);
+
+/// \returns the median (mean of the two central order statistics for even
+/// n); asserts on an empty sample.
+double median(std::vector<double> Xs);
+
+/// The (min, avg, max) percentage-error triple reported in Tables 3-5 and
+/// 7 of the paper.
+struct ErrorSummary {
+  double Min = 0;
+  double Avg = 0;
+  double Max = 0;
+
+  /// Renders in the paper's "(min, avg, max)" style with \p Digits
+  /// significant digits.
+  std::string str(int Digits = 4) const;
+};
+
+/// Summarizes a vector of (already percentage) errors.
+ErrorSummary summarizeErrors(const std::vector<double> &ErrorsPct);
+
+/// \returns |Predicted - Actual| / |Actual| * 100. Asserts Actual != 0.
+double percentageError(double Predicted, double Actual);
+
+/// Computes per-point percentage errors and summarizes them.
+ErrorSummary predictionErrorSummary(const std::vector<double> &Predicted,
+                                    const std::vector<double> &Actual);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_DESCRIPTIVE_H

@@ -1,0 +1,130 @@
+//===- stats/Matrix.cpp - Dense row-major matrix ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Matrix.h"
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+Matrix Matrix::fromRows(const std::vector<std::vector<double>> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows.front().size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    assert(Rows[R].size() == M.cols() && "ragged rows");
+    for (size_t C = 0; C < M.cols(); ++C)
+      M.at(R, C) = Rows[R][C];
+  }
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1;
+  return M;
+}
+
+std::vector<double> Matrix::row(size_t R) const {
+  assert(R < NumRows && "row index out of range");
+  return std::vector<double>(Data.begin() + R * NumCols,
+                             Data.begin() + (R + 1) * NumCols);
+}
+
+std::vector<double> Matrix::col(size_t C) const {
+  assert(C < NumCols && "column index out of range");
+  std::vector<double> Out(NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    Out[R] = at(R, C);
+  return Out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.NumRows && "non-conformable matrix product");
+  Matrix Out(NumRows, Other.NumCols);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t K = 0; K < NumCols; ++K) {
+      double V = at(R, K);
+      if (V == 0)
+        continue;
+      for (size_t C = 0; C < Other.NumCols; ++C)
+        Out.at(R, C) += V * Other.at(K, C);
+    }
+  return Out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &V) const {
+  assert(V.size() == NumCols && "non-conformable matrix-vector product");
+  std::vector<double> Out(NumRows, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    double Sum = 0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += at(R, C) * V[C];
+    Out[R] = Sum;
+  }
+  return Out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix G(NumCols, NumCols);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t I = 0; I < NumCols; ++I) {
+      double V = at(R, I);
+      if (V == 0)
+        continue;
+      for (size_t J = I; J < NumCols; ++J)
+        G.at(I, J) += V * at(R, J);
+    }
+  for (size_t I = 0; I < NumCols; ++I)
+    for (size_t J = 0; J < I; ++J)
+      G.at(I, J) = G.at(J, I);
+  return G;
+}
+
+std::vector<double>
+Matrix::transposeMultiply(const std::vector<double> &V) const {
+  assert(V.size() == NumRows && "non-conformable transpose product");
+  std::vector<double> Out(NumCols, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    double W = V[R];
+    if (W == 0)
+      continue;
+    for (size_t C = 0; C < NumCols; ++C)
+      Out[C] += at(R, C) * W;
+  }
+  return Out;
+}
+
+double Matrix::maxAbsDiff(const Matrix &Other) const {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "shape mismatch");
+  double Max = 0;
+  for (size_t I = 0; I < Data.size(); ++I)
+    Max = std::max(Max, std::fabs(Data[I] - Other.Data[I]));
+  return Max;
+}
+
+double stats::dot(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot of unequal vectors");
+  double Sum = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+double stats::norm2(const std::vector<double> &A) {
+  return std::sqrt(dot(A, A));
+}

@@ -1,0 +1,91 @@
+//===- stats/Matrix.h - Dense row-major matrix ------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense double matrix, sized for the regression problems in this
+/// project (hundreds of rows, tens of columns). Provides exactly the
+/// operations the solvers need; no expression templates, no BLAS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_MATRIX_H
+#define SLOPE_STATS_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  /// Creates an empty (0 x 0) matrix.
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  /// Builds a matrix from rows; all rows must have equal length.
+  static Matrix fromRows(const std::vector<std::vector<double>> &Rows);
+
+  /// \returns the N x N identity.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// \returns row \p R as a vector copy.
+  std::vector<double> row(size_t R) const;
+
+  /// \returns column \p C as a vector copy.
+  std::vector<double> col(size_t C) const;
+
+  /// \returns the transpose.
+  Matrix transposed() const;
+
+  /// \returns this * Other. Asserts conformable shapes.
+  Matrix multiply(const Matrix &Other) const;
+
+  /// \returns this * V (matrix-vector product). Asserts conformable.
+  std::vector<double> multiply(const std::vector<double> &V) const;
+
+  /// \returns transpose(this) * this, the Gram matrix (Cols x Cols).
+  Matrix gram() const;
+
+  /// \returns transpose(this) * V. Asserts V.size() == rows().
+  std::vector<double> transposeMultiply(const std::vector<double> &V) const;
+
+  /// Maximum absolute difference to \p Other; asserts equal shapes.
+  double maxAbsDiff(const Matrix &Other) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// \returns the dot product; asserts equal sizes.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+/// \returns the Euclidean norm.
+double norm2(const std::vector<double> &A);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_MATRIX_H

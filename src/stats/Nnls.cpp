@@ -1,0 +1,173 @@
+//===- stats/Nnls.cpp - Non-negative least squares -------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Nnls.h"
+
+#include "stats/Solve.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+/// Builds the ridge-augmented system [A; sqrt(Lambda) I], [b; 0].
+static void augmentRidge(const Matrix &A, const std::vector<double> &B,
+                         double Lambda, Matrix &AugA,
+                         std::vector<double> &AugB) {
+  if (Lambda == 0) {
+    AugA = A;
+    AugB = B;
+    return;
+  }
+  size_t M = A.rows(), N = A.cols();
+  AugA = Matrix(M + N, N);
+  AugB.assign(M + N, 0.0);
+  for (size_t R = 0; R < M; ++R)
+    for (size_t C = 0; C < N; ++C)
+      AugA.at(R, C) = A.at(R, C);
+  double Root = std::sqrt(Lambda);
+  for (size_t C = 0; C < N; ++C)
+    AugA.at(M + C, C) = Root;
+  for (size_t R = 0; R < M; ++R)
+    AugB[R] = B[R];
+}
+
+/// Solves the unconstrained least squares restricted to the passive set.
+static Expected<std::vector<double>>
+solveOnPassiveSet(const Matrix &A, const std::vector<double> &B,
+                  const std::vector<bool> &Passive) {
+  std::vector<size_t> Cols;
+  for (size_t C = 0; C < Passive.size(); ++C)
+    if (Passive[C])
+      Cols.push_back(C);
+  Matrix Sub(A.rows(), Cols.size());
+  for (size_t R = 0; R < A.rows(); ++R)
+    for (size_t I = 0; I < Cols.size(); ++I)
+      Sub.at(R, I) = A.at(R, Cols[I]);
+  auto SubSolution = solveLeastSquaresQR(Sub, B);
+  if (!SubSolution)
+    return SubSolution.error();
+  std::vector<double> Full(Passive.size(), 0.0);
+  for (size_t I = 0; I < Cols.size(); ++I)
+    Full[Cols[I]] = (*SubSolution)[I];
+  return Full;
+}
+
+Expected<NnlsResult> stats::solveNnls(const Matrix &A,
+                                      const std::vector<double> &B,
+                                      double Lambda,
+                                      unsigned MaxIterations) {
+  assert(A.rows() == B.size() && "right-hand side size mismatch");
+  assert(Lambda >= 0 && "ridge penalty must be non-negative");
+
+  Matrix AugA;
+  std::vector<double> AugB;
+  augmentRidge(A, B, Lambda, AugA, AugB);
+
+  size_t N = AugA.cols();
+  NnlsResult Result;
+  Result.X.assign(N, 0.0);
+  std::vector<bool> Passive(N, false);
+
+  const double Tol = 1e-10;
+  for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+    Result.Iterations = Iter + 1;
+    // Gradient of the active (zero) coordinates: w = A^T (b - A x).
+    std::vector<double> Residual = AugB;
+    std::vector<double> Ax = AugA.multiply(Result.X);
+    for (size_t I = 0; I < Residual.size(); ++I)
+      Residual[I] -= Ax[I];
+    std::vector<double> W = AugA.transposeMultiply(Residual);
+
+    // Pick the most promising active coordinate to free.
+    size_t Best = N;
+    double BestW = Tol;
+    for (size_t C = 0; C < N; ++C)
+      if (!Passive[C] && W[C] > BestW) {
+        BestW = W[C];
+        Best = C;
+      }
+    if (Best == N)
+      break; // KKT satisfied.
+    Passive[Best] = true;
+
+    // Inner loop: keep the passive-set solution feasible.
+    for (;;) {
+      auto Z = solveOnPassiveSet(AugA, AugB, Passive);
+      if (!Z)
+        return Z.error();
+      bool Feasible = true;
+      for (size_t C = 0; C < N; ++C)
+        if (Passive[C] && (*Z)[C] <= 0) {
+          Feasible = false;
+          break;
+        }
+      if (Feasible) {
+        Result.X = Z.takeValue();
+        break;
+      }
+      // Move as far toward Z as feasibility allows, then drop the
+      // coordinates that hit zero.
+      double Alpha = 1.0;
+      for (size_t C = 0; C < N; ++C) {
+        if (!Passive[C] || (*Z)[C] > 0)
+          continue;
+        double Denom = Result.X[C] - (*Z)[C];
+        if (Denom > 0)
+          Alpha = std::min(Alpha, Result.X[C] / Denom);
+      }
+      for (size_t C = 0; C < N; ++C)
+        if (Passive[C])
+          Result.X[C] += Alpha * ((*Z)[C] - Result.X[C]);
+      for (size_t C = 0; C < N; ++C)
+        if (Passive[C] && Result.X[C] <= Tol) {
+          Result.X[C] = 0;
+          Passive[C] = false;
+        }
+    }
+  }
+
+  // Clamp numeric dust.
+  for (double &V : Result.X)
+    if (V < 0)
+      V = 0;
+  std::vector<double> Ax = AugA.multiply(Result.X);
+  for (size_t I = 0; I < Ax.size(); ++I)
+    Ax[I] -= AugB[I];
+  Result.ResidualNorm = norm2(Ax);
+  return Result;
+}
+
+bool stats::satisfiesNnlsKkt(const Matrix &A, const std::vector<double> &B,
+                             const std::vector<double> &X, double Lambda,
+                             double Tolerance) {
+  assert(X.size() == A.cols() && "solution size mismatch");
+  Matrix AugA;
+  std::vector<double> AugB;
+  augmentRidge(A, B, Lambda, AugA, AugB);
+
+  for (double V : X)
+    if (V < -Tolerance)
+      return false;
+  std::vector<double> Residual = AugB;
+  std::vector<double> Ax = AugA.multiply(X);
+  for (size_t I = 0; I < Residual.size(); ++I)
+    Residual[I] -= Ax[I];
+  std::vector<double> W = AugA.transposeMultiply(Residual);
+  // Scale the tolerance by the problem's magnitude so the check is
+  // meaningful for both tiny and huge column norms.
+  double Scale = std::max(1.0, norm2(AugB));
+  for (size_t C = 0; C < X.size(); ++C) {
+    if (X[C] > Tolerance) {
+      if (std::fabs(W[C]) > Tolerance * Scale)
+        return false;
+    } else if (W[C] > Tolerance * Scale) {
+      return false;
+    }
+  }
+  return true;
+}

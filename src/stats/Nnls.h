@@ -1,0 +1,54 @@
+//===- stats/Nnls.h - Non-negative least squares ----------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lawson-Hanson active-set non-negative least squares. The paper's linear
+/// models (Table 3) are "penalized linear regression ... that forces the
+/// coefficients to be non-negative" with zero intercept — exactly the NNLS
+/// problem min ||A x - b||_2 s.t. x >= 0 (with an optional ridge term).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_NNLS_H
+#define SLOPE_STATS_NNLS_H
+
+#include "stats/Matrix.h"
+#include "support/Expected.h"
+
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// Result of an NNLS solve.
+struct NnlsResult {
+  std::vector<double> X;      ///< The non-negative solution.
+  double ResidualNorm = 0;    ///< ||A x - b||_2 at the solution.
+  unsigned Iterations = 0;    ///< Outer active-set iterations used.
+};
+
+/// Solves min ||A x - b||_2 subject to x >= 0 (Lawson & Hanson, 1974).
+///
+/// \p Lambda >= 0 adds a ridge penalty by augmenting the system with
+/// sqrt(Lambda) * I rows, matching the paper's "penalized" wording.
+/// \returns an error only if an inner unconstrained solve fails, which for
+/// a well-posed augmented system does not happen.
+Expected<NnlsResult> solveNnls(const Matrix &A, const std::vector<double> &B,
+                               double Lambda = 0.0,
+                               unsigned MaxIterations = 300);
+
+/// Verifies the Karush-Kuhn-Tucker conditions of an NNLS solution within
+/// \p Tolerance: x >= 0, gradient w = A^T (b - A x) <= tol for zero
+/// coordinates, |w| <= tol for positive coordinates. Used by the property
+/// tests.
+bool satisfiesNnlsKkt(const Matrix &A, const std::vector<double> &B,
+                      const std::vector<double> &X, double Lambda,
+                      double Tolerance);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_NNLS_H

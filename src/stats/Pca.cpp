@@ -1,0 +1,142 @@
+//===- stats/Pca.cpp - Principal component analysis ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace slope;
+using namespace slope::stats;
+
+Expected<EigenDecomposition> stats::jacobiEigen(const Matrix &A,
+                                                unsigned MaxSweeps) {
+  if (A.rows() != A.cols())
+    return makeError("eigen decomposition needs a square matrix");
+  size_t N = A.rows();
+  double Scale = 0;
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      Scale = std::max(Scale, std::fabs(A.at(I, J)));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (std::fabs(A.at(I, J) - A.at(J, I)) > 1e-9 * std::max(Scale, 1.0))
+        return makeError("eigen decomposition needs a symmetric matrix");
+
+  Matrix D = A;
+  Matrix V = Matrix::identity(N);
+
+  for (unsigned Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    // Off-diagonal Frobenius mass; stop when numerically diagonal.
+    double Off = 0;
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = I + 1; J < N; ++J)
+        Off += D.at(I, J) * D.at(I, J);
+    if (Off < 1e-22 * std::max(Scale * Scale, 1.0))
+      break;
+
+    for (size_t P = 0; P < N; ++P) {
+      for (size_t Q = P + 1; Q < N; ++Q) {
+        double Apq = D.at(P, Q);
+        if (std::fabs(Apq) < 1e-300)
+          continue;
+        double Theta = (D.at(Q, Q) - D.at(P, P)) / (2 * Apq);
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1));
+        double C = 1 / std::sqrt(T * T + 1);
+        double S = T * C;
+        // Apply the rotation G(p, q, theta) on both sides of D and
+        // accumulate into V.
+        for (size_t K = 0; K < N; ++K) {
+          double Dkp = D.at(K, P), Dkq = D.at(K, Q);
+          D.at(K, P) = C * Dkp - S * Dkq;
+          D.at(K, Q) = S * Dkp + C * Dkq;
+        }
+        for (size_t K = 0; K < N; ++K) {
+          double Dpk = D.at(P, K), Dqk = D.at(Q, K);
+          D.at(P, K) = C * Dpk - S * Dqk;
+          D.at(Q, K) = S * Dpk + C * Dqk;
+        }
+        for (size_t K = 0; K < N; ++K) {
+          double Vkp = V.at(K, P), Vkq = V.at(K, Q);
+          V.at(K, P) = C * Vkp - S * Vkq;
+          V.at(K, Q) = S * Vkp + C * Vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+    return D.at(X, X) > D.at(Y, Y);
+  });
+
+  EigenDecomposition Result;
+  Result.Values.resize(N);
+  Result.Vectors = Matrix(N, N);
+  for (size_t J = 0; J < N; ++J) {
+    Result.Values[J] = D.at(Order[J], Order[J]);
+    for (size_t I = 0; I < N; ++I)
+      Result.Vectors.at(I, J) = V.at(I, Order[J]);
+  }
+  return Result;
+}
+
+double PcaResult::explainedVariance(size_t K) const {
+  assert(K <= Eigen.Values.size() && "component index out of range");
+  double Total = 0, Kept = 0;
+  for (size_t I = 0; I < Eigen.Values.size(); ++I) {
+    double Value = std::max(Eigen.Values[I], 0.0);
+    Total += Value;
+    if (I < K)
+      Kept += Value;
+  }
+  return Total > 0 ? Kept / Total : 0.0;
+}
+
+Expected<PcaResult> stats::fitPca(const Matrix &X) {
+  if (X.rows() < 2)
+    return makeError("PCA needs at least two observations");
+  size_t Rows = X.rows(), Cols = X.cols();
+
+  PcaResult Result;
+  Result.FeatureMean.assign(Cols, 0.0);
+  Result.FeatureStd.assign(Cols, 1.0);
+  for (size_t C = 0; C < Cols; ++C) {
+    double Sum = 0;
+    for (size_t R = 0; R < Rows; ++R)
+      Sum += X.at(R, C);
+    Result.FeatureMean[C] = Sum / static_cast<double>(Rows);
+    double Sq = 0;
+    for (size_t R = 0; R < Rows; ++R) {
+      double D = X.at(R, C) - Result.FeatureMean[C];
+      Sq += D * D;
+    }
+    double Std = std::sqrt(Sq / static_cast<double>(Rows - 1));
+    // Constant columns standardize to exactly zero (Std 1 placeholder).
+    Result.FeatureStd[C] = Std > 1e-300 ? Std : 1.0;
+  }
+
+  Matrix Z(Rows, Cols);
+  for (size_t R = 0; R < Rows; ++R)
+    for (size_t C = 0; C < Cols; ++C)
+      Z.at(R, C) =
+          (X.at(R, C) - Result.FeatureMean[C]) / Result.FeatureStd[C];
+
+  Matrix Corr = Z.gram();
+  for (size_t I = 0; I < Cols; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      Corr.at(I, J) /= static_cast<double>(Rows - 1);
+
+  auto Eigen = jacobiEigen(Corr);
+  if (!Eigen)
+    return Eigen.error();
+  Result.Eigen = Eigen.takeValue();
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- stats/Pca.h - Principal component analysis ----------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Principal component analysis over standardized features. The paper's
+/// related-work taxonomy lists PCA among the statistical PMC-selection
+/// techniques [15, 28]; core::selectByPcaLoading implements that baseline
+/// on top of this. Eigen decomposition uses the cyclic Jacobi method,
+/// which is simple and robust for the symmetric correlation matrices
+/// (tens of features) this project sees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_PCA_H
+#define SLOPE_STATS_PCA_H
+
+#include "stats/Matrix.h"
+#include "support/Expected.h"
+
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// Eigen decomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues, descending.
+  std::vector<double> Values;
+  /// Eigenvectors as columns, ordered like Values.
+  Matrix Vectors;
+};
+
+/// Decomposes the symmetric matrix \p A by cyclic Jacobi rotations.
+/// \returns an error if \p A is not square or not symmetric within
+/// 1e-9 relative tolerance.
+Expected<EigenDecomposition> jacobiEigen(const Matrix &A,
+                                         unsigned MaxSweeps = 64);
+
+/// Result of a PCA fit.
+struct PcaResult {
+  std::vector<double> FeatureMean; ///< Per-column means.
+  std::vector<double> FeatureStd;  ///< Per-column standard deviations.
+  EigenDecomposition Eigen;        ///< Of the correlation matrix.
+
+  /// \returns the fraction of variance captured by the first \p K
+  /// components.
+  double explainedVariance(size_t K) const;
+
+  /// Loading of feature \p Feature on component \p Component.
+  double loading(size_t Feature, size_t Component) const {
+    return Eigen.Vectors.at(Feature, Component);
+  }
+};
+
+/// Fits PCA on the rows of \p X (observations x features), standardizing
+/// each column (so the decomposition is of the correlation matrix).
+/// Constant columns get zero loadings. Requires >= 2 rows.
+Expected<PcaResult> fitPca(const Matrix &X);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_PCA_H

@@ -1,0 +1,124 @@
+//===- stats/Solve.cpp - Linear system and least-squares solvers ----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Solve.h"
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+Expected<std::vector<double>>
+stats::solveCholesky(const Matrix &A, const std::vector<double> &B) {
+  assert(A.rows() == A.cols() && "Cholesky needs a square matrix");
+  assert(B.size() == A.rows() && "right-hand side size mismatch");
+  size_t N = A.rows();
+  // Lower-triangular factor L with A = L L^T.
+  Matrix L(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = A.at(I, J);
+      for (size_t K = 0; K < J; ++K)
+        Sum -= L.at(I, K) * L.at(J, K);
+      if (I == J) {
+        if (Sum <= 0)
+          return makeError("matrix is not positive definite");
+        L.at(I, I) = std::sqrt(Sum);
+      } else {
+        L.at(I, J) = Sum / L.at(J, J);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Sum = B[I];
+    for (size_t K = 0; K < I; ++K)
+      Sum -= L.at(I, K) * Y[K];
+    Y[I] = Sum / L.at(I, I);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> X(N);
+  for (size_t Ip1 = N; Ip1 > 0; --Ip1) {
+    size_t I = Ip1 - 1;
+    double Sum = Y[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= L.at(K, I) * X[K];
+    X[I] = Sum / L.at(I, I);
+  }
+  return X;
+}
+
+Expected<std::vector<double>>
+stats::solveLeastSquaresQR(const Matrix &A, const std::vector<double> &B) {
+  size_t M = A.rows(), N = A.cols();
+  assert(B.size() == M && "right-hand side size mismatch");
+  if (M < N)
+    return makeError("least squares needs at least as many rows as columns");
+
+  // Householder QR, transforming a working copy of A and B in place.
+  Matrix R = A;
+  std::vector<double> Rhs = B;
+  for (size_t K = 0; K < N; ++K) {
+    // Build the Householder vector for column K below the diagonal.
+    double Alpha = 0;
+    for (size_t I = K; I < M; ++I)
+      Alpha += R.at(I, K) * R.at(I, K);
+    Alpha = std::sqrt(Alpha);
+    if (Alpha == 0)
+      return makeError("design matrix is rank deficient");
+    if (R.at(K, K) > 0)
+      Alpha = -Alpha;
+    std::vector<double> V(M, 0.0);
+    V[K] = R.at(K, K) - Alpha;
+    for (size_t I = K + 1; I < M; ++I)
+      V[I] = R.at(I, K);
+    double VNorm2 = 0;
+    for (size_t I = K; I < M; ++I)
+      VNorm2 += V[I] * V[I];
+    if (VNorm2 == 0)
+      continue;
+    // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and rhs.
+    for (size_t C = K; C < N; ++C) {
+      double Proj = 0;
+      for (size_t I = K; I < M; ++I)
+        Proj += V[I] * R.at(I, C);
+      double Scale = 2 * Proj / VNorm2;
+      for (size_t I = K; I < M; ++I)
+        R.at(I, C) -= Scale * V[I];
+    }
+    double Proj = 0;
+    for (size_t I = K; I < M; ++I)
+      Proj += V[I] * Rhs[I];
+    double Scale = 2 * Proj / VNorm2;
+    for (size_t I = K; I < M; ++I)
+      Rhs[I] -= Scale * V[I];
+  }
+
+  // Back substitution on the upper-triangular R.
+  std::vector<double> X(N);
+  for (size_t Kp1 = N; Kp1 > 0; --Kp1) {
+    size_t K = Kp1 - 1;
+    double Diag = R.at(K, K);
+    if (std::fabs(Diag) < 1e-12)
+      return makeError("design matrix is rank deficient");
+    double Sum = Rhs[K];
+    for (size_t C = K + 1; C < N; ++C)
+      Sum -= R.at(K, C) * X[C];
+    X[K] = Sum / Diag;
+  }
+  return X;
+}
+
+Expected<std::vector<double>>
+stats::solveNormalEquations(const Matrix &A, const std::vector<double> &B,
+                            double Lambda) {
+  assert(Lambda >= 0 && "ridge penalty must be non-negative");
+  Matrix G = A.gram();
+  for (size_t I = 0; I < G.rows(); ++I)
+    G.at(I, I) += Lambda;
+  return solveCholesky(G, A.transposeMultiply(B));
+}

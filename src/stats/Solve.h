@@ -1,0 +1,45 @@
+//===- stats/Solve.h - Linear system and least-squares solvers --*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky and Householder-QR solvers backing the regression models.
+/// Cholesky handles the (optionally ridge-regularized) normal equations;
+/// QR provides a numerically safer path for plain least squares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_SOLVE_H
+#define SLOPE_STATS_SOLVE_H
+
+#include "stats/Matrix.h"
+#include "support/Expected.h"
+
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// Solves the SPD system A * X = B by Cholesky factorization.
+/// \returns an error if \p A is not (numerically) positive definite.
+Expected<std::vector<double>> solveCholesky(const Matrix &A,
+                                            const std::vector<double> &B);
+
+/// Solves min ||A * X - B||_2 by Householder QR. Requires rows >= cols.
+/// \returns an error if \p A is numerically rank deficient.
+Expected<std::vector<double>> solveLeastSquaresQR(const Matrix &A,
+                                                  const std::vector<double> &B);
+
+/// Solves the (ridge-regularized) normal equations
+/// (A^T A + Lambda I) X = A^T B. \p Lambda = 0 gives ordinary least
+/// squares via Cholesky.
+Expected<std::vector<double>>
+solveNormalEquations(const Matrix &A, const std::vector<double> &B,
+                     double Lambda = 0.0);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_SOLVE_H

@@ -1,0 +1,116 @@
+//===- stats/StudentT.cpp - Student-t confidence machinery ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/StudentT.h"
+
+#include "stats/Descriptive.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction (Numerical Recipes style); adequate for the t CDF.
+static double betaContinuedFraction(double A, double B, double X) {
+  const double Tiny = 1e-300;
+  const double Eps = 1e-14;
+  double Qab = A + B;
+  double Qap = A + 1;
+  double Qam = A - 1;
+  double C = 1;
+  double D = 1 - Qab * X / Qap;
+  if (std::fabs(D) < Tiny)
+    D = Tiny;
+  D = 1 / D;
+  double H = D;
+  for (int M = 1; M <= 400; ++M) {
+    double M2 = 2.0 * M;
+    double Aa = M * (B - M) * X / ((Qam + M2) * (A + M2));
+    D = 1 + Aa * D;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    C = 1 + Aa / C;
+    if (std::fabs(C) < Tiny)
+      C = Tiny;
+    D = 1 / D;
+    H *= D * C;
+    Aa = -(A + M) * (Qab + M) * X / ((A + M2) * (Qap + M2));
+    D = 1 + Aa * D;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    C = 1 + Aa / C;
+    if (std::fabs(C) < Tiny)
+      C = Tiny;
+    D = 1 / D;
+    double Del = D * C;
+    H *= Del;
+    if (std::fabs(Del - 1) < Eps)
+      break;
+  }
+  return H;
+}
+
+static double regularizedIncompleteBeta(double A, double B, double X) {
+  assert(X >= 0 && X <= 1 && "beta argument out of range");
+  if (X == 0 || X == 1)
+    return X;
+  double LnBeta = std::lgamma(A) + std::lgamma(B) - std::lgamma(A + B);
+  double Front =
+      std::exp(A * std::log(X) + B * std::log(1 - X) - LnBeta);
+  // Use the symmetry that keeps the continued fraction convergent.
+  if (X < (A + 1) / (A + B + 2))
+    return Front * betaContinuedFraction(A, B, X) / A;
+  return 1 - Front * betaContinuedFraction(B, A, 1 - X) / B;
+}
+
+double stats::tCdf(double X, unsigned Dof) {
+  assert(Dof >= 1 && "t distribution needs at least one dof");
+  double V = static_cast<double>(Dof);
+  double T = V / (V + X * X);
+  double P = 0.5 * regularizedIncompleteBeta(V / 2, 0.5, T);
+  return X >= 0 ? 1 - P : P;
+}
+
+double stats::tCriticalValue(unsigned Dof, double Confidence) {
+  assert(Dof >= 1 && "t distribution needs at least one dof");
+  assert(Confidence > 0 && Confidence < 1 && "confidence must be in (0,1)");
+  double Target = 1 - (1 - Confidence) / 2;
+  // CDF is monotone; bisect on [0, Hi]. Dof=1 at 99% needs ~63.7, so
+  // start high and expand if required.
+  double Lo = 0, Hi = 128;
+  while (tCdf(Hi, Dof) < Target)
+    Hi *= 2;
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (tCdf(Mid, Dof) < Target)
+      Lo = Mid;
+    else
+      Hi = Mid;
+    if (Hi - Lo < 1e-10)
+      break;
+  }
+  return 0.5 * (Lo + Hi);
+}
+
+bool MeanConfidenceInterval::withinPrecision(double Fraction) const {
+  assert(Fraction > 0 && "precision fraction must be positive");
+  if (Mean == 0)
+    return HalfWidth == 0;
+  return HalfWidth <= Fraction * std::fabs(Mean);
+}
+
+MeanConfidenceInterval
+stats::meanConfidenceInterval(const std::vector<double> &Xs,
+                              double Confidence) {
+  assert(Xs.size() >= 2 && "confidence interval needs at least two points");
+  MeanConfidenceInterval CI;
+  CI.Mean = mean(Xs);
+  double T = tCriticalValue(static_cast<unsigned>(Xs.size() - 1), Confidence);
+  CI.HalfWidth = T * sampleStdDev(Xs) / std::sqrt(static_cast<double>(Xs.size()));
+  return CI;
+}

@@ -1,0 +1,51 @@
+//===- stats/StudentT.h - Student-t confidence machinery --------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Student's t critical values and mean confidence intervals. The HCL
+/// measurement methodology the paper follows repeats each experiment until
+/// the sample mean's 95% confidence interval is within a target precision;
+/// power::RepeatedMeasurement implements that loop on top of this header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_STATS_STUDENTT_H
+#define SLOPE_STATS_STUDENTT_H
+
+#include <vector>
+
+namespace slope {
+namespace stats {
+
+/// \returns the two-sided Student-t critical value t_{alpha/2, Dof}.
+/// \p Confidence is e.g. 0.95. Computed by bisection on the regularized
+/// incomplete beta CDF; accurate to ~1e-8, asserts Dof >= 1.
+double tCriticalValue(unsigned Dof, double Confidence);
+
+/// CDF of Student's t distribution with \p Dof degrees of freedom.
+double tCdf(double X, unsigned Dof);
+
+/// A two-sided confidence interval for a sample mean.
+struct MeanConfidenceInterval {
+  double Mean = 0;
+  double HalfWidth = 0; ///< t * s / sqrt(n).
+
+  double lower() const { return Mean - HalfWidth; }
+  double upper() const { return Mean + HalfWidth; }
+
+  /// \returns true if the half width is within \p Fraction of |mean|
+  /// (the methodology's "precision of the sample mean" criterion).
+  bool withinPrecision(double Fraction) const;
+};
+
+/// Computes the \p Confidence CI for the mean of \p Xs (n >= 2).
+MeanConfidenceInterval meanConfidenceInterval(const std::vector<double> &Xs,
+                                              double Confidence = 0.95);
+
+} // namespace stats
+} // namespace slope
+
+#endif // SLOPE_STATS_STUDENTT_H

@@ -1,0 +1,79 @@
+//===- support/Csv.cpp - Minimal CSV writer -------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace slope;
+
+std::string slope::csvQuote(const std::string &Cell) {
+  bool NeedsQuoting = false;
+  for (char C : Cell)
+    if (C == ',' || C == '"' || C == '\n' || C == '\r')
+      NeedsQuoting = true;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "CSV needs at least one column");
+}
+
+void CsvWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "CSV row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void CsvWriter::addNumericRow(const std::vector<double> &Values) {
+  std::vector<std::string> Cells;
+  Cells.reserve(Values.size());
+  for (double V : Values) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", V);
+    Cells.push_back(Buffer);
+  }
+  addRow(std::move(Cells));
+}
+
+std::string CsvWriter::str() const {
+  auto RenderRow = [](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I != 0)
+        Line += ',';
+      Line += csvQuote(Cells[I]);
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Header);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+Expected<bool> CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for writing");
+  std::string Text = str();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  if (Written != Text.size())
+    return makeError("short write to '" + Path + "'");
+  return true;
+}

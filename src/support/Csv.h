@@ -1,0 +1,51 @@
+//===- support/Csv.h - Minimal CSV writer -----------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes experiment datasets and results as RFC-4180-ish CSV so they can
+/// be inspected or post-processed outside the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_CSV_H
+#define SLOPE_SUPPORT_CSV_H
+
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+
+/// Accumulates rows and serializes them as CSV text or to a file.
+class CsvWriter {
+public:
+  /// Creates a writer with the given header row.
+  explicit CsvWriter(std::vector<std::string> Header);
+
+  /// Appends a row of already-formatted cells; width must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a row of doubles formatted with maximum round-trip precision.
+  void addNumericRow(const std::vector<double> &Values);
+
+  /// \returns the CSV text, including the header.
+  std::string str() const;
+
+  /// Writes the CSV text to \p Path. \returns an error on I/O failure.
+  Expected<bool> writeFile(const std::string &Path) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Quotes a cell if it contains a comma, quote, or newline.
+std::string csvQuote(const std::string &Cell);
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_CSV_H

@@ -1,0 +1,122 @@
+//===- support/CsvReader.cpp - Minimal CSV parser -------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CsvReader.h"
+
+#include <cstdio>
+
+using namespace slope;
+
+namespace {
+
+/// Splits \p Text into records of cells, honouring quoting. \returns
+/// false on an unterminated quote, setting \p ErrorLine.
+bool tokenize(const std::string &Text,
+              std::vector<std::vector<std::string>> &Records,
+              size_t &ErrorLine) {
+  std::vector<std::string> Current;
+  std::string Cell;
+  bool InQuotes = false;
+  bool CellWasQuoted = false;
+  size_t Line = 1;
+
+  auto EndCell = [&]() {
+    Current.push_back(Cell);
+    Cell.clear();
+    CellWasQuoted = false;
+  };
+  auto EndRecord = [&]() {
+    EndCell();
+    Records.push_back(Current);
+    Current.clear();
+  };
+
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InQuotes) {
+      if (C == '"') {
+        if (I + 1 < Text.size() && Text[I + 1] == '"') {
+          Cell += '"';
+          ++I;
+        } else {
+          InQuotes = false;
+        }
+      } else {
+        if (C == '\n')
+          ++Line;
+        Cell += C;
+      }
+      continue;
+    }
+    switch (C) {
+    case '"':
+      // Opening quote is only special at cell start.
+      if (Cell.empty() && !CellWasQuoted) {
+        InQuotes = true;
+        CellWasQuoted = true;
+      } else {
+        Cell += C;
+      }
+      break;
+    case ',':
+      EndCell();
+      break;
+    case '\r':
+      break; // Tolerate CRLF.
+    case '\n':
+      EndRecord();
+      ++Line;
+      break;
+    default:
+      Cell += C;
+    }
+  }
+  if (InQuotes) {
+    ErrorLine = Line;
+    return false;
+  }
+  // Final record without a trailing newline.
+  if (!Cell.empty() || !Current.empty())
+    EndRecord();
+  return true;
+}
+
+} // namespace
+
+Expected<CsvDocument> slope::parseCsv(const std::string &Text) {
+  std::vector<std::vector<std::string>> Records;
+  size_t ErrorLine = 0;
+  if (!tokenize(Text, Records, ErrorLine))
+    return makeError("unterminated quote starting near line " +
+                     std::to_string(ErrorLine));
+  if (Records.empty())
+    return makeError("empty CSV document");
+
+  CsvDocument Doc;
+  Doc.Header = Records.front();
+  for (size_t R = 1; R < Records.size(); ++R) {
+    if (Records[R].size() != Doc.Header.size())
+      return makeError("row " + std::to_string(R + 1) + " has " +
+                       std::to_string(Records[R].size()) +
+                       " cells, expected " +
+                       std::to_string(Doc.Header.size()));
+    Doc.Rows.push_back(std::move(Records[R]));
+  }
+  return Doc;
+}
+
+Expected<CsvDocument> slope::readCsvFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for reading");
+  std::string Text;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Read);
+  std::fclose(File);
+  return parseCsv(Text);
+}

@@ -1,0 +1,43 @@
+//===- support/CsvReader.h - Minimal CSV parser ------------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the CSV dialect CsvWriter emits (RFC-4180-ish: quoted cells,
+/// doubled quotes, embedded newlines inside quotes). Round-trips
+/// experiment datasets written by ml::writeDatasetCsv.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_CSVREADER_H
+#define SLOPE_SUPPORT_CSVREADER_H
+
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+namespace slope {
+
+/// A parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+
+  size_t numColumns() const { return Header.size(); }
+  size_t numRows() const { return Rows.size(); }
+};
+
+/// Parses CSV text. Every row must have exactly the header's width.
+/// \returns an error naming the first offending line on malformed input
+/// (unterminated quote, ragged row, empty document).
+Expected<CsvDocument> parseCsv(const std::string &Text);
+
+/// Reads and parses a CSV file.
+Expected<CsvDocument> readCsvFile(const std::string &Path);
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_CSVREADER_H

@@ -1,0 +1,94 @@
+//===- support/Expected.h - Lightweight error handling ---------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++, a reproduction of "Improving the Accuracy of Energy
+// Predictive Models for Multicore CPUs Using Additivity of Performance
+// Monitoring Counters" (PaCT 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected<T>/Error pair for recoverable errors in library code.
+/// The library is built without throwing; programmatic errors are handled
+/// with assert, recoverable errors (bad user input, infeasible requests)
+/// travel through these types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_EXPECTED_H
+#define SLOPE_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace slope {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// Messages follow tool style: start lowercase, no trailing period.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  /// \returns the diagnostic message, empty for a default-constructed error.
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Creates an Error from a message string.
+inline Error makeError(std::string Message) {
+  return Error(std::move(Message));
+}
+
+/// Either a value of type \p T or an Error.
+///
+/// Modeled on llvm::Expected but without the checked-flag machinery; use
+/// operator bool before dereferencing.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Storage(std::move(Value)) {}
+
+  /// Constructs a failure value.
+  Expected(Error Err) : Storage(std::move(Err)) {}
+
+  /// \returns true if this holds a value rather than an error.
+  explicit operator bool() const {
+    return std::holds_alternative<T>(Storage);
+  }
+
+  /// Accesses the contained value. Asserts on error state.
+  T &operator*() {
+    assert(*this && "dereferencing an Expected in error state");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an Expected in error state");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Accesses the contained error. Asserts on success state.
+  const Error &error() const {
+    assert(!*this && "taking the error of an Expected in success state");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out. Asserts on error state.
+  T takeValue() {
+    assert(*this && "taking the value of an Expected in error state");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_EXPECTED_H

@@ -1,0 +1,74 @@
+//===- support/Str.cpp - String formatting helpers -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Str.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace slope;
+
+std::string str::fixed(double Value, int Decimals) {
+  assert(Decimals >= 0 && Decimals <= 17 && "unreasonable decimal count");
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string str::compact(double Value, int Digits) {
+  assert(Digits > 0 && "need at least one significant digit");
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*g", Digits, Value);
+  return Buffer;
+}
+
+std::string str::scientific(double Value, int Decimals) {
+  if (Value == 0.0)
+    return "0";
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*E", Decimals, Value);
+  return Buffer;
+}
+
+std::string str::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string str::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string str::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool str::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool str::contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+std::string str::lower(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}

@@ -1,0 +1,56 @@
+//===- support/Str.h - String formatting helpers ---------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities used by the report/table layer: fixed and
+/// significant-digit numeric formatting, scientific notation matching the
+/// paper's coefficient style (e.g. "3.83E-09"), padding and joining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_STR_H
+#define SLOPE_SUPPORT_STR_H
+
+#include <string>
+#include <vector>
+
+namespace slope {
+namespace str {
+
+/// Formats \p Value with \p Decimals digits after the point.
+std::string fixed(double Value, int Decimals);
+
+/// Formats \p Value with at most \p Digits significant digits, trimming
+/// trailing zeros ("31.20" -> "31.2", "18.010" -> "18.01").
+std::string compact(double Value, int Digits = 4);
+
+/// Formats \p Value in the paper's coefficient notation, e.g. "3.83E-09".
+/// Zero is rendered as "0".
+std::string scientific(double Value, int Decimals = 2);
+
+/// Right-pads \p S with spaces to \p Width (no-op if already wider).
+std::string padRight(const std::string &S, size_t Width);
+
+/// Left-pads \p S with spaces to \p Width (no-op if already wider).
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// \returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// \returns true if \p Needle occurs in \p Haystack.
+bool contains(const std::string &Haystack, const std::string &Needle);
+
+/// Converts to lowercase (ASCII only).
+std::string lower(std::string S);
+
+} // namespace str
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_STR_H

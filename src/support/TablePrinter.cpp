@@ -1,0 +1,61 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Str.h"
+
+#include <cassert>
+
+using namespace slope;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() &&
+         "row width does not match header width");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      Line += " ";
+      Line += str::padRight(Cells[C], Widths[C]);
+      Line += " |";
+    }
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Rule = "+";
+  for (size_t W : Widths)
+    Rule += std::string(W + 2, '-') + "+";
+  Rule += "\n";
+
+  std::string Out;
+  if (!Caption.empty())
+    Out += Caption + "\n";
+  Out += Rule;
+  Out += RenderRow(Headers);
+  Out += Rule;
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  Out += Rule;
+  return Out;
+}

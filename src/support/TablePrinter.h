@@ -1,0 +1,55 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper's tables as aligned monospace text. The bench binaries
+/// print one TablePrinter per paper table so the reproduction output can be
+/// compared against the publication side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_TABLEPRINTER_H
+#define SLOPE_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace slope {
+
+/// Accumulates rows of string cells and renders them with per-column
+/// alignment and a header rule, e.g.:
+///
+/// \code
+///   TablePrinter T({"Model", "PMCs", "Errors"});
+///   T.addRow({"LR1", "X1..X6", "(6.6, 31.2, 61.9)"});
+///   std::string Text = T.render();
+/// \endcode
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Sets an optional caption printed above the table.
+  void setCaption(std::string NewCaption) { Caption = std::move(NewCaption); }
+
+  /// \returns the number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+private:
+  std::string Caption;
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,75 @@
+//===- tests/core/AdditivityStudyTest.cpp - Platform-scan tests -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdditivityStudy.h"
+
+#include "sim/TestSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+namespace {
+AdditivityStudyResult haswellStudy(size_t NumBases = 12,
+                                   size_t NumCompounds = 6) {
+  Machine M(Platform::intelHaswellServer(), 99);
+  Rng R(99);
+  std::vector<Application> Bases =
+      diverseBaseSuite(M.platform(), NumBases, R.fork("b"));
+  return runAdditivityStudy(
+      M, makeCompoundSuite(Bases, NumCompounds, R.fork("p")));
+}
+} // namespace
+
+TEST(AdditivityStudy, TestsEverySignificantEvent) {
+  AdditivityStudyResult Study = haswellStudy();
+  EXPECT_EQ(Study.numTested(), 151u);
+}
+
+TEST(AdditivityStudy, ClassCountsPartitionTheResults) {
+  AdditivityStudyResult Study = haswellStudy();
+  EXPECT_EQ(Study.NumAdditive + Study.NumNonAdditive +
+                Study.NumNonReproducible + Study.NumInsignificant,
+            Study.numTested());
+}
+
+TEST(AdditivityStudy, PredecessorFindingHolds) {
+  // Shahid et al. 2017: many PMCs potentially additive, a considerable
+  // number not.
+  AdditivityStudyResult Study = haswellStudy(24, 12);
+  EXPECT_GT(Study.NumAdditive, 20u);
+  EXPECT_GT(Study.NumNonAdditive, 20u);
+}
+
+TEST(AdditivityStudy, DgemmFftIsMuchFriendlier) {
+  Machine M(Platform::intelSkylakeServer(), 100);
+  Rng R(100);
+  std::vector<Application> Bases = dgemmFftAdditivityBases(12);
+  AdditivityStudyResult Study =
+      runAdditivityStudy(M, makeCompoundSuite(Bases, 8, R));
+  // The optimized-kernel pair leaves most of the catalogue additive.
+  EXPECT_GT(Study.NumAdditive, Study.NumNonAdditive);
+}
+
+TEST(AdditivityStudy, HistogramCoversDeterministicEvents) {
+  AdditivityStudyResult Study = haswellStudy();
+  std::vector<size_t> Histogram =
+      Study.errorHistogram({0, 5, 20, 100});
+  size_t Total = std::accumulate(Histogram.begin(), Histogram.end(),
+                                 size_t{0});
+  EXPECT_EQ(Total, Study.NumAdditive + Study.NumNonAdditive);
+}
+
+TEST(AdditivityStudy, HistogramBucketBoundariesRespectTolerance) {
+  AdditivityStudyResult Study = haswellStudy();
+  // Bucket [0, 5) must equal the additive count when tolerance is 5%.
+  std::vector<size_t> Histogram = Study.errorHistogram({0, 5, 1e9});
+  EXPECT_EQ(Histogram[0], Study.NumAdditive);
+}

@@ -1,0 +1,94 @@
+//===- tests/core/AttributionTest.cpp - Energy attribution tests ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Attribution.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::ml;
+
+namespace {
+/// Fits y = 2a + 5b exactly (zero intercept, non-negative).
+LinearRegression makeFitted() {
+  Rng R(1);
+  Dataset D({"a", "b"});
+  for (int I = 0; I < 40; ++I) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    D.addRow({A, B}, 2 * A + 5 * B);
+  }
+  LinearRegression M;
+  [[maybe_unused]] auto Fit = M.fit(D);
+  assert(Fit);
+  return M;
+}
+} // namespace
+
+TEST(Attribution, ContributionsSumToPrediction) {
+  LinearRegression M = makeFitted();
+  std::vector<double> Counts = {3, 4};
+  std::vector<EnergyContribution> Parts =
+      attributeEnergy(M, {"a", "b"}, Counts);
+  double Sum = 0, ShareSum = 0;
+  for (const EnergyContribution &Part : Parts) {
+    Sum += Part.Joules;
+    ShareSum += Part.Share;
+  }
+  EXPECT_NEAR(Sum, M.predict(Counts), 1e-9);
+  EXPECT_NEAR(ShareSum, 1.0, 1e-9);
+}
+
+TEST(Attribution, SortedByDescendingShare) {
+  LinearRegression M = makeFitted();
+  // b's term (5*4=20) dominates a's (2*3=6).
+  std::vector<EnergyContribution> Parts =
+      attributeEnergy(M, {"a", "b"}, {3, 4});
+  ASSERT_EQ(Parts.size(), 2u);
+  EXPECT_EQ(Parts[0].Pmc, "b");
+  EXPECT_GT(Parts[0].Share, Parts[1].Share);
+}
+
+TEST(Attribution, KnownValues) {
+  LinearRegression M = makeFitted();
+  std::vector<EnergyContribution> Parts =
+      attributeEnergy(M, {"a", "b"}, {10, 0});
+  // All predicted energy comes from a.
+  EXPECT_EQ(Parts[0].Pmc, "a");
+  EXPECT_NEAR(Parts[0].Joules, 20.0, 1e-6);
+  EXPECT_NEAR(Parts[0].Share, 1.0, 1e-9);
+  EXPECT_NEAR(Parts[1].Joules, 0.0, 1e-9);
+}
+
+TEST(Attribution, InterceptReportedWhenPresent) {
+  Rng R(2);
+  Dataset D({"x"});
+  for (int I = 0; I < 30; ++I) {
+    double X = R.uniform(0, 5);
+    D.addRow({X}, 3 * X + 7);
+  }
+  LinearRegression M(LinearRegressionOptions::ols());
+  ASSERT_TRUE(bool(M.fit(D)));
+  std::vector<EnergyContribution> Parts = attributeEnergy(M, {"x"}, {2});
+  ASSERT_EQ(Parts.size(), 2u);
+  bool FoundIntercept = false;
+  for (const EnergyContribution &Part : Parts)
+    if (Part.Pmc == "(intercept)") {
+      FoundIntercept = true;
+      EXPECT_NEAR(Part.Joules, 7.0, 1e-6);
+    }
+  EXPECT_TRUE(FoundIntercept);
+}
+
+TEST(Attribution, RendersAsTable) {
+  LinearRegression M = makeFitted();
+  std::string Text =
+      renderAttribution(attributeEnergy(M, {"a", "b"}, {3, 4}));
+  EXPECT_NE(Text.find("PMC term"), std::string::npos);
+  EXPECT_NE(Text.find("b"), std::string::npos);
+}

@@ -1,0 +1,88 @@
+//===- tests/core/AugmentationTest.cpp - Compound augmentation tests ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Augmentation.h"
+
+#include "ml/Metrics.h"
+#include "ml/RandomForest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::ml;
+
+namespace {
+Dataset makeBases() {
+  Dataset D({"a", "b"});
+  D.addRow({1, 10}, 100);
+  D.addRow({2, 20}, 200);
+  D.addRow({3, 30}, 300);
+  return D;
+}
+} // namespace
+
+TEST(Augmentation, AppendsRequestedRowCount) {
+  Dataset Out = augmentWithSyntheticCompounds(makeBases(), 5, Rng(1));
+  EXPECT_EQ(Out.numRows(), 8u);
+  EXPECT_EQ(Out.numFeatures(), 2u);
+}
+
+TEST(Augmentation, OriginalRowsPreservedInPlace) {
+  Dataset Out = augmentWithSyntheticCompounds(makeBases(), 3, Rng(2));
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Out.row(I), makeBases().row(I));
+    EXPECT_DOUBLE_EQ(Out.target(I), makeBases().target(I));
+  }
+}
+
+TEST(Augmentation, SyntheticRowsAreSumsOfTwoDistinctBases) {
+  Dataset Bases = makeBases();
+  Dataset Out = augmentWithSyntheticCompounds(Bases, 40, Rng(3));
+  for (size_t I = Bases.numRows(); I < Out.numRows(); ++I) {
+    // Each synthetic row must decompose into some pair of base rows.
+    bool Matched = false;
+    for (size_t A = 0; A < Bases.numRows() && !Matched; ++A)
+      for (size_t B = 0; B < Bases.numRows() && !Matched; ++B) {
+        if (A == B)
+          continue;
+        bool RowMatch =
+            Out.row(I)[0] == Bases.row(A)[0] + Bases.row(B)[0] &&
+            Out.row(I)[1] == Bases.row(A)[1] + Bases.row(B)[1];
+        bool TargetMatch =
+            Out.target(I) == Bases.target(A) + Bases.target(B);
+        Matched = RowMatch && TargetMatch;
+      }
+    EXPECT_TRUE(Matched) << "row " << I;
+  }
+}
+
+TEST(Augmentation, DeterministicPerSeed) {
+  Dataset A = augmentWithSyntheticCompounds(makeBases(), 10, Rng(7));
+  Dataset B = augmentWithSyntheticCompounds(makeBases(), 10, Rng(7));
+  for (size_t I = 0; I < A.numRows(); ++I)
+    EXPECT_DOUBLE_EQ(A.target(I), B.target(I));
+}
+
+TEST(Augmentation, ExtendsTheForestHull) {
+  // The mechanism the future-work bench relies on: after augmentation a
+  // forest can reach twice the base-target range.
+  Rng R(11);
+  Dataset Bases({"x"});
+  for (int I = 1; I <= 60; ++I)
+    Bases.addRow({static_cast<double>(I)}, 2.0 * I);
+  Dataset Augmented = augmentWithSyntheticCompounds(Bases, 120, R);
+
+  RandomForest Plain, WithAug;
+  ASSERT_TRUE(bool(Plain.fit(Bases)));
+  ASSERT_TRUE(bool(WithAug.fit(Augmented)));
+  // A compound-like point beyond the base hull: x = 100, truth 200.
+  double PlainErr = std::fabs(Plain.predict({100}) - 200);
+  double AugErr = std::fabs(WithAug.predict({100}) - 200);
+  EXPECT_LT(AugErr, PlainErr);
+}

@@ -1,0 +1,99 @@
+//===- tests/core/DerivedMetricsTest.cpp - Derived metric tests -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DerivedMetrics.h"
+
+#include "core/PmcProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+
+namespace {
+double metricValue(const std::vector<DerivedMetric> &Metrics,
+                   const std::string &Name) {
+  for (const DerivedMetric &Metric : Metrics)
+    if (Metric.Name == Name)
+      return Metric.Value;
+  ADD_FAILURE() << "metric '" << Name << "' not found";
+  return 0;
+}
+} // namespace
+
+TEST(DerivedMetrics, FlopsGroupComputesGflops) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(),
+                                      "FLOPS_DP");
+  // Scalar 1e9, packed 3e9, ports irrelevant, 2 seconds.
+  std::vector<double> Counts = {1e9, 3e9, 0, 0};
+  std::vector<DerivedMetric> Metrics =
+      computeDerivedMetrics(Group, Counts, 2.0);
+  EXPECT_DOUBLE_EQ(metricValue(Metrics, "DP GFLOP/s"), 2.0);
+  EXPECT_DOUBLE_EQ(metricValue(Metrics, "Runtime (s)"), 2.0);
+}
+
+TEST(DerivedMetrics, MemGroupComputesBandwidth) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(), "MEM");
+  // 1e9 read CAS + 5e8 write CAS in 1 s -> 64 + 32 GB/s.
+  std::vector<double> Counts = {1e9, 5e8};
+  std::vector<DerivedMetric> Metrics =
+      computeDerivedMetrics(Group, Counts, 1.0);
+  EXPECT_DOUBLE_EQ(metricValue(Metrics, "Memory read bandwidth (GB/s)"),
+                   64.0);
+  EXPECT_DOUBLE_EQ(metricValue(Metrics, "Memory bandwidth (GB/s)"), 96.0);
+}
+
+TEST(DerivedMetrics, BranchGroupComputesMispredictionRatio) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(),
+                                      "BRANCH");
+  std::vector<double> Counts = {1e10, 1.2e8};
+  std::vector<DerivedMetric> Metrics =
+      computeDerivedMetrics(Group, Counts, 4.0);
+  EXPECT_DOUBLE_EQ(metricValue(Metrics, "Branch misprediction ratio"),
+                   0.012);
+}
+
+TEST(DerivedMetrics, GenericRatesAlwaysPresent) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(), "TLB");
+  std::vector<double> Counts = {2e6, 8e6};
+  std::vector<DerivedMetric> Metrics =
+      computeDerivedMetrics(Group, Counts, 2.0);
+  EXPECT_DOUBLE_EQ(
+      metricValue(Metrics, "ITLB_MISSES_MISS_CAUSES_A_WALK (M/s)"), 1.0);
+}
+
+TEST(DerivedMetrics, EndToEndDgemmFlopsMatchTheKernelModel) {
+  // Profile MKL DGEMM with the FLOPS_DP group and check the derived
+  // flop rate against the analytic 2N^3 / time.
+  sim::Machine M(sim::Platform::intelSkylakeServer(), 5);
+  PmcProfiler Profiler(M);
+  PerformanceGroup Group = *findGroup(skylakePerformanceGroups(),
+                                      "FLOPS_DP");
+  auto Ids = resolveGroup(M.registry(), Group);
+  ASSERT_TRUE(bool(Ids));
+  sim::Application App(sim::KernelKind::MklDgemm, 12000);
+  auto Profile = Profiler.collect(sim::CompoundApplication(App), *Ids);
+  ASSERT_TRUE(bool(Profile));
+  std::vector<DerivedMetric> Metrics = computeDerivedMetrics(
+      Group, Profile->Counts, Profile->TimeSec);
+  double Expected = 2.0 * 12000.0 * 12000.0 * 12000.0 /
+                    Profile->TimeSec / 1e9;
+  EXPECT_NEAR(metricValue(Metrics, "DP GFLOP/s") / Expected, 1.0, 0.15);
+}
+
+TEST(DerivedMetrics, RendersAsTable) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(), "MEM");
+  std::string Text = renderDerivedMetrics(
+      computeDerivedMetrics(Group, {1e9, 1e9}, 1.0));
+  EXPECT_NE(Text.find("Memory bandwidth"), std::string::npos);
+}
+
+TEST(DerivedMetricsDeath, MismatchedCountsAssert) {
+  PerformanceGroup Group = *findGroup(haswellPerformanceGroups(), "MEM");
+  EXPECT_DEATH((void)computeDerivedMetrics(Group, {1.0}, 1.0),
+               "do not match");
+}

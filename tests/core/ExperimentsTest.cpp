@@ -1,0 +1,168 @@
+//===- tests/core/ExperimentsTest.cpp - Experiment driver tests ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs reduced-size Class A and Class B/C experiments and checks the
+// paper's qualitative findings hold. The full-size reproduction lives in
+// the bench binaries; integration/EndToEndTest.cpp checks mid-size runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::core;
+
+namespace {
+/// Small, fast Class A configuration.
+ClassAConfig quickClassA() {
+  ClassAConfig Config;
+  Config.NumBaseApps = 48;
+  Config.NumCompounds = 16;
+  Config.NnEpochs = 80;
+  Config.RfTrees = 30;
+  return Config;
+}
+
+/// Small, fast Class B/C configuration.
+ClassBCConfig quickClassBC() {
+  ClassBCConfig Config;
+  Config.MaxDatasetPoints = 120;
+  Config.TrainRows = 96;
+  Config.NnEpochs = 80;
+  Config.RfTrees = 30;
+  return Config;
+}
+} // namespace
+
+TEST(ClassA, ProducesSixModelRowsPerFamily) {
+  ClassAResult R = runClassA(quickClassA());
+  EXPECT_EQ(R.AdditivityTable.size(), 6u);
+  EXPECT_EQ(R.Lr.size(), 6u);
+  EXPECT_EQ(R.Rf.size(), 6u);
+  EXPECT_EQ(R.Nn.size(), 6u);
+  EXPECT_EQ(R.TrainRows, 48u);
+  EXPECT_EQ(R.TestRows, 16u);
+}
+
+TEST(ClassA, NoPmcIsAdditiveOnTheDiverseSuite) {
+  // Paper Sect. 5.1: "found no PMC to be additive" at 5% tolerance.
+  ClassAResult R = runClassA(quickClassA());
+  for (const AdditivityResult &A : R.AdditivityTable)
+    EXPECT_FALSE(A.Additive) << A.Name;
+}
+
+TEST(ClassA, DividerHasHighestAdditivityError) {
+  ClassAResult R = runClassA(quickClassA());
+  double DivErr = 0, MaxOther = 0;
+  for (const AdditivityResult &A : R.AdditivityTable) {
+    if (A.Name == "ARITH_DIVIDER_COUNT")
+      DivErr = A.MaxErrorPct;
+    else
+      MaxOther = std::max(MaxOther, A.MaxErrorPct);
+  }
+  EXPECT_GT(DivErr, MaxOther);
+}
+
+TEST(ClassA, RemovingNonAdditivePmcsImprovesLr) {
+  // The headline result: some reduced model beats the all-PMC model.
+  ClassAResult R = runClassA(quickClassA());
+  double Best = 1e300;
+  for (size_t I = 1; I + 1 < R.Lr.size(); ++I)
+    Best = std::min(Best, R.Lr[I].Errors.Avg);
+  EXPECT_LT(Best, R.Lr.front().Errors.Avg);
+}
+
+TEST(ClassA, ModelsShrinkByOnePmcPerStep) {
+  ClassAResult R = runClassA(quickClassA());
+  for (size_t I = 0; I < R.Lr.size(); ++I) {
+    EXPECT_EQ(R.Lr[I].Pmcs.size(), 6 - I);
+    EXPECT_EQ(R.Rf[I].Pmcs.size(), 6 - I);
+    EXPECT_EQ(R.Nn[I].Pmcs.size(), 6 - I);
+  }
+}
+
+TEST(ClassA, LrCoefficientsAreNonNegative) {
+  ClassAResult R = runClassA(quickClassA());
+  for (const ModelEvalRow &Row : R.Lr) {
+    EXPECT_EQ(Row.Coefficients.size(), Row.Pmcs.size());
+    for (double C : Row.Coefficients)
+      EXPECT_GE(C, 0.0);
+  }
+}
+
+TEST(ClassA, RfAndNnRowsCarryNoCoefficients) {
+  ClassAResult R = runClassA(quickClassA());
+  for (const ModelEvalRow &Row : R.Rf)
+    EXPECT_TRUE(Row.Coefficients.empty());
+  for (const ModelEvalRow &Row : R.Nn)
+    EXPECT_TRUE(Row.Coefficients.empty());
+}
+
+TEST(ClassA, DeterministicForFixedSeed) {
+  ClassAResult A = runClassA(quickClassA());
+  ClassAResult B = runClassA(quickClassA());
+  for (size_t I = 0; I < 6; ++I) {
+    EXPECT_DOUBLE_EQ(A.Lr[I].Errors.Avg, B.Lr[I].Errors.Avg);
+    EXPECT_DOUBLE_EQ(A.Rf[I].Errors.Avg, B.Rf[I].Errors.Avg);
+  }
+}
+
+TEST(ClassBC, ProducesTable6And7Shapes) {
+  ClassBCResult R = runClassBC(quickClassBC());
+  EXPECT_EQ(R.Pa.size(), 9u);
+  EXPECT_EQ(R.Pna.size(), 9u);
+  EXPECT_EQ(R.ClassB.size(), 6u);
+  EXPECT_EQ(R.ClassC.size(), 6u);
+  EXPECT_EQ(R.Pa4.size(), 4u);
+  EXPECT_EQ(R.Pna4.size(), 4u);
+  EXPECT_EQ(R.TrainRows + R.TestRows, 120u);
+}
+
+TEST(ClassBC, PaEventsAreAdditiveForDgemmFft) {
+  ClassBCResult R = runClassBC(quickClassBC());
+  for (const PmcCorrelationRow &Row : R.Pa)
+    EXPECT_TRUE(Row.Additive) << Row.Name;
+  for (const PmcCorrelationRow &Row : R.Pna)
+    EXPECT_FALSE(Row.Additive) << Row.Name;
+}
+
+TEST(ClassBC, AdditiveModelsBeatNonAdditiveModels) {
+  // Table 7a: every A model has better average accuracy than its NA twin.
+  ClassBCResult R = runClassBC(quickClassBC());
+  for (size_t I = 0; I + 1 < R.ClassB.size(); I += 2)
+    EXPECT_LT(R.ClassB[I].Errors.Avg, R.ClassB[I + 1].Errors.Avg)
+        << R.ClassB[I].Label;
+}
+
+TEST(ClassBC, FourPmcAdditiveModelsBeatNonAdditiveOnes) {
+  // Table 7b.
+  ClassBCResult R = runClassBC(quickClassBC());
+  for (size_t I = 0; I + 1 < R.ClassC.size(); I += 2)
+    EXPECT_LT(R.ClassC[I].Errors.Avg, R.ClassC[I + 1].Errors.Avg)
+        << R.ClassC[I].Label;
+}
+
+TEST(ClassBC, Pa4IsASubsetOfPa) {
+  ClassBCResult R = runClassBC(quickClassBC());
+  for (const std::string &Name : R.Pa4) {
+    bool Found = false;
+    for (const PmcCorrelationRow &Row : R.Pa)
+      if (Row.Name == Name)
+        Found = true;
+    EXPECT_TRUE(Found) << Name;
+  }
+}
+
+TEST(ClassBC, MostPaEventsHighlyCorrelated) {
+  ClassBCResult R = runClassBC(quickClassBC());
+  size_t Highly = 0;
+  for (const PmcCorrelationRow &Row : R.Pa)
+    if (Row.Correlation > 0.75)
+      ++Highly;
+  EXPECT_GE(Highly, 6u); // X9 (L3 miss) is near zero by design.
+}

@@ -1,0 +1,143 @@
+//===- tests/core/MultiplexedProfilerTest.cpp - Multiplexing tests --------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiplexedProfiler.h"
+
+#include "pmc/PlatformEvents.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+CompoundApplication dgemm() {
+  return CompoundApplication(Application(KernelKind::MklDgemm, 12000));
+}
+
+std::vector<EventId> classAEvents(Machine &M) {
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*M.registry().lookup(Name));
+  return Ids;
+}
+} // namespace
+
+TEST(MultiplexedProfiler, UsesOneRunRegardlessOfEventCount) {
+  Machine M(Platform::intelHaswellServer(), 1);
+  MultiplexedProfiler Profiler(M);
+  auto Result = Profiler.collect(dgemm(), classAEvents(M));
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(Result->RunsUsed, 1u); // PmcProfiler needs 2 for these six.
+  EXPECT_EQ(Result->Counts.size(), 6u);
+}
+
+TEST(MultiplexedProfiler, GroupsMatchTheDedicatedRunPlan) {
+  Machine M(Platform::intelHaswellServer(), 2);
+  MultiplexedProfiler Profiler(M);
+  auto Groups = Profiler.numGroups(classAEvents(M));
+  ASSERT_TRUE(bool(Groups));
+  EXPECT_EQ(*Groups, 2u);
+}
+
+TEST(MultiplexedProfiler, SingleGroupIsExact) {
+  // Up to 4 general events share one slice group: no extrapolation, so
+  // the multiplexed count equals the dedicated-run count for the same
+  // machine seed.
+  Machine A(Platform::intelHaswellServer(), 3);
+  Machine B(Platform::intelHaswellServer(), 3);
+  std::vector<EventId> All = classAEvents(A);
+  std::vector<EventId> Four(All.begin(), All.begin() + 4);
+  MultiplexedProfiler Mux(A);
+  PmcProfiler Dedicated(B);
+  auto MuxResult = Mux.collect(dgemm(), Four);
+  auto DedResult = Dedicated.collect(dgemm(), Four);
+  ASSERT_TRUE(bool(MuxResult));
+  ASSERT_TRUE(bool(DedResult));
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_NEAR(MuxResult->Counts[I] / DedResult->Counts[I], 1.0, 1e-9);
+}
+
+TEST(MultiplexedProfiler, ExtrapolationAddsScalingError) {
+  // With 2+ groups, multiplexed counts deviate from the same run's true
+  // counts by an error that a dedicated collection does not have.
+  Machine M(Platform::intelHaswellServer(), 4);
+  MultiplexOptions Options;
+  Options.ScalingNoiseBase = 0.2; // Exaggerate for a clear signal.
+  MultiplexedProfiler Profiler(M, nullptr, Options);
+  std::vector<EventId> Six = classAEvents(M);
+  auto Result = Profiler.collect(dgemm(), Six, /*Repetitions=*/1);
+  ASSERT_TRUE(bool(Result));
+  // Compare against a clean read of a fresh machine with the same seed:
+  Machine Clean(Platform::intelHaswellServer(), 4);
+  Execution Exec = Clean.run(dgemm());
+  double WorstRel = 0;
+  for (size_t I = 0; I < Six.size(); ++I) {
+    double True = Clean.readCounter(Six[I], Exec);
+    WorstRel = std::max(WorstRel,
+                        std::fabs(Result->Counts[I] - True) / True);
+  }
+  EXPECT_GT(WorstRel, 0.02);
+}
+
+TEST(MultiplexedProfiler, RepetitionsAverageTheError) {
+  Machine M(Platform::intelHaswellServer(), 5);
+  MultiplexOptions Options;
+  Options.ScalingNoiseBase = 0.2;
+  MultiplexedProfiler Profiler(M, nullptr, Options);
+  std::vector<EventId> Six = classAEvents(M);
+  auto Once = Profiler.collect(dgemm(), Six, 1);
+  auto Many = Profiler.collect(dgemm(), Six, 12);
+  ASSERT_TRUE(bool(Once));
+  ASSERT_TRUE(bool(Many));
+  EXPECT_EQ(Many->RunsUsed, 12u);
+  // Averaged estimates must be closer to the noise-free expectation than
+  // a single draw on average; check aggregate deviation shrinks.
+  Machine Clean(Platform::intelHaswellServer(), 99);
+  Execution Ref = Clean.run(dgemm());
+  double DevOnce = 0, DevMany = 0;
+  for (size_t I = 0; I < Six.size(); ++I) {
+    double True = Clean.readCounter(Six[I], Ref);
+    DevOnce += std::fabs(Once->Counts[I] - True) / True;
+    DevMany += std::fabs(Many->Counts[I] - True) / True;
+  }
+  EXPECT_LT(DevMany, DevOnce + 0.05);
+}
+
+TEST(MultiplexedProfiler, CompoundsAmplifyTheError) {
+  // Phase boundaries interact with slice boundaries: the same event set
+  // extrapolates worse on a two-phase compound.
+  Machine M(Platform::intelHaswellServer(), 6);
+  MultiplexedProfiler Profiler(M);
+  std::vector<EventId> Six = classAEvents(M);
+  CompoundApplication Compound(Application(KernelKind::MklDgemm, 9000),
+                               Application(KernelKind::QuickSort, 1u << 26));
+  // Check the modeled sigma is larger by inspecting spread across many
+  // repetitions of base vs compound collections.
+  auto Spread = [&](const CompoundApplication &App) {
+    double MinR = 1e300, MaxR = 0;
+    for (int Rep = 0; Rep < 10; ++Rep) {
+      auto R = Profiler.collect(App, {Six[0]});
+      double C = R->Counts[0];
+      MinR = std::min(MinR, C);
+      MaxR = std::max(MaxR, C);
+    }
+    return (MaxR - MinR) / MaxR;
+  };
+  // Relative spread for the compound should generally exceed the base's.
+  EXPECT_GT(Spread(Compound) + 0.05, Spread(dgemm()));
+}
+
+TEST(MultiplexedProfiler, DuplicateRequestRejected) {
+  Machine M(Platform::intelHaswellServer(), 7);
+  MultiplexedProfiler Profiler(M);
+  EventId Id = *M.registry().lookup("L2_RQSTS_MISS");
+  EXPECT_FALSE(bool(Profiler.collect(dgemm(), {Id, Id})));
+}

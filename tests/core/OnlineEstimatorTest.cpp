@@ -1,0 +1,115 @@
+//===- tests/core/OnlineEstimatorTest.cpp - Online estimator tests --------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OnlineEstimator.h"
+
+#include "pmc/PlatformEvents.h"
+#include "stats/Descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+namespace {
+struct Rig {
+  Machine M;
+  power::HclWattsUp Meter;
+
+  explicit Rig(uint64_t Seed)
+      : M(Platform::intelSkylakeServer(), Seed),
+        Meter(M, std::make_unique<power::WattsUpProMeter>()) {}
+};
+
+std::vector<CompoundApplication> dgemmSweep() {
+  std::vector<CompoundApplication> Apps;
+  for (uint64_t N = 7000; N <= 20000; N += 500)
+    Apps.emplace_back(Application(KernelKind::MklDgemm, N));
+  return Apps;
+}
+
+std::vector<std::string> pa4() {
+  std::vector<std::string> Pa = pmc::skylakePaNames();
+  return {Pa[0], Pa[1], Pa[3], Pa[7]}; // The paper's PA4 picks.
+}
+} // namespace
+
+TEST(OnlineEstimator, TrainsOnSingleRunSubset) {
+  Rig R(1);
+  auto Estimator =
+      OnlineEstimator::train(R.M, R.Meter, pa4(), dgemmSweep());
+  ASSERT_TRUE(bool(Estimator));
+  EXPECT_EQ(Estimator->pmcNames().size(), 4u);
+}
+
+TEST(OnlineEstimator, RejectsSubsetsNeedingMultipleRuns) {
+  Rig R(2);
+  // All nine PA events need ceil(9/4) = 3 runs.
+  auto Estimator = OnlineEstimator::train(R.M, R.Meter,
+                                          pmc::skylakePaNames(),
+                                          dgemmSweep());
+  ASSERT_FALSE(bool(Estimator));
+  EXPECT_NE(Estimator.error().message().find("requires 1"),
+            std::string::npos);
+}
+
+TEST(OnlineEstimator, RejectsUnknownEvents) {
+  Rig R(3);
+  auto Estimator = OnlineEstimator::train(
+      R.M, R.Meter, {"NOT_A_COUNTER"}, dgemmSweep());
+  ASSERT_FALSE(bool(Estimator));
+}
+
+TEST(OnlineEstimator, RejectsEmptySubset) {
+  Rig R(4);
+  auto Estimator = OnlineEstimator::train(R.M, R.Meter, {}, dgemmSweep());
+  ASSERT_FALSE(bool(Estimator));
+}
+
+TEST(OnlineEstimator, EstimatesTrackMeteredTruth) {
+  Rig R(5);
+  auto Estimator =
+      OnlineEstimator::train(R.M, R.Meter, pa4(), dgemmSweep());
+  ASSERT_TRUE(bool(Estimator));
+  // Held-out sizes between the training grid points.
+  std::vector<double> Errors;
+  for (uint64_t N : {7250ull, 12250ull, 18250ull}) {
+    Execution Exec = R.M.run(Application(KernelKind::MklDgemm, N));
+    double Estimate = Estimator->estimateExecution(Exec);
+    double Truth = Exec.TrueDynamicEnergyJ;
+    Errors.push_back(std::fabs(Estimate - Truth) / Truth * 100);
+  }
+  EXPECT_LT(stats::mean(Errors), 10.0);
+}
+
+TEST(OnlineEstimator, EstimateRunPerformsAFreshExecution) {
+  Rig R(6);
+  auto Estimator =
+      OnlineEstimator::train(R.M, R.Meter, pa4(), dgemmSweep());
+  ASSERT_TRUE(bool(Estimator));
+  CompoundApplication App(Application(KernelKind::MklDgemm, 10000));
+  double A = Estimator->estimateRun(App);
+  double B = Estimator->estimateRun(App);
+  EXPECT_GT(A, 0.0);
+  EXPECT_NE(A, B); // Fresh runs differ by run-to-run variation.
+  EXPECT_NEAR(A / B, 1.0, 0.2);
+}
+
+TEST(OnlineEstimator, SupportsAllThreeFamilies) {
+  for (ModelFamily Family :
+       {ModelFamily::LR, ModelFamily::RF, ModelFamily::NN}) {
+    Rig R(7 + static_cast<uint64_t>(Family));
+    auto Estimator = OnlineEstimator::train(R.M, R.Meter, pa4(),
+                                            dgemmSweep(), Family, 1);
+    ASSERT_TRUE(bool(Estimator)) << modelFamilyName(Family);
+    EXPECT_GT(Estimator->estimateRun(CompoundApplication(
+                  Application(KernelKind::MklDgemm, 9500))),
+              0.0);
+  }
+}

@@ -1,0 +1,106 @@
+//===- tests/core/PmcProfilerTest.cpp - Profiler tests --------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PmcProfiler.h"
+
+#include "pmc/PlatformEvents.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+CompoundApplication dgemm() {
+  return CompoundApplication(Application(KernelKind::MklDgemm, 10000));
+}
+} // namespace
+
+TEST(PmcProfiler, CollectsRequestedEvents) {
+  Machine M(Platform::intelHaswellServer(), 1);
+  PmcProfiler Profiler(M);
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*M.registry().lookup(Name));
+  auto Result = Profiler.collect(dgemm(), Ids);
+  ASSERT_TRUE(bool(Result));
+  ASSERT_EQ(Result->Counts.size(), Ids.size());
+  for (double C : Result->Counts)
+    EXPECT_GT(C, 0.0);
+}
+
+TEST(PmcProfiler, SixGeneralEventsNeedTwoRuns) {
+  Machine M(Platform::intelHaswellServer(), 2);
+  PmcProfiler Profiler(M);
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*M.registry().lookup(Name));
+  auto Result = Profiler.collect(dgemm(), Ids);
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(Result->RunsUsed, 2u);
+}
+
+TEST(PmcProfiler, RepetitionsMultiplyRuns) {
+  Machine M(Platform::intelHaswellServer(), 3);
+  PmcProfiler Profiler(M);
+  std::vector<EventId> Ids = {*M.registry().lookup("L2_RQSTS_MISS")};
+  auto Result = Profiler.collect(dgemm(), Ids, /*Repetitions=*/3);
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(Result->RunsUsed, 3u);
+}
+
+TEST(PmcProfiler, EnergyAttachedWhenMeterPresent) {
+  Machine M(Platform::intelHaswellServer(), 4);
+  power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+  PmcProfiler Profiler(M, &Meter);
+  auto Result =
+      Profiler.collect(dgemm(), {*M.registry().lookup("UOPS_ISSUED_ANY")});
+  ASSERT_TRUE(bool(Result));
+  EXPECT_GT(Result->DynamicEnergyJ, 0.0);
+  EXPECT_GT(Result->TimeSec, 0.0);
+}
+
+TEST(PmcProfiler, NoMeterMeansZeroEnergy) {
+  Machine M(Platform::intelHaswellServer(), 5);
+  PmcProfiler Profiler(M);
+  auto Result =
+      Profiler.collect(dgemm(), {*M.registry().lookup("UOPS_ISSUED_ANY")});
+  ASSERT_TRUE(bool(Result));
+  EXPECT_DOUBLE_EQ(Result->DynamicEnergyJ, 0.0);
+}
+
+TEST(PmcProfiler, CollectionCostMatchesPaperForFullRegistry) {
+  Machine M(Platform::intelHaswellServer(), 6);
+  PmcProfiler Profiler(M);
+  std::vector<EventId> Significant;
+  for (EventId Id : M.registry().allEvents())
+    if (!M.registry().event(Id).Model.Coeffs.empty())
+      Significant.push_back(Id);
+  auto Cost = Profiler.collectionCost(Significant);
+  ASSERT_TRUE(bool(Cost));
+  EXPECT_EQ(*Cost, 53u);
+}
+
+TEST(PmcProfiler, DuplicateRequestIsRejected) {
+  Machine M(Platform::intelHaswellServer(), 7);
+  PmcProfiler Profiler(M);
+  EventId Id = *M.registry().lookup("L2_RQSTS_MISS");
+  auto Result = Profiler.collect(dgemm(), {Id, Id});
+  EXPECT_FALSE(bool(Result));
+}
+
+TEST(PmcProfiler, CountsOrderedLikeRequest) {
+  Machine M(Platform::intelHaswellServer(), 8);
+  PmcProfiler Profiler(M);
+  EventId Uops = *M.registry().lookup("UOPS_ISSUED_ANY");
+  EventId Divs = *M.registry().lookup("ARITH_DIVIDER_COUNT");
+  auto Forward = Profiler.collect(dgemm(), {Uops, Divs});
+  ASSERT_TRUE(bool(Forward));
+  // Uop volume dwarfs divider counts for DGEMM.
+  EXPECT_GT(Forward->Counts[0], Forward->Counts[1]);
+}

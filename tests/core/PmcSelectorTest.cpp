@@ -1,0 +1,153 @@
+//===- tests/core/PmcSelectorTest.cpp - Selector tests --------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PmcSelector.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::ml;
+
+namespace {
+AdditivityResult result(const std::string &Name, double ErrorPct,
+                        bool Deterministic = true, bool Significant = true) {
+  AdditivityResult R;
+  R.Name = Name;
+  R.MaxErrorPct = ErrorPct;
+  R.Deterministic = Deterministic;
+  R.Significant = Significant;
+  R.Additive = Deterministic && Significant && ErrorPct <= 5.0;
+  return R;
+}
+
+/// The paper's Table 2 numbers.
+std::vector<AdditivityResult> table2() {
+  return {result("IDQ_MITE_UOPS", 13), result("IDQ_MS_UOPS", 37),
+          result("ICACHE_64B_IFTAG_MISS", 36),
+          result("ARITH_DIVIDER_COUNT", 80), result("L2_RQSTS_MISS", 14),
+          result("UOPS_EXECUTED_PORT_PORT_6", 10)};
+}
+} // namespace
+
+TEST(RankByAdditivity, SortsAscendingByError) {
+  std::vector<AdditivityResult> Ranked = rankByAdditivity(table2());
+  EXPECT_EQ(Ranked.front().Name, "UOPS_EXECUTED_PORT_PORT_6");
+  EXPECT_EQ(Ranked.back().Name, "ARITH_DIVIDER_COUNT");
+}
+
+TEST(RankByAdditivity, NonDeterministicEventsSinkToTheEnd) {
+  std::vector<AdditivityResult> Results = table2();
+  Results.push_back(result("NOISY", 1.0, /*Deterministic=*/false));
+  std::vector<AdditivityResult> Ranked = rankByAdditivity(Results);
+  EXPECT_EQ(Ranked.back().Name, "NOISY");
+}
+
+TEST(SelectMostAdditive, PicksTopK) {
+  std::vector<std::string> Top = selectMostAdditive(table2(), 2);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0], "UOPS_EXECUTED_PORT_PORT_6");
+  EXPECT_EQ(Top[1], "IDQ_MITE_UOPS");
+}
+
+TEST(NestedSubsets, MatchesPaperDropOrder) {
+  // Table 3 of the paper: LR2 drops X4 (80%), LR3 drops X2 (37%), LR4
+  // drops X3 (36%), LR5 drops X5 (14%), LR6 keeps only X6 (10%).
+  std::vector<std::vector<std::string>> Families =
+      nestedSubsetsByAdditivity(table2());
+  ASSERT_EQ(Families.size(), 6u);
+  EXPECT_EQ(Families[0].size(), 6u);
+  // LR2: everything but the divider.
+  EXPECT_EQ(Families[1],
+            (std::vector<std::string>{"IDQ_MITE_UOPS", "IDQ_MS_UOPS",
+                                      "ICACHE_64B_IFTAG_MISS",
+                                      "L2_RQSTS_MISS",
+                                      "UOPS_EXECUTED_PORT_PORT_6"}));
+  // LR5: {X1, X6}.
+  EXPECT_EQ(Families[4], (std::vector<std::string>{
+                             "IDQ_MITE_UOPS", "UOPS_EXECUTED_PORT_PORT_6"}));
+  // LR6: the single most additive PMC.
+  EXPECT_EQ(Families[5],
+            (std::vector<std::string>{"UOPS_EXECUTED_PORT_PORT_6"}));
+}
+
+TEST(NestedSubsets, PreservesPresentationOrder) {
+  std::vector<std::vector<std::string>> Families =
+      nestedSubsetsByAdditivity(table2());
+  // Families keep the X1..X6 listing order of the input.
+  EXPECT_EQ(Families[2],
+            (std::vector<std::string>{"IDQ_MITE_UOPS",
+                                      "ICACHE_64B_IFTAG_MISS",
+                                      "L2_RQSTS_MISS",
+                                      "UOPS_EXECUTED_PORT_PORT_6"}));
+}
+
+namespace {
+Dataset makeCorrelationToy() {
+  // energy = strongly tied to f1, weakly to f2, anti-tied to f3.
+  Dataset D({"f1", "f2", "f3"});
+  for (int I = 1; I <= 20; ++I) {
+    double X = I;
+    D.addRow({X, (I % 3) * 10.0, -X}, 5 * X);
+  }
+  return D;
+}
+} // namespace
+
+TEST(EnergyCorrelations, SignsAndMagnitudes) {
+  std::vector<double> Corr = energyCorrelations(makeCorrelationToy());
+  ASSERT_EQ(Corr.size(), 3u);
+  EXPECT_NEAR(Corr[0], 1.0, 1e-12);
+  EXPECT_LT(std::fabs(Corr[1]), 0.5);
+  EXPECT_NEAR(Corr[2], -1.0, 1e-12);
+}
+
+TEST(SelectMostCorrelated, PositiveRankingByDefault) {
+  std::vector<std::string> Top = selectMostCorrelated(makeCorrelationToy(), 2);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0], "f1");
+  EXPECT_EQ(Top[1], "f2"); // f3 is highly anti-correlated: ranked last.
+}
+
+TEST(SelectMostCorrelated, AbsoluteRankingPromotesAnticorrelated) {
+  std::vector<std::string> Top =
+      selectMostCorrelated(makeCorrelationToy(), 2, /*Absolute=*/true);
+  EXPECT_EQ(Top[0], "f1");
+  EXPECT_EQ(Top[1], "f3");
+}
+
+TEST(SelectByPcaLoading, ReturnsRequestedCount) {
+  std::vector<std::string> Top = selectByPcaLoading(makeCorrelationToy(), 2);
+  EXPECT_EQ(Top.size(), 2u);
+}
+
+TEST(SelectByPcaLoading, IgnoresEnergyEntirely) {
+  // PCA sees only the feature space: flipping every target must not
+  // change the selection.
+  Dataset Flipped({"f1", "f2", "f3"});
+  Dataset Toy = makeCorrelationToy();
+  for (size_t R = 0; R < Toy.numRows(); ++R)
+    Flipped.addRow(Toy.row(R), -Toy.target(R));
+  EXPECT_EQ(selectByPcaLoading(Toy, 2), selectByPcaLoading(Flipped, 2));
+}
+
+TEST(SelectByPcaLoading, PrefersHighVarianceStructure) {
+  // f1/f2 form a strong shared component; f3 is tiny independent noise
+  // that standardization alone cannot promote past the shared component.
+  Rng R(5);
+  Dataset D({"f1", "f2", "f3"});
+  for (int I = 0; I < 200; ++I) {
+    double Shared = R.gaussian();
+    D.addRow({Shared, Shared + 0.01 * R.gaussian(), R.gaussian()}, 1.0);
+  }
+  std::vector<std::string> Top = selectByPcaLoading(D, 2, 0.8);
+  EXPECT_TRUE((Top[0] == "f1" || Top[0] == "f2"));
+  EXPECT_TRUE((Top[1] == "f1" || Top[1] == "f2"));
+}

@@ -1,0 +1,96 @@
+//===- tests/core/ResultsIoTest.cpp - Result archival tests ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultsIo.h"
+
+#include "support/CsvReader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::core;
+
+namespace {
+ClassAResult makeClassA() {
+  ClassAResult Result;
+  AdditivityResult Add;
+  Add.Name = "ARITH_DIVIDER_COUNT";
+  Add.MaxErrorPct = 80;
+  Add.WorstCv = 0.02;
+  Add.Additive = false;
+  Result.AdditivityTable.push_back(Add);
+  ModelEvalRow Row;
+  Row.Label = "LR5";
+  Row.Pmcs = {"IDQ_MITE_UOPS", "UOPS_EXECUTED_PORT_PORT_6"};
+  Row.Errors = {2.5, 18.01, 89.45};
+  Result.Lr.push_back(Row);
+  return Result;
+}
+
+ClassBCResult makeClassBC() {
+  ClassBCResult Result;
+  Result.Pa.push_back({"UOPS_EXECUTED_CORE", 0.993, 1.6, true});
+  Result.Pna.push_back({"IDQ_MS_UOPS", 0.99, 41.4, false});
+  ModelEvalRow Row;
+  Row.Label = "NN-A4";
+  Row.Pmcs = {"A", "B"};
+  Row.Errors = {0.003, 11.46, 152.2};
+  Result.ClassC.push_back(Row);
+  return Result;
+}
+} // namespace
+
+TEST(ResultsIo, ClassACsvParsesBack) {
+  auto Doc = parseCsv(classAResultToCsv(makeClassA()));
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->numColumns(), 7u);
+  ASSERT_EQ(Doc->numRows(), 2u);
+  EXPECT_EQ(Doc->Rows[0][0], "additivity");
+  EXPECT_EQ(Doc->Rows[0][2], "ARITH_DIVIDER_COUNT");
+  EXPECT_EQ(Doc->Rows[1][0], "model");
+  EXPECT_EQ(Doc->Rows[1][1], "LR");
+}
+
+TEST(ResultsIo, ModelRowCarriesErrorTriple) {
+  auto Doc = parseCsv(classAResultToCsv(makeClassA()));
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_DOUBLE_EQ(std::stod(Doc->Rows[1][4]), 2.5);
+  EXPECT_DOUBLE_EQ(std::stod(Doc->Rows[1][5]), 18.01);
+  EXPECT_DOUBLE_EQ(std::stod(Doc->Rows[1][6]), 89.45);
+}
+
+TEST(ResultsIo, PmcListJoinedWithSemicolons) {
+  auto Doc = parseCsv(classAResultToCsv(makeClassA()));
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[1][3],
+            "IDQ_MITE_UOPS;UOPS_EXECUTED_PORT_PORT_6");
+}
+
+TEST(ResultsIo, ClassBCCsvHasCorrelationAndModelRows) {
+  auto Doc = parseCsv(classBCResultToCsv(makeClassBC()));
+  ASSERT_TRUE(bool(Doc));
+  ASSERT_EQ(Doc->numRows(), 3u);
+  EXPECT_EQ(Doc->Rows[0][1], "PA");
+  EXPECT_EQ(Doc->Rows[1][1], "PNA");
+  EXPECT_EQ(Doc->Rows[1][3], "non-additive");
+  EXPECT_EQ(Doc->Rows[2][2], "NN-A4");
+}
+
+TEST(ResultsIo, WriteFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "slope_results.csv";
+  ASSERT_TRUE(bool(writeResultCsv(classAResultToCsv(makeClassA()), Path)));
+  auto Doc = readCsvFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->numRows(), 2u);
+}
+
+TEST(ResultsIo, WriteFileBadPathFails) {
+  EXPECT_FALSE(
+      bool(writeResultCsv("kind\n", "/nonexistent-dir-xyz/r.csv")));
+}

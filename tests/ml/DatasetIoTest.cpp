@@ -1,0 +1,81 @@
+//===- tests/ml/DatasetIoTest.cpp - Dataset CSV I/O tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DatasetIo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+Dataset makeToy() {
+  Dataset D({"IDQ_MS_UOPS", "L2_RQSTS_MISS"});
+  D.addRow({1.5e9, 2.25e8}, 341.5);
+  D.addRow({3.25e9, 4.5e8}, 702.125);
+  return D;
+}
+} // namespace
+
+TEST(DatasetIo, CsvHasFeatureAndTargetColumns) {
+  std::string Text = datasetToCsv(makeToy());
+  EXPECT_EQ(Text.rfind("IDQ_MS_UOPS,L2_RQSTS_MISS,dynamic_energy_j\n", 0),
+            0u);
+}
+
+TEST(DatasetIo, TextRoundTripIsExact) {
+  Dataset Original = makeToy();
+  auto Parsed = datasetFromCsv(datasetToCsv(Original));
+  ASSERT_TRUE(bool(Parsed));
+  ASSERT_EQ(Parsed->numRows(), Original.numRows());
+  ASSERT_EQ(Parsed->featureNames(), Original.featureNames());
+  for (size_t R = 0; R < Original.numRows(); ++R) {
+    EXPECT_EQ(Parsed->row(R), Original.row(R));
+    EXPECT_DOUBLE_EQ(Parsed->target(R), Original.target(R));
+  }
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "slope_dataset_io.csv";
+  ASSERT_TRUE(bool(writeDatasetCsv(makeToy(), Path)));
+  auto Parsed = readDatasetCsv(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_EQ(Parsed->numRows(), 2u);
+  EXPECT_DOUBLE_EQ(Parsed->target(1), 702.125);
+}
+
+TEST(DatasetIo, EmptyDatasetSerializesHeaderOnly) {
+  Dataset D({"a"});
+  auto Parsed = datasetFromCsv(datasetToCsv(D));
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_EQ(Parsed->numRows(), 0u);
+  EXPECT_EQ(Parsed->numFeatures(), 1u);
+}
+
+TEST(DatasetIo, RejectsNonNumericCells) {
+  auto Parsed = datasetFromCsv("a,dynamic_energy_j\nhello,3\n");
+  ASSERT_FALSE(bool(Parsed));
+  EXPECT_NE(Parsed.error().message().find("hello"), std::string::npos);
+}
+
+TEST(DatasetIo, RejectsSingleColumn) {
+  auto Parsed = datasetFromCsv("only\n1\n");
+  ASSERT_FALSE(bool(Parsed));
+}
+
+TEST(DatasetIo, ExtremeValuesSurviveRoundTrip) {
+  Dataset D({"x"});
+  D.addRow({1e-308}, 1e308);
+  D.addRow({0.1 + 0.2}, -0.0);
+  auto Parsed = datasetFromCsv(datasetToCsv(D));
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_DOUBLE_EQ(Parsed->row(0)[0], 1e-308);
+  EXPECT_DOUBLE_EQ(Parsed->target(0), 1e308);
+  EXPECT_DOUBLE_EQ(Parsed->row(1)[0], 0.1 + 0.2);
+}

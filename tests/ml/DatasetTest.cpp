@@ -1,0 +1,105 @@
+//===- tests/ml/DatasetTest.cpp - Dataset tests --------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+Dataset makeToy() {
+  Dataset D({"a", "b", "c"});
+  D.addRow({1, 10, 100}, 1000);
+  D.addRow({2, 20, 200}, 2000);
+  D.addRow({3, 30, 300}, 3000);
+  D.addRow({4, 40, 400}, 4000);
+  return D;
+}
+} // namespace
+
+TEST(Dataset, Shape) {
+  Dataset D = makeToy();
+  EXPECT_EQ(D.numRows(), 4u);
+  EXPECT_EQ(D.numFeatures(), 3u);
+}
+
+TEST(Dataset, RowAndTargetAccess) {
+  Dataset D = makeToy();
+  EXPECT_EQ(D.row(1), (std::vector<double>{2, 20, 200}));
+  EXPECT_DOUBLE_EQ(D.target(2), 3000);
+}
+
+TEST(Dataset, FeatureColumn) {
+  Dataset D = makeToy();
+  EXPECT_EQ(D.featureColumn(1), (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(Dataset, FeatureMatrixMatchesRows) {
+  Dataset D = makeToy();
+  stats::Matrix M = D.featureMatrix();
+  EXPECT_EQ(M.rows(), 4u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(3, 2), 400);
+}
+
+TEST(Dataset, IndexOfFeature) {
+  Dataset D = makeToy();
+  EXPECT_EQ(D.indexOfFeature("b"), 1u);
+  EXPECT_EQ(D.indexOfFeature("missing"), D.numFeatures());
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns) {
+  Dataset D = makeToy();
+  Dataset S = D.selectFeatures({"c", "a"});
+  EXPECT_EQ(S.numFeatures(), 2u);
+  EXPECT_EQ(S.row(0), (std::vector<double>{100, 1}));
+  EXPECT_DOUBLE_EQ(S.target(0), 1000); // Targets preserved.
+}
+
+TEST(Dataset, SelectRows) {
+  Dataset D = makeToy();
+  Dataset S = D.selectRows({3, 0});
+  EXPECT_EQ(S.numRows(), 2u);
+  EXPECT_DOUBLE_EQ(S.target(0), 4000);
+  EXPECT_DOUBLE_EQ(S.target(1), 1000);
+}
+
+TEST(Dataset, SplitPartitionsAllRows) {
+  Dataset D = makeToy();
+  auto [Train, Test] = D.split(0.5, Rng(1));
+  EXPECT_EQ(Train.numRows() + Test.numRows(), D.numRows());
+  EXPECT_EQ(Test.numRows(), 2u);
+}
+
+TEST(Dataset, SplitIsDeterministicPerSeed) {
+  Dataset D = makeToy();
+  auto [TrainA, TestA] = D.split(0.5, Rng(7));
+  auto [TrainB, TestB] = D.split(0.5, Rng(7));
+  for (size_t I = 0; I < TestA.numRows(); ++I)
+    EXPECT_EQ(TestA.target(I), TestB.target(I));
+}
+
+TEST(Dataset, SplitZeroFractionKeepsAllForTraining) {
+  Dataset D = makeToy();
+  auto [Train, Test] = D.split(0.0, Rng(1));
+  EXPECT_EQ(Train.numRows(), 4u);
+  EXPECT_EQ(Test.numRows(), 0u);
+}
+
+TEST(Dataset, SplitAtIsPositional) {
+  Dataset D = makeToy();
+  auto [Train, Test] = D.splitAt(3);
+  EXPECT_EQ(Train.numRows(), 3u);
+  ASSERT_EQ(Test.numRows(), 1u);
+  EXPECT_DOUBLE_EQ(Test.target(0), 4000);
+}
+
+TEST(DatasetDeath, MismatchedRowWidthAsserts) {
+  Dataset D({"a", "b"});
+  EXPECT_DEATH(D.addRow({1.0}, 2.0), "width");
+}

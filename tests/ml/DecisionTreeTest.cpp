@@ -1,0 +1,134 @@
+//===- tests/ml/DecisionTreeTest.cpp - Regression tree tests -------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+Dataset makeStepData() {
+  // y = 0 for x < 5, y = 10 for x >= 5: one split suffices.
+  Dataset D({"x"});
+  for (int I = 0; I < 10; ++I)
+    D.addRow({static_cast<double>(I)}, I < 5 ? 0.0 : 10.0);
+  return D;
+}
+} // namespace
+
+TEST(DecisionTree, LearnsStepFunction) {
+  DecisionTree T;
+  ASSERT_TRUE(bool(T.fit(makeStepData())));
+  EXPECT_DOUBLE_EQ(T.predict({2}), 0.0);
+  EXPECT_DOUBLE_EQ(T.predict({7}), 10.0);
+}
+
+TEST(DecisionTree, SingleRowIsLeaf) {
+  Dataset D({"x"});
+  D.addRow({1}, 42);
+  DecisionTree T;
+  ASSERT_TRUE(bool(T.fit(D)));
+  EXPECT_EQ(T.numNodes(), 1u);
+  EXPECT_DOUBLE_EQ(T.predict({99}), 42);
+}
+
+TEST(DecisionTree, ConstantTargetsStayOneLeaf) {
+  Dataset D({"x"});
+  for (int I = 0; I < 20; ++I)
+    D.addRow({static_cast<double>(I)}, 5.0);
+  DecisionTree T;
+  ASSERT_TRUE(bool(T.fit(D)));
+  // No variance to reduce: splitting gains nothing, but implementations
+  // may still split on ties; prediction must remain exact either way.
+  EXPECT_DOUBLE_EQ(T.predict({3}), 5.0);
+  EXPECT_DOUBLE_EQ(T.predict({-100}), 5.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  DecisionTreeOptions Options;
+  Options.MaxDepth = 2;
+  Options.MinSamplesLeaf = 1;
+  Options.MinSamplesSplit = 2;
+  Dataset D({"x"});
+  for (int I = 0; I < 64; ++I)
+    D.addRow({static_cast<double>(I)}, static_cast<double>(I));
+  DecisionTree T(Options);
+  ASSERT_TRUE(bool(T.fit(D)));
+  EXPECT_LE(T.fittedDepth(), 2u);
+}
+
+TEST(DecisionTree, DeepTreeInterpolatesTraining) {
+  DecisionTreeOptions Options;
+  Options.MaxDepth = 30;
+  Options.MinSamplesLeaf = 1;
+  Options.MinSamplesSplit = 2;
+  Dataset D({"x"});
+  for (int I = 0; I < 32; ++I)
+    D.addRow({static_cast<double>(I)}, static_cast<double>(I * I % 7));
+  DecisionTree T(Options);
+  ASSERT_TRUE(bool(T.fit(D)));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_DOUBLE_EQ(T.predict({static_cast<double>(I)}),
+                     static_cast<double>(I * I % 7));
+}
+
+TEST(DecisionTree, CannotExtrapolateBeyondTrainingRange) {
+  // The key property behind the paper's RF max-error blow-ups: a tree
+  // predicts within [min(y), max(y)] of its training targets.
+  Dataset D({"x"});
+  for (int I = 0; I < 50; ++I)
+    D.addRow({static_cast<double>(I)}, 2.0 * I);
+  DecisionTree T;
+  ASSERT_TRUE(bool(T.fit(D)));
+  double FarOut = T.predict({1000.0});
+  EXPECT_LE(FarOut, 98.0 + 1e-12);
+  EXPECT_GE(FarOut, 0.0);
+}
+
+TEST(DecisionTree, MultiFeatureSplitsOnInformativeFeature) {
+  // Feature 0 is noise, feature 1 carries the signal.
+  Dataset D({"noise", "signal"});
+  for (int I = 0; I < 40; ++I)
+    D.addRow({static_cast<double>(I % 3), static_cast<double>(I)},
+             I < 20 ? 1.0 : 9.0);
+  DecisionTree T;
+  ASSERT_TRUE(bool(T.fit(D)));
+  EXPECT_DOUBLE_EQ(T.predict({0, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(T.predict({0, 35}), 9.0);
+}
+
+TEST(DecisionTree, FitRowsUsesOnlySelectedRows) {
+  Dataset D({"x"});
+  for (int I = 0; I < 10; ++I)
+    D.addRow({static_cast<double>(I)}, I < 5 ? 0.0 : 100.0);
+  DecisionTree T;
+  // Train only on the low-target half.
+  ASSERT_TRUE(bool(T.fitRows(D, {0, 1, 2, 3, 4})));
+  EXPECT_DOUBLE_EQ(T.predict({9}), 0.0);
+}
+
+TEST(DecisionTree, RejectsEmptyIndexSet) {
+  Dataset D({"x"});
+  D.addRow({1}, 1);
+  DecisionTree T;
+  EXPECT_FALSE(bool(T.fitRows(D, {})));
+}
+
+TEST(DecisionTree, MinSamplesLeafPreventsTinyLeaves) {
+  DecisionTreeOptions Options;
+  Options.MinSamplesLeaf = 5;
+  Options.MinSamplesSplit = 10;
+  Dataset D({"x"});
+  for (int I = 0; I < 9; ++I)
+    D.addRow({static_cast<double>(I)}, static_cast<double>(I));
+  DecisionTree T(Options);
+  ASSERT_TRUE(bool(T.fit(D)));
+  // 9 rows < MinSamplesSplit: the tree must be a single leaf at mean 4.
+  EXPECT_EQ(T.numNodes(), 1u);
+  EXPECT_DOUBLE_EQ(T.predict({0}), 4.0);
+}

@@ -1,0 +1,112 @@
+//===- tests/ml/KnnRegressorTest.cpp - k-NN baseline tests ----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/KnnRegressor.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+Dataset makeGrid() {
+  Dataset D({"x"});
+  for (int I = 0; I <= 10; ++I)
+    D.addRow({static_cast<double>(I)}, 10.0 * I);
+  return D;
+}
+} // namespace
+
+TEST(KnnRegressor, ExactHitReturnsTarget) {
+  KnnRegressor M;
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  EXPECT_DOUBLE_EQ(M.predict({4}), 40.0);
+}
+
+TEST(KnnRegressor, InterpolatesBetweenNeighbours) {
+  KnnOptions Options;
+  Options.K = 2;
+  KnnRegressor M(Options);
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  double P = M.predict({4.5});
+  EXPECT_GT(P, 40.0);
+  EXPECT_LT(P, 50.0);
+}
+
+TEST(KnnRegressor, UniformWeightsAverageNeighbours) {
+  KnnOptions Options;
+  Options.K = 2;
+  Options.DistanceWeighted = false;
+  KnnRegressor M(Options);
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  EXPECT_DOUBLE_EQ(M.predict({4.4}), 45.0); // Neighbours 4 and 5.
+}
+
+TEST(KnnRegressor, KOneIsNearestNeighbour) {
+  KnnOptions Options;
+  Options.K = 1;
+  KnnRegressor M(Options);
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  EXPECT_DOUBLE_EQ(M.predict({6.4}), 60.0);
+  EXPECT_DOUBLE_EQ(M.predict({6.6}), 70.0);
+}
+
+TEST(KnnRegressor, KLargerThanDatasetClamps) {
+  KnnOptions Options;
+  Options.K = 100;
+  KnnRegressor M(Options);
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  EXPECT_EQ(M.effectiveK(), 11u);
+  // Off-grid query: weighted mean over the whole (clamped) set.
+  EXPECT_GT(M.predict({0.3}), 0.0);
+  // Exact training hit still short-circuits to the stored target.
+  EXPECT_DOUBLE_EQ(M.predict({0}), 0.0);
+}
+
+TEST(KnnRegressor, CannotExtrapolateBeyondTargets) {
+  // Like the forest, k-NN saturates outside the training hull — the
+  // Manila-style baseline shares RF's compound-app weakness.
+  KnnRegressor M;
+  ASSERT_TRUE(bool(M.fit(makeGrid())));
+  EXPECT_LE(M.predict({1000}), 100.0 + 1e-9);
+}
+
+TEST(KnnRegressor, StandardizationBalancesScales) {
+  // Feature 1 is the informative one but has a tiny scale; without
+  // standardization feature 0 (pure noise at large scale) would
+  // dominate distances.
+  Rng R(1);
+  Dataset D({"noise", "signal"});
+  for (int I = 0; I < 200; ++I) {
+    double Signal = R.uniform(0, 1);
+    D.addRow({R.uniform(0, 1e6), Signal}, 100 * Signal);
+  }
+  KnnRegressor M;
+  ASSERT_TRUE(bool(M.fit(D)));
+  double Err = 0;
+  for (double S = 0.1; S < 1.0; S += 0.2)
+    Err += std::fabs(M.predict({5e5, S}) - 100 * S);
+  EXPECT_LT(Err / 5, 25.0);
+}
+
+TEST(KnnRegressor, RejectsEmptyDataset) {
+  KnnRegressor M;
+  Dataset D({"x"});
+  EXPECT_FALSE(bool(M.fit(D)));
+}
+
+TEST(KnnRegressor, NameIsKnn) {
+  EXPECT_EQ(KnnRegressor().name(), "kNN");
+}
+
+TEST(KnnRegressorDeath, PredictBeforeFitAsserts) {
+  KnnRegressor M;
+  EXPECT_DEATH((void)M.predict({1.0}), "unfitted");
+}

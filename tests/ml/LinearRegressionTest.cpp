@@ -1,0 +1,143 @@
+//===- tests/ml/LinearRegressionTest.cpp - Linear model tests ------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/LinearRegression.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+/// y = 3a + 2b, no intercept, exact.
+Dataset makeLinearData(size_t N, uint64_t Seed, double Intercept = 0.0) {
+  Rng R(Seed);
+  Dataset D({"a", "b"});
+  for (size_t I = 0; I < N; ++I) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    D.addRow({A, B}, Intercept + 3 * A + 2 * B);
+  }
+  return D;
+}
+} // namespace
+
+TEST(LinearRegression, PaperConfigRecoversNonNegativeTruth) {
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(makeLinearData(50, 1))));
+  EXPECT_NEAR(M.coefficients()[0], 3.0, 1e-4);
+  EXPECT_NEAR(M.coefficients()[1], 2.0, 1e-4);
+  EXPECT_DOUBLE_EQ(M.intercept(), 0.0);
+}
+
+TEST(LinearRegression, PredictionMatchesFit) {
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(makeLinearData(50, 2))));
+  EXPECT_NEAR(M.predict({1, 1}), 5.0, 1e-3);
+  EXPECT_NEAR(M.predict({0, 0}), 0.0, 1e-3);
+}
+
+TEST(LinearRegression, PaperConfigNeverProducesNegativeCoefficients) {
+  // Target anti-correlated with feature b.
+  Rng R(3);
+  Dataset D({"a", "b"});
+  for (int I = 0; I < 60; ++I) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    D.addRow({A, B}, 5 * A - 2 * B + 25);
+  }
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(D)));
+  for (double C : M.coefficients())
+    EXPECT_GE(C, 0.0);
+}
+
+TEST(LinearRegression, OlsRecoversIntercept) {
+  LinearRegression M(LinearRegressionOptions::ols());
+  ASSERT_TRUE(bool(M.fit(makeLinearData(60, 4, /*Intercept=*/7.0))));
+  EXPECT_NEAR(M.intercept(), 7.0, 1e-6);
+  EXPECT_NEAR(M.coefficients()[0], 3.0, 1e-6);
+}
+
+TEST(LinearRegression, OlsAllowsNegativeCoefficients) {
+  Rng R(5);
+  Dataset D({"a", "b"});
+  for (int I = 0; I < 60; ++I) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    D.addRow({A, B}, 5 * A - 2 * B);
+  }
+  LinearRegressionOptions Options = LinearRegressionOptions::ols();
+  Options.ZeroIntercept = true;
+  LinearRegression M(Options);
+  ASSERT_TRUE(bool(M.fit(D)));
+  EXPECT_NEAR(M.coefficients()[1], -2.0, 1e-6);
+}
+
+TEST(LinearRegression, RidgeShrinksCoefficients) {
+  Dataset D = makeLinearData(40, 6);
+  LinearRegressionOptions Heavy = LinearRegressionOptions::paperDefault();
+  Heavy.Lambda = 1e4;
+  LinearRegression Plain, Shrunk(Heavy);
+  ASSERT_TRUE(bool(Plain.fit(D)));
+  ASSERT_TRUE(bool(Shrunk.fit(D)));
+  EXPECT_LT(Shrunk.coefficients()[0], Plain.coefficients()[0]);
+}
+
+TEST(LinearRegression, RejectsEmptyDataset) {
+  LinearRegression M;
+  Dataset D({"a"});
+  auto Fit = M.fit(D);
+  ASSERT_FALSE(bool(Fit));
+  EXPECT_NE(Fit.error().message().find("empty"), std::string::npos);
+}
+
+TEST(LinearRegression, RejectsZeroFeatures) {
+  LinearRegression M;
+  Dataset D{std::vector<std::string>{}};
+  D.addRow({}, 1.0);
+  EXPECT_FALSE(bool(M.fit(D)));
+}
+
+TEST(LinearRegression, NameIsLR) {
+  EXPECT_EQ(LinearRegression().name(), "LR");
+}
+
+TEST(LinearRegressionDeath, PredictBeforeFitAsserts) {
+  LinearRegression M;
+  EXPECT_DEATH((void)M.predict({1.0}), "unfitted");
+}
+
+// Property: on exactly linear non-negative data the residual is ~0
+// regardless of dimension.
+class LinearRecovery : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LinearRecovery, ExactFitOnConsistentData) {
+  size_t Dim = GetParam();
+  Rng R(100 + Dim);
+  std::vector<double> Truth;
+  for (size_t J = 0; J < Dim; ++J)
+    Truth.push_back(R.uniform(0.1, 5));
+  std::vector<std::string> Names;
+  for (size_t J = 0; J < Dim; ++J)
+    Names.push_back("f" + std::to_string(J));
+  Dataset D(Names);
+  for (size_t I = 0; I < 20 * Dim + 10; ++I) {
+    std::vector<double> X;
+    double Y = 0;
+    for (size_t J = 0; J < Dim; ++J) {
+      X.push_back(R.uniform(0, 3));
+      Y += Truth[J] * X.back();
+    }
+    D.addRow(X, Y);
+  }
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(D)));
+  for (size_t J = 0; J < Dim; ++J)
+    EXPECT_NEAR(M.coefficients()[J], Truth[J], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LinearRecovery,
+                         ::testing::Values(1, 2, 3, 5, 8));

@@ -1,0 +1,83 @@
+//===- tests/ml/MetricsTest.cpp - Metric tests ---------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Metrics.h"
+
+#include "ml/LinearRegression.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::ml;
+
+TEST(Metrics, MseKnownValue) {
+  EXPECT_DOUBLE_EQ(mse({1, 2, 3}, {1, 2, 5}), 4.0 / 3.0);
+}
+
+TEST(Metrics, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(mae({1, 2, 3}, {2, 2, 5}), 1.0);
+}
+
+TEST(Metrics, PerfectPredictionsScoreZeroErrorAndUnitR2) {
+  std::vector<double> Y = {1, 5, 9, 2};
+  EXPECT_DOUBLE_EQ(mse(Y, Y), 0.0);
+  EXPECT_DOUBLE_EQ(r2(Y, Y), 1.0);
+}
+
+TEST(Metrics, MeanPredictorHasZeroR2) {
+  std::vector<double> Actual = {1, 2, 3, 4};
+  std::vector<double> MeanPred(4, 2.5);
+  EXPECT_NEAR(r2(MeanPred, Actual), 0.0, 1e-12);
+}
+
+TEST(Metrics, WorseThanMeanGivesNegativeR2) {
+  std::vector<double> Actual = {1, 2, 3, 4};
+  std::vector<double> Bad = {4, 3, 2, 1};
+  EXPECT_LT(r2(Bad, Actual), 0.0);
+}
+
+TEST(Metrics, EvaluateModelProducesPaperTriple) {
+  Rng R(1);
+  Dataset Train({"x"});
+  for (int I = 0; I < 50; ++I) {
+    double X = R.uniform(1, 10);
+    Train.addRow({X}, 2 * X);
+  }
+  Dataset Test({"x"});
+  Test.addRow({5}, 11); // Model predicts 10: ~9.09% error.
+  Test.addRow({2}, 4);  // Exact.
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(Train)));
+  stats::ErrorSummary S = evaluateModel(M, Test);
+  EXPECT_NEAR(S.Max, 100.0 * 1.0 / 11.0, 0.1);
+  EXPECT_LT(S.Min, 0.1);
+}
+
+TEST(Metrics, KFoldErrorIsSmallForLearnableData) {
+  Rng R(2);
+  Dataset D({"x"});
+  for (int I = 0; I < 60; ++I) {
+    double X = R.uniform(1, 10);
+    D.addRow({X}, 3 * X);
+  }
+  double Avg = kFoldAvgError(D, 5, 7, [] {
+    return std::make_unique<LinearRegression>();
+  });
+  EXPECT_LT(Avg, 1.0);
+}
+
+TEST(Metrics, KFoldDeterministicPerSeed) {
+  Rng R(3);
+  Dataset D({"x"});
+  for (int I = 0; I < 40; ++I) {
+    double X = R.uniform(1, 10);
+    D.addRow({X}, 3 * X + R.gaussian(0, 0.5));
+  }
+  auto Make = [] { return std::make_unique<LinearRegression>(); };
+  EXPECT_DOUBLE_EQ(kFoldAvgError(D, 4, 11, Make),
+                   kFoldAvgError(D, 4, 11, Make));
+}

@@ -1,0 +1,96 @@
+//===- tests/ml/ModelIoTest.cpp - Model persistence tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ModelIo.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+SavedLinearModel makeSaved() {
+  SavedLinearModel Model;
+  Model.PmcNames = {"IDQ_MITE_UOPS", "UOPS_EXECUTED_PORT_PORT_6"};
+  Model.Coefficients = {3.83e-9, 1.46e-9};
+  Model.Intercept = 0.0;
+  return Model;
+}
+} // namespace
+
+TEST(ModelIo, TextRoundTripIsExact) {
+  SavedLinearModel Original = makeSaved();
+  auto Parsed = linearModelFromText(linearModelToText(Original));
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_EQ(Parsed->PmcNames, Original.PmcNames);
+  ASSERT_EQ(Parsed->Coefficients.size(), 2u);
+  EXPECT_DOUBLE_EQ(Parsed->Coefficients[0], 3.83e-9);
+  EXPECT_DOUBLE_EQ(Parsed->Intercept, 0.0);
+}
+
+TEST(ModelIo, PredictMatchesLinearForm) {
+  SavedLinearModel Model = makeSaved();
+  EXPECT_DOUBLE_EQ(Model.predict({1e9, 2e9}),
+                   3.83e-9 * 1e9 + 1.46e-9 * 2e9);
+}
+
+TEST(ModelIo, SnapshotCapturesAFittedModel) {
+  Rng R(1);
+  Dataset D({"a", "b"});
+  for (int I = 0; I < 50; ++I) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    D.addRow({A, B}, 4 * A + 9 * B);
+  }
+  LinearRegression M;
+  ASSERT_TRUE(bool(M.fit(D)));
+  SavedLinearModel Saved = snapshotLinearModel(M, {"a", "b"});
+  // The snapshot predicts identically to the live model.
+  for (double X = 0; X < 10; X += 2.5)
+    EXPECT_NEAR(Saved.predict({X, 10 - X}), M.predict({X, 10 - X}), 1e-9);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "slope_model_io.txt";
+  ASSERT_TRUE(bool(writeLinearModel(makeSaved(), Path)));
+  auto Parsed = readLinearModel(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_EQ(Parsed->PmcNames[1], "UOPS_EXECUTED_PORT_PORT_6");
+}
+
+TEST(ModelIo, RejectsBadHeader) {
+  auto Parsed = linearModelFromText("not-a-model\nintercept 0\ncoef a 1\n");
+  ASSERT_FALSE(bool(Parsed));
+  EXPECT_NE(Parsed.error().message().find("header"), std::string::npos);
+}
+
+TEST(ModelIo, RejectsUnknownKeyword) {
+  auto Parsed = linearModelFromText(
+      "slope-lr-model v1\nintercept 0\nbogus x 1\n");
+  ASSERT_FALSE(bool(Parsed));
+  EXPECT_NE(Parsed.error().message().find("bogus"), std::string::npos);
+}
+
+TEST(ModelIo, RejectsMissingIntercept) {
+  auto Parsed = linearModelFromText("slope-lr-model v1\ncoef a 1\n");
+  ASSERT_FALSE(bool(Parsed));
+}
+
+TEST(ModelIo, RejectsEmptyCoefficients) {
+  auto Parsed = linearModelFromText("slope-lr-model v1\nintercept 0\n");
+  ASSERT_FALSE(bool(Parsed));
+}
+
+TEST(ModelIo, ToleratesBlankLines) {
+  auto Parsed = linearModelFromText(
+      "slope-lr-model v1\n\nintercept 2.5\n\ncoef x 1e-9\n\n");
+  ASSERT_TRUE(bool(Parsed));
+  EXPECT_DOUBLE_EQ(Parsed->Intercept, 2.5);
+}

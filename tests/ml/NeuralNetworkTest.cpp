@@ -1,0 +1,141 @@
+//===- tests/ml/NeuralNetworkTest.cpp - MLP tests ------------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/NeuralNetwork.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+Dataset makeLinearData(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  Dataset D({"a", "b"});
+  for (size_t I = 0; I < N; ++I) {
+    double A = R.uniform(-5, 5), B = R.uniform(-5, 5);
+    D.addRow({A, B}, 4 * A - 3 * B + 10);
+  }
+  return D;
+}
+} // namespace
+
+TEST(NeuralNetwork, LinearTransferLearnsLinearMap) {
+  NeuralNetworkOptions Options;
+  Options.Epochs = 200;
+  NeuralNetwork M(Options);
+  Dataset D = makeLinearData(200, 1);
+  ASSERT_TRUE(bool(M.fit(D)));
+  EXPECT_NEAR(M.predict({1, 1}), 11.0, 0.3);
+  EXPECT_NEAR(M.predict({0, 0}), 10.0, 0.3);
+  EXPECT_NEAR(M.predict({-2, 3}), -7.0, 0.5);
+}
+
+TEST(NeuralNetwork, TrainingLossDecreasesWithEpochs) {
+  Dataset D = makeLinearData(150, 2);
+  NeuralNetworkOptions Short, Long;
+  Short.Epochs = 3;
+  Long.Epochs = 120;
+  NeuralNetwork A(Short), B(Long);
+  ASSERT_TRUE(bool(A.fit(D)));
+  ASSERT_TRUE(bool(B.fit(D)));
+  EXPECT_LT(B.finalTrainingLoss(), A.finalTrainingLoss());
+}
+
+TEST(NeuralNetwork, DeterministicPerSeed) {
+  Dataset D = makeLinearData(80, 3);
+  NeuralNetworkOptions Options;
+  Options.Epochs = 30;
+  Options.Seed = 17;
+  NeuralNetwork A(Options), B(Options);
+  ASSERT_TRUE(bool(A.fit(D)));
+  ASSERT_TRUE(bool(B.fit(D)));
+  EXPECT_DOUBLE_EQ(A.predict({1, 2}), B.predict({1, 2}));
+}
+
+TEST(NeuralNetwork, ReluLearnsNonlinearity) {
+  // y = |x| is not linear; a ReLU net must beat any linear fit.
+  Rng R(4);
+  Dataset D({"x"});
+  for (int I = 0; I < 400; ++I) {
+    double X = R.uniform(-4, 4);
+    D.addRow({X}, std::fabs(X));
+  }
+  NeuralNetworkOptions Options;
+  Options.Transfer = Activation::ReLU;
+  Options.HiddenLayers = {16};
+  Options.Epochs = 400;
+  NeuralNetwork M(Options);
+  ASSERT_TRUE(bool(M.fit(D)));
+  EXPECT_NEAR(M.predict({3}), 3.0, 0.4);
+  EXPECT_NEAR(M.predict({-3}), 3.0, 0.4);
+  EXPECT_LT(M.predict({0}), 0.8); // Any linear fit would predict ~2.
+}
+
+TEST(NeuralNetwork, LinearTransferExtrapolates) {
+  // Unlike the forest, an identity-transfer network extrapolates
+  // linearly — the paper's Class A NN models degrade more gracefully on
+  // compound apps than RF.
+  Rng R(5);
+  Dataset D({"x"});
+  for (int I = 0; I < 200; ++I) {
+    double X = R.uniform(0, 10);
+    D.addRow({X}, 5 * X);
+  }
+  NeuralNetworkOptions Options;
+  Options.Epochs = 250;
+  NeuralNetwork M(Options);
+  ASSERT_TRUE(bool(M.fit(D)));
+  EXPECT_NEAR(M.predict({20}), 100.0, 6.0); // 2x beyond training range.
+}
+
+TEST(NeuralNetwork, MultipleHiddenLayers) {
+  NeuralNetworkOptions Options;
+  Options.HiddenLayers = {8, 8};
+  Options.Epochs = 150;
+  NeuralNetwork M(Options);
+  ASSERT_TRUE(bool(M.fit(makeLinearData(150, 6))));
+  EXPECT_NEAR(M.predict({1, 0}), 14.0, 1.0);
+}
+
+TEST(NeuralNetwork, ConstantFeatureColumnIsHarmless) {
+  Rng R(7);
+  Dataset D({"x", "const"});
+  for (int I = 0; I < 100; ++I) {
+    double X = R.uniform(0, 5);
+    D.addRow({X, 3.0}, 2 * X);
+  }
+  NeuralNetworkOptions Options;
+  Options.Epochs = 150;
+  NeuralNetwork M(Options);
+  ASSERT_TRUE(bool(M.fit(D)));
+  EXPECT_NEAR(M.predict({2, 3.0}), 4.0, 0.4);
+}
+
+TEST(NeuralNetwork, RejectsEmptyDataset) {
+  NeuralNetwork M;
+  Dataset D({"x"});
+  EXPECT_FALSE(bool(M.fit(D)));
+}
+
+TEST(NeuralNetwork, NameIsNN) {
+  EXPECT_EQ(NeuralNetwork().name(), "NN");
+}
+
+TEST(NeuralNetwork, ActivationNames) {
+  EXPECT_STREQ(activationName(Activation::Identity), "identity");
+  EXPECT_STREQ(activationName(Activation::ReLU), "relu");
+  EXPECT_STREQ(activationName(Activation::Tanh), "tanh");
+}
+
+TEST(NeuralNetworkDeath, PredictBeforeFitAsserts) {
+  NeuralNetwork M;
+  EXPECT_DEATH((void)M.predict({1.0}), "unfitted");
+}

@@ -1,0 +1,84 @@
+//===- tests/pmc/ActivityTest.cpp - ActivityVector tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/Activity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace slope;
+using namespace slope::pmc;
+
+TEST(ActivityVector, DefaultIsZero) {
+  ActivityVector A;
+  EXPECT_DOUBLE_EQ(A.total(), 0.0);
+  EXPECT_DOUBLE_EQ(A[ActivityKind::Loads], 0.0);
+}
+
+TEST(ActivityVector, IndexedReadWrite) {
+  ActivityVector A;
+  A[ActivityKind::FpVectorDouble] = 1e12;
+  EXPECT_DOUBLE_EQ(A[ActivityKind::FpVectorDouble], 1e12);
+  EXPECT_DOUBLE_EQ(A.at(static_cast<size_t>(ActivityKind::FpVectorDouble)),
+                   1e12);
+}
+
+TEST(ActivityVector, AdditionIsElementwise) {
+  ActivityVector A, B;
+  A[ActivityKind::Loads] = 10;
+  A[ActivityKind::Stores] = 3;
+  B[ActivityKind::Loads] = 5;
+  ActivityVector C = A + B;
+  EXPECT_DOUBLE_EQ(C[ActivityKind::Loads], 15);
+  EXPECT_DOUBLE_EQ(C[ActivityKind::Stores], 3);
+}
+
+TEST(ActivityVector, AdditionIsExactlyAssociativeOnCounts) {
+  // The physical-additivity backbone: serial composition sums latent
+  // activities exactly.
+  ActivityVector A, B, C;
+  A[ActivityKind::DivOps] = 1024;
+  B[ActivityKind::DivOps] = 4096;
+  C[ActivityKind::DivOps] = 65536;
+  ActivityVector Left = (A + B) + C;
+  ActivityVector Right = A + (B + C);
+  EXPECT_DOUBLE_EQ(Left[ActivityKind::DivOps],
+                   Right[ActivityKind::DivOps]);
+}
+
+TEST(ActivityVector, ScalingAppliesToAll) {
+  ActivityVector A;
+  A[ActivityKind::Loads] = 10;
+  A[ActivityKind::Branches] = 4;
+  A *= 2.5;
+  EXPECT_DOUBLE_EQ(A[ActivityKind::Loads], 25);
+  EXPECT_DOUBLE_EQ(A[ActivityKind::Branches], 10);
+}
+
+TEST(ActivityVector, TotalSumsEverything) {
+  ActivityVector A;
+  A[ActivityKind::Loads] = 1;
+  A[ActivityKind::Stores] = 2;
+  A[ActivityKind::MsUops] = 3;
+  EXPECT_DOUBLE_EQ(A.total(), 6);
+}
+
+TEST(ActivityKindNames, AllUniqueAndNonEmpty) {
+  std::set<std::string> Names;
+  for (size_t I = 0; I < NumActivityKinds; ++I) {
+    std::string Name = activityKindName(static_cast<ActivityKind>(I));
+    EXPECT_FALSE(Name.empty());
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name " << Name;
+  }
+}
+
+TEST(ActivityKindNames, SpotChecks) {
+  EXPECT_STREQ(activityKindName(ActivityKind::CoreCycles), "core_cycles");
+  EXPECT_STREQ(activityKindName(ActivityKind::RefCycles), "ref_cycles");
+  EXPECT_STREQ(activityKindName(ActivityKind::MsUops), "ms_uops");
+}

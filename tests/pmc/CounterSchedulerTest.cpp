@@ -1,0 +1,182 @@
+//===- tests/pmc/CounterSchedulerTest.cpp - Scheduler tests --------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/CounterScheduler.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::pmc;
+
+namespace {
+/// Builds a registry with the given number of events per constraint.
+EventRegistry makeRegistry(size_t Fixed, size_t Solo, size_t Pair,
+                           size_t Triple, size_t General) {
+  EventRegistry R;
+  auto Add = [&R](const std::string &Prefix, size_t Count,
+                  CounterConstraintKind Kind) {
+    for (size_t I = 0; I < Count; ++I) {
+      EventDef Def;
+      Def.Name = Prefix + std::to_string(I);
+      Def.Constraint = Kind;
+      Def.Model.Coeffs.push_back({ActivityKind::Loads, 1.0});
+      R.addEvent(std::move(Def));
+    }
+  };
+  Add("FIX", Fixed, CounterConstraintKind::Fixed);
+  Add("SOLO", Solo, CounterConstraintKind::Solo);
+  Add("PAIR", Pair, CounterConstraintKind::PairOnly);
+  Add("TRI", Triple, CounterConstraintKind::TripleOnly);
+  Add("GEN", General, CounterConstraintKind::AnyProgrammable);
+  return R;
+}
+} // namespace
+
+TEST(CounterScheduler, FourGeneralEventsFitOneRun) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 4);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 1u);
+}
+
+TEST(CounterScheduler, FiveGeneralEventsNeedTwoRuns) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 5);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 2u);
+}
+
+TEST(CounterScheduler, SoloEventsGetSingletonRuns) {
+  EventRegistry R = makeRegistry(0, 3, 0, 0, 0);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 3u);
+  for (const CollectionRun &Run : Plan->Runs)
+    EXPECT_EQ(Run.Events.size(), 1u);
+}
+
+TEST(CounterScheduler, PairAndTripleWidths) {
+  EventRegistry R = makeRegistry(0, 0, 5, 7, 0);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  // ceil(5/2) + ceil(7/3) = 3 + 3.
+  EXPECT_EQ(Plan->numRuns(), 6u);
+}
+
+TEST(CounterScheduler, FixedEventsRideAlong) {
+  EventRegistry R = makeRegistry(3, 0, 0, 0, 4);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 1u); // All 3 fixed + 4 general in one run.
+}
+
+TEST(CounterScheduler, FixedOnlyRequestStillNeedsOneRun) {
+  EventRegistry R = makeRegistry(2, 0, 0, 0, 0);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 1u);
+}
+
+TEST(CounterScheduler, ManyFixedSpillAcrossRuns) {
+  // 5 fixed counters but only 3 fixed registers: needs 2 runs.
+  EventRegistry R = makeRegistry(5, 0, 0, 0, 0);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 2u);
+}
+
+TEST(CounterScheduler, PlanCoversEveryRequestedEventOnce) {
+  EventRegistry R = makeRegistry(3, 2, 5, 4, 13);
+  std::vector<EventId> Request = R.allEvents();
+  auto Plan = planCollection(R, Request);
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_TRUE(Plan->covers(Request));
+}
+
+TEST(CounterScheduler, EveryPlannedRunIsFeasible) {
+  EventRegistry R = makeRegistry(3, 2, 5, 4, 13);
+  auto Plan = planCollection(R, R.allEvents());
+  ASSERT_TRUE(bool(Plan));
+  for (const CollectionRun &Run : Plan->Runs)
+    EXPECT_TRUE(isFeasibleRun(R, Run));
+}
+
+TEST(CounterScheduler, RejectsDuplicateRequest) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 2);
+  auto Plan = planCollection(R, {0, 1, 0});
+  ASSERT_FALSE(bool(Plan));
+  EXPECT_NE(Plan.error().message().find("duplicate"), std::string::npos);
+}
+
+TEST(CounterScheduler, EmptyRequestYieldsEmptyPlan) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 2);
+  auto Plan = planCollection(R, {});
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 0u);
+}
+
+TEST(CounterScheduler, SubsetRequestOnlyCoversSubset) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 8);
+  std::vector<EventId> Subset = {1, 3, 5};
+  auto Plan = planCollection(R, Subset);
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 1u);
+  EXPECT_TRUE(Plan->covers(Subset));
+  EXPECT_FALSE(Plan->covers(R.allEvents()));
+}
+
+TEST(IsFeasibleRun, RejectsOverfullRun) {
+  EventRegistry R = makeRegistry(0, 0, 0, 0, 5);
+  CollectionRun Run;
+  Run.Events = R.allEvents(); // 5 general events > 4 registers.
+  EXPECT_FALSE(isFeasibleRun(R, Run));
+}
+
+TEST(IsFeasibleRun, RejectsSoloSharing) {
+  EventRegistry R = makeRegistry(0, 1, 0, 0, 1);
+  CollectionRun Run;
+  Run.Events = R.allEvents();
+  EXPECT_FALSE(isFeasibleRun(R, Run));
+}
+
+TEST(IsFeasibleRun, PairClassCapsRunAtTwo) {
+  EventRegistry R = makeRegistry(0, 0, 1, 0, 2);
+  CollectionRun Run;
+  Run.Events = R.allEvents(); // One pair-class + two general = 3 > 2.
+  EXPECT_FALSE(isFeasibleRun(R, Run));
+}
+
+// Property: for random constraint mixes the plan covers the request with
+// only feasible runs, and run count matches the closed-form bound.
+class SchedulerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerProperty, CoverageFeasibilityAndCount) {
+  Rng Random(GetParam());
+  size_t Fixed = Random.below(4);
+  size_t Solo = Random.below(6);
+  size_t Pair = Random.below(10);
+  size_t Triple = Random.below(10);
+  size_t General = Random.below(40);
+  EventRegistry R = makeRegistry(Fixed, Solo, Pair, Triple, General);
+  std::vector<EventId> Request = R.allEvents();
+  if (Request.empty())
+    return;
+  auto Plan = planCollection(R, Request);
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_TRUE(Plan->covers(Request));
+  for (const CollectionRun &Run : Plan->Runs)
+    EXPECT_TRUE(isFeasibleRun(R, Run));
+  size_t Expected = Solo + (Pair + 1) / 2 + (Triple + 2) / 3 +
+                    (General + 3) / 4;
+  size_t FixedRuns = (Fixed + 2) / 3;
+  EXPECT_EQ(Plan->numRuns(), std::max(Expected, Expected == 0 ? FixedRuns
+                                                              : Expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Range<uint64_t>(0, 20));

@@ -1,0 +1,107 @@
+//===- tests/pmc/EventRegistryTest.cpp - Event registry tests -------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/EventRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::pmc;
+
+namespace {
+EventDef makeEvent(const std::string &Name,
+                   CounterConstraintKind Constraint =
+                       CounterConstraintKind::AnyProgrammable) {
+  EventDef Def;
+  Def.Name = Name;
+  Def.Constraint = Constraint;
+  Def.Model.Coeffs.push_back({ActivityKind::Loads, 1.0});
+  return Def;
+}
+} // namespace
+
+TEST(EventRegistry, AddAndLookup) {
+  EventRegistry R;
+  EventId Id = R.addEvent(makeEvent("L2_RQSTS_MISS"));
+  auto Found = R.lookup("L2_RQSTS_MISS");
+  ASSERT_TRUE(bool(Found));
+  EXPECT_EQ(*Found, Id);
+  EXPECT_EQ(R.event(Id).Name, "L2_RQSTS_MISS");
+}
+
+TEST(EventRegistry, LookupUnknownFails) {
+  EventRegistry R;
+  auto Found = R.lookup("NO_SUCH_EVENT");
+  ASSERT_FALSE(bool(Found));
+  EXPECT_NE(Found.error().message().find("NO_SUCH_EVENT"),
+            std::string::npos);
+}
+
+TEST(EventRegistry, HasEvent) {
+  EventRegistry R;
+  R.addEvent(makeEvent("A"));
+  EXPECT_TRUE(R.hasEvent("A"));
+  EXPECT_FALSE(R.hasEvent("B"));
+}
+
+TEST(EventRegistry, AllEventsEnumeratesInOrder) {
+  EventRegistry R;
+  R.addEvent(makeEvent("A"));
+  R.addEvent(makeEvent("B"));
+  std::vector<EventId> Ids = R.allEvents();
+  ASSERT_EQ(Ids.size(), 2u);
+  EXPECT_EQ(Ids[0], 0u);
+  EXPECT_EQ(Ids[1], 1u);
+}
+
+TEST(EventRegistry, FindByNameConjunction) {
+  EventRegistry R;
+  R.addEvent(makeEvent("IDQ_MS_UOPS"));
+  R.addEvent(makeEvent("IDQ_MITE_UOPS"));
+  R.addEvent(makeEvent("L2_RQSTS_MISS"));
+  EXPECT_EQ(R.findByName({"IDQ"}).size(), 2u);
+  EXPECT_EQ(R.findByName({"IDQ", "MITE"}).size(), 1u);
+  EXPECT_EQ(R.findByName({"XYZZY"}).size(), 0u);
+}
+
+TEST(EventRegistry, CountByConstraint) {
+  EventRegistry R;
+  R.addEvent(makeEvent("A", CounterConstraintKind::Solo));
+  R.addEvent(makeEvent("B", CounterConstraintKind::Solo));
+  R.addEvent(makeEvent("C", CounterConstraintKind::PairOnly));
+  EXPECT_EQ(R.countByConstraint(CounterConstraintKind::Solo), 2u);
+  EXPECT_EQ(R.countByConstraint(CounterConstraintKind::PairOnly), 1u);
+  EXPECT_EQ(R.countByConstraint(CounterConstraintKind::Fixed), 0u);
+}
+
+TEST(EventRegistryDeath, DuplicateNameAsserts) {
+  EventRegistry R;
+  R.addEvent(makeEvent("DUP"));
+  EXPECT_DEATH(R.addEvent(makeEvent("DUP")), "duplicate");
+}
+
+TEST(EventDef, AdditivityOracle) {
+  EventDef Clean = makeEvent("CLEAN");
+  EXPECT_TRUE(Clean.isAdditiveByConstruction());
+  EventDef Contextual = makeEvent("CTX");
+  Contextual.Model.NaFraction = 0.3;
+  EXPECT_FALSE(Contextual.isAdditiveByConstruction());
+  EventDef Floored = makeEvent("FLOOR");
+  Floored.Model.ContextFloor = 100;
+  EXPECT_FALSE(Floored.isAdditiveByConstruction());
+}
+
+TEST(CounterConstraint, MaxPerRunValues) {
+  EXPECT_EQ(maxPerRun(CounterConstraintKind::AnyProgrammable), 4u);
+  EXPECT_EQ(maxPerRun(CounterConstraintKind::TripleOnly), 3u);
+  EXPECT_EQ(maxPerRun(CounterConstraintKind::PairOnly), 2u);
+  EXPECT_EQ(maxPerRun(CounterConstraintKind::Solo), 1u);
+}
+
+TEST(CounterConstraint, Names) {
+  EXPECT_STREQ(counterConstraintName(CounterConstraintKind::Fixed), "fixed");
+  EXPECT_STREQ(counterConstraintName(CounterConstraintKind::Solo), "solo");
+}

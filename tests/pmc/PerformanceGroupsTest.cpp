@@ -1,0 +1,96 @@
+//===- tests/pmc/PerformanceGroupsTest.cpp - Preset group tests -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/PerformanceGroups.h"
+
+#include "pmc/CounterScheduler.h"
+#include "pmc/PlatformEvents.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slope;
+using namespace slope::pmc;
+
+namespace {
+struct PlatformGroups {
+  const char *Label;
+  EventRegistry Registry;
+  std::vector<PerformanceGroup> Groups;
+};
+
+std::vector<PlatformGroups> allPlatformGroups() {
+  std::vector<PlatformGroups> Out;
+  Out.push_back(
+      {"haswell", buildHaswellRegistry(), haswellPerformanceGroups()});
+  Out.push_back(
+      {"skylake", buildSkylakeRegistry(), skylakePerformanceGroups()});
+  return Out;
+}
+} // namespace
+
+TEST(PerformanceGroups, EveryEventExistsInItsRegistry) {
+  for (const PlatformGroups &P : allPlatformGroups())
+    for (const PerformanceGroup &Group : P.Groups) {
+      auto Ids = resolveGroup(P.Registry, Group);
+      EXPECT_TRUE(bool(Ids)) << P.Label << "/" << Group.Name << ": "
+                             << (Ids ? "" : Ids.error().message());
+    }
+}
+
+TEST(PerformanceGroups, EveryGroupFitsOneCollectionRun) {
+  // The defining property of a likwid preset: one measurement pass.
+  for (const PlatformGroups &P : allPlatformGroups())
+    for (const PerformanceGroup &Group : P.Groups) {
+      auto Ids = resolveGroup(P.Registry, Group);
+      ASSERT_TRUE(bool(Ids));
+      auto Plan = planCollection(P.Registry, *Ids);
+      ASSERT_TRUE(bool(Plan)) << P.Label << "/" << Group.Name;
+      EXPECT_EQ(Plan->numRuns(), 1u) << P.Label << "/" << Group.Name;
+    }
+}
+
+TEST(PerformanceGroups, NamesAreUniquePerPlatform) {
+  for (const PlatformGroups &P : allPlatformGroups()) {
+    std::set<std::string> Names;
+    for (const PerformanceGroup &Group : P.Groups)
+      EXPECT_TRUE(Names.insert(Group.Name).second)
+          << P.Label << "/" << Group.Name;
+  }
+}
+
+TEST(PerformanceGroups, NoGroupIsEmptyOrOversized) {
+  for (const PlatformGroups &P : allPlatformGroups())
+    for (const PerformanceGroup &Group : P.Groups) {
+      EXPECT_GE(Group.EventNames.size(), 2u) << Group.Name;
+      EXPECT_LE(Group.EventNames.size(), 4u) << Group.Name;
+      EXPECT_FALSE(Group.Description.empty()) << Group.Name;
+    }
+}
+
+TEST(PerformanceGroups, FindGroupByName) {
+  auto Group = findGroup(skylakePerformanceGroups(), "PA4");
+  ASSERT_TRUE(bool(Group));
+  EXPECT_EQ(Group->EventNames.size(), 4u);
+}
+
+TEST(PerformanceGroups, FindGroupListsAvailableOnMiss) {
+  auto Group = findGroup(haswellPerformanceGroups(), "NOPE");
+  ASSERT_FALSE(bool(Group));
+  EXPECT_NE(Group.error().message().find("FLOPS_DP"), std::string::npos);
+}
+
+TEST(PerformanceGroups, SkylakePa4MatchesPaperSubsetShape) {
+  auto Group = findGroup(skylakePerformanceGroups(), "PA4");
+  ASSERT_TRUE(bool(Group));
+  // All four members come from the paper's PA set.
+  std::vector<std::string> Pa = skylakePaNames();
+  for (const std::string &Name : Group->EventNames)
+    EXPECT_NE(std::find(Pa.begin(), Pa.end(), Name), Pa.end()) << Name;
+}

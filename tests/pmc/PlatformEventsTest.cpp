@@ -1,0 +1,167 @@
+//===- tests/pmc/PlatformEventsTest.cpp - Registry catalogue tests -------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Verifies the platform catalogues reproduce the paper's Sect. 5 numbers:
+// 164 events / 151 significant / 53 collection runs on Haswell and
+// 385 / 323 / 99 on Skylake, and that the named PMC selections exist with
+// the right characteristics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmc/PlatformEvents.h"
+
+#include "pmc/CounterScheduler.h"
+#include "pmc/EventRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::pmc;
+
+namespace {
+/// Events with a non-empty synthesis mapping (the "significant" set that
+/// survives the paper's counts-greater-than-10 filter).
+std::vector<EventId> significantEvents(const EventRegistry &R) {
+  std::vector<EventId> Ids;
+  for (EventId Id : R.allEvents())
+    if (!R.event(Id).Model.Coeffs.empty())
+      Ids.push_back(Id);
+  return Ids;
+}
+} // namespace
+
+TEST(HaswellRegistry, Offers164Events) {
+  EXPECT_EQ(buildHaswellRegistry().size(), 164u);
+}
+
+TEST(HaswellRegistry, Has151SignificantEvents) {
+  EventRegistry R = buildHaswellRegistry();
+  EXPECT_EQ(significantEvents(R).size(), 151u);
+}
+
+TEST(HaswellRegistry, FullCollectionTakes53Runs) {
+  EventRegistry R = buildHaswellRegistry();
+  auto Plan = planCollection(R, significantEvents(R));
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 53u); // Paper Sect. 5: "about 53 times".
+}
+
+TEST(HaswellRegistry, HasThreeFixedCounters) {
+  EventRegistry R = buildHaswellRegistry();
+  EXPECT_EQ(R.countByConstraint(CounterConstraintKind::Fixed), 3u);
+  EXPECT_TRUE(R.hasEvent("INSTR_RETIRED_ANY"));
+  EXPECT_TRUE(R.hasEvent("CPU_CLK_UNHALTED_CORE"));
+  EXPECT_TRUE(R.hasEvent("CPU_CLK_UNHALTED_REF"));
+}
+
+TEST(HaswellRegistry, ContainsTheSixClassAPmcs) {
+  EventRegistry R = buildHaswellRegistry();
+  for (const std::string &Name : haswellClassAPmcNames())
+    EXPECT_TRUE(R.hasEvent(Name)) << Name;
+  EXPECT_EQ(haswellClassAPmcNames().size(), 6u);
+}
+
+TEST(HaswellRegistry, ClassAPmcsFitInTwoCollectionRuns) {
+  // All six are AnyProgrammable: ceil(6/4) == 2 runs, matching the
+  // paper's premise that the set is collectable in two runs.
+  EventRegistry R = buildHaswellRegistry();
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*R.lookup(Name));
+  auto Plan = planCollection(R, Ids);
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 2u);
+}
+
+TEST(HaswellRegistry, DividerEventIsMostContextDominated) {
+  EventRegistry R = buildHaswellRegistry();
+  const EventDef &Div = R.event(*R.lookup("ARITH_DIVIDER_COUNT"));
+  const EventDef &Port6 = R.event(*R.lookup("UOPS_EXECUTED_PORT_PORT_6"));
+  EXPECT_GT(Div.Model.NaFraction, Port6.Model.NaFraction);
+}
+
+TEST(HaswellRegistry, DeterministicConstruction) {
+  EventRegistry A = buildHaswellRegistry();
+  EventRegistry B = buildHaswellRegistry();
+  ASSERT_EQ(A.size(), B.size());
+  for (EventId Id : A.allEvents()) {
+    EXPECT_EQ(A.event(Id).Name, B.event(Id).Name);
+    EXPECT_EQ(A.event(Id).Model.NaFraction, B.event(Id).Model.NaFraction);
+  }
+}
+
+TEST(SkylakeRegistry, Offers385Events) {
+  EXPECT_EQ(buildSkylakeRegistry().size(), 385u);
+}
+
+TEST(SkylakeRegistry, Has323SignificantEvents) {
+  EventRegistry R = buildSkylakeRegistry();
+  EXPECT_EQ(significantEvents(R).size(), 323u);
+}
+
+TEST(SkylakeRegistry, FullCollectionTakes99Runs) {
+  EventRegistry R = buildSkylakeRegistry();
+  auto Plan = planCollection(R, significantEvents(R));
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 99u); // Paper Sect. 5: "about 99 times".
+}
+
+TEST(SkylakeRegistry, ContainsPaAndPnaSets) {
+  EventRegistry R = buildSkylakeRegistry();
+  for (const std::string &Name : skylakePaNames())
+    EXPECT_TRUE(R.hasEvent(Name)) << Name;
+  for (const std::string &Name : skylakePnaNames())
+    EXPECT_TRUE(R.hasEvent(Name)) << Name;
+  EXPECT_EQ(skylakePaNames().size(), 9u);
+  EXPECT_EQ(skylakePnaNames().size(), 9u);
+}
+
+TEST(SkylakeRegistry, PaSetIsCleanerThanPnaSet) {
+  // By construction PA events have IntensityFloor 0 (context vanishes
+  // for low-intensity kernels like MKL DGEMM/FFT) while PNA events carry
+  // self-generated context.
+  EventRegistry R = buildSkylakeRegistry();
+  for (const std::string &Name : skylakePaNames()) {
+    const EventDef &Def = R.event(*R.lookup(Name));
+    EXPECT_EQ(Def.Model.IntensityFloor, 0.0) << Name;
+  }
+  for (const std::string &Name : skylakePnaNames()) {
+    const EventDef &Def = R.event(*R.lookup(Name));
+    EXPECT_GE(Def.Model.IntensityFloor, 0.5) << Name;
+  }
+}
+
+TEST(SkylakeRegistry, PaAndPnaAreDisjoint) {
+  for (const std::string &Pa : skylakePaNames())
+    for (const std::string &Pna : skylakePnaNames())
+      EXPECT_NE(Pa, Pna);
+}
+
+TEST(SkylakeRegistry, SharedEventNamesAcrossPlatforms) {
+  // Events the paper references on both machines exist in both
+  // registries (e.g. IDQ_MS_UOPS, ARITH_DIVIDER_COUNT,
+  // ICACHE_64B_IFTAG_MISS).
+  EventRegistry H = buildHaswellRegistry();
+  EventRegistry S = buildSkylakeRegistry();
+  for (const char *Name :
+       {"IDQ_MS_UOPS", "ARITH_DIVIDER_COUNT", "ICACHE_64B_IFTAG_MISS"}) {
+    EXPECT_TRUE(H.hasEvent(Name)) << Name;
+    EXPECT_TRUE(S.hasEvent(Name)) << Name;
+  }
+}
+
+TEST(Registries, InsignificantEventsHaveNoMapping) {
+  EventRegistry R = buildHaswellRegistry();
+  size_t Insignificant = 0;
+  for (EventId Id : R.allEvents()) {
+    const EventDef &Def = R.event(Id);
+    if (Def.Model.Coeffs.empty()) {
+      ++Insignificant;
+      EXPECT_LE(Def.Model.ContextFloor, 10.0) << Def.Name;
+    }
+  }
+  EXPECT_EQ(Insignificant, 13u); // 164 - 151.
+}

@@ -1,0 +1,69 @@
+//===- tests/power/HclWattsUpTest.cpp - HCLWattsUp facade tests -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/HclWattsUp.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::power;
+using namespace slope::sim;
+
+namespace {
+HclWattsUp makeRig(Machine &M, uint64_t Seed = 1) {
+  return HclWattsUp(M, std::make_unique<WattsUpProMeter>(WattsUpOptions(),
+                                                         Seed));
+}
+} // namespace
+
+TEST(HclWattsUp, CalibratesStaticPower) {
+  Machine M(Platform::intelHaswellServer(), 1);
+  HclWattsUp Rig = makeRig(M);
+  EXPECT_NEAR(Rig.staticPowerW(), 58.0, 0.5);
+}
+
+TEST(HclWattsUp, DynamicEnergyDecomposition) {
+  // E_D = E_T - P_S * T_E (paper Sect. 2).
+  Machine M(Platform::intelHaswellServer(), 2);
+  HclWattsUp Rig = makeRig(M);
+  EnergyReading Reading =
+      Rig.measureRun(CompoundApplication(Application(KernelKind::MklDgemm,
+                                                     16000)));
+  EXPECT_NEAR(Reading.DynamicEnergyJ,
+              Reading.TotalEnergyJ - Rig.staticPowerW() * Reading.TimeSec,
+              1e-9);
+  EXPECT_GT(Reading.DynamicEnergyJ, 0.0);
+}
+
+TEST(HclWattsUp, DynamicEnergyTracksGroundTruth) {
+  Machine M(Platform::intelHaswellServer(), 3);
+  HclWattsUp Rig = makeRig(M);
+  Execution E = M.run(Application(KernelKind::MklDgemm, 16000));
+  EnergyReading Reading = Rig.readingFor(E);
+  EXPECT_NEAR(Reading.DynamicEnergyJ / E.TrueDynamicEnergyJ, 1.0, 0.10);
+}
+
+TEST(HclWattsUp, RepeatedMethodologyConverges) {
+  Machine M(Platform::intelHaswellServer(), 4);
+  HclWattsUp Rig = makeRig(M);
+  MeasurementPolicy Policy;
+  Policy.MaxRuns = 20;
+  MeasurementResult Result = Rig.measureDynamicEnergy(
+      CompoundApplication(Application(KernelKind::MklDgemm, 16000)), Policy);
+  EXPECT_TRUE(Result.Converged);
+  EXPECT_GE(Result.Runs, Policy.MinRuns);
+  EXPECT_GT(Result.Mean, 0.0);
+  EXPECT_LT(Result.CiHalfWidth, Result.Mean * Policy.PrecisionFraction);
+}
+
+TEST(HclWattsUp, MeasureRunUsesFreshExecutions) {
+  Machine M(Platform::intelHaswellServer(), 5);
+  HclWattsUp Rig = makeRig(M);
+  CompoundApplication App(Application(KernelKind::MklDgemm, 12000));
+  EnergyReading A = Rig.measureRun(App);
+  EnergyReading B = Rig.measureRun(App);
+  EXPECT_NE(A.TotalEnergyJ, B.TotalEnergyJ);
+}

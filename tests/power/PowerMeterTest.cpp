@@ -1,0 +1,91 @@
+//===- tests/power/PowerMeterTest.cpp - Power meter tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerMeter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::power;
+using namespace slope::sim;
+
+namespace {
+Execution longRun(Machine &M) {
+  return M.run(Application(KernelKind::MklDgemm, 16000)); // ~10 s class.
+}
+} // namespace
+
+TEST(WattsUpProMeter, TotalEnergyNearTruth) {
+  Machine M(Platform::intelHaswellServer(), 1);
+  WattsUpProMeter Meter;
+  Execution E = longRun(M);
+  double Truth = E.TrueDynamicEnergyJ +
+                 M.platform().IdlePowerWatts * E.totalTimeSec();
+  double Measured = Meter.measureTotalEnergyJ(M, E);
+  EXPECT_NEAR(Measured / Truth, 1.0, 0.03);
+}
+
+TEST(WattsUpProMeter, RepeatedMeasurementsDiffer) {
+  Machine M(Platform::intelHaswellServer(), 2);
+  WattsUpProMeter Meter;
+  Execution E = longRun(M);
+  double A = Meter.measureTotalEnergyJ(M, E);
+  double B = Meter.measureTotalEnergyJ(M, E);
+  EXPECT_NE(A, B); // Fresh sampling alignment and sensor noise.
+  EXPECT_NEAR(A / B, 1.0, 0.05);
+}
+
+TEST(WattsUpProMeter, ShortRunStillMeasured) {
+  // Sub-second runs fall below the 1 Hz sampling period; the device
+  // takes a single mid-run sample.
+  Machine M(Platform::intelHaswellServer(), 3);
+  WattsUpProMeter Meter;
+  Execution E = M.run(Application(KernelKind::MklDgemm, 1024));
+  ASSERT_LT(E.totalTimeSec(), 1.0);
+  double Measured = Meter.measureTotalEnergyJ(M, E);
+  EXPECT_GT(Measured, 0.0);
+}
+
+TEST(WattsUpProMeter, IdlePowerCalibration) {
+  Machine M(Platform::intelSkylakeServer(), 4);
+  WattsUpProMeter Meter;
+  double Idle = Meter.measureIdlePowerW(M, 60.0);
+  EXPECT_NEAR(Idle, 32.0, 0.5);
+}
+
+TEST(WattsUpProMeter, GainErrorBiasesReadings) {
+  Machine M(Platform::intelHaswellServer(), 5);
+  WattsUpOptions Drifted;
+  Drifted.GainError = 0.10;
+  Drifted.SensorNoiseFraction = 0.0;
+  Drifted.QuantizationW = 0.0;
+  WattsUpProMeter Meter(Drifted);
+  double Idle = Meter.measureIdlePowerW(M, 10.0);
+  EXPECT_NEAR(Idle, 58.0 * 1.10, 1e-9);
+}
+
+TEST(WattsUpProMeter, QuantizationRoundsToResolution) {
+  Machine M(Platform::intelHaswellServer(), 6);
+  WattsUpOptions Clean;
+  Clean.SensorNoiseFraction = 0.0;
+  Clean.QuantizationW = 0.5;
+  WattsUpProMeter Meter(Clean);
+  double Idle = Meter.measureIdlePowerW(M, 5.0);
+  EXPECT_DOUBLE_EQ(std::fmod(Idle, 0.5), 0.0);
+}
+
+TEST(WattsUpProMeter, CompoundProfileIntegratesBothPhases) {
+  Machine M(Platform::intelHaswellServer(), 7);
+  WattsUpProMeter Meter;
+  CompoundApplication App(Application(KernelKind::MklDgemm, 14000),
+                          Application(KernelKind::Stream, 1500000000u));
+  Execution E = M.run(App);
+  double Truth = E.TrueDynamicEnergyJ +
+                 M.platform().IdlePowerWatts * E.totalTimeSec();
+  EXPECT_NEAR(Meter.measureTotalEnergyJ(M, E) / Truth, 1.0, 0.04);
+}

@@ -1,0 +1,77 @@
+//===- tests/power/RepeatedMeasurementTest.cpp - Methodology tests --------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/RepeatedMeasurement.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::power;
+
+TEST(RepeatedMeasurement, ConstantObservableConvergesAtMinRuns) {
+  MeasurementResult Result = measureRepeatedly([] { return 100.0; });
+  EXPECT_TRUE(Result.Converged);
+  EXPECT_EQ(Result.Runs, 3u);
+  EXPECT_DOUBLE_EQ(Result.Mean, 100.0);
+  EXPECT_DOUBLE_EQ(Result.CiHalfWidth, 0.0);
+}
+
+TEST(RepeatedMeasurement, LowNoiseConvergesQuickly) {
+  Rng R(1);
+  MeasurementResult Result = measureRepeatedly(
+      [&R] { return R.gaussian(50.0, 0.1); });
+  EXPECT_TRUE(Result.Converged);
+  EXPECT_LT(Result.Runs, 10u);
+  EXPECT_NEAR(Result.Mean, 50.0, 0.5);
+}
+
+TEST(RepeatedMeasurement, HighNoiseTakesMoreRuns) {
+  Rng LowRng(2), HighRng(2);
+  MeasurementPolicy Policy;
+  Policy.MaxRuns = 200;
+  MeasurementResult Low = measureRepeatedly(
+      [&LowRng] { return LowRng.gaussian(50.0, 0.2); }, Policy);
+  MeasurementResult High = measureRepeatedly(
+      [&HighRng] { return HighRng.gaussian(50.0, 5.0); }, Policy);
+  EXPECT_LT(Low.Runs, High.Runs);
+}
+
+TEST(RepeatedMeasurement, GivesUpAtMaxRuns) {
+  Rng R(3);
+  MeasurementPolicy Policy;
+  Policy.MaxRuns = 5;
+  MeasurementResult Result = measureRepeatedly(
+      [&R] { return R.gaussian(1.0, 100.0); }, Policy);
+  EXPECT_FALSE(Result.Converged);
+  EXPECT_EQ(Result.Runs, 5u);
+  // Mean/CI are still reported for the samples taken.
+  EXPECT_EQ(Result.Samples.size(), 5u);
+  EXPECT_GT(Result.CiHalfWidth, 0.0);
+}
+
+TEST(RepeatedMeasurement, RespectsMinRuns) {
+  MeasurementPolicy Policy;
+  Policy.MinRuns = 7;
+  Policy.MaxRuns = 30;
+  MeasurementResult Result =
+      measureRepeatedly([] { return 42.0; }, Policy);
+  EXPECT_EQ(Result.Runs, 7u);
+}
+
+TEST(RepeatedMeasurement, TighterPrecisionNeedsMoreRuns) {
+  Rng CoarseRng(5), FineRng(5);
+  MeasurementPolicy Coarse, Fine;
+  Coarse.PrecisionFraction = 0.10;
+  Fine.PrecisionFraction = 0.01;
+  Coarse.MaxRuns = Fine.MaxRuns = 500;
+  MeasurementResult A = measureRepeatedly(
+      [&CoarseRng] { return CoarseRng.gaussian(10.0, 1.0); }, Coarse);
+  MeasurementResult B = measureRepeatedly(
+      [&FineRng] { return FineRng.gaussian(10.0, 1.0); }, Fine);
+  EXPECT_LE(A.Runs, B.Runs);
+}

@@ -1,0 +1,54 @@
+//===- tests/sim/ApplicationTest.cpp - Application tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Application.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::sim;
+
+TEST(Application, StringForm) {
+  Application App(KernelKind::MklDgemm, 10240);
+  EXPECT_EQ(App.str(), "mkl-dgemm(10240)");
+}
+
+TEST(Application, ValidityRespectsKernelRange) {
+  const KernelSpec &Spec = kernelSpec(KernelKind::MklFft);
+  EXPECT_TRUE(Application(KernelKind::MklFft, Spec.SizeMin).isValid());
+  EXPECT_TRUE(Application(KernelKind::MklFft, Spec.SizeMax).isValid());
+  EXPECT_FALSE(Application(KernelKind::MklFft, Spec.SizeMin - 1).isValid());
+  EXPECT_FALSE(Application(KernelKind::MklFft, Spec.SizeMax + 1).isValid());
+}
+
+TEST(Application, Equality) {
+  Application A(KernelKind::Stream, 100);
+  Application B(KernelKind::Stream, 100);
+  Application C(KernelKind::Stream, 101);
+  Application D(KernelKind::Stress, 100);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+  EXPECT_FALSE(A == D);
+}
+
+TEST(CompoundApplication, SinglePhaseIsBase) {
+  CompoundApplication App(Application(KernelKind::Hpcg, 50000));
+  EXPECT_TRUE(App.isBase());
+  EXPECT_EQ(App.numPhases(), 1u);
+}
+
+TEST(CompoundApplication, TwoPhaseComposition) {
+  CompoundApplication App(Application(KernelKind::MklDgemm, 8192),
+                          Application(KernelKind::MklFft, 25600));
+  EXPECT_FALSE(App.isBase());
+  EXPECT_EQ(App.numPhases(), 2u);
+  EXPECT_EQ(App.str(), "mkl-dgemm(8192);mkl-fft(25600)");
+}
+
+TEST(CompoundApplication, DefaultIsEmpty) {
+  CompoundApplication App;
+  EXPECT_EQ(App.numPhases(), 0u);
+}

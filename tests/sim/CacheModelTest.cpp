@@ -1,0 +1,92 @@
+//===- tests/sim/CacheModelTest.cpp - Cache model tests ------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::sim;
+
+namespace {
+MemoryProfile profile(double Accesses, double WsBytes, double Locality) {
+  MemoryProfile P;
+  P.Accesses = Accesses;
+  P.WorkingSetBytes = WsBytes;
+  P.Locality = Locality;
+  return P;
+}
+} // namespace
+
+TEST(CacheModel, ZeroAccessesZeroMisses) {
+  Platform P = Platform::intelHaswellServer();
+  CacheMisses M = estimateMisses(profile(0, 1e9, 0.5), P);
+  EXPECT_DOUBLE_EQ(M.L1D, 0);
+  EXPECT_DOUBLE_EQ(M.L2, 0);
+  EXPECT_DOUBLE_EQ(M.L3, 0);
+}
+
+TEST(CacheModel, TinyWorkingSetHitsInL1) {
+  Platform P = Platform::intelHaswellServer();
+  // 4 KB per the whole machine: compulsory misses only.
+  CacheMisses M = estimateMisses(profile(1e9, 4096, 0.5), P);
+  EXPECT_LE(M.L1D, 4096 / 64.0 * 1.01);
+}
+
+TEST(CacheModel, MissesMonotoneDownTheHierarchy) {
+  Platform P = Platform::intelHaswellServer();
+  for (double Ws : {1e6, 1e8, 1e10, 1e11}) {
+    CacheMisses M = estimateMisses(profile(1e10, Ws, 0.4), P);
+    EXPECT_GE(M.L1D, M.L2) << Ws;
+    EXPECT_GE(M.L2, M.L3) << Ws;
+    EXPECT_GE(M.L3, 0.0) << Ws;
+  }
+}
+
+TEST(CacheModel, MissesNeverExceedAccesses) {
+  Platform P = Platform::intelSkylakeServer();
+  CacheMisses M = estimateMisses(profile(1e7, 1e12, 0.0), P);
+  EXPECT_LE(M.L1D, 1e7);
+}
+
+TEST(CacheModel, HigherLocalityFewerMisses) {
+  Platform P = Platform::intelHaswellServer();
+  CacheMisses Blocked = estimateMisses(profile(1e10, 1e10, 0.95), P);
+  CacheMisses Random = estimateMisses(profile(1e10, 1e10, 0.05), P);
+  EXPECT_LT(Blocked.L3, Random.L3);
+  EXPECT_LT(Blocked.L1D, Random.L1D);
+}
+
+TEST(CacheModel, LargerWorkingSetMoreL3Misses) {
+  Platform P = Platform::intelHaswellServer();
+  CacheMisses Small = estimateMisses(profile(1e10, 1e7, 0.4), P);
+  CacheMisses Large = estimateMisses(profile(1e10, 1e11, 0.4), P);
+  EXPECT_LT(Small.L3, Large.L3);
+}
+
+TEST(CacheModel, WorkingSetInsideL3ProducesFewL3Misses) {
+  Platform P = Platform::intelHaswellServer();
+  // 16 MB fits the 60 MB aggregate L3: only compulsory traffic reaches
+  // memory.
+  CacheMisses M = estimateMisses(profile(1e10, 16e6, 0.3), P);
+  EXPECT_LE(M.L3, 16e6 / 64.0 * 1.01);
+}
+
+TEST(CacheModel, StreamingFloorAtLeastCompulsory) {
+  Platform P = Platform::intelHaswellServer();
+  // Even with perfect locality, a 100 GB working set must stream through.
+  CacheMisses M = estimateMisses(profile(2e9, 1e11, 1.0), P);
+  EXPECT_GE(M.L1D, 1e11 / 64.0 * 0.99);
+}
+
+TEST(CacheModel, BiggerL2ReducesL2Misses) {
+  // Skylake's 1 MB L2 vs Haswell's 256 KB, same totals otherwise.
+  Platform H = Platform::intelHaswellServer();
+  Platform S = H;
+  S.L2KB = 1024;
+  MemoryProfile Pr = profile(1e10, 2e9, 0.4);
+  EXPECT_LE(estimateMisses(Pr, S).L2, estimateMisses(Pr, H).L2);
+}

@@ -1,0 +1,107 @@
+//===- tests/sim/DvfsTest.cpp - Optional clock-model tests ----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "sim/TestSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+TEST(TimeBreakdown, ComponentsComposeToTotal) {
+  Platform P = Platform::intelHaswellServer();
+  TimeBreakdown B =
+      kernelTimeBreakdown(KernelKind::MklDgemm, 12000, P);
+  EXPECT_GT(B.ComputeSec, 0);
+  EXPECT_GE(B.MemorySec, 0);
+  EXPECT_GE(B.TotalSec, std::max(B.ComputeSec, B.MemorySec));
+  EXPECT_DOUBLE_EQ(B.TotalSec,
+                   kernelTimeSeconds(KernelKind::MklDgemm, 12000, P));
+}
+
+TEST(TimeBreakdown, MemorySharesSeparateKernelClasses) {
+  Platform P = Platform::intelSkylakeServer();
+  double Dgemm =
+      kernelTimeBreakdown(KernelKind::MklDgemm, 16000, P).memoryShare();
+  double Stream =
+      kernelTimeBreakdown(KernelKind::Stream, 2000000000ull, P)
+          .memoryShare();
+  EXPECT_LT(Dgemm, 0.3);
+  EXPECT_GT(Stream, 0.7);
+}
+
+TEST(Dvfs, DisabledByDefaultKeepsCyclesAtBaseClock) {
+  Platform P = Platform::intelHaswellServer();
+  ASSERT_FALSE(P.DvfsEnabled);
+  ActivityVector A = kernelActivities(KernelKind::MklDgemm, 8000, P);
+  EXPECT_DOUBLE_EQ(A[ActivityKind::CoreCycles],
+                   A[ActivityKind::RefCycles]);
+}
+
+TEST(Dvfs, ComputeDenseKernelThrottles) {
+  Platform P = Platform::intelHaswellServer();
+  P.DvfsEnabled = true;
+  ActivityVector A = kernelActivities(KernelKind::MklDgemm, 8000, P);
+  // AVX license: core clock below TSC rate.
+  EXPECT_LT(A[ActivityKind::CoreCycles], A[ActivityKind::RefCycles]);
+  EXPECT_GT(A[ActivityKind::CoreCycles],
+            A[ActivityKind::RefCycles] * P.AvxThrottle * 0.99);
+}
+
+TEST(Dvfs, MemoryBoundKernelTurbos) {
+  Platform P = Platform::intelHaswellServer();
+  P.DvfsEnabled = true;
+  ActivityVector A =
+      kernelActivities(KernelKind::Stream, 2000000000ull, P);
+  EXPECT_GT(A[ActivityKind::CoreCycles], A[ActivityKind::RefCycles]);
+  EXPECT_LT(A[ActivityKind::CoreCycles],
+            A[ActivityKind::RefCycles] * P.TurboBoostMax * 1.01);
+}
+
+TEST(Dvfs, RefCyclesUnaffectedByClockModel) {
+  Platform Fixed = Platform::intelHaswellServer();
+  Platform WithDvfs = Fixed;
+  WithDvfs.DvfsEnabled = true;
+  ActivityVector A = kernelActivities(KernelKind::MklFft, 20000, Fixed);
+  ActivityVector B = kernelActivities(KernelKind::MklFft, 20000, WithDvfs);
+  EXPECT_DOUBLE_EQ(A[ActivityKind::RefCycles],
+                   B[ActivityKind::RefCycles]);
+}
+
+TEST(Dvfs, RunToRunClockWanderOnlyWhenEnabled) {
+  Platform WithDvfs = Platform::intelHaswellServer();
+  WithDvfs.DvfsEnabled = true;
+  Machine M(WithDvfs, 7);
+  Application App(KernelKind::MklDgemm, 10000);
+  // Ratio of core to ref cycles varies run to run under the wander.
+  Execution E1 = M.run(App);
+  Execution E2 = M.run(App);
+  double R1 = E1.totalActivities()[ActivityKind::CoreCycles] /
+              E1.totalActivities()[ActivityKind::RefCycles];
+  double R2 = E2.totalActivities()[ActivityKind::CoreCycles] /
+              E2.totalActivities()[ActivityKind::RefCycles];
+  EXPECT_NE(R1, R2);
+
+  Machine Fixed(Platform::intelHaswellServer(), 7);
+  Execution F1 = Fixed.run(App);
+  double RFixed = F1.totalActivities()[ActivityKind::CoreCycles] /
+                  F1.totalActivities()[ActivityKind::RefCycles];
+  EXPECT_DOUBLE_EQ(RFixed, 1.0);
+}
+
+TEST(Dvfs, BaselineExperimentsUntouched) {
+  // Guard: enabling the model must be a strict opt-in — the default
+  // platforms must produce bit-identical activities with the flag off.
+  Platform P = Platform::intelSkylakeServer();
+  ActivityVector A = kernelActivities(KernelKind::MklDgemm, 10000, P);
+  Platform Q = Platform::intelSkylakeServer();
+  ActivityVector B = kernelActivities(KernelKind::MklDgemm, 10000, Q);
+  for (size_t I = 0; I < NumActivityKinds; ++I)
+    EXPECT_DOUBLE_EQ(A.at(I), B.at(I));
+}

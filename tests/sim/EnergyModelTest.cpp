@@ -1,0 +1,101 @@
+//===- tests/sim/EnergyModelTest.cpp - Ground-truth energy tests ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EnergyModel.h"
+
+#include "sim/Kernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+TEST(EnergyModel, ZeroActivityZeroEnergy) {
+  EnergyModel E(Platform::intelHaswellServer());
+  EXPECT_DOUBLE_EQ(E.dynamicEnergyJoules(ActivityVector()), 0.0);
+}
+
+TEST(EnergyModel, EnergyIsPositiveForWork) {
+  EnergyModel E(Platform::intelHaswellServer());
+  ActivityVector A;
+  A[ActivityKind::UopsExecuted] = 1e12;
+  EXPECT_GT(E.dynamicEnergyJoules(A), 0.0);
+}
+
+TEST(EnergyModel, MemoryEventsCostMoreThanComputeEvents) {
+  EnergyModel E(Platform::intelHaswellServer());
+  EXPECT_GT(E.weight(ActivityKind::DramReads),
+            E.weight(ActivityKind::FpVectorDouble) * 50);
+  EXPECT_GT(E.weight(ActivityKind::L3Misses),
+            E.weight(ActivityKind::L1DMisses));
+}
+
+TEST(EnergyModel, SkylakeScalesBelowHaswellPerEvent) {
+  EnergyModel H(Platform::intelHaswellServer());
+  EnergyModel S(Platform::intelSkylakeServer());
+  // 140 W / 22 cores vs 240 W / 24 cores.
+  EXPECT_LT(S.weight(ActivityKind::UopsExecuted),
+            H.weight(ActivityKind::UopsExecuted));
+}
+
+TEST(EnergyModel, SuperadditivityBoundedByOverlapTerm) {
+  // E(A + B) >= E(A) + E(B) - 10% of the smaller side: the concavity is
+  // bounded so the paper's energy-additivity premise survives.
+  EnergyModel E(Platform::intelHaswellServer());
+  Platform P = Platform::intelHaswellServer();
+  ActivityVector Compute =
+      kernelActivities(KernelKind::MklDgemm, 8192, P);
+  ActivityVector Memory = kernelActivities(KernelKind::Stream, 3e8, P);
+  double Separate = E.dynamicEnergyJoules(Compute) +
+                    E.dynamicEnergyJoules(Memory);
+  double Together = E.dynamicEnergyJoules(Compute + Memory);
+  EXPECT_LE(Together, Separate + 1e-9);
+  EXPECT_GE(Together, Separate * 0.90);
+}
+
+TEST(EnergyModel, SameProfileComposesAlmostExactly) {
+  // Two copies of the same phase: min(C, M) scales linearly, so the
+  // composition is exactly additive.
+  EnergyModel E(Platform::intelHaswellServer());
+  Platform P = Platform::intelHaswellServer();
+  ActivityVector A = kernelActivities(KernelKind::Hpcg, 2000000, P);
+  double One = E.dynamicEnergyJoules(A);
+  double Two = E.dynamicEnergyJoules(A + A);
+  EXPECT_NEAR(Two, 2 * One, 2 * One * 1e-12);
+}
+
+TEST(EnergyModel, KernelDynamicPowerIsPlausible) {
+  // Dynamic power for sizeable runs stays within (1 W, TDP - idle).
+  for (const Platform &P : {Platform::intelHaswellServer(),
+                            Platform::intelSkylakeServer()}) {
+    EnergyModel E(P);
+    for (KernelKind Kind : allKernels()) {
+      const KernelSpec &Spec = kernelSpec(Kind);
+      double N = static_cast<double>(Spec.SizeMin) * 3;
+      ActivityVector A = kernelActivities(Kind, N, P);
+      double T = kernelTimeSeconds(Kind, N, P);
+      double Power = E.dynamicEnergyJoules(A) / T;
+      EXPECT_GT(Power, 1.0) << Spec.Name;
+      EXPECT_LT(Power, P.TdpWatts - P.IdlePowerWatts) << Spec.Name;
+    }
+  }
+}
+
+TEST(EnergyModel, ComputeBoundKernelDominatedByComputeEnergy) {
+  Platform P = Platform::intelHaswellServer();
+  EnergyModel E(P);
+  ActivityVector Dgemm = kernelActivities(KernelKind::MklDgemm, 16384, P);
+  // Strip the memory-side events: most energy must remain.
+  ActivityVector ComputeOnly = Dgemm;
+  for (ActivityKind Kind :
+       {ActivityKind::Loads, ActivityKind::Stores, ActivityKind::L1DMisses,
+        ActivityKind::L2Misses, ActivityKind::L3Misses,
+        ActivityKind::DramReads})
+    ComputeOnly[Kind] = 0;
+  EXPECT_GT(E.dynamicEnergyJoules(ComputeOnly),
+            0.5 * E.dynamicEnergyJoules(Dgemm));
+}

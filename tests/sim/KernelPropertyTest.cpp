@@ -1,0 +1,184 @@
+//===- tests/sim/KernelPropertyTest.cpp - Per-kernel invariant sweeps -----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized invariants that must hold for EVERY kernel of the
+// catalogue on both platforms, at several points of its size range —
+// the contract the experiment layer relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EnergyModel.h"
+#include "sim/TestSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+/// Geometric sample points across a kernel's size range.
+std::vector<double> samplePoints(const KernelSpec &Spec) {
+  double Lo = static_cast<double>(Spec.SizeMin);
+  double Hi = static_cast<double>(Spec.SizeMax);
+  std::vector<double> Points;
+  for (double Frac : {0.0, 0.3, 0.6, 1.0})
+    Points.push_back(Lo * std::pow(Hi / Lo, Frac));
+  return Points;
+}
+} // namespace
+
+class KernelInvariants : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(KernelInvariants, ActivitiesFiniteAndNonNegative) {
+  for (const Platform &P : {Platform::intelHaswellServer(),
+                            Platform::intelSkylakeServer()}) {
+    const KernelSpec &Spec = kernelSpec(GetParam());
+    for (double N : samplePoints(Spec)) {
+      ActivityVector A = kernelActivities(GetParam(), N, P);
+      for (size_t I = 0; I < NumActivityKinds; ++I) {
+        EXPECT_TRUE(std::isfinite(A.at(I)))
+            << Spec.Name << " N=" << N << " "
+            << activityKindName(static_cast<ActivityKind>(I));
+        EXPECT_GE(A.at(I), 0.0) << Spec.Name << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST_P(KernelInvariants, CacheHierarchyMonotone) {
+  Platform P = Platform::intelHaswellServer();
+  const KernelSpec &Spec = kernelSpec(GetParam());
+  for (double N : samplePoints(Spec)) {
+    ActivityVector A = kernelActivities(GetParam(), N, P);
+    EXPECT_GE(A[ActivityKind::L1DMisses], A[ActivityKind::L2Misses] -
+                                              A[ActivityKind::ICacheMisses])
+        << Spec.Name;
+    EXPECT_GE(A[ActivityKind::L2Misses] * 1.0001 + 1,
+              A[ActivityKind::L3Misses])
+        << Spec.Name;
+    EXPECT_GE(A[ActivityKind::Loads] + A[ActivityKind::Stores],
+              A[ActivityKind::L1DMisses])
+        << Spec.Name;
+  }
+}
+
+TEST_P(KernelInvariants, FrontendConservation) {
+  Platform P = Platform::intelSkylakeServer();
+  const KernelSpec &Spec = kernelSpec(GetParam());
+  for (double N : samplePoints(Spec)) {
+    ActivityVector A = kernelActivities(GetParam(), N, P);
+    double Delivered = A[ActivityKind::DsbUops] +
+                       A[ActivityKind::MiteUops] + A[ActivityKind::MsUops];
+    EXPECT_NEAR(Delivered / A[ActivityKind::UopsIssued], 1.0, 1e-6)
+        << Spec.Name;
+  }
+}
+
+TEST_P(KernelInvariants, TimeStrictlyIncreasingAcrossRange) {
+  Platform P = Platform::intelHaswellServer();
+  const KernelSpec &Spec = kernelSpec(GetParam());
+  std::vector<double> Points = samplePoints(Spec);
+  for (size_t I = 0; I + 1 < Points.size(); ++I)
+    EXPECT_LT(kernelTimeSeconds(GetParam(), Points[I], P),
+              kernelTimeSeconds(GetParam(), Points[I + 1], P) + 1e-9)
+        << Spec.Name;
+}
+
+TEST_P(KernelInvariants, EnergyScalesWithWork) {
+  Platform P = Platform::intelSkylakeServer();
+  EnergyModel E(P);
+  const KernelSpec &Spec = kernelSpec(GetParam());
+  std::vector<double> Points = samplePoints(Spec);
+  double Previous = 0;
+  for (double N : Points) {
+    double Joules = E.dynamicEnergyJoules(kernelActivities(GetParam(), N, P));
+    EXPECT_GT(Joules, Previous) << Spec.Name << " N=" << N;
+    Previous = Joules;
+  }
+}
+
+TEST_P(KernelInvariants, DynamicPowerWithinEnvelopeAtScale) {
+  // At sizes with >= 1 s runtime, dynamic power must stay within the
+  // machine's physical envelope.
+  for (const Platform &P : {Platform::intelHaswellServer(),
+                            Platform::intelSkylakeServer()}) {
+    EnergyModel E(P);
+    const KernelSpec &Spec = kernelSpec(GetParam());
+    for (double N : samplePoints(Spec)) {
+      double T = kernelTimeSeconds(GetParam(), N, P);
+      if (T < 1.0)
+        continue;
+      double Power =
+          E.dynamicEnergyJoules(kernelActivities(GetParam(), N, P)) / T;
+      EXPECT_GT(Power, 0.5) << Spec.Name << " N=" << N;
+      EXPECT_LT(Power, P.TdpWatts) << Spec.Name << " N=" << N;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelInvariants, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<KernelKind> &Info) {
+      std::string Name = kernelSpec(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+// --- NPB class-size mapping.
+
+TEST(NpbClassSize, KnownClassDimensions) {
+  auto CgA = npbClassSize(KernelKind::NpbCg, 'A');
+  ASSERT_TRUE(bool(CgA));
+  EXPECT_EQ(*CgA, 14000u);
+  auto EpB = npbClassSize(KernelKind::NpbEp, 'B');
+  ASSERT_TRUE(bool(EpB));
+  EXPECT_EQ(*EpB, 1073741824ull);
+  auto FtC = npbClassSize(KernelKind::NpbFt, 'C');
+  ASSERT_TRUE(bool(FtC));
+  EXPECT_EQ(*FtC, 134217728ull);
+}
+
+TEST(NpbClassSize, ClassesGrowMonotonically) {
+  for (KernelKind Kind : {KernelKind::NpbCg, KernelKind::NpbMg,
+                          KernelKind::NpbFt, KernelKind::NpbEp}) {
+    uint64_t Previous = 0;
+    for (char Class : {'A', 'B', 'C'}) {
+      auto Size = npbClassSize(Kind, Class);
+      if (!Size)
+        continue; // Some classes exceed a kernel's modeled range.
+      EXPECT_GE(*Size, Previous) << kernelSpec(Kind).Name << Class;
+      Previous = *Size;
+    }
+  }
+}
+
+TEST(NpbClassSize, ClassSizesAreValidApplications) {
+  for (KernelKind Kind : {KernelKind::NpbCg, KernelKind::NpbMg,
+                          KernelKind::NpbFt, KernelKind::NpbEp})
+    for (char Class : {'A', 'B', 'C'}) {
+      auto Size = npbClassSize(Kind, Class);
+      if (Size) {
+        EXPECT_TRUE(Application(Kind, *Size).isValid())
+            << kernelSpec(Kind).Name << Class;
+      }
+    }
+}
+
+TEST(NpbClassSize, RejectsNonNpbKernels) {
+  auto Size = npbClassSize(KernelKind::MklDgemm, 'A');
+  ASSERT_FALSE(bool(Size));
+  EXPECT_NE(Size.error().message().find("not an NPB"), std::string::npos);
+}
+
+TEST(NpbClassSize, RejectsUnknownClass) {
+  auto Size = npbClassSize(KernelKind::NpbCg, 'Z');
+  ASSERT_FALSE(bool(Size));
+}

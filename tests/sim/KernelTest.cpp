@@ -1,0 +1,152 @@
+//===- tests/sim/KernelTest.cpp - Kernel model tests ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+TEST(WorkTerm, PowerLawEvaluation) {
+  WorkTerm T{2.0, 3.0, 0.0};
+  EXPECT_DOUBLE_EQ(T.eval(10), 2000);
+}
+
+TEST(WorkTerm, LogFactor) {
+  WorkTerm T{1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(T.eval(8), 3.0);
+}
+
+TEST(WorkTerm, ZeroCoefShortCircuits) {
+  WorkTerm T{0.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(T.eval(1e9), 0.0);
+}
+
+TEST(KernelSpec, TableCoversAllKinds) {
+  EXPECT_EQ(allKernels().size(), NumKernelKinds);
+  for (KernelKind Kind : allKernels()) {
+    const KernelSpec &Spec = kernelSpec(Kind);
+    EXPECT_EQ(Spec.Kind, Kind);
+    EXPECT_NE(Spec.Name, nullptr);
+    EXPECT_LT(Spec.SizeMin, Spec.SizeMax);
+    EXPECT_GT(Spec.ParallelEfficiency, 0.0);
+    EXPECT_LE(Spec.ParallelEfficiency, 1.0);
+    EXPECT_GE(Spec.ContextIntensity, 0.0);
+  }
+}
+
+TEST(KernelSpec, MklKernelsHaveLowContextIntensity) {
+  // The premise of the paper's Class B finding: optimized MKL kernels
+  // barely disturb execution context.
+  EXPECT_LT(kernelSpec(KernelKind::MklDgemm).ContextIntensity, 0.1);
+  EXPECT_LT(kernelSpec(KernelKind::MklFft).ContextIntensity, 0.1);
+  EXPECT_GT(kernelSpec(KernelKind::QuickSort).ContextIntensity, 0.8);
+}
+
+TEST(KernelActivities, DgemmFlopsMatchAlgorithm) {
+  Platform P = Platform::intelHaswellServer();
+  ActivityVector A = kernelActivities(KernelKind::MklDgemm, 1000, P);
+  EXPECT_NEAR(A[ActivityKind::FpVectorDouble], 2e9, 2e7); // 2 N^3.
+  EXPECT_DOUBLE_EQ(A[ActivityKind::FpScalarDouble], 0.0);
+}
+
+TEST(KernelActivities, ActivitiesAreNonNegativeEverywhere) {
+  Platform P = Platform::intelSkylakeServer();
+  for (KernelKind Kind : allKernels()) {
+    const KernelSpec &Spec = kernelSpec(Kind);
+    uint64_t Mid = Spec.SizeMin + (Spec.SizeMax - Spec.SizeMin) / 4;
+    ActivityVector A = kernelActivities(Kind, static_cast<double>(Mid), P);
+    for (size_t I = 0; I < NumActivityKinds; ++I)
+      EXPECT_GE(A.at(I), 0.0)
+          << Spec.Name << " " << activityKindName(static_cast<ActivityKind>(I));
+  }
+}
+
+TEST(KernelActivities, UopsExecutedEqualsPortSum) {
+  Platform P = Platform::intelHaswellServer();
+  ActivityVector A = kernelActivities(KernelKind::Stencil2D, 2048, P);
+  double PortSum = A[ActivityKind::Port0] + A[ActivityKind::Port1] +
+                   A[ActivityKind::Port2] + A[ActivityKind::Port3] +
+                   A[ActivityKind::Port4] + A[ActivityKind::Port5] +
+                   A[ActivityKind::Port6] + A[ActivityKind::Port7];
+  EXPECT_NEAR(A[ActivityKind::UopsExecuted], PortSum, PortSum * 1e-12);
+}
+
+TEST(KernelActivities, UopDeliveryPathsSumToIssued) {
+  Platform P = Platform::intelHaswellServer();
+  ActivityVector A = kernelActivities(KernelKind::NpbCg, 1000000, P);
+  double Delivered = A[ActivityKind::DsbUops] + A[ActivityKind::MiteUops] +
+                     A[ActivityKind::MsUops];
+  EXPECT_NEAR(Delivered, A[ActivityKind::UopsIssued],
+              A[ActivityKind::UopsIssued] * 1e-9);
+}
+
+TEST(KernelActivities, MonotoneInProblemSize) {
+  Platform P = Platform::intelHaswellServer();
+  for (KernelKind Kind : allKernels()) {
+    const KernelSpec &Spec = kernelSpec(Kind);
+    double Small = static_cast<double>(Spec.SizeMin) * 2;
+    double Large = Small * 4;
+    if (Large > static_cast<double>(Spec.SizeMax))
+      continue;
+    ActivityVector A1 = kernelActivities(Kind, Small, P);
+    ActivityVector A2 = kernelActivities(Kind, Large, P);
+    EXPECT_LT(A1[ActivityKind::Instructions],
+              A2[ActivityKind::Instructions])
+        << Spec.Name;
+  }
+}
+
+TEST(KernelTime, PositiveAndMonotone) {
+  Platform P = Platform::intelSkylakeServer();
+  for (KernelKind Kind : allKernels()) {
+    const KernelSpec &Spec = kernelSpec(Kind);
+    double Small = static_cast<double>(Spec.SizeMin) * 2;
+    double Large = Small * 4;
+    if (Large > static_cast<double>(Spec.SizeMax))
+      continue;
+    double T1 = kernelTimeSeconds(Kind, Small, P);
+    double T2 = kernelTimeSeconds(Kind, Large, P);
+    EXPECT_GT(T1, 0.0) << Spec.Name;
+    EXPECT_LE(T1, T2) << Spec.Name;
+  }
+}
+
+TEST(KernelTime, DgemmNearComputeBound) {
+  // MKL DGEMM should run within a small factor of peak flops.
+  Platform P = Platform::intelHaswellServer();
+  double N = 16384;
+  double T = kernelTimeSeconds(KernelKind::MklDgemm, N, P);
+  double Ideal = 2 * N * N * N / (P.peakGflops() * 1e9);
+  EXPECT_GT(T, Ideal * 0.9);
+  EXPECT_LT(T, Ideal * 3.0);
+}
+
+TEST(KernelTime, StreamNearBandwidthBound) {
+  Platform P = Platform::intelHaswellServer();
+  double N = 1e9; // 24 GB working set.
+  double T = kernelTimeSeconds(KernelKind::Stream, N, P);
+  double IdealMemTime = 24.0 * N / (P.MemBandwidthGBs * 1e9);
+  EXPECT_GT(T, IdealMemTime * 0.5);
+  EXPECT_LT(T, IdealMemTime * 6.0);
+}
+
+TEST(KernelTime, FasterPlatformIsFaster) {
+  Platform H = Platform::intelHaswellServer();
+  Platform Slow = H;
+  Slow.CoresPerSocket = 4;
+  Slow.MemBandwidthGBs = 30;
+  for (KernelKind Kind : {KernelKind::MklDgemm, KernelKind::SpMV}) {
+    const KernelSpec &Spec = kernelSpec(Kind);
+    double N = static_cast<double>(Spec.SizeMin) * 3;
+    EXPECT_LT(kernelTimeSeconds(Kind, N, H),
+              kernelTimeSeconds(Kind, N, Slow));
+  }
+}

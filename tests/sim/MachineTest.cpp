@@ -1,0 +1,167 @@
+//===- tests/sim/MachineTest.cpp - Machine execution/synthesis tests ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "pmc/PlatformEvents.h"
+#include "stats/Descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+Application dgemm(uint64_t N = 8192) {
+  return Application(KernelKind::MklDgemm, N);
+}
+} // namespace
+
+TEST(Machine, RunProducesPositiveTimeAndEnergy) {
+  Machine M(Platform::intelHaswellServer(), 1);
+  Execution E = M.run(dgemm());
+  EXPECT_GT(E.totalTimeSec(), 0.0);
+  EXPECT_GT(E.TrueDynamicEnergyJ, 0.0);
+  EXPECT_EQ(E.Phases.size(), 1u);
+}
+
+TEST(Machine, RepeatedRunsVarySlightly) {
+  Machine M(Platform::intelHaswellServer(), 2);
+  Execution A = M.run(dgemm());
+  Execution B = M.run(dgemm());
+  EXPECT_NE(A.RunSeed, B.RunSeed);
+  EXPECT_NE(A.TrueDynamicEnergyJ, B.TrueDynamicEnergyJ);
+  // ... but only slightly (work jitter + energy noise ~ few percent).
+  EXPECT_NEAR(A.TrueDynamicEnergyJ / B.TrueDynamicEnergyJ, 1.0, 0.25);
+}
+
+TEST(Machine, SameSeedSameHistory) {
+  Machine A(Platform::intelHaswellServer(), 7);
+  Machine B(Platform::intelHaswellServer(), 7);
+  Execution Ea = A.run(dgemm());
+  Execution Eb = B.run(dgemm());
+  EXPECT_EQ(Ea.RunSeed, Eb.RunSeed);
+  EXPECT_DOUBLE_EQ(Ea.TrueDynamicEnergyJ, Eb.TrueDynamicEnergyJ);
+}
+
+TEST(Machine, CompoundRunsBothPhases) {
+  Machine M(Platform::intelHaswellServer(), 3);
+  CompoundApplication App(dgemm(6000),
+                          Application(KernelKind::Stream, 5e8));
+  Execution E = M.run(App);
+  ASSERT_EQ(E.Phases.size(), 2u);
+  EXPECT_GT(E.Phases[0].TimeSec, 0);
+  EXPECT_GT(E.Phases[1].TimeSec, 0);
+  EXPECT_NEAR(E.totalTimeSec(),
+              E.Phases[0].TimeSec + E.Phases[1].TimeSec, 1e-12);
+}
+
+TEST(Machine, CompoundEnergyIsNearlySumOfBases) {
+  // The paper's physical premise, which the additivity criterion rests
+  // on: dynamic energy of A;B equals E(A) + E(B) within tolerance.
+  Machine M(Platform::intelHaswellServer(), 4);
+  Application A = dgemm(7000);
+  Application B(KernelKind::Stencil2D, 4000);
+  double SumOfBases = 0;
+  const int Reps = 5;
+  for (int I = 0; I < Reps; ++I)
+    SumOfBases += M.run(A).TrueDynamicEnergyJ +
+                  M.run(B).TrueDynamicEnergyJ;
+  SumOfBases /= Reps;
+  double Compound = 0;
+  for (int I = 0; I < Reps; ++I)
+    Compound += M.run(CompoundApplication(A, B)).TrueDynamicEnergyJ;
+  Compound /= Reps;
+  EXPECT_NEAR(Compound / SumOfBases, 1.0, 0.05);
+}
+
+TEST(Machine, TotalActivitiesSumPhases) {
+  Machine M(Platform::intelHaswellServer(), 5);
+  CompoundApplication App(dgemm(5000), dgemm(6000));
+  Execution E = M.run(App);
+  ActivityVector Total = E.totalActivities();
+  EXPECT_DOUBLE_EQ(Total[ActivityKind::FpVectorDouble],
+                   E.Phases[0].Activities[ActivityKind::FpVectorDouble] +
+                       E.Phases[1].Activities[ActivityKind::FpVectorDouble]);
+}
+
+TEST(Machine, CounterReadingIsDeterministicPerRun) {
+  Machine M(Platform::intelHaswellServer(), 6);
+  Execution E = M.run(dgemm());
+  EventId Id = *M.registry().lookup("L2_RQSTS_MISS");
+  EXPECT_DOUBLE_EQ(M.readCounter(Id, E), M.readCounter(Id, E));
+}
+
+TEST(Machine, DifferentEventsGetIndependentNoise) {
+  Machine M(Platform::intelHaswellServer(), 7);
+  Execution E = M.run(dgemm());
+  EventId A = *M.registry().lookup("UOPS_ISSUED_ANY");
+  EventId B = *M.registry().lookup("UOPS_EXECUTED_CORE");
+  // Both map uop activities, but the per-event noise must differ.
+  double Ra = M.readCounter(A, E) / E.totalActivities()[ActivityKind::UopsIssued];
+  double Rb = M.readCounter(B, E) / E.totalActivities()[ActivityKind::UopsExecuted];
+  EXPECT_NE(Ra, Rb);
+}
+
+TEST(Machine, AdditiveEventComposesOverCompounds) {
+  Machine M(Platform::intelHaswellServer(), 8);
+  // UOPS_EXECUTED_CORE has tiny context coupling: compound reading stays
+  // within a few percent of the sum of base readings.
+  EventId Id = *M.registry().lookup("UOPS_EXECUTED_CORE");
+  Application A = dgemm(6000), B = dgemm(9000);
+  double Sum = 0, Compound = 0;
+  const int Reps = 5;
+  for (int I = 0; I < Reps; ++I) {
+    Sum += M.readCounter(Id, M.run(A)) + M.readCounter(Id, M.run(B));
+    Compound += M.readCounter(Id, M.run(CompoundApplication(A, B)));
+  }
+  EXPECT_NEAR(Compound / Sum, 1.0, 0.05);
+}
+
+TEST(Machine, DividerEventInflatesOnCompounds) {
+  // ARITH_DIVIDER_COUNT is strongly context-dominated (Table 2: 80%
+  // error): its compound reading must exceed the sum of base readings by
+  // far more than the 5% tolerance for a high-intensity kernel.
+  Machine M(Platform::intelHaswellServer(), 9);
+  EventId Id = *M.registry().lookup("ARITH_DIVIDER_COUNT");
+  Application A(KernelKind::QuickSort, 1u << 26);
+  Application B(KernelKind::MonteCarlo, 1u << 24);
+  double Sum = 0, Compound = 0;
+  const int Reps = 6;
+  for (int I = 0; I < Reps; ++I) {
+    Sum += M.readCounter(Id, M.run(A)) + M.readCounter(Id, M.run(B));
+    Compound += M.readCounter(Id, M.run(CompoundApplication(A, B)));
+  }
+  EXPECT_GT(std::fabs(Compound - Sum) / Sum, 0.10);
+}
+
+TEST(Machine, InsignificantEventReportsTinyCounts) {
+  Machine M(Platform::intelHaswellServer(), 10);
+  EventId Id = *M.registry().lookup("RTM_RETIRED_ABORTED");
+  Execution E = M.run(dgemm());
+  EXPECT_LE(M.readCounter(Id, E), 50.0);
+}
+
+TEST(Machine, ReadCountersMatchesIndividualReads) {
+  Machine M(Platform::intelHaswellServer(), 11);
+  Execution E = M.run(dgemm());
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*M.registry().lookup(Name));
+  std::vector<double> Batch = M.readCounters(Ids, E);
+  for (size_t I = 0; I < Ids.size(); ++I)
+    EXPECT_DOUBLE_EQ(Batch[I], M.readCounter(Ids[I], E));
+}
+
+TEST(Machine, CountersAreNeverNegative) {
+  Machine M(Platform::intelSkylakeServer(), 12);
+  Execution E = M.run(Application(KernelKind::MklFft, 24000));
+  for (EventId Id : M.registry().allEvents())
+    EXPECT_GE(M.readCounter(Id, E), 0.0);
+}

@@ -1,0 +1,60 @@
+//===- tests/sim/PlatformTest.cpp - Platform model tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Platform.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::sim;
+
+TEST(Platform, HaswellMatchesPaperTable1) {
+  Platform P = Platform::intelHaswellServer();
+  EXPECT_EQ(P.Arch, Microarch::Haswell);
+  EXPECT_EQ(P.ThreadsPerCore, 2u);
+  EXPECT_EQ(P.CoresPerSocket, 12u);
+  EXPECT_EQ(P.Sockets, 2u);
+  EXPECT_EQ(P.NumaNodes, 2u);
+  EXPECT_EQ(P.L1DKB, 32u);
+  EXPECT_EQ(P.L2KB, 256u);
+  EXPECT_EQ(P.L3KB, 30720u);
+  EXPECT_EQ(P.MainMemoryGB, 64u);
+  EXPECT_DOUBLE_EQ(P.TdpWatts, 240);
+  EXPECT_DOUBLE_EQ(P.IdlePowerWatts, 58);
+  EXPECT_EQ(P.totalCores(), 24u);
+}
+
+TEST(Platform, SkylakeMatchesPaperTable1) {
+  Platform P = Platform::intelSkylakeServer();
+  EXPECT_EQ(P.Arch, Microarch::Skylake);
+  EXPECT_EQ(P.CoresPerSocket, 22u);
+  EXPECT_EQ(P.Sockets, 1u);
+  EXPECT_EQ(P.NumaNodes, 1u);
+  EXPECT_EQ(P.L2KB, 1024u);
+  EXPECT_EQ(P.L3KB, 30976u);
+  EXPECT_EQ(P.MainMemoryGB, 96u);
+  EXPECT_DOUBLE_EQ(P.TdpWatts, 140);
+  EXPECT_DOUBLE_EQ(P.IdlePowerWatts, 32);
+  EXPECT_EQ(P.totalCores(), 22u);
+}
+
+TEST(Platform, DerivedQuantities) {
+  Platform P = Platform::intelHaswellServer();
+  EXPECT_NEAR(P.peakGflops(), 24 * 2.3 * 16, 1e-9);
+  EXPECT_DOUBLE_EQ(P.l1Bytes(), 32 * 1024.0);
+  EXPECT_DOUBLE_EQ(P.l2Bytes(), 256 * 1024.0);
+  EXPECT_DOUBLE_EQ(P.l3Bytes(), 30720 * 1024.0 * 2);
+}
+
+TEST(Platform, RegistryDispatchesOnMicroarch) {
+  EXPECT_EQ(Platform::intelHaswellServer().buildRegistry().size(), 164u);
+  EXPECT_EQ(Platform::intelSkylakeServer().buildRegistry().size(), 385u);
+}
+
+TEST(Platform, MicroarchNames) {
+  EXPECT_STREQ(microarchName(Microarch::Haswell), "Haswell");
+  EXPECT_STREQ(microarchName(Microarch::Skylake), "Skylake");
+}

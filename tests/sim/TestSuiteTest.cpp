@@ -1,0 +1,107 @@
+//===- tests/sim/TestSuiteTest.cpp - Suite generator tests ----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TestSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slope;
+using namespace slope::sim;
+
+TEST(DiverseSuite, ProducesRequestedCount) {
+  Platform P = Platform::intelHaswellServer();
+  EXPECT_EQ(diverseBaseSuite(P, 277, Rng(1)).size(), 277u);
+  EXPECT_EQ(diverseBaseSuite(P, 5, Rng(1)).size(), 5u);
+}
+
+TEST(DiverseSuite, CoversAllKernels) {
+  Platform P = Platform::intelHaswellServer();
+  std::vector<Application> Suite = diverseBaseSuite(P, 64, Rng(2));
+  std::set<KernelKind> Kinds;
+  for (const Application &App : Suite)
+    Kinds.insert(App.Kind);
+  EXPECT_EQ(Kinds.size(), NumKernelKinds);
+}
+
+TEST(DiverseSuite, AllApplicationsValid) {
+  Platform P = Platform::intelSkylakeServer();
+  for (const Application &App : diverseBaseSuite(P, 100, Rng(3)))
+    EXPECT_TRUE(App.isValid()) << App.str();
+}
+
+TEST(DiverseSuite, RuntimesRespectTheWindow) {
+  // The paper picks problem sizes with "reasonable execution time
+  // (>3 s)"; allow slack where a kernel's range cannot reach the window.
+  Platform P = Platform::intelHaswellServer();
+  size_t InWindow = 0;
+  std::vector<Application> Suite = diverseBaseSuite(P, 96, Rng(4), 3, 120);
+  for (const Application &App : Suite) {
+    double T = kernelTimeSeconds(App.Kind, static_cast<double>(App.Size), P);
+    if (T >= 2.5 && T <= 150)
+      ++InWindow;
+  }
+  EXPECT_GE(InWindow, Suite.size() * 9 / 10);
+}
+
+TEST(DiverseSuite, DeterministicPerSeed) {
+  Platform P = Platform::intelHaswellServer();
+  std::vector<Application> A = diverseBaseSuite(P, 30, Rng(5));
+  std::vector<Application> B = diverseBaseSuite(P, 30, Rng(5));
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(A[I] == B[I]);
+}
+
+TEST(CompoundSuite, PairsAreTwoPhase) {
+  Platform P = Platform::intelHaswellServer();
+  std::vector<Application> Bases = diverseBaseSuite(P, 20, Rng(6));
+  std::vector<CompoundApplication> Compounds =
+      makeCompoundSuite(Bases, 50, Rng(7));
+  EXPECT_EQ(Compounds.size(), 50u);
+  for (const CompoundApplication &App : Compounds) {
+    EXPECT_EQ(App.numPhases(), 2u);
+    EXPECT_FALSE(App.Phases[0] == App.Phases[1]);
+  }
+}
+
+TEST(AdditivityBases, SplitsBetweenDgemmAndFft) {
+  std::vector<Application> Bases = dgemmFftAdditivityBases(50);
+  EXPECT_EQ(Bases.size(), 50u);
+  size_t NumDgemm = 0, NumFft = 0;
+  for (const Application &App : Bases) {
+    if (App.Kind == KernelKind::MklDgemm) {
+      ++NumDgemm;
+      EXPECT_GE(App.Size, 6500u);
+      EXPECT_LE(App.Size, 20000u);
+    } else {
+      ASSERT_EQ(App.Kind, KernelKind::MklFft);
+      ++NumFft;
+      EXPECT_GE(App.Size, 22400u);
+      EXPECT_LE(App.Size, 29000u);
+    }
+  }
+  EXPECT_EQ(NumDgemm, 25u);
+  EXPECT_EQ(NumFft, 25u);
+}
+
+TEST(ModelDataset, Has801PointsWithPaperRangesAndStride) {
+  std::vector<Application> Points = dgemmFftModelDataset();
+  ASSERT_EQ(Points.size(), 801u);
+  size_t NumDgemm = 0;
+  for (const Application &App : Points) {
+    EXPECT_EQ(App.Size % 64, 0u);
+    if (App.Kind == KernelKind::MklDgemm) {
+      ++NumDgemm;
+      EXPECT_GE(App.Size, 6400u);
+      EXPECT_LE(App.Size, 38400u);
+    } else {
+      EXPECT_GE(App.Size, 22400u);
+      EXPECT_LE(App.Size, 41536u);
+    }
+  }
+  EXPECT_EQ(NumDgemm, 501u);
+}

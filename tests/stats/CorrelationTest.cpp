@@ -1,0 +1,100 @@
+//===- tests/stats/CorrelationTest.cpp - Correlation tests --------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Correlation.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(Pearson, PerfectPositive) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, AffineInvariance) {
+  std::vector<double> X = {1, 4, 2, 8, 5};
+  std::vector<double> Y = {2, 3, 9, 1, 4};
+  double R1 = pearson(X, Y);
+  std::vector<double> Xs;
+  for (double V : X)
+    Xs.push_back(3.5 * V - 100);
+  EXPECT_NEAR(pearson(Xs, Y), R1, 1e-12);
+}
+
+TEST(Pearson, SymmetricInArguments) {
+  std::vector<double> X = {1, 4, 2, 8, 5};
+  std::vector<double> Y = {2, 3, 9, 1, 4};
+  EXPECT_DOUBLE_EQ(pearson(X, Y), pearson(Y, X));
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson({5, 5, 5}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {7, 7, 7}), 0.0);
+}
+
+TEST(Pearson, UncorrelatedNoiseIsSmall) {
+  Rng R(99);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 20000; ++I) {
+    X.push_back(R.gaussian());
+    Y.push_back(R.gaussian());
+  }
+  EXPECT_NEAR(pearson(X, Y), 0.0, 0.03);
+}
+
+// Property: |r| <= 1 for arbitrary data.
+class PearsonBound : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PearsonBound, WithinUnitInterval) {
+  Rng R(GetParam());
+  std::vector<double> X, Y;
+  size_t N = 2 + R.below(100);
+  for (size_t I = 0; I < N; ++I) {
+    X.push_back(R.uniform(-1e6, 1e6));
+    Y.push_back(R.uniform(-1e6, 1e6));
+  }
+  double Corr = pearson(X, Y);
+  EXPECT_GE(Corr, -1.0 - 1e-12);
+  EXPECT_LE(Corr, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonBound,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(MidRanks, SimpleOrdering) {
+  std::vector<double> Ranks = midRanks({30, 10, 20});
+  EXPECT_DOUBLE_EQ(Ranks[0], 3);
+  EXPECT_DOUBLE_EQ(Ranks[1], 1);
+  EXPECT_DOUBLE_EQ(Ranks[2], 2);
+}
+
+TEST(MidRanks, TiesGetAverageRank) {
+  std::vector<double> Ranks = midRanks({5, 5, 1});
+  EXPECT_DOUBLE_EQ(Ranks[2], 1);
+  EXPECT_DOUBLE_EQ(Ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(Ranks[1], 2.5);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // y = x^3 is monotone: Spearman 1, Pearson < 1.
+  std::vector<double> X = {1, 2, 3, 4, 5, 6};
+  std::vector<double> Y;
+  for (double V : X)
+    Y.push_back(V * V * V);
+  EXPECT_NEAR(spearman(X, Y), 1.0, 1e-12);
+  EXPECT_LT(pearson(X, Y), 1.0);
+}
+
+TEST(Spearman, ReversedOrderIsMinusOne) {
+  EXPECT_NEAR(spearman({1, 2, 3, 4}, {9, 7, 5, 3}), -1.0, 1e-12);
+}

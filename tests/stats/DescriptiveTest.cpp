@@ -1,0 +1,117 @@
+//===- tests/stats/DescriptiveTest.cpp - Descriptive statistics tests ---------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Descriptive.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(Descriptive, MeanOfConstants) {
+  EXPECT_DOUBLE_EQ(mean({5, 5, 5}), 5.0);
+}
+
+TEST(Descriptive, MeanOfMixedValues) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Descriptive, SampleVarianceKnownValue) {
+  // Var of {2,4,4,4,5,5,7,9} with n-1 denominator = 32/7.
+  EXPECT_NEAR(sampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, StdDevIsSqrtOfVariance) {
+  std::vector<double> Xs = {1, 3, 5, 9};
+  EXPECT_DOUBLE_EQ(sampleStdDev(Xs), std::sqrt(sampleVariance(Xs)));
+}
+
+TEST(Descriptive, VarianceOfConstantsIsZero) {
+  EXPECT_DOUBLE_EQ(sampleVariance({3, 3, 3, 3}), 0.0);
+}
+
+TEST(Descriptive, CoefficientOfVariationScaleInvariant) {
+  std::vector<double> Xs = {10, 12, 11, 13};
+  std::vector<double> Scaled;
+  for (double X : Xs)
+    Scaled.push_back(X * 1000);
+  EXPECT_NEAR(coefficientOfVariation(Xs), coefficientOfVariation(Scaled),
+              1e-12);
+}
+
+TEST(Descriptive, MinMax) {
+  std::vector<double> Xs = {3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(minOf(Xs), -1);
+  EXPECT_DOUBLE_EQ(maxOf(Xs), 7);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, PercentageErrorBasics) {
+  EXPECT_DOUBLE_EQ(percentageError(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentageError(90, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentageError(100, 100), 0.0);
+}
+
+TEST(Descriptive, PercentageErrorAgainstNegativeActual) {
+  EXPECT_DOUBLE_EQ(percentageError(-90, -100), 10.0);
+}
+
+TEST(Descriptive, ErrorSummaryTriple) {
+  ErrorSummary S = summarizeErrors({5, 10, 30});
+  EXPECT_DOUBLE_EQ(S.Min, 5);
+  EXPECT_DOUBLE_EQ(S.Avg, 15);
+  EXPECT_DOUBLE_EQ(S.Max, 30);
+}
+
+TEST(Descriptive, ErrorSummaryStringMatchesPaperStyle) {
+  ErrorSummary S;
+  S.Min = 6.6;
+  S.Avg = 31.2;
+  S.Max = 61.9;
+  EXPECT_EQ(S.str(), "(6.6, 31.2, 61.9)");
+}
+
+TEST(Descriptive, PredictionErrorSummary) {
+  ErrorSummary S = predictionErrorSummary({110, 90}, {100, 100});
+  EXPECT_DOUBLE_EQ(S.Min, 10);
+  EXPECT_DOUBLE_EQ(S.Max, 10);
+}
+
+// Property: for any sample, min <= mean <= max and variance >= 0.
+class DescriptiveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DescriptiveProperty, OrderAndNonNegativity) {
+  Rng R(GetParam());
+  std::vector<double> Xs;
+  size_t N = 2 + R.below(50);
+  for (size_t I = 0; I < N; ++I)
+    Xs.push_back(R.gaussian(R.uniform(-100, 100), R.uniform(0.1, 10)));
+  double Mu = mean(Xs);
+  EXPECT_LE(minOf(Xs), Mu);
+  EXPECT_GE(maxOf(Xs), Mu);
+  EXPECT_GE(sampleVariance(Xs), 0.0);
+  EXPECT_GE(median(Xs), minOf(Xs));
+  EXPECT_LE(median(Xs), maxOf(Xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptiveProperty,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(DescriptiveDeath, EmptyMeanAsserts) {
+  EXPECT_DEATH((void)mean({}), "empty");
+}
+
+TEST(DescriptiveDeath, SingleElementVarianceAsserts) {
+  EXPECT_DEATH((void)sampleVariance({1.0}), "two points");
+}

@@ -1,0 +1,108 @@
+//===- tests/stats/MatrixTest.cpp - Dense matrix tests ------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Matrix.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(1, 2), 1.5);
+  M.at(0, 1) = -2;
+  EXPECT_DOUBLE_EQ(M.at(0, 1), -2);
+}
+
+TEST(Matrix, FromRows) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.cols(), 2u);
+  EXPECT_DOUBLE_EQ(M.at(2, 1), 6);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix I = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(M.multiply(I).maxAbsDiff(M), 0.0);
+  EXPECT_DOUBLE_EQ(I.multiply(M).maxAbsDiff(M), 0.0);
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix M = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(M.transposed().transposed().maxAbsDiff(M), 0.0);
+  EXPECT_DOUBLE_EQ(M.transposed().at(2, 1), 6);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  std::vector<double> V = M.multiply(std::vector<double>{1, 1});
+  EXPECT_DOUBLE_EQ(V[0], 3);
+  EXPECT_DOUBLE_EQ(V[1], 7);
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(M.row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(M.col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Rng R(5);
+  Matrix A(7, 4);
+  for (size_t I = 0; I < 7; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.gaussian();
+  Matrix G = A.gram();
+  Matrix Explicit = A.transposed().multiply(A);
+  EXPECT_LT(G.maxAbsDiff(Explicit), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  Rng R(6);
+  Matrix A(5, 3);
+  for (size_t I = 0; I < 5; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = R.uniform(-2, 2);
+  Matrix G = A.gram();
+  for (size_t I = 0; I < 3; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      EXPECT_DOUBLE_EQ(G.at(I, J), G.at(J, I));
+}
+
+TEST(Matrix, TransposeMultiplyMatchesExplicit) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> V = {1, -1, 2};
+  std::vector<double> Got = A.transposeMultiply(V);
+  EXPECT_DOUBLE_EQ(Got[0], 1 - 3 + 10);
+  EXPECT_DOUBLE_EQ(Got[1], 2 - 4 + 12);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5);
+  EXPECT_DOUBLE_EQ(norm2({}), 0);
+}
+
+TEST(MatrixDeath, OutOfRangeAsserts) {
+  Matrix M(2, 2);
+  EXPECT_DEATH((void)M.at(2, 0), "out of range");
+}

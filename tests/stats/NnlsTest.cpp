@@ -1,0 +1,123 @@
+//===- tests/stats/NnlsTest.cpp - Non-negative least squares tests -------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Nnls.h"
+
+#include "stats/Solve.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(Nnls, RecoversNonNegativeGroundTruth) {
+  // If the unconstrained optimum is already non-negative, NNLS matches it.
+  Rng R(1);
+  Matrix A(40, 3);
+  std::vector<double> Truth = {2.0, 0.5, 1.0};
+  std::vector<double> B(40);
+  for (size_t I = 0; I < 40; ++I) {
+    double Sum = 0;
+    for (size_t J = 0; J < 3; ++J) {
+      A.at(I, J) = R.uniform(0, 4);
+      Sum += A.at(I, J) * Truth[J];
+    }
+    B[I] = Sum;
+  }
+  auto Solution = solveNnls(A, B);
+  ASSERT_TRUE(bool(Solution));
+  for (size_t J = 0; J < 3; ++J)
+    EXPECT_NEAR(Solution->X[J], Truth[J], 1e-8);
+  EXPECT_NEAR(Solution->ResidualNorm, 0.0, 1e-8);
+}
+
+TEST(Nnls, ClampsNegativeComponent) {
+  // Unconstrained solution of this system has a negative coefficient;
+  // NNLS must zero it instead.
+  Matrix A = Matrix::fromRows({{1, 1}, {1, 1.01}, {1, 0.99}});
+  std::vector<double> B = {1, 0.5, 1.5}; // Pulls column 2 negative.
+  auto Unconstrained = solveLeastSquaresQR(A, B);
+  ASSERT_TRUE(bool(Unconstrained));
+  ASSERT_LT((*Unconstrained)[1], 0.0);
+  auto Constrained = solveNnls(A, B);
+  ASSERT_TRUE(bool(Constrained));
+  EXPECT_DOUBLE_EQ(Constrained->X[1], 0.0);
+  EXPECT_GE(Constrained->X[0], 0.0);
+}
+
+TEST(Nnls, AllZeroWhenTargetAnticorrelated) {
+  // b is negative; with non-negative columns the best non-negative fit
+  // is x = 0.
+  Matrix A = Matrix::fromRows({{1}, {2}, {3}});
+  auto Solution = solveNnls(A, {-1, -2, -3});
+  ASSERT_TRUE(bool(Solution));
+  EXPECT_DOUBLE_EQ(Solution->X[0], 0.0);
+}
+
+TEST(Nnls, ResidualNeverExceedsZeroSolution) {
+  Rng R(7);
+  Matrix A(25, 4);
+  std::vector<double> B(25);
+  for (size_t I = 0; I < 25; ++I) {
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.gaussian();
+    B[I] = R.gaussian();
+  }
+  auto Solution = solveNnls(A, B);
+  ASSERT_TRUE(bool(Solution));
+  EXPECT_LE(Solution->ResidualNorm, norm2(B) + 1e-9);
+}
+
+TEST(Nnls, RidgeShrinksSolutionNorm) {
+  Rng R(9);
+  Matrix A(30, 3);
+  std::vector<double> B(30);
+  for (size_t I = 0; I < 30; ++I) {
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = R.uniform(0, 1);
+    B[I] = R.uniform(0, 5);
+  }
+  auto Plain = solveNnls(A, B, 0.0);
+  auto Ridged = solveNnls(A, B, 50.0);
+  ASSERT_TRUE(bool(Plain));
+  ASSERT_TRUE(bool(Ridged));
+  EXPECT_LT(norm2(Ridged->X), norm2(Plain->X) + 1e-12);
+}
+
+TEST(Nnls, HandlesCollinearColumns) {
+  // Exactly duplicated columns: NNLS must still terminate with a valid
+  // solution (the QR path sees only the passive subset).
+  Matrix A = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+  auto Solution = solveNnls(A, {2, 4, 6});
+  ASSERT_TRUE(bool(Solution));
+  EXPECT_NEAR(Solution->ResidualNorm, 0.0, 1e-8);
+  EXPECT_GE(Solution->X[0], 0.0);
+  EXPECT_GE(Solution->X[1], 0.0);
+}
+
+// Property: NNLS satisfies the KKT conditions on random problems, with
+// and without ridge.
+class NnlsKkt : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NnlsKkt, SatisfiesKktConditions) {
+  Rng R(GetParam());
+  size_t Rows = 10 + R.below(40);
+  size_t Cols = 1 + R.below(6);
+  Matrix A(Rows, Cols);
+  std::vector<double> B(Rows);
+  for (size_t I = 0; I < Rows; ++I) {
+    for (size_t J = 0; J < Cols; ++J)
+      A.at(I, J) = R.gaussian(0, 2);
+    B[I] = R.gaussian(0, 3);
+  }
+  double Lambda = (GetParam() % 2 == 0) ? 0.0 : 0.1;
+  auto Solution = solveNnls(A, B, Lambda);
+  ASSERT_TRUE(bool(Solution));
+  EXPECT_TRUE(satisfiesNnlsKkt(A, B, Solution->X, Lambda, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsKkt, ::testing::Range<uint64_t>(0, 16));

@@ -1,0 +1,152 @@
+//===- tests/stats/PcaTest.cpp - PCA and Jacobi eigen tests ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Pca.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix A = Matrix::fromRows({{3, 0}, {0, 1}});
+  auto E = jacobiEigen(A);
+  ASSERT_TRUE(bool(E));
+  EXPECT_NEAR(E->Values[0], 3.0, 1e-12);
+  EXPECT_NEAR(E->Values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix A = Matrix::fromRows({{2, 1}, {1, 2}});
+  auto E = jacobiEigen(A);
+  ASSERT_TRUE(bool(E));
+  EXPECT_NEAR(E->Values[0], 3.0, 1e-10);
+  EXPECT_NEAR(E->Values[1], 1.0, 1e-10);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  double Ratio = E->Vectors.at(0, 0) / E->Vectors.at(1, 0);
+  EXPECT_NEAR(Ratio, 1.0, 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsTheMatrix) {
+  Rng R(1);
+  size_t N = 6;
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I; J < N; ++J)
+      A.at(I, J) = A.at(J, I) = R.uniform(-2, 2);
+  auto E = jacobiEigen(A);
+  ASSERT_TRUE(bool(E));
+  // A == V diag(L) V^T.
+  Matrix Reconstructed(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J) {
+      double Sum = 0;
+      for (size_t K = 0; K < N; ++K)
+        Sum += E->Vectors.at(I, K) * E->Values[K] * E->Vectors.at(J, K);
+      Reconstructed.at(I, J) = Sum;
+    }
+  EXPECT_LT(Reconstructed.maxAbsDiff(A), 1e-8);
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  Rng R(2);
+  size_t N = 5;
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I; J < N; ++J)
+      A.at(I, J) = A.at(J, I) = R.gaussian();
+  auto E = jacobiEigen(A);
+  ASSERT_TRUE(bool(E));
+  for (size_t C1 = 0; C1 < N; ++C1)
+    for (size_t C2 = 0; C2 < N; ++C2) {
+      double Dot = 0;
+      for (size_t I = 0; I < N; ++I)
+        Dot += E->Vectors.at(I, C1) * E->Vectors.at(I, C2);
+      EXPECT_NEAR(Dot, C1 == C2 ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(JacobiEigen, ValuesSortedDescending) {
+  Rng R(3);
+  Matrix A(7, 7);
+  for (size_t I = 0; I < 7; ++I)
+    for (size_t J = I; J < 7; ++J)
+      A.at(I, J) = A.at(J, I) = R.uniform(-1, 1);
+  auto E = jacobiEigen(A);
+  ASSERT_TRUE(bool(E));
+  for (size_t I = 0; I + 1 < 7; ++I)
+    EXPECT_GE(E->Values[I], E->Values[I + 1]);
+}
+
+TEST(JacobiEigen, RejectsNonSquare) {
+  EXPECT_FALSE(bool(jacobiEigen(Matrix(2, 3))));
+}
+
+TEST(JacobiEigen, RejectsAsymmetric) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  auto E = jacobiEigen(A);
+  ASSERT_FALSE(bool(E));
+  EXPECT_NE(E.error().message().find("symmetric"), std::string::npos);
+}
+
+TEST(Pca, PerfectlyCorrelatedFeaturesGiveOneComponent) {
+  Rng R(4);
+  Matrix X(50, 3);
+  for (size_t I = 0; I < 50; ++I) {
+    double V = R.uniform(0, 10);
+    X.at(I, 0) = V;
+    X.at(I, 1) = 3 * V + 1;
+    X.at(I, 2) = -2 * V;
+  }
+  auto P = fitPca(X);
+  ASSERT_TRUE(bool(P));
+  EXPECT_GT(P->explainedVariance(1), 0.999);
+}
+
+TEST(Pca, IndependentFeaturesSpreadVariance) {
+  Rng R(5);
+  Matrix X(4000, 3);
+  for (size_t I = 0; I < 4000; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      X.at(I, J) = R.gaussian();
+  auto P = fitPca(X);
+  ASSERT_TRUE(bool(P));
+  EXPECT_LT(P->explainedVariance(1), 0.45);
+  EXPECT_NEAR(P->explainedVariance(3), 1.0, 1e-9);
+}
+
+TEST(Pca, ExplainedVarianceIsMonotone) {
+  Rng R(6);
+  Matrix X(100, 5);
+  for (size_t I = 0; I < 100; ++I)
+    for (size_t J = 0; J < 5; ++J)
+      X.at(I, J) = R.uniform(0, 1) + (J == 0 ? 5 * R.gaussian() : 0);
+  auto P = fitPca(X);
+  ASSERT_TRUE(bool(P));
+  for (size_t K = 0; K < 5; ++K)
+    EXPECT_LE(P->explainedVariance(K), P->explainedVariance(K + 1) + 1e-12);
+}
+
+TEST(Pca, ConstantColumnIsHarmless) {
+  Rng R(7);
+  Matrix X(30, 2);
+  for (size_t I = 0; I < 30; ++I) {
+    X.at(I, 0) = R.uniform(0, 1);
+    X.at(I, 1) = 42.0;
+  }
+  auto P = fitPca(X);
+  ASSERT_TRUE(bool(P));
+  EXPECT_TRUE(std::isfinite(P->Eigen.Values[0]));
+}
+
+TEST(Pca, RejectsSingleObservation) {
+  EXPECT_FALSE(bool(fitPca(Matrix(1, 3))));
+}

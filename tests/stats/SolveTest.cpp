@@ -1,0 +1,115 @@
+//===- tests/stats/SolveTest.cpp - Linear solver tests -------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Solve.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(Cholesky, SolvesKnownSpdSystem) {
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  auto X = solveCholesky(A, {10, 9});
+  ASSERT_TRUE(bool(X));
+  EXPECT_NEAR((*X)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*X)[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 1}}); // Eigenvalues 3, -1.
+  auto X = solveCholesky(A, {1, 1});
+  ASSERT_FALSE(bool(X));
+  EXPECT_NE(X.error().message().find("positive definite"),
+            std::string::npos);
+}
+
+TEST(QR, ExactSolutionForSquareSystem) {
+  Matrix A = Matrix::fromRows({{2, 1}, {1, 3}});
+  auto X = solveLeastSquaresQR(A, {5, 10});
+  ASSERT_TRUE(bool(X));
+  EXPECT_NEAR((*X)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*X)[1], 3.0, 1e-10);
+}
+
+TEST(QR, OverdeterminedConsistentSystem) {
+  // y = 2x sampled thrice: exact fit.
+  Matrix A = Matrix::fromRows({{1}, {2}, {3}});
+  auto X = solveLeastSquaresQR(A, {2, 4, 6});
+  ASSERT_TRUE(bool(X));
+  EXPECT_NEAR((*X)[0], 2.0, 1e-12);
+}
+
+TEST(QR, LeastSquaresResidualOrthogonality) {
+  // Property: A^T (b - A x*) == 0 at the least-squares optimum.
+  Rng R(3);
+  Matrix A(20, 4);
+  std::vector<double> B(20);
+  for (size_t I = 0; I < 20; ++I) {
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.gaussian();
+    B[I] = R.gaussian();
+  }
+  auto X = solveLeastSquaresQR(A, B);
+  ASSERT_TRUE(bool(X));
+  std::vector<double> Residual = B;
+  std::vector<double> Ax = A.multiply(*X);
+  for (size_t I = 0; I < 20; ++I)
+    Residual[I] -= Ax[I];
+  std::vector<double> Grad = A.transposeMultiply(Residual);
+  for (double G : Grad)
+    EXPECT_NEAR(G, 0.0, 1e-9);
+}
+
+TEST(QR, DetectsRankDeficiency) {
+  // Second column is 2x the first.
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+  auto X = solveLeastSquaresQR(A, {1, 2, 3});
+  ASSERT_FALSE(bool(X));
+  EXPECT_NE(X.error().message().find("rank deficient"), std::string::npos);
+}
+
+TEST(QR, UnderdeterminedIsRejected) {
+  Matrix A(1, 3);
+  auto X = solveLeastSquaresQR(A, {1});
+  ASSERT_FALSE(bool(X));
+}
+
+TEST(NormalEquations, MatchesQrOnWellConditionedProblem) {
+  Rng R(8);
+  Matrix A(30, 3);
+  std::vector<double> B(30);
+  for (size_t I = 0; I < 30; ++I) {
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = R.uniform(1, 5);
+    B[I] = R.uniform(0, 10);
+  }
+  auto X1 = solveLeastSquaresQR(A, B);
+  auto X2 = solveNormalEquations(A, B);
+  ASSERT_TRUE(bool(X1));
+  ASSERT_TRUE(bool(X2));
+  for (size_t J = 0; J < 3; ++J)
+    EXPECT_NEAR((*X1)[J], (*X2)[J], 1e-7);
+}
+
+TEST(NormalEquations, RidgeShrinksTowardZero) {
+  Matrix A = Matrix::fromRows({{1}, {1}, {1}});
+  auto NoRidge = solveNormalEquations(A, {3, 3, 3}, 0.0);
+  auto Ridge = solveNormalEquations(A, {3, 3, 3}, 10.0);
+  ASSERT_TRUE(bool(NoRidge));
+  ASSERT_TRUE(bool(Ridge));
+  EXPECT_NEAR((*NoRidge)[0], 3.0, 1e-12);
+  EXPECT_LT((*Ridge)[0], 3.0);
+  EXPECT_GT((*Ridge)[0], 0.0);
+}
+
+TEST(NormalEquations, RidgeRegularizesRankDeficiency) {
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+  auto X = solveNormalEquations(A, {1, 2, 3}, 1e-6);
+  EXPECT_TRUE(bool(X));
+}

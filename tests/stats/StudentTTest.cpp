@@ -1,0 +1,88 @@
+//===- tests/stats/StudentTTest.cpp - Student-t machinery tests ---------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/StudentT.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slope;
+using namespace slope::stats;
+
+TEST(TCdf, SymmetryAroundZero) {
+  for (unsigned Dof : {1u, 3u, 10u, 50u})
+    EXPECT_NEAR(tCdf(0.0, Dof), 0.5, 1e-10);
+}
+
+TEST(TCdf, Monotone) {
+  EXPECT_LT(tCdf(-1.0, 5), tCdf(0.0, 5));
+  EXPECT_LT(tCdf(0.0, 5), tCdf(1.0, 5));
+}
+
+TEST(TCdf, NegativePositiveComplement) {
+  EXPECT_NEAR(tCdf(-2.0, 7) + tCdf(2.0, 7), 1.0, 1e-10);
+}
+
+TEST(TCritical, MatchesStandardTables95) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(tCriticalValue(1, 0.95), 12.706, 1e-2);
+  EXPECT_NEAR(tCriticalValue(2, 0.95), 4.303, 1e-3);
+  EXPECT_NEAR(tCriticalValue(5, 0.95), 2.571, 1e-3);
+  EXPECT_NEAR(tCriticalValue(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(tCriticalValue(30, 0.95), 2.042, 1e-3);
+}
+
+TEST(TCritical, MatchesStandardTables99) {
+  EXPECT_NEAR(tCriticalValue(10, 0.99), 3.169, 1e-3);
+  EXPECT_NEAR(tCriticalValue(5, 0.99), 4.032, 1e-3);
+}
+
+TEST(TCritical, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(tCriticalValue(10000, 0.95), 1.960, 2e-3);
+}
+
+TEST(TCritical, DecreasesWithDof) {
+  EXPECT_GT(tCriticalValue(2, 0.95), tCriticalValue(5, 0.95));
+  EXPECT_GT(tCriticalValue(5, 0.95), tCriticalValue(50, 0.95));
+}
+
+TEST(TCritical, IncreasesWithConfidence) {
+  EXPECT_LT(tCriticalValue(8, 0.90), tCriticalValue(8, 0.95));
+  EXPECT_LT(tCriticalValue(8, 0.95), tCriticalValue(8, 0.99));
+}
+
+TEST(MeanCI, KnownSample) {
+  // Sample {10, 12, 14}: mean 12, s = 2, halfwidth = t(2,.95)*2/sqrt(3).
+  MeanConfidenceInterval CI = meanConfidenceInterval({10, 12, 14}, 0.95);
+  EXPECT_DOUBLE_EQ(CI.Mean, 12.0);
+  EXPECT_NEAR(CI.HalfWidth, 4.303 * 2 / std::sqrt(3.0), 2e-3);
+  EXPECT_NEAR(CI.lower(), CI.Mean - CI.HalfWidth, 1e-12);
+  EXPECT_NEAR(CI.upper(), CI.Mean + CI.HalfWidth, 1e-12);
+}
+
+TEST(MeanCI, ConstantSampleHasZeroWidth) {
+  MeanConfidenceInterval CI = meanConfidenceInterval({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(CI.HalfWidth, 0.0);
+  EXPECT_TRUE(CI.withinPrecision(0.001));
+}
+
+TEST(MeanCI, PrecisionCriterion) {
+  MeanConfidenceInterval CI;
+  CI.Mean = 100;
+  CI.HalfWidth = 2;
+  EXPECT_TRUE(CI.withinPrecision(0.025));
+  EXPECT_FALSE(CI.withinPrecision(0.01));
+}
+
+TEST(MeanCI, ZeroMeanPrecisionOnlyWhenExact) {
+  MeanConfidenceInterval CI;
+  CI.Mean = 0;
+  CI.HalfWidth = 1;
+  EXPECT_FALSE(CI.withinPrecision(0.1));
+  CI.HalfWidth = 0;
+  EXPECT_TRUE(CI.withinPrecision(0.1));
+}

@@ -1,0 +1,95 @@
+//===- tests/support/CsvReaderTest.cpp - CSV parser tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CsvReader.h"
+
+#include "support/Csv.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+
+TEST(CsvReader, ParsesSimpleDocument) {
+  auto Doc = parseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(Doc->numRows(), 2u);
+  EXPECT_EQ(Doc->Rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvReader, ToleratesMissingTrailingNewline) {
+  auto Doc = parseCsv("a\n1");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->numRows(), 1u);
+  EXPECT_EQ(Doc->Rows[0][0], "1");
+}
+
+TEST(CsvReader, ToleratesCrlf) {
+  auto Doc = parseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[0][1], "2");
+}
+
+TEST(CsvReader, QuotedCellsWithCommas) {
+  auto Doc = parseCsv("name\n\"a,b\"\n");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[0][0], "a,b");
+}
+
+TEST(CsvReader, DoubledQuotesUnescape) {
+  auto Doc = parseCsv("name\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReader, EmbeddedNewlineInsideQuotes) {
+  auto Doc = parseCsv("name\n\"line1\nline2\"\n");
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->numRows(), 1u);
+  EXPECT_EQ(Doc->Rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReader, RejectsRaggedRows) {
+  auto Doc = parseCsv("a,b\n1\n");
+  ASSERT_FALSE(bool(Doc));
+  EXPECT_NE(Doc.error().message().find("row 2"), std::string::npos);
+}
+
+TEST(CsvReader, RejectsUnterminatedQuote) {
+  auto Doc = parseCsv("a\n\"oops\n");
+  ASSERT_FALSE(bool(Doc));
+  EXPECT_NE(Doc.error().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvReader, RejectsEmptyDocument) {
+  EXPECT_FALSE(bool(parseCsv("")));
+}
+
+TEST(CsvReader, RoundTripsWriterOutput) {
+  CsvWriter Writer({"pmc", "note"});
+  Writer.addRow({"IDQ_MS_UOPS", "non-additive, 37%"});
+  Writer.addRow({"plain", "with \"quotes\""});
+  auto Doc = parseCsv(Writer.str());
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[0][1], "non-additive, 37%");
+  EXPECT_EQ(Doc->Rows[1][1], "with \"quotes\"");
+}
+
+TEST(CsvReader, ReadsFileWrittenByWriter) {
+  CsvWriter Writer({"x"});
+  Writer.addRow({"42"});
+  std::string Path = ::testing::TempDir() + "slope_reader_test.csv";
+  ASSERT_TRUE(bool(Writer.writeFile(Path)));
+  auto Doc = readCsvFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(bool(Doc));
+  EXPECT_EQ(Doc->Rows[0][0], "42");
+}
+
+TEST(CsvReader, MissingFileIsAnError) {
+  auto Doc = readCsvFile("/nonexistent-dir-xyz/nope.csv");
+  ASSERT_FALSE(bool(Doc));
+}

@@ -1,0 +1,69 @@
+//===- tests/support/CsvTest.cpp - CSV writer tests ---------------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace slope;
+
+TEST(CsvQuote, PlainCellUnchanged) {
+  EXPECT_EQ(csvQuote("hello"), "hello");
+}
+
+TEST(CsvQuote, CommaTriggersQuoting) {
+  EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+}
+
+TEST(CsvQuote, EmbeddedQuotesAreDoubled) {
+  EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvQuote, NewlineTriggersQuoting) {
+  EXPECT_EQ(csvQuote("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter W({"name", "value"});
+  W.addRow({"x", "1"});
+  W.addRow({"y", "2"});
+  EXPECT_EQ(W.str(), "name,value\nx,1\ny,2\n");
+}
+
+TEST(CsvWriter, NumericRowsRoundTrip) {
+  CsvWriter W({"v"});
+  W.addNumericRow({0.1});
+  double Parsed = 0;
+  // Skip the header line and parse back.
+  std::string Text = W.str();
+  std::string Cell = Text.substr(Text.find('\n') + 1);
+  ASSERT_EQ(std::sscanf(Cell.c_str(), "%lf", &Parsed), 1);
+  EXPECT_DOUBLE_EQ(Parsed, 0.1);
+}
+
+TEST(CsvWriter, WriteFileAndReadBack) {
+  CsvWriter W({"a"});
+  W.addRow({"42"});
+  std::string Path = ::testing::TempDir() + "slope_csv_test.csv";
+  auto Ok = W.writeFile(Path);
+  ASSERT_TRUE(bool(Ok));
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(File, nullptr);
+  char Buffer[64] = {};
+  size_t Read = std::fread(Buffer, 1, sizeof(Buffer) - 1, File);
+  std::fclose(File);
+  std::remove(Path.c_str());
+  EXPECT_EQ(std::string(Buffer, Read), "a\n42\n");
+}
+
+TEST(CsvWriter, WriteFileReportsBadPath) {
+  CsvWriter W({"a"});
+  auto Result = W.writeFile("/nonexistent-dir-xyz/file.csv");
+  ASSERT_FALSE(bool(Result));
+  EXPECT_NE(Result.error().message().find("cannot open"), std::string::npos);
+}

@@ -1,0 +1,54 @@
+//===- tests/support/ExpectedTest.cpp - Expected<T> tests ---------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Expected.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace slope;
+
+TEST(Expected, SuccessHoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(bool(E));
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(Expected, FailureHoldsError) {
+  Expected<int> E(makeError("bad input"));
+  ASSERT_FALSE(bool(E));
+  EXPECT_EQ(E.error().message(), "bad input");
+}
+
+TEST(Expected, ArrowOperatorReachesMembers) {
+  Expected<std::string> E(std::string("hello"));
+  ASSERT_TRUE(bool(E));
+  EXPECT_EQ(E->size(), 5u);
+}
+
+TEST(Expected, TakeValueMovesOut) {
+  Expected<std::vector<int>> E(std::vector<int>{1, 2, 3});
+  std::vector<int> V = E.takeValue();
+  EXPECT_EQ(V.size(), 3u);
+}
+
+TEST(Expected, MutableDereference) {
+  Expected<int> E(1);
+  *E = 7;
+  EXPECT_EQ(*E, 7);
+}
+
+TEST(ExpectedDeath, DereferencingErrorAsserts) {
+  Expected<int> E(makeError("nope"));
+  EXPECT_DEATH((void)*E, "error state");
+}
+
+TEST(ExpectedDeath, ErrorOfSuccessAsserts) {
+  Expected<int> E(3);
+  EXPECT_DEATH((void)E.error(), "success state");
+}

@@ -1,0 +1,77 @@
+//===- tests/support/StrTest.cpp - String helper tests -----------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Str.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+
+TEST(StrFixed, RoundsToRequestedDecimals) {
+  EXPECT_EQ(str::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(str::fixed(3.145, 0), "3");
+  EXPECT_EQ(str::fixed(-2.5, 1), "-2.5");
+}
+
+TEST(StrFixed, ZeroDecimalsRoundsHalfToEvenPerPrintf) {
+  EXPECT_EQ(str::fixed(13.0, 0), "13");
+}
+
+TEST(StrCompact, TrimsTrailingZeros) {
+  EXPECT_EQ(str::compact(31.20, 4), "31.2");
+  EXPECT_EQ(str::compact(18.01, 4), "18.01");
+  EXPECT_EQ(str::compact(68.5, 4), "68.5");
+}
+
+TEST(StrCompact, LimitsSignificantDigits) {
+  EXPECT_EQ(str::compact(123.456, 4), "123.5");
+  EXPECT_EQ(str::compact(0.00012345, 2), "0.00012");
+}
+
+TEST(StrScientific, MatchesPaperCoefficientStyle) {
+  EXPECT_EQ(str::scientific(3.83e-9), "3.83E-09");
+  EXPECT_EQ(str::scientific(5.3e-7), "5.30E-07");
+}
+
+TEST(StrScientific, ZeroRendersAsPlainZero) {
+  EXPECT_EQ(str::scientific(0.0), "0");
+}
+
+TEST(StrScientific, NegativeValues) {
+  EXPECT_EQ(str::scientific(-1.5e3), "-1.50E+03");
+}
+
+TEST(StrPad, PadRight) {
+  EXPECT_EQ(str::padRight("ab", 5), "ab   ");
+  EXPECT_EQ(str::padRight("abcdef", 3), "abcdef");
+}
+
+TEST(StrPad, PadLeft) {
+  EXPECT_EQ(str::padLeft("ab", 5), "   ab");
+  EXPECT_EQ(str::padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StrJoin, JoinsWithSeparator) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({"only"}, ","), "only");
+  EXPECT_EQ(str::join({}, ","), "");
+}
+
+TEST(StrPredicates, StartsWith) {
+  EXPECT_TRUE(str::startsWith("IDQ_MS_UOPS", "IDQ"));
+  EXPECT_FALSE(str::startsWith("IDQ", "IDQ_MS"));
+  EXPECT_TRUE(str::startsWith("anything", ""));
+}
+
+TEST(StrPredicates, Contains) {
+  EXPECT_TRUE(str::contains("UOPS_EXECUTED_PORT_PORT_6", "PORT_6"));
+  EXPECT_FALSE(str::contains("UOPS", "PORT"));
+}
+
+TEST(StrLower, AsciiLowercasing) {
+  EXPECT_EQ(str::lower("L2_RQSTS_Miss"), "l2_rqsts_miss");
+  EXPECT_EQ(str::lower(""), "");
+}

@@ -1,0 +1,64 @@
+//===- tests/support/TablePrinterTest.cpp - Table rendering tests ------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+
+TEST(TablePrinter, RendersHeaderAndRule) {
+  TablePrinter T({"A", "B"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| A "), std::string::npos);
+  EXPECT_NE(Out.find("+---"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumnsToWidestCell) {
+  TablePrinter T({"Model", "E"});
+  T.addRow({"LR1", "31.2"});
+  T.addRow({"RF-long-name", "5"});
+  std::string Out = T.render();
+  // Every data line must have identical length (aligned table).
+  size_t FirstLineLen = Out.find('\n');
+  size_t Pos = 0;
+  while (Pos < Out.size()) {
+    size_t End = Out.find('\n', Pos);
+    if (End == std::string::npos)
+      break;
+    if (Out[Pos] == '|' || Out[Pos] == '+') {
+      EXPECT_EQ(End - Pos, FirstLineLen);
+    }
+    Pos = End + 1;
+  }
+}
+
+TEST(TablePrinter, CaptionAppearsFirst) {
+  TablePrinter T({"X"});
+  T.setCaption("Table 9. Test.");
+  EXPECT_EQ(T.render().rfind("Table 9. Test.\n", 0), 0u);
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter T({"X"});
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"1"});
+  T.addRow({"2"});
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TablePrinter, CellContentsPreserved) {
+  TablePrinter T({"PMC", "Err"});
+  T.addRow({"ARITH_DIVIDER_COUNT", "80"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("ARITH_DIVIDER_COUNT"), std::string::npos);
+  EXPECT_NE(Out.find("80"), std::string::npos);
+}
+
+TEST(TablePrinterDeath, RowWidthMismatchAsserts) {
+  TablePrinter T({"A", "B"});
+  EXPECT_DEATH(T.addRow({"only-one"}), "row width");
+}
