@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic_vs_total.dir/bench_ablation_dynamic_vs_total.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic_vs_total.dir/bench_ablation_dynamic_vs_total.cpp.o.d"
+  "bench_ablation_dynamic_vs_total"
+  "bench_ablation_dynamic_vs_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic_vs_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_augmentation.dir/bench_augmentation.cpp.o"
+  "CMakeFiles/bench_augmentation.dir/bench_augmentation.cpp.o.d"
+  "bench_augmentation"
+  "bench_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

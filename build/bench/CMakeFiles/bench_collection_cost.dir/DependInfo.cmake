@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_collection_cost.cpp" "bench/CMakeFiles/bench_collection_cost.dir/bench_collection_cost.cpp.o" "gcc" "bench/CMakeFiles/bench_collection_cost.dir/bench_collection_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

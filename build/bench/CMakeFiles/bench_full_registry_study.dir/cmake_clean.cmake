@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_registry_study.dir/bench_full_registry_study.cpp.o"
+  "CMakeFiles/bench_full_registry_study.dir/bench_full_registry_study.cpp.o.d"
+  "bench_full_registry_study"
+  "bench_full_registry_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_registry_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensor_comparison.dir/bench_sensor_comparison.cpp.o"
+  "CMakeFiles/bench_sensor_comparison.dir/bench_sensor_comparison.cpp.o.d"
+  "bench_sensor_comparison"
+  "bench_sensor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

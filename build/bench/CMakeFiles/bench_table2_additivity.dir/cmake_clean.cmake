@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_additivity.dir/bench_table2_additivity.cpp.o"
+  "CMakeFiles/bench_table2_additivity.dir/bench_table2_additivity.cpp.o.d"
+  "bench_table2_additivity"
+  "bench_table2_additivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_additivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

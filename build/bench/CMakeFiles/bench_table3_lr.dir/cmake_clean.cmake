@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lr.dir/bench_table3_lr.cpp.o"
+  "CMakeFiles/bench_table3_lr.dir/bench_table3_lr.cpp.o.d"
+  "bench_table3_lr"
+  "bench_table3_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_rf.dir/bench_table4_rf.cpp.o"
+  "CMakeFiles/bench_table4_rf.dir/bench_table4_rf.cpp.o.d"
+  "bench_table4_rf"
+  "bench_table4_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

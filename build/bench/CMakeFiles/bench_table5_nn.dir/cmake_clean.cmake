@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_nn.dir/bench_table5_nn.cpp.o"
+  "CMakeFiles/bench_table5_nn.dir/bench_table5_nn.cpp.o.d"
+  "bench_table5_nn"
+  "bench_table5_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

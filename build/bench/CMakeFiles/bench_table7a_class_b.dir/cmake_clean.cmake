@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7a_class_b.dir/bench_table7a_class_b.cpp.o"
+  "CMakeFiles/bench_table7a_class_b.dir/bench_table7a_class_b.cpp.o.d"
+  "bench_table7a_class_b"
+  "bench_table7a_class_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7a_class_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

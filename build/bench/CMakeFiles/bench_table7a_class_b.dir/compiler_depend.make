@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7a_class_b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additivity_checker.dir/additivity_checker.cpp.o"
+  "CMakeFiles/additivity_checker.dir/additivity_checker.cpp.o.d"
+  "additivity_checker"
+  "additivity_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additivity_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_specific_models.dir/app_specific_models.cpp.o"
+  "CMakeFiles/app_specific_models.dir/app_specific_models.cpp.o.d"
+  "app_specific_models"
+  "app_specific_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_specific_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

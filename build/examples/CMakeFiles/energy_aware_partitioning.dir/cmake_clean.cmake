@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_partitioning.dir/energy_aware_partitioning.cpp.o"
+  "CMakeFiles/energy_aware_partitioning.dir/energy_aware_partitioning.cpp.o.d"
+  "energy_aware_partitioning"
+  "energy_aware_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_pmc_selection.dir/online_pmc_selection.cpp.o"
+  "CMakeFiles/online_pmc_selection.dir/online_pmc_selection.cpp.o.d"
+  "online_pmc_selection"
+  "online_pmc_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_pmc_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for online_pmc_selection.
+# This may be replaced when dependencies are built.

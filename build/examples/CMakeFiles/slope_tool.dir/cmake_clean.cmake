@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_tool.dir/slope_tool.cpp.o"
+  "CMakeFiles/slope_tool.dir/slope_tool.cpp.o.d"
+  "slope_tool"
+  "slope_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

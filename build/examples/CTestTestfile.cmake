@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke.quickstart PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.class_a_study "/root/repo/build/examples/class_a_study")
+set_tests_properties(smoke.class_a_study PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.app_specific_models "/root/repo/build/examples/app_specific_models")
+set_tests_properties(smoke.app_specific_models PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.online_pmc_selection "/root/repo/build/examples/online_pmc_selection")
+set_tests_properties(smoke.online_pmc_selection PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.energy_aware_partitioning "/root/repo/build/examples/energy_aware_partitioning")
+set_tests_properties(smoke.energy_aware_partitioning PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.perfctr "/root/repo/build/examples/perfctr")
+set_tests_properties(smoke.perfctr PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.additivity_checker "/root/repo/build/examples/additivity_checker" "--platform" "skylake" "--suite" "dgemm-fft" "--match" "IDQ" "--bases" "8" "--compounds" "4")
+set_tests_properties(smoke.additivity_checker PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke.slope_tool "/root/repo/build/examples/slope_tool" "demo")
+set_tests_properties(smoke.slope_tool PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

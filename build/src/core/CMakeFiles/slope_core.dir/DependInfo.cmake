@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AdditivityChecker.cpp" "src/core/CMakeFiles/slope_core.dir/AdditivityChecker.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/AdditivityChecker.cpp.o.d"
+  "/root/repo/src/core/AdditivityStudy.cpp" "src/core/CMakeFiles/slope_core.dir/AdditivityStudy.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/AdditivityStudy.cpp.o.d"
+  "/root/repo/src/core/Attribution.cpp" "src/core/CMakeFiles/slope_core.dir/Attribution.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/Attribution.cpp.o.d"
+  "/root/repo/src/core/Augmentation.cpp" "src/core/CMakeFiles/slope_core.dir/Augmentation.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/Augmentation.cpp.o.d"
+  "/root/repo/src/core/DatasetBuilder.cpp" "src/core/CMakeFiles/slope_core.dir/DatasetBuilder.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/DatasetBuilder.cpp.o.d"
+  "/root/repo/src/core/DerivedMetrics.cpp" "src/core/CMakeFiles/slope_core.dir/DerivedMetrics.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/DerivedMetrics.cpp.o.d"
+  "/root/repo/src/core/Experiments.cpp" "src/core/CMakeFiles/slope_core.dir/Experiments.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/Experiments.cpp.o.d"
+  "/root/repo/src/core/ModelZoo.cpp" "src/core/CMakeFiles/slope_core.dir/ModelZoo.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/ModelZoo.cpp.o.d"
+  "/root/repo/src/core/MultiplexedProfiler.cpp" "src/core/CMakeFiles/slope_core.dir/MultiplexedProfiler.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/MultiplexedProfiler.cpp.o.d"
+  "/root/repo/src/core/OnlineEstimator.cpp" "src/core/CMakeFiles/slope_core.dir/OnlineEstimator.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/OnlineEstimator.cpp.o.d"
+  "/root/repo/src/core/PmcProfiler.cpp" "src/core/CMakeFiles/slope_core.dir/PmcProfiler.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/PmcProfiler.cpp.o.d"
+  "/root/repo/src/core/PmcSelector.cpp" "src/core/CMakeFiles/slope_core.dir/PmcSelector.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/PmcSelector.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/slope_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/ResultsIo.cpp" "src/core/CMakeFiles/slope_core.dir/ResultsIo.cpp.o" "gcc" "src/core/CMakeFiles/slope_core.dir/ResultsIo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_core.dir/AdditivityChecker.cpp.o"
+  "CMakeFiles/slope_core.dir/AdditivityChecker.cpp.o.d"
+  "CMakeFiles/slope_core.dir/AdditivityStudy.cpp.o"
+  "CMakeFiles/slope_core.dir/AdditivityStudy.cpp.o.d"
+  "CMakeFiles/slope_core.dir/Attribution.cpp.o"
+  "CMakeFiles/slope_core.dir/Attribution.cpp.o.d"
+  "CMakeFiles/slope_core.dir/Augmentation.cpp.o"
+  "CMakeFiles/slope_core.dir/Augmentation.cpp.o.d"
+  "CMakeFiles/slope_core.dir/DatasetBuilder.cpp.o"
+  "CMakeFiles/slope_core.dir/DatasetBuilder.cpp.o.d"
+  "CMakeFiles/slope_core.dir/DerivedMetrics.cpp.o"
+  "CMakeFiles/slope_core.dir/DerivedMetrics.cpp.o.d"
+  "CMakeFiles/slope_core.dir/Experiments.cpp.o"
+  "CMakeFiles/slope_core.dir/Experiments.cpp.o.d"
+  "CMakeFiles/slope_core.dir/ModelZoo.cpp.o"
+  "CMakeFiles/slope_core.dir/ModelZoo.cpp.o.d"
+  "CMakeFiles/slope_core.dir/MultiplexedProfiler.cpp.o"
+  "CMakeFiles/slope_core.dir/MultiplexedProfiler.cpp.o.d"
+  "CMakeFiles/slope_core.dir/OnlineEstimator.cpp.o"
+  "CMakeFiles/slope_core.dir/OnlineEstimator.cpp.o.d"
+  "CMakeFiles/slope_core.dir/PmcProfiler.cpp.o"
+  "CMakeFiles/slope_core.dir/PmcProfiler.cpp.o.d"
+  "CMakeFiles/slope_core.dir/PmcSelector.cpp.o"
+  "CMakeFiles/slope_core.dir/PmcSelector.cpp.o.d"
+  "CMakeFiles/slope_core.dir/Report.cpp.o"
+  "CMakeFiles/slope_core.dir/Report.cpp.o.d"
+  "CMakeFiles/slope_core.dir/ResultsIo.cpp.o"
+  "CMakeFiles/slope_core.dir/ResultsIo.cpp.o.d"
+  "libslope_core.a"
+  "libslope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

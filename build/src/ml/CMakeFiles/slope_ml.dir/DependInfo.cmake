@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/Dataset.cpp" "src/ml/CMakeFiles/slope_ml.dir/Dataset.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/Dataset.cpp.o.d"
+  "/root/repo/src/ml/DatasetIo.cpp" "src/ml/CMakeFiles/slope_ml.dir/DatasetIo.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/DatasetIo.cpp.o.d"
+  "/root/repo/src/ml/DecisionTree.cpp" "src/ml/CMakeFiles/slope_ml.dir/DecisionTree.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/DecisionTree.cpp.o.d"
+  "/root/repo/src/ml/KnnRegressor.cpp" "src/ml/CMakeFiles/slope_ml.dir/KnnRegressor.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/KnnRegressor.cpp.o.d"
+  "/root/repo/src/ml/LinearRegression.cpp" "src/ml/CMakeFiles/slope_ml.dir/LinearRegression.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/LinearRegression.cpp.o.d"
+  "/root/repo/src/ml/Metrics.cpp" "src/ml/CMakeFiles/slope_ml.dir/Metrics.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/Metrics.cpp.o.d"
+  "/root/repo/src/ml/Model.cpp" "src/ml/CMakeFiles/slope_ml.dir/Model.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/Model.cpp.o.d"
+  "/root/repo/src/ml/ModelIo.cpp" "src/ml/CMakeFiles/slope_ml.dir/ModelIo.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/ModelIo.cpp.o.d"
+  "/root/repo/src/ml/NeuralNetwork.cpp" "src/ml/CMakeFiles/slope_ml.dir/NeuralNetwork.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/NeuralNetwork.cpp.o.d"
+  "/root/repo/src/ml/RandomForest.cpp" "src/ml/CMakeFiles/slope_ml.dir/RandomForest.cpp.o" "gcc" "src/ml/CMakeFiles/slope_ml.dir/RandomForest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

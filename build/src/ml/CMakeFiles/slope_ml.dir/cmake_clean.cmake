@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_ml.dir/Dataset.cpp.o"
+  "CMakeFiles/slope_ml.dir/Dataset.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/DatasetIo.cpp.o"
+  "CMakeFiles/slope_ml.dir/DatasetIo.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/DecisionTree.cpp.o"
+  "CMakeFiles/slope_ml.dir/DecisionTree.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/KnnRegressor.cpp.o"
+  "CMakeFiles/slope_ml.dir/KnnRegressor.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/LinearRegression.cpp.o"
+  "CMakeFiles/slope_ml.dir/LinearRegression.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/Metrics.cpp.o"
+  "CMakeFiles/slope_ml.dir/Metrics.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/Model.cpp.o"
+  "CMakeFiles/slope_ml.dir/Model.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/ModelIo.cpp.o"
+  "CMakeFiles/slope_ml.dir/ModelIo.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/NeuralNetwork.cpp.o"
+  "CMakeFiles/slope_ml.dir/NeuralNetwork.cpp.o.d"
+  "CMakeFiles/slope_ml.dir/RandomForest.cpp.o"
+  "CMakeFiles/slope_ml.dir/RandomForest.cpp.o.d"
+  "libslope_ml.a"
+  "libslope_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

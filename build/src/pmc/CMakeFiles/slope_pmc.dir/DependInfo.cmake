@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmc/Activity.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/Activity.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/Activity.cpp.o.d"
+  "/root/repo/src/pmc/CounterScheduler.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/CounterScheduler.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/CounterScheduler.cpp.o.d"
+  "/root/repo/src/pmc/Event.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/Event.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/Event.cpp.o.d"
+  "/root/repo/src/pmc/EventRegistry.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/EventRegistry.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/EventRegistry.cpp.o.d"
+  "/root/repo/src/pmc/PerformanceGroups.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/PerformanceGroups.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/PerformanceGroups.cpp.o.d"
+  "/root/repo/src/pmc/PlatformEvents.cpp" "src/pmc/CMakeFiles/slope_pmc.dir/PlatformEvents.cpp.o" "gcc" "src/pmc/CMakeFiles/slope_pmc.dir/PlatformEvents.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_pmc.dir/Activity.cpp.o"
+  "CMakeFiles/slope_pmc.dir/Activity.cpp.o.d"
+  "CMakeFiles/slope_pmc.dir/CounterScheduler.cpp.o"
+  "CMakeFiles/slope_pmc.dir/CounterScheduler.cpp.o.d"
+  "CMakeFiles/slope_pmc.dir/Event.cpp.o"
+  "CMakeFiles/slope_pmc.dir/Event.cpp.o.d"
+  "CMakeFiles/slope_pmc.dir/EventRegistry.cpp.o"
+  "CMakeFiles/slope_pmc.dir/EventRegistry.cpp.o.d"
+  "CMakeFiles/slope_pmc.dir/PerformanceGroups.cpp.o"
+  "CMakeFiles/slope_pmc.dir/PerformanceGroups.cpp.o.d"
+  "CMakeFiles/slope_pmc.dir/PlatformEvents.cpp.o"
+  "CMakeFiles/slope_pmc.dir/PlatformEvents.cpp.o.d"
+  "libslope_pmc.a"
+  "libslope_pmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

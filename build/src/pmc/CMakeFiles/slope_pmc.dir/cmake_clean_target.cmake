@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslope_pmc.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_power.dir/HclWattsUp.cpp.o"
+  "CMakeFiles/slope_power.dir/HclWattsUp.cpp.o.d"
+  "CMakeFiles/slope_power.dir/PowerMeter.cpp.o"
+  "CMakeFiles/slope_power.dir/PowerMeter.cpp.o.d"
+  "CMakeFiles/slope_power.dir/RaplSensor.cpp.o"
+  "CMakeFiles/slope_power.dir/RaplSensor.cpp.o.d"
+  "CMakeFiles/slope_power.dir/RepeatedMeasurement.cpp.o"
+  "CMakeFiles/slope_power.dir/RepeatedMeasurement.cpp.o.d"
+  "libslope_power.a"
+  "libslope_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslope_power.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Application.cpp" "src/sim/CMakeFiles/slope_sim.dir/Application.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/Application.cpp.o.d"
+  "/root/repo/src/sim/CacheModel.cpp" "src/sim/CMakeFiles/slope_sim.dir/CacheModel.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/sim/EnergyModel.cpp" "src/sim/CMakeFiles/slope_sim.dir/EnergyModel.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/EnergyModel.cpp.o.d"
+  "/root/repo/src/sim/Kernels.cpp" "src/sim/CMakeFiles/slope_sim.dir/Kernels.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/Kernels.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/slope_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/Platform.cpp" "src/sim/CMakeFiles/slope_sim.dir/Platform.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/Platform.cpp.o.d"
+  "/root/repo/src/sim/TestSuite.cpp" "src/sim/CMakeFiles/slope_sim.dir/TestSuite.cpp.o" "gcc" "src/sim/CMakeFiles/slope_sim.dir/TestSuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_sim.dir/Application.cpp.o"
+  "CMakeFiles/slope_sim.dir/Application.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/CacheModel.cpp.o"
+  "CMakeFiles/slope_sim.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/EnergyModel.cpp.o"
+  "CMakeFiles/slope_sim.dir/EnergyModel.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/Kernels.cpp.o"
+  "CMakeFiles/slope_sim.dir/Kernels.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/Machine.cpp.o"
+  "CMakeFiles/slope_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/Platform.cpp.o"
+  "CMakeFiles/slope_sim.dir/Platform.cpp.o.d"
+  "CMakeFiles/slope_sim.dir/TestSuite.cpp.o"
+  "CMakeFiles/slope_sim.dir/TestSuite.cpp.o.d"
+  "libslope_sim.a"
+  "libslope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/Correlation.cpp" "src/stats/CMakeFiles/slope_stats.dir/Correlation.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Correlation.cpp.o.d"
+  "/root/repo/src/stats/Descriptive.cpp" "src/stats/CMakeFiles/slope_stats.dir/Descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Descriptive.cpp.o.d"
+  "/root/repo/src/stats/Matrix.cpp" "src/stats/CMakeFiles/slope_stats.dir/Matrix.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Matrix.cpp.o.d"
+  "/root/repo/src/stats/Nnls.cpp" "src/stats/CMakeFiles/slope_stats.dir/Nnls.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Nnls.cpp.o.d"
+  "/root/repo/src/stats/Pca.cpp" "src/stats/CMakeFiles/slope_stats.dir/Pca.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Pca.cpp.o.d"
+  "/root/repo/src/stats/Solve.cpp" "src/stats/CMakeFiles/slope_stats.dir/Solve.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/Solve.cpp.o.d"
+  "/root/repo/src/stats/StudentT.cpp" "src/stats/CMakeFiles/slope_stats.dir/StudentT.cpp.o" "gcc" "src/stats/CMakeFiles/slope_stats.dir/StudentT.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

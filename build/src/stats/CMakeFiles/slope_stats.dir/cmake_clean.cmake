@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_stats.dir/Correlation.cpp.o"
+  "CMakeFiles/slope_stats.dir/Correlation.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/Descriptive.cpp.o"
+  "CMakeFiles/slope_stats.dir/Descriptive.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/Matrix.cpp.o"
+  "CMakeFiles/slope_stats.dir/Matrix.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/Nnls.cpp.o"
+  "CMakeFiles/slope_stats.dir/Nnls.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/Pca.cpp.o"
+  "CMakeFiles/slope_stats.dir/Pca.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/Solve.cpp.o"
+  "CMakeFiles/slope_stats.dir/Solve.cpp.o.d"
+  "CMakeFiles/slope_stats.dir/StudentT.cpp.o"
+  "CMakeFiles/slope_stats.dir/StudentT.cpp.o.d"
+  "libslope_stats.a"
+  "libslope_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_support.dir/Csv.cpp.o"
+  "CMakeFiles/slope_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/slope_support.dir/CsvReader.cpp.o"
+  "CMakeFiles/slope_support.dir/CsvReader.cpp.o.d"
+  "CMakeFiles/slope_support.dir/Rng.cpp.o"
+  "CMakeFiles/slope_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/slope_support.dir/Str.cpp.o"
+  "CMakeFiles/slope_support.dir/Str.cpp.o.d"
+  "CMakeFiles/slope_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/slope_support.dir/TablePrinter.cpp.o.d"
+  "libslope_support.a"
+  "libslope_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

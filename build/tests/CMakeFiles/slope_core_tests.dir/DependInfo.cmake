@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AdditivityCheckerTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/AdditivityCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/AdditivityCheckerTest.cpp.o.d"
+  "/root/repo/tests/core/AdditivityStudyTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/AdditivityStudyTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/AdditivityStudyTest.cpp.o.d"
+  "/root/repo/tests/core/AttributionTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/AttributionTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/AttributionTest.cpp.o.d"
+  "/root/repo/tests/core/AugmentationTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/AugmentationTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/AugmentationTest.cpp.o.d"
+  "/root/repo/tests/core/DatasetBuilderTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/DatasetBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/DatasetBuilderTest.cpp.o.d"
+  "/root/repo/tests/core/DerivedMetricsTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/DerivedMetricsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/DerivedMetricsTest.cpp.o.d"
+  "/root/repo/tests/core/ExperimentsTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/ExperimentsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/ExperimentsTest.cpp.o.d"
+  "/root/repo/tests/core/MultiplexedProfilerTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/MultiplexedProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/MultiplexedProfilerTest.cpp.o.d"
+  "/root/repo/tests/core/OnlineEstimatorTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/OnlineEstimatorTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/OnlineEstimatorTest.cpp.o.d"
+  "/root/repo/tests/core/PmcProfilerTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/PmcProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/PmcProfilerTest.cpp.o.d"
+  "/root/repo/tests/core/PmcSelectorTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/PmcSelectorTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/PmcSelectorTest.cpp.o.d"
+  "/root/repo/tests/core/ReportTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/ReportTest.cpp.o.d"
+  "/root/repo/tests/core/ResultsIoTest.cpp" "tests/CMakeFiles/slope_core_tests.dir/core/ResultsIoTest.cpp.o" "gcc" "tests/CMakeFiles/slope_core_tests.dir/core/ResultsIoTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

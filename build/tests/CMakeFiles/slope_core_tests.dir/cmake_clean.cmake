@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_core_tests.dir/core/AdditivityCheckerTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/AdditivityCheckerTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/AdditivityStudyTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/AdditivityStudyTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/AttributionTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/AttributionTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/AugmentationTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/AugmentationTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/DatasetBuilderTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/DatasetBuilderTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/DerivedMetricsTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/DerivedMetricsTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/ExperimentsTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/ExperimentsTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/MultiplexedProfilerTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/MultiplexedProfilerTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/OnlineEstimatorTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/OnlineEstimatorTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/PmcProfilerTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/PmcProfilerTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/PmcSelectorTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/PmcSelectorTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/ReportTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/ReportTest.cpp.o.d"
+  "CMakeFiles/slope_core_tests.dir/core/ResultsIoTest.cpp.o"
+  "CMakeFiles/slope_core_tests.dir/core/ResultsIoTest.cpp.o.d"
+  "slope_core_tests"
+  "slope_core_tests.pdb"
+  "slope_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_integration_tests.dir/integration/EndToEndTest.cpp.o"
+  "CMakeFiles/slope_integration_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "slope_integration_tests"
+  "slope_integration_tests.pdb"
+  "slope_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

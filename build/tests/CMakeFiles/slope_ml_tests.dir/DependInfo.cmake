@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/DatasetIoTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/DatasetIoTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/DatasetIoTest.cpp.o.d"
+  "/root/repo/tests/ml/DatasetTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/DatasetTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/DatasetTest.cpp.o.d"
+  "/root/repo/tests/ml/DecisionTreeTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/DecisionTreeTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/DecisionTreeTest.cpp.o.d"
+  "/root/repo/tests/ml/KnnRegressorTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/KnnRegressorTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/KnnRegressorTest.cpp.o.d"
+  "/root/repo/tests/ml/LinearRegressionTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/LinearRegressionTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/LinearRegressionTest.cpp.o.d"
+  "/root/repo/tests/ml/MetricsTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/MetricsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/MetricsTest.cpp.o.d"
+  "/root/repo/tests/ml/ModelIoTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/ModelIoTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/ModelIoTest.cpp.o.d"
+  "/root/repo/tests/ml/NeuralNetworkTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/NeuralNetworkTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/NeuralNetworkTest.cpp.o.d"
+  "/root/repo/tests/ml/RandomForestTest.cpp" "tests/CMakeFiles/slope_ml_tests.dir/ml/RandomForestTest.cpp.o" "gcc" "tests/CMakeFiles/slope_ml_tests.dir/ml/RandomForestTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

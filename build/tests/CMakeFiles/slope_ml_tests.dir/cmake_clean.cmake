@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_ml_tests.dir/ml/DatasetIoTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/DatasetIoTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/DatasetTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/DatasetTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/DecisionTreeTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/DecisionTreeTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/KnnRegressorTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/KnnRegressorTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/LinearRegressionTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/LinearRegressionTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/MetricsTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/MetricsTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/ModelIoTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/ModelIoTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/NeuralNetworkTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/NeuralNetworkTest.cpp.o.d"
+  "CMakeFiles/slope_ml_tests.dir/ml/RandomForestTest.cpp.o"
+  "CMakeFiles/slope_ml_tests.dir/ml/RandomForestTest.cpp.o.d"
+  "slope_ml_tests"
+  "slope_ml_tests.pdb"
+  "slope_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

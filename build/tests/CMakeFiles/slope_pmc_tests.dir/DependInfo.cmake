@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pmc/ActivityTest.cpp" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/ActivityTest.cpp.o" "gcc" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/ActivityTest.cpp.o.d"
+  "/root/repo/tests/pmc/CounterSchedulerTest.cpp" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/CounterSchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/CounterSchedulerTest.cpp.o.d"
+  "/root/repo/tests/pmc/EventRegistryTest.cpp" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/EventRegistryTest.cpp.o" "gcc" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/EventRegistryTest.cpp.o.d"
+  "/root/repo/tests/pmc/PerformanceGroupsTest.cpp" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/PerformanceGroupsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/PerformanceGroupsTest.cpp.o.d"
+  "/root/repo/tests/pmc/PlatformEventsTest.cpp" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/PlatformEventsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_pmc_tests.dir/pmc/PlatformEventsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

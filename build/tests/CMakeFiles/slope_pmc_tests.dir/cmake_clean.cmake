@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_pmc_tests.dir/pmc/ActivityTest.cpp.o"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/ActivityTest.cpp.o.d"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/CounterSchedulerTest.cpp.o"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/CounterSchedulerTest.cpp.o.d"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/EventRegistryTest.cpp.o"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/EventRegistryTest.cpp.o.d"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/PerformanceGroupsTest.cpp.o"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/PerformanceGroupsTest.cpp.o.d"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/PlatformEventsTest.cpp.o"
+  "CMakeFiles/slope_pmc_tests.dir/pmc/PlatformEventsTest.cpp.o.d"
+  "slope_pmc_tests"
+  "slope_pmc_tests.pdb"
+  "slope_pmc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_pmc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_power_tests.dir/power/HclWattsUpTest.cpp.o"
+  "CMakeFiles/slope_power_tests.dir/power/HclWattsUpTest.cpp.o.d"
+  "CMakeFiles/slope_power_tests.dir/power/PowerMeterTest.cpp.o"
+  "CMakeFiles/slope_power_tests.dir/power/PowerMeterTest.cpp.o.d"
+  "CMakeFiles/slope_power_tests.dir/power/RaplSensorTest.cpp.o"
+  "CMakeFiles/slope_power_tests.dir/power/RaplSensorTest.cpp.o.d"
+  "CMakeFiles/slope_power_tests.dir/power/RepeatedMeasurementTest.cpp.o"
+  "CMakeFiles/slope_power_tests.dir/power/RepeatedMeasurementTest.cpp.o.d"
+  "slope_power_tests"
+  "slope_power_tests.pdb"
+  "slope_power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_sim_tests.dir/sim/ApplicationTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/ApplicationTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/CacheModelTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/CacheModelTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/DvfsTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/DvfsTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/EnergyModelTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/EnergyModelTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/KernelPropertyTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/KernelPropertyTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/KernelTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/KernelTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/MachineTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/MachineTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/PlatformTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/PlatformTest.cpp.o.d"
+  "CMakeFiles/slope_sim_tests.dir/sim/TestSuiteTest.cpp.o"
+  "CMakeFiles/slope_sim_tests.dir/sim/TestSuiteTest.cpp.o.d"
+  "slope_sim_tests"
+  "slope_sim_tests.pdb"
+  "slope_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

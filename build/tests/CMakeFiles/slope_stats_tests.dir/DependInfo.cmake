@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/CorrelationTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/CorrelationTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/CorrelationTest.cpp.o.d"
+  "/root/repo/tests/stats/DescriptiveTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/DescriptiveTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/DescriptiveTest.cpp.o.d"
+  "/root/repo/tests/stats/MatrixTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/MatrixTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/MatrixTest.cpp.o.d"
+  "/root/repo/tests/stats/NnlsTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/NnlsTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/NnlsTest.cpp.o.d"
+  "/root/repo/tests/stats/PcaTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/PcaTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/PcaTest.cpp.o.d"
+  "/root/repo/tests/stats/SolveTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/SolveTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/SolveTest.cpp.o.d"
+  "/root/repo/tests/stats/StudentTTest.cpp" "tests/CMakeFiles/slope_stats_tests.dir/stats/StudentTTest.cpp.o" "gcc" "tests/CMakeFiles/slope_stats_tests.dir/stats/StudentTTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/slope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/slope_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_stats_tests.dir/stats/CorrelationTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/CorrelationTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/DescriptiveTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/DescriptiveTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/MatrixTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/MatrixTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/NnlsTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/NnlsTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/PcaTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/PcaTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/SolveTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/SolveTest.cpp.o.d"
+  "CMakeFiles/slope_stats_tests.dir/stats/StudentTTest.cpp.o"
+  "CMakeFiles/slope_stats_tests.dir/stats/StudentTTest.cpp.o.d"
+  "slope_stats_tests"
+  "slope_stats_tests.pdb"
+  "slope_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

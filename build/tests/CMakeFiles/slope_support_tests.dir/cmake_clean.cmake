@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_support_tests.dir/support/CsvReaderTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/CsvReaderTest.cpp.o.d"
+  "CMakeFiles/slope_support_tests.dir/support/CsvTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/CsvTest.cpp.o.d"
+  "CMakeFiles/slope_support_tests.dir/support/ExpectedTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/ExpectedTest.cpp.o.d"
+  "CMakeFiles/slope_support_tests.dir/support/RngTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/slope_support_tests.dir/support/StrTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/StrTest.cpp.o.d"
+  "CMakeFiles/slope_support_tests.dir/support/TablePrinterTest.cpp.o"
+  "CMakeFiles/slope_support_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "slope_support_tests"
+  "slope_support_tests.pdb"
+  "slope_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/slope_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_pmc_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_power_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/slope_integration_tests[1]_include.cmake")
