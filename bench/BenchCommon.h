@@ -20,11 +20,44 @@
 #include "pmc/PlatformEvents.h"
 #include "support/Str.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace bench {
+
+/// Parses the shared driver flags and \returns the remaining positional
+/// arguments. `--threads N` (or the SLOPE_THREADS environment variable)
+/// sizes the global experiment thread pool; parallel results are
+/// bit-identical at any setting, so the knob trades wall clock only.
+/// google-benchmark style `--benchmark_*` flags are accepted and ignored
+/// so CI can pass one command line to every bench binary.
+inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
+  std::vector<std::string> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--threads" && I + 1 < Argc) {
+      long N = std::strtol(Argv[++I], nullptr, 10);
+      slope::ThreadPool::setGlobalThreadCount(N > 0 ? static_cast<unsigned>(N)
+                                                    : 0);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      long N = std::strtol(Arg.c_str() + std::strlen("--threads="), nullptr,
+                           10);
+      slope::ThreadPool::setGlobalThreadCount(N > 0 ? static_cast<unsigned>(N)
+                                                    : 0);
+    } else if (Arg.rfind("--benchmark_", 0) == 0) {
+      // Ignored: lets the CI smoke step pass google-benchmark flags to
+      // table binaries that render directly.
+    } else {
+      Positional.push_back(std::move(Arg));
+    }
+  }
+  return Positional;
+}
 
 /// The paper-scale Class A configuration (277 base apps, 50 compounds).
 inline slope::core::ClassAConfig fullClassA() {

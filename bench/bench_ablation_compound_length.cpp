@@ -61,7 +61,8 @@ double meanErrorAtLength(Machine &M, EventId Id,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: additivity error vs compound length");
 
   Machine M(Platform::intelHaswellServer(), 81);

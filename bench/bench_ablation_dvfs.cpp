@@ -54,7 +54,8 @@ std::vector<double> correlationsOn(Platform Plat,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: fixed frequency vs DVFS/turbo clock model");
 
   std::vector<std::string> Names = {

@@ -27,7 +27,8 @@ using namespace slope;
 using namespace slope::core;
 using namespace slope::sim;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: dynamic vs total energy as the target");
 
   Machine M(Platform::intelSkylakeServer(), 91);

@@ -57,7 +57,8 @@ void evalRow(TablePrinter &T, const std::string &Label, Model &M,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: model design choices");
   ClassAData Data = buildClassAData();
 

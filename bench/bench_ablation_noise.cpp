@@ -25,7 +25,8 @@ using namespace slope;
 using namespace slope::core;
 using namespace slope::sim;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: measurement repetitions vs verdict stability");
 
   Rng R(7);

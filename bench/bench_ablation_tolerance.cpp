@@ -34,7 +34,8 @@ size_t countAdditive(const std::vector<AdditivityResult> &Results,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Ablation: additivity tolerance sweep");
 
   // Haswell, diverse suite, six Class-A PMCs.

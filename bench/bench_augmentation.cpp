@@ -43,7 +43,8 @@ struct Arm {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Future-work extension: compound augmentation");
 
   Machine M(Platform::intelHaswellServer(), 41);

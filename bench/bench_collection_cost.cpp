@@ -72,7 +72,8 @@ void report(const char *Label, Machine &M, size_t PaperTotal,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Sect. 5: PMC collection cost");
   Machine Haswell(Platform::intelHaswellServer(), 1);
   Machine Skylake(Platform::intelSkylakeServer(), 2);

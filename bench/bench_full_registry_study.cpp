@@ -76,7 +76,8 @@ void study(const char *Label, Machine &M,
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Prior-work reproduction: platform-wide additivity study");
 
   {

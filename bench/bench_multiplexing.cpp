@@ -141,7 +141,8 @@ void verdictContamination() {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Multiplexed vs dedicated PMC collection");
   accuracySweep();
   verdictContamination();

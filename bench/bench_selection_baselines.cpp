@@ -35,7 +35,8 @@ using namespace slope::core;
 using namespace slope::ml;
 using namespace slope::sim;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Selection-policy shootout (Class C task, 4 PMCs)");
 
   Machine M(Platform::intelSkylakeServer(), 31);

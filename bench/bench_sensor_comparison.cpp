@@ -30,7 +30,8 @@ using namespace slope;
 using namespace slope::core;
 using namespace slope::sim;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Measurement approaches: wall meter vs on-chip sensor");
 
   Machine M(Platform::intelSkylakeServer(), 51);

@@ -19,7 +19,8 @@
 using namespace slope;
 using namespace slope::sim;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Table 1: platform specifications");
   Platform H = Platform::intelHaswellServer();
   Platform S = Platform::intelSkylakeServer();

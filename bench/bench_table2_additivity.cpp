@@ -20,6 +20,7 @@ using namespace slope;
 using namespace slope::core;
 
 int main(int Argc, char **Argv) {
+  std::vector<std::string> Args = bench::parseArgs(Argc, Argv);
   bench::banner("Table 2: additivity test errors of the selected PMCs");
   ClassAResult Result = runClassA(bench::fullClassA());
 
@@ -45,12 +46,12 @@ int main(int Argc, char **Argv) {
 
   // Optional archival: bench_table2_additivity <results.csv> writes the
   // full Class A result (Tables 2-5) for cross-version diffing.
-  if (Argc > 1) {
-    if (auto Ok = writeResultCsv(classAResultToCsv(Result), Argv[1]); !Ok)
+  if (!Args.empty()) {
+    if (auto Ok = writeResultCsv(classAResultToCsv(Result), Args[0]); !Ok)
       std::fprintf(stderr, "archive failed: %s\n",
                    Ok.error().message().c_str());
     else
-      std::printf("archived Class A results -> %s\n", Argv[1]);
+      std::printf("archived Class A results -> %s\n", Args[0].c_str());
   }
   return 0;
 }

@@ -16,7 +16,8 @@
 using namespace slope;
 using namespace slope::core;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Table 5: NN1..NN6 prediction errors");
   ClassAResult Result = runClassA(bench::fullClassA());
   std::printf("%s\n",

@@ -22,6 +22,7 @@ using namespace slope;
 using namespace slope::core;
 
 int main(int Argc, char **Argv) {
+  std::vector<std::string> Args = bench::parseArgs(Argc, Argv);
   bench::banner("Table 6: PA/PNA energy correlations");
   ClassBCResult Result = runClassBC(bench::fullClassBC());
 
@@ -52,12 +53,12 @@ int main(int Argc, char **Argv) {
 
   // Optional archival: bench_table6_correlation <results.csv> writes the
   // full Class B/C result (Tables 6-7) for cross-version diffing.
-  if (Argc > 1) {
-    if (auto Ok = writeResultCsv(classBCResultToCsv(Result), Argv[1]); !Ok)
+  if (!Args.empty()) {
+    if (auto Ok = writeResultCsv(classBCResultToCsv(Result), Args[0]); !Ok)
       std::fprintf(stderr, "archive failed: %s\n",
                    Ok.error().message().c_str());
     else
-      std::printf("archived Class B/C results -> %s\n", Argv[1]);
+      std::printf("archived Class B/C results -> %s\n", Args[0].c_str());
   }
   return 0;
 }

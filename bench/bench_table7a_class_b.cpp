@@ -18,7 +18,8 @@
 using namespace slope;
 using namespace slope::core;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::parseArgs(Argc, Argv);
   bench::banner("Table 7a: Class B nine-PMC models");
   ClassBCResult Result = runClassBC(bench::fullClassBC());
 

@@ -7,21 +7,32 @@
 // Walks through the paper's Class A experiment on a reduced scale
 // (pass --full for the paper-scale 277/50 datasets): selects the six
 // literature PMCs, measures their additivity, builds the nested
-// LR/RF/NN families, and prints Tables 2-5.
+// LR/RF/NN families, and prints Tables 2-5. `--threads N` (or
+// SLOPE_THREADS) sizes the experiment thread pool; results are
+// bit-identical at any width.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
 #include "core/Report.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace slope;
 using namespace slope::core;
 
 int main(int Argc, char **Argv) {
-  bool Full = Argc > 1 && std::strcmp(Argv[1], "--full") == 0;
+  bool Full = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--full") == 0)
+      Full = true;
+    else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+      ThreadPool::setGlobalThreadCount(
+          static_cast<unsigned>(std::atoi(Argv[++I])));
+  }
 
   ClassAConfig Config;
   if (!Full) {

@@ -78,6 +78,11 @@ public:
                          const std::vector<sim::CompoundApplication> &Compounds);
 
   /// Tests many events over one suite, sharing the cached executions.
+  /// Executions are materialized serially first (the machine is stateful,
+  /// and the cache must match what a lazy serial scan would produce), then
+  /// the per-event verdicts — pure reads against the cache — are computed
+  /// in parallel on the global thread pool. Results are bit-identical to
+  /// calling check() per event, at any thread count.
   std::vector<AdditivityResult>
   checkAll(const std::vector<pmc::EventId> &Ids,
            const std::vector<sim::CompoundApplication> &Compounds);
@@ -85,7 +90,14 @@ public:
   const AdditivityTestConfig &config() const { return Config; }
 
 private:
-  /// \returns the cached executions of \p App, running it if needed.
+  /// Runs every execution check() would lazily trigger for \p Compounds,
+  /// in the same machine-run order, so a subsequent check() is a pure
+  /// cache read (and therefore safe to run concurrently per event).
+  void prewarm(const std::vector<sim::CompoundApplication> &Compounds);
+
+  /// \returns the cached executions of \p App, running it if needed. The
+  /// cache is only mutated when fewer than \p Runs executions are stored;
+  /// after prewarm() this is a read-only lookup.
   const std::vector<sim::Execution> &
   executionsFor(const sim::CompoundApplication &App, unsigned Runs);
 

@@ -11,6 +11,7 @@
 #include "ml/Metrics.h"
 #include "pmc/PlatformEvents.h"
 #include "sim/TestSuite.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -110,20 +111,35 @@ ClassAResult core::runClassA(const ClassAConfig &Config) {
   Result.TrainRows = Train.numRows();
   Result.TestRows = Test.numRows();
 
+  // The 3 x |Families| model variants are pure functions of (family,
+  // subset, seed, datasets), so the whole sweep parallelizes over variant
+  // slots; seeds match the serial sweep exactly.
   std::vector<std::vector<std::string>> Families =
       nestedSubsetsByAdditivity(Result.AdditivityTable);
-  for (size_t I = 0; I < Families.size(); ++I) {
+  Result.Lr.resize(Families.size());
+  Result.Rf.resize(Families.size());
+  Result.Nn.resize(Families.size());
+  parallelFor(0, Families.size() * 3, 1, [&](size_t Task) {
+    size_t I = Task / 3;
     std::string Index = std::to_string(I + 1);
-    Result.Lr.push_back(evaluateSubset(
-        ModelFamily::LR, "LR" + Index, Families[I], Train, Test,
-        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
-    Result.Rf.push_back(evaluateSubset(
-        ModelFamily::RF, "RF" + Index, Families[I], Train, Test,
-        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
-    Result.Nn.push_back(evaluateSubset(
-        ModelFamily::NN, "NN" + Index, Families[I], Train, Test,
-        Config.Seed + I, Config.NnEpochs, Config.RfTrees));
-  }
+    switch (Task % 3) {
+    case 0:
+      Result.Lr[I] = evaluateSubset(
+          ModelFamily::LR, "LR" + Index, Families[I], Train, Test,
+          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+      break;
+    case 1:
+      Result.Rf[I] = evaluateSubset(
+          ModelFamily::RF, "RF" + Index, Families[I], Train, Test,
+          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+      break;
+    default:
+      Result.Nn[I] = evaluateSubset(
+          ModelFamily::NN, "NN" + Index, Families[I], Train, Test,
+          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+      break;
+    }
+  });
   return Result;
 }
 
@@ -205,31 +221,35 @@ ClassBCResult core::runClassBC(const ClassBCConfig &Config) {
   Result.TrainRows = Train.numRows();
   Result.TestRows = Test.numRows();
 
-  // --- Class B: nine-PMC application-specific models.
-  for (ModelFamily Family :
-       {ModelFamily::LR, ModelFamily::RF, ModelFamily::NN}) {
-    std::string Base = modelFamilyName(Family);
-    Result.ClassB.push_back(
-        evaluateSubset(Family, Base + "-A", PaNames, Train, Test,
-                       Config.Seed + 31, Config.NnEpochs, Config.RfTrees));
-    Result.ClassB.push_back(
-        evaluateSubset(Family, Base + "-NA", PnaNames, Train, Test,
-                       Config.Seed + 37, Config.NnEpochs, Config.RfTrees));
-  }
+  // --- Class B and C sweeps: like Class A, every variant is independent,
+  // so both tables' twelve models train concurrently.
+  const ModelFamily AllFamilies[] = {ModelFamily::LR, ModelFamily::RF,
+                                     ModelFamily::NN};
 
-  // --- Class C: four-PMC online models, picked by energy correlation
-  // within each set (the paper's PA4 / PNA4 construction).
+  // Class B: nine-PMC application-specific models.
+  Result.ClassB.resize(6);
+  // Class C: four-PMC online models, picked by energy correlation within
+  // each set (the paper's PA4 / PNA4 construction).
   Result.Pa4 = selectMostCorrelated(Full.selectFeatures(PaNames), 4);
   Result.Pna4 = selectMostCorrelated(Full.selectFeatures(PnaNames), 4);
-  for (ModelFamily Family :
-       {ModelFamily::LR, ModelFamily::RF, ModelFamily::NN}) {
+  Result.ClassC.resize(6);
+
+  parallelFor(0, 12, 1, [&](size_t Task) {
+    ModelFamily Family = AllFamilies[(Task % 6) / 2];
     std::string Base = modelFamilyName(Family);
-    Result.ClassC.push_back(
-        evaluateSubset(Family, Base + "-A4", Result.Pa4, Train, Test,
-                       Config.Seed + 41, Config.NnEpochs, Config.RfTrees));
-    Result.ClassC.push_back(
-        evaluateSubset(Family, Base + "-NA4", Result.Pna4, Train, Test,
-                       Config.Seed + 43, Config.NnEpochs, Config.RfTrees));
-  }
+    bool Additive = (Task % 2) == 0;
+    if (Task < 6)
+      Result.ClassB[Task] = evaluateSubset(
+          Family, Base + (Additive ? "-A" : "-NA"),
+          Additive ? PaNames : PnaNames, Train, Test,
+          Config.Seed + (Additive ? 31 : 37), Config.NnEpochs,
+          Config.RfTrees);
+    else
+      Result.ClassC[Task - 6] = evaluateSubset(
+          Family, Base + (Additive ? "-A4" : "-NA4"),
+          Additive ? Result.Pa4 : Result.Pna4, Train, Test,
+          Config.Seed + (Additive ? 41 : 43), Config.NnEpochs,
+          Config.RfTrees);
+  });
   return Result;
 }

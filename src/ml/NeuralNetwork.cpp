@@ -6,6 +6,8 @@
 
 #include "ml/NeuralNetwork.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -88,10 +90,13 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
   size_t D = Training.numFeatures();
 
   // Standardize features and target; constant columns get Std 1 so they
-  // become exactly zero after centering.
+  // become exactly zero after centering. Columns are independent, so the
+  // per-column statistics parallelize over disjoint slots; within a column
+  // the accumulation order is row order regardless of thread count, so the
+  // standardization is bit-identical to a serial pass.
   FeatureMean.assign(D, 0.0);
   FeatureStd.assign(D, 1.0);
-  for (size_t C = 0; C < D; ++C) {
+  parallelFor(0, D, 1, [&](size_t C) {
     double Sum = 0;
     for (size_t R = 0; R < N; ++R)
       Sum += Training.row(R)[C];
@@ -103,7 +108,7 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
     }
     double Std = std::sqrt(Sq / static_cast<double>(N));
     FeatureStd[C] = Std > 1e-12 ? Std : 1.0;
-  }
+  });
   {
     double Sum = std::accumulate(Training.targets().begin(),
                                  Training.targets().end(), 0.0);
@@ -117,13 +122,15 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
     TargetStd = Std > 1e-12 ? Std : 1.0;
   }
 
+  // Minibatch prep: the standardized design matrix the epoch loop shuffles
+  // indices into. Rows are disjoint, so this parallelizes cleanly.
   std::vector<std::vector<double>> Xs(N, std::vector<double>(D));
   std::vector<double> Ys(N);
-  for (size_t R = 0; R < N; ++R) {
+  parallelFor(0, N, 64, [&](size_t R) {
     for (size_t C = 0; C < D; ++C)
       Xs[R][C] = (Training.row(R)[C] - FeatureMean[C]) / FeatureStd[C];
     Ys[R] = (Training.target(R) - TargetMean) / TargetStd;
-  }
+  });
 
   // Build layers: D -> hidden... -> 1, Glorot-uniform initialization.
   Rng NetRng(Options.Seed);

@@ -6,6 +6,8 @@
 
 #include "ml/RandomForest.h"
 
+#include "support/ThreadPool.h"
+
 #include <cmath>
 
 using namespace slope;
@@ -27,16 +29,20 @@ Expected<bool> RandomForest::fit(const Dataset &Training) {
       Mtry = 1;
   }
 
+  // Trees are independent given their forked Rng streams (a pure function
+  // of the forest seed and the tree index), so fitting parallelizes over
+  // trees. Each task records its out-of-bag predictions; the OOB reduction
+  // below runs serially in tree order, keeping the floating-point addition
+  // order — and hence every result bit — identical to a serial fit.
   Rng ForestRng(Options.Seed);
-  Trees.clear();
-  Trees.reserve(Options.NumTrees);
-
-  // Out-of-bag bookkeeping: sum/count of OOB predictions per row.
-  std::vector<double> OobSum(Training.numRows(), 0.0);
-  std::vector<unsigned> OobCount(Training.numRows(), 0);
-
   size_t N = Training.numRows();
-  for (size_t T = 0; T < Options.NumTrees; ++T) {
+  Trees.clear();
+  Trees.resize(Options.NumTrees);
+  std::vector<std::vector<bool>> InBags(Options.NumTrees);
+  std::vector<std::vector<double>> OobPreds(Options.NumTrees);
+  std::vector<std::string> FitErrors(Options.NumTrees);
+
+  parallelFor(0, Options.NumTrees, 1, [&](size_t T) {
     Rng TreeRng = ForestRng.fork(T);
     std::vector<size_t> Bootstrap(N);
     std::vector<bool> InBag(N, false);
@@ -49,17 +55,36 @@ Expected<bool> RandomForest::fit(const Dataset &Training) {
     TreeOptions.MaxFeatures = Mtry;
     auto Tree = std::make_unique<DecisionTree>(TreeOptions,
                                                TreeRng.fork("splits"));
-    if (auto Fit = Tree->fitRows(Training, Bootstrap); !Fit)
-      return Fit.error();
+    if (auto Fit = Tree->fitRows(Training, Bootstrap); !Fit) {
+      FitErrors[T] = Fit.error().message();
+      return;
+    }
 
+    std::vector<double> Preds(N, 0.0);
+    for (size_t R = 0; R < N; ++R)
+      if (!InBag[R])
+        Preds[R] = Tree->predict(Training.row(R));
+    Trees[T] = std::move(Tree);
+    InBags[T] = std::move(InBag);
+    OobPreds[T] = std::move(Preds);
+  });
+
+  for (size_t T = 0; T < Options.NumTrees; ++T)
+    if (!Trees[T]) {
+      Trees.clear();
+      return makeError(FitErrors[T]);
+    }
+
+  // Out-of-bag bookkeeping: sum/count of OOB predictions per row.
+  std::vector<double> OobSum(N, 0.0);
+  std::vector<unsigned> OobCount(N, 0);
+  for (size_t T = 0; T < Options.NumTrees; ++T)
     for (size_t R = 0; R < N; ++R) {
-      if (InBag[R])
+      if (InBags[T][R])
         continue;
-      OobSum[R] += Tree->predict(Training.row(R));
+      OobSum[R] += OobPreds[T][R];
       ++OobCount[R];
     }
-    Trees.push_back(std::move(Tree));
-  }
 
   double SumSq = 0;
   size_t Counted = 0;

@@ -6,6 +6,8 @@
 
 #include "power/RepeatedMeasurement.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
 
 using namespace slope;
@@ -39,4 +41,17 @@ power::measureRepeatedly(const std::function<double()> &Observe,
     Result.CiHalfWidth = CI.HalfWidth;
   }
   return Result;
+}
+
+std::vector<MeasurementResult> power::measureAllRepeatedly(
+    const std::vector<std::function<double()>> &Observables,
+    const MeasurementPolicy &Policy) {
+  // Each adaptive loop is inherently sequential (the stopping rule looks
+  // at its own samples), but distinct observables share nothing, so the
+  // batch fans out over the pool into disjoint result slots.
+  std::vector<MeasurementResult> Results(Observables.size());
+  parallelFor(0, Observables.size(), 1, [&](size_t I) {
+    Results[I] = measureRepeatedly(Observables[I], Policy);
+  });
+  return Results;
 }

@@ -46,6 +46,15 @@ struct MeasurementResult {
 MeasurementResult measureRepeatedly(const std::function<double()> &Observe,
                                     const MeasurementPolicy &Policy = {});
 
+/// Runs many independent repeated measurements concurrently on the global
+/// thread pool, one adaptive measureRepeatedly loop per observable, and
+/// \returns the summaries in input order. Each observable must be
+/// self-contained (own any randomness via Rng::fork so streams do not
+/// interleave); results are then bit-identical to measuring serially.
+std::vector<MeasurementResult>
+measureAllRepeatedly(const std::vector<std::function<double()>> &Observables,
+                     const MeasurementPolicy &Policy = {});
+
 } // namespace power
 } // namespace slope
 

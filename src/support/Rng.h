@@ -57,7 +57,11 @@ public:
 
   /// Derives an independent child generator. The child stream is a pure
   /// function of (parent seed, Tag), so components identified by stable
-  /// tags get stable streams regardless of call order elsewhere.
+  /// tags get stable streams regardless of call order elsewhere. This is
+  /// also the parallel seeding API: a task indexed I draws from
+  /// fork(I), which depends on neither sibling tasks nor thread
+  /// scheduling, so parallel experiments reproduce serial ones bit for
+  /// bit (see support/ThreadPool.h).
   Rng fork(uint64_t Tag) const;
 
   /// Derives an independent child generator from a string tag (FNV-1a).
