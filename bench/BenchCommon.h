@@ -17,38 +17,90 @@
 
 #include "core/Experiments.h"
 #include "core/Report.h"
+#include "ml/DecisionTree.h"
 #include "pmc/PlatformEvents.h"
+#include "support/PhaseTimers.h"
 #include "support/Str.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bench {
+
+/// Output path for the machine-readable timing summary; empty (the
+/// default) disables JSON emission entirely.
+inline std::string &benchJsonPath() {
+  static std::string Path;
+  return Path;
+}
+
+/// Value of --sweep-repeat (default 1); benches that support repetition
+/// forward it into their experiment config.
+inline unsigned &sweepRepeatFlag() {
+  static unsigned Repeat = 1;
+  return Repeat;
+}
+
+/// Thread count requested on the command line (0 = pool default);
+/// recorded for the JSON summary.
+inline unsigned &requestedThreads() {
+  static unsigned Threads = 0;
+  return Threads;
+}
 
 /// Parses the shared driver flags and \returns the remaining positional
 /// arguments. `--threads N` (or the SLOPE_THREADS environment variable)
 /// sizes the global experiment thread pool; parallel results are
 /// bit-identical at any setting, so the knob trades wall clock only.
+/// `--tree-algo naive|presorted` selects the decision-tree growth
+/// algorithm (also bit-neutral; perf gates compare the two). `--bench-json
+/// PATH` (or SLOPE_BENCH_JSON) writes a machine-readable timing summary
+/// to PATH without changing anything on stdout. `--sweep-repeat N`
+/// repeats the model sweep in benches that support it.
 /// google-benchmark style `--benchmark_*` flags are accepted and ignored
 /// so CI can pass one command line to every bench binary.
 inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
+  if (const char *Env = std::getenv("SLOPE_BENCH_JSON"))
+    benchJsonPath() = Env;
+  auto SetThreads = [](const char *Value) {
+    long N = std::strtol(Value, nullptr, 10);
+    requestedThreads() = N > 0 ? static_cast<unsigned>(N) : 0;
+    slope::ThreadPool::setGlobalThreadCount(requestedThreads());
+  };
+  auto SetTreeAlgo = [](const std::string &Value) {
+    slope::ml::setDefaultTreeAlgorithm(Value == "naive"
+                                           ? slope::ml::TreeAlgorithm::Naive
+                                           : slope::ml::TreeAlgorithm::Presorted);
+  };
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--threads" && I + 1 < Argc) {
-      long N = std::strtol(Argv[++I], nullptr, 10);
-      slope::ThreadPool::setGlobalThreadCount(N > 0 ? static_cast<unsigned>(N)
-                                                    : 0);
+      SetThreads(Argv[++I]);
     } else if (Arg.rfind("--threads=", 0) == 0) {
-      long N = std::strtol(Arg.c_str() + std::strlen("--threads="), nullptr,
-                           10);
-      slope::ThreadPool::setGlobalThreadCount(N > 0 ? static_cast<unsigned>(N)
-                                                    : 0);
+      SetThreads(Arg.c_str() + std::strlen("--threads="));
+    } else if (Arg == "--tree-algo" && I + 1 < Argc) {
+      SetTreeAlgo(Argv[++I]);
+    } else if (Arg.rfind("--tree-algo=", 0) == 0) {
+      SetTreeAlgo(Arg.substr(std::strlen("--tree-algo=")));
+    } else if (Arg == "--bench-json" && I + 1 < Argc) {
+      benchJsonPath() = Argv[++I];
+    } else if (Arg.rfind("--bench-json=", 0) == 0) {
+      benchJsonPath() = Arg.substr(std::strlen("--bench-json="));
+    } else if (Arg == "--sweep-repeat" && I + 1 < Argc) {
+      long N = std::strtol(Argv[++I], nullptr, 10);
+      sweepRepeatFlag() = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (Arg.rfind("--sweep-repeat=", 0) == 0) {
+      long N = std::strtol(Arg.c_str() + std::strlen("--sweep-repeat="),
+                           nullptr, 10);
+      sweepRepeatFlag() = N > 0 ? static_cast<unsigned>(N) : 1;
     } else if (Arg.rfind("--benchmark_", 0) == 0) {
       // Ignored: lets the CI smoke step pass google-benchmark flags to
       // table binaries that render directly.
@@ -57,6 +109,71 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
     }
   }
   return Positional;
+}
+
+/// Named wall-clock sections recorded for the JSON summary.
+inline std::vector<std::pair<std::string, double>> &timedSections() {
+  static std::vector<std::pair<std::string, double>> Sections;
+  return Sections;
+}
+
+/// Records the wall time of one named scope into timedSections().
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string Name)
+      : Name(std::move(Name)), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    timedSections().emplace_back(std::move(Name), Ms);
+  }
+
+private:
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Writes the BENCH_*.json timing summary for \p BenchName if JSON output
+/// was requested (--bench-json / SLOPE_BENCH_JSON); stdout is untouched
+/// either way, so table output stays byte-identical.
+inline void writeBenchJson(const char *BenchName) {
+  const std::string &Path = benchJsonPath();
+  if (Path.empty())
+    return;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write bench JSON to %s\n",
+                 Path.c_str());
+    return;
+  }
+  double TotalMs = 0;
+  for (const auto &[Name, Ms] : timedSections())
+    TotalMs += Ms;
+  std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n", BenchName,
+               requestedThreads());
+  std::fprintf(F, "  \"tree_algo\": \"%s\",\n",
+               slope::ml::defaultTreeAlgorithm() ==
+                       slope::ml::TreeAlgorithm::Naive
+                   ? "naive"
+                   : "presorted");
+  std::fprintf(F, "  \"sweep_repeat\": %u,\n", sweepRepeatFlag());
+  std::fprintf(F, "  \"sections\": [\n");
+  for (size_t I = 0; I < timedSections().size(); ++I) {
+    const auto &[Name, Ms] = timedSections()[I];
+    std::fprintf(F, "    {\"name\": \"%s\", \"ms\": %.3f}%s\n", Name.c_str(),
+                 Ms, I + 1 < timedSections().size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  // Phase counters isolate instrumented kernels (e.g. forest tree
+  // training) from the fixed simulator/OOB/evaluation cost that both
+  // growth algorithms share, so CI can gate on the kernel alone.
+  std::fprintf(F, "  \"tree_fit_ms\": %.3f,\n",
+               static_cast<double>(
+                   slope::phaseTotalNs(slope::Phase::ForestTreeFit)) /
+                   1e6);
+  std::fprintf(F, "  \"total_ms\": %.3f\n}\n", TotalMs);
+  std::fclose(F);
 }
 
 /// The paper-scale Class A configuration (277 base apps, 50 compounds).

@@ -98,6 +98,85 @@ void BM_RandomForestFit(benchmark::State &State) {
 }
 BENCHMARK(BM_RandomForestFit)->Arg(128)->Arg(512);
 
+// Single-tree fit at Class-A scale (277 rows, 6 PMCs), presorted vs the
+// naive seed kernel; both grow bit-identical trees.
+void BM_TreeFit(benchmark::State &State) {
+  ml::Dataset D = randomDataset(277, 6, 11);
+  ml::DecisionTreeOptions Options;
+  Options.Algorithm = State.range(0) == 0 ? ml::TreeAlgorithm::Presorted
+                                          : ml::TreeAlgorithm::Naive;
+  for (auto _ : State) {
+    ml::DecisionTree Tree(Options);
+    auto Fit = Tree.fit(D);
+    benchmark::DoNotOptimize(Fit);
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(0)->Arg(1);
+
+// Full paper-scale forest fit (100 trees on the Class-A dataset shape);
+// the CI speedup gate reads these two timings from the benchmark JSON.
+void BM_ForestFitClassA(benchmark::State &State) {
+  ml::Dataset D = randomDataset(277, 6, 12);
+  ml::RandomForestOptions Options;
+  Options.NumTrees = 100;
+  Options.Tree.Algorithm = State.range(0) == 0 ? ml::TreeAlgorithm::Presorted
+                                               : ml::TreeAlgorithm::Naive;
+  for (auto _ : State) {
+    ml::RandomForest Forest(Options);
+    auto Fit = Forest.fit(D);
+    benchmark::DoNotOptimize(Fit);
+  }
+}
+BENCHMARK(BM_ForestFitClassA)->Arg(0)->Arg(1);
+
+// Columnar batch inference vs the row-by-row virtual-dispatch loop it
+// replaced (both produce bit-identical predictions).
+void BM_ForestPredictBatch(benchmark::State &State) {
+  ml::Dataset Train = randomDataset(277, 6, 13);
+  ml::Dataset Test = randomDataset(512, 6, 14);
+  ml::RandomForestOptions Options;
+  Options.NumTrees = 30;
+  ml::RandomForest Forest(Options);
+  auto Fit = Forest.fit(Train);
+  assert(Fit);
+  (void)Fit;
+  if (State.range(0) == 0) {
+    for (auto _ : State) {
+      std::vector<double> Preds = Forest.predictBatch(Test);
+      benchmark::DoNotOptimize(Preds);
+    }
+  } else {
+    for (auto _ : State) {
+      std::vector<double> Preds;
+      Preds.reserve(Test.numRows());
+      for (size_t R = 0; R < Test.numRows(); ++R)
+        Preds.push_back(Forest.predict(Test.row(R)));
+      benchmark::DoNotOptimize(Preds);
+    }
+  }
+}
+BENCHMARK(BM_ForestPredictBatch)->Arg(0)->Arg(1);
+
+void BM_MatrixGram(benchmark::State &State) {
+  stats::Matrix A = randomMatrix(State.range(0), 32, 15);
+  for (auto _ : State) {
+    stats::Matrix G = A.gram();
+    benchmark::DoNotOptimize(G);
+  }
+}
+BENCHMARK(BM_MatrixGram)->Arg(256)->Arg(1024);
+
+void BM_MatrixMultiply(benchmark::State &State) {
+  size_t N = State.range(0);
+  stats::Matrix A = randomMatrix(N, N, 16);
+  stats::Matrix B = randomMatrix(N, N, 17);
+  for (auto _ : State) {
+    stats::Matrix C = A.multiply(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(128)->Arg(256);
+
 void BM_NeuralNetworkFit(benchmark::State &State) {
   ml::Dataset D = randomDataset(256, 6, 6);
   ml::NeuralNetworkOptions Options;

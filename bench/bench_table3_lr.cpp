@@ -21,7 +21,11 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   bench::parseArgs(Argc, Argv);
   bench::banner("Table 3: LR1..LR6 prediction errors");
-  ClassAResult Result = runClassA(bench::fullClassA());
+  ClassAResult Result;
+  {
+    bench::ScopedTimer Timer("run_class_a_full");
+    Result = runClassA(bench::fullClassA());
+  }
   std::printf("%s\n",
               bench::renderFamilyComparison(
                   "Table 3. Linear predictive models (LR1-LR6) using zero "
@@ -42,5 +46,6 @@ int main(int Argc, char **Argv) {
   std::printf("Best model: LR%zu (avg %.2f%%; all-PMC LR1 avg %.2f%%; "
               "single-PMC LR6 avg %.2f%%)\n",
               BestIndex + 1, Best, First, Result.Lr.back().Errors.Avg);
+  bench::writeBenchJson("table3_lr");
   return 0;
 }

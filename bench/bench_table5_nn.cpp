@@ -19,7 +19,11 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   bench::parseArgs(Argc, Argv);
   bench::banner("Table 5: NN1..NN6 prediction errors");
-  ClassAResult Result = runClassA(bench::fullClassA());
+  ClassAResult Result;
+  {
+    bench::ScopedTimer Timer("run_class_a_full");
+    Result = runClassA(bench::fullClassA());
+  }
   std::printf("%s\n",
               bench::renderFamilyComparison(
                   "Table 5. Neural Networks based energy predictive models "
@@ -35,5 +39,6 @@ int main(int Argc, char **Argv) {
     }
   std::printf("Best model: NN%zu (avg %.2f%%); paper's best is NN4 "
               "(avg 24.06%%).\n", BestIndex + 1, Best);
+  bench::writeBenchJson("table5_nn");
   return 0;
 }

@@ -24,7 +24,11 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   std::vector<std::string> Args = bench::parseArgs(Argc, Argv);
   bench::banner("Table 6: PA/PNA energy correlations");
-  ClassBCResult Result = runClassBC(bench::fullClassBC());
+  ClassBCResult Result;
+  {
+    bench::ScopedTimer Timer("run_class_bc");
+    Result = runClassBC(bench::fullClassBC());
+  }
 
   TablePrinter T({"", "PMC", "Reproduced corr", "Paper corr",
                   "Additivity err (%)"});
@@ -60,5 +64,6 @@ int main(int Argc, char **Argv) {
     else
       std::printf("archived Class B/C results -> %s\n", Args[0].c_str());
   }
+  bench::writeBenchJson("table6_correlation");
   return 0;
 }

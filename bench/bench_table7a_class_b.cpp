@@ -21,7 +21,11 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   bench::parseArgs(Argc, Argv);
   bench::banner("Table 7a: Class B nine-PMC models");
-  ClassBCResult Result = runClassBC(bench::fullClassBC());
+  ClassBCResult Result;
+  {
+    bench::ScopedTimer Timer("run_class_bc");
+    Result = runClassBC(bench::fullClassBC());
+  }
 
   TablePrinter T({"Model", "PMCs", "Reproduced [Min, Avg, Max]",
                   "Paper [Min, Avg, Max]"});
@@ -47,5 +51,6 @@ int main(int Argc, char **Argv) {
                 Result.ClassB[I].Errors.Avg < Result.ClassB[I + 1].Errors.Avg
                     ? "confirmed"
                     : "VIOLATED");
+  bench::writeBenchJson("table7a_class_b");
   return 0;
 }

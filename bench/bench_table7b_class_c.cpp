@@ -21,7 +21,11 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   bench::parseArgs(Argc, Argv);
   bench::banner("Table 7b: Class C four-PMC online models");
-  ClassBCResult Result = runClassBC(bench::fullClassBC());
+  ClassBCResult Result;
+  {
+    bench::ScopedTimer Timer("run_class_bc");
+    Result = runClassBC(bench::fullClassBC());
+  }
 
   std::printf("PA4  = { %s }\n", str::join(Result.Pa4, ", ").c_str());
   std::printf("PNA4 = { %s }\n  (paper: PA4 = {X1,X2,X4,X8}, "
@@ -56,5 +60,6 @@ int main(int Argc, char **Argv) {
                 Result.ClassC[I + 1].Label.c_str(),
                 Result.ClassC[I + 1].Errors.Avg,
                 Result.ClassC[I + 1].Label.substr(0, 2).c_str());
+  bench::writeBenchJson("table7b_class_c");
   return 0;
 }

@@ -16,15 +16,16 @@ ml::Dataset core::augmentWithSyntheticCompounds(const ml::Dataset &Bases,
                                                 Rng PairRng) {
   assert(Bases.numRows() >= 2 && "augmentation needs at least two rows");
   ml::Dataset Augmented = Bases;
+  std::vector<double> Row(Bases.numFeatures());
   for (size_t I = 0; I < NumSynthetic; ++I) {
     size_t A = PairRng.below(Bases.numRows());
     size_t B = PairRng.below(Bases.numRows());
     if (B == A)
       B = (B + 1) % Bases.numRows();
-    std::vector<double> Row = Bases.row(A);
-    const std::vector<double> &Other = Bases.row(B);
-    for (size_t C = 0; C < Row.size(); ++C)
-      Row[C] += Other[C];
+    for (size_t C = 0; C < Row.size(); ++C) {
+      const double *Col = Bases.column(C);
+      Row[C] = Col[A] + Col[B];
+    }
     Augmented.addRow(Row, Bases.target(A) + Bases.target(B));
   }
   return Augmented;

@@ -111,35 +111,41 @@ ClassAResult core::runClassA(const ClassAConfig &Config) {
   Result.TrainRows = Train.numRows();
   Result.TestRows = Test.numRows();
 
-  // The 3 x |Families| model variants are pure functions of (family,
+  // The 3 x |Subsets| model variants are pure functions of (family,
   // subset, seed, datasets), so the whole sweep parallelizes over variant
-  // slots; seeds match the serial sweep exactly.
-  std::vector<std::vector<std::string>> Families =
+  // slots; seeds match the serial sweep exactly. Variants whose family is
+  // masked out are skipped without touching any other variant's inputs.
+  std::vector<std::vector<std::string>> Subsets =
       nestedSubsetsByAdditivity(Result.AdditivityTable);
-  Result.Lr.resize(Families.size());
-  Result.Rf.resize(Families.size());
-  Result.Nn.resize(Families.size());
-  parallelFor(0, Families.size() * 3, 1, [&](size_t Task) {
-    size_t I = Task / 3;
-    std::string Index = std::to_string(I + 1);
-    switch (Task % 3) {
-    case 0:
-      Result.Lr[I] = evaluateSubset(
-          ModelFamily::LR, "LR" + Index, Families[I], Train, Test,
-          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
-      break;
-    case 1:
-      Result.Rf[I] = evaluateSubset(
-          ModelFamily::RF, "RF" + Index, Families[I], Train, Test,
-          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
-      break;
-    default:
-      Result.Nn[I] = evaluateSubset(
-          ModelFamily::NN, "NN" + Index, Families[I], Train, Test,
-          Config.Seed + I, Config.NnEpochs, Config.RfTrees);
-      break;
-    }
-  });
+  Result.Lr.resize(Subsets.size());
+  Result.Rf.resize(Subsets.size());
+  Result.Nn.resize(Subsets.size());
+  unsigned Repeat = std::max(1u, Config.SweepRepeat);
+  for (unsigned Pass = 0; Pass < Repeat; ++Pass)
+    parallelFor(0, Subsets.size() * 3, 1, [&](size_t Task) {
+      size_t I = Task / 3;
+      std::string Index = std::to_string(I + 1);
+      switch (Task % 3) {
+      case 0:
+        if (Config.Families & ClassAConfig::FamilyLR)
+          Result.Lr[I] = evaluateSubset(
+              ModelFamily::LR, "LR" + Index, Subsets[I], Train, Test,
+              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+        break;
+      case 1:
+        if (Config.Families & ClassAConfig::FamilyRF)
+          Result.Rf[I] = evaluateSubset(
+              ModelFamily::RF, "RF" + Index, Subsets[I], Train, Test,
+              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+        break;
+      default:
+        if (Config.Families & ClassAConfig::FamilyNN)
+          Result.Nn[I] = evaluateSubset(
+              ModelFamily::NN, "NN" + Index, Subsets[I], Train, Test,
+              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+        break;
+      }
+    });
   return Result;
 }
 

@@ -38,6 +38,14 @@ struct ModelEvalRow {
 
 /// Class A configuration (defaults follow the paper).
 struct ClassAConfig {
+  /// Model-family selection bits for the Tables 3-5 sweep.
+  enum FamilyBits : unsigned {
+    FamilyLR = 1u << 0,
+    FamilyRF = 1u << 1,
+    FamilyNN = 1u << 2,
+    FamilyAll = FamilyLR | FamilyRF | FamilyNN,
+  };
+
   size_t NumBaseApps = 277;
   size_t NumCompounds = 50;
   uint64_t Seed = 2019;
@@ -46,6 +54,15 @@ struct ClassAConfig {
   unsigned NnEpochs = 300;
   /// RF ensemble size.
   size_t RfTrees = 100;
+  /// Which families the model sweep trains (bitmask of FamilyBits).
+  /// Every variant is seeded independently by (family, subset), so a
+  /// restricted sweep produces rows bit-identical to a full one; family
+  /// benches use this to isolate their kernel.
+  unsigned Families = FamilyAll;
+  /// Number of times the model sweep runs (later passes overwrite with
+  /// identical rows). Perf gates raise this so kernel time dominates the
+  /// fixed simulator/dataset setup cost.
+  unsigned SweepRepeat = 1;
 };
 
 /// Class A outcome.

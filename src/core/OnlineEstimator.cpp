@@ -54,6 +54,15 @@ double OnlineEstimator::estimateExecution(const Execution &Exec) const {
   return FittedModel->predict(M->readCounters(Events, Exec));
 }
 
+std::vector<double>
+OnlineEstimator::estimateExecutions(const std::vector<Execution> &Execs) const {
+  ml::Dataset Batch(Names);
+  Batch.reserveRows(Execs.size());
+  for (const Execution &Exec : Execs)
+    Batch.addRow(M->readCounters(Events, Exec), 0.0);
+  return FittedModel->predictBatch(Batch);
+}
+
 double OnlineEstimator::estimateRun(const CompoundApplication &App) {
   return estimateExecution(M->run(App));
 }

@@ -46,6 +46,12 @@ public:
   /// Estimates from an already-performed execution (attach-to-run mode).
   double estimateExecution(const sim::Execution &Exec) const;
 
+  /// Estimates a whole batch of already-performed executions in one pass
+  /// (columnar inference; bit-identical to calling estimateExecution on
+  /// each element in order).
+  std::vector<double>
+  estimateExecutions(const std::vector<sim::Execution> &Execs) const;
+
   const std::vector<std::string> &pmcNames() const { return Names; }
   const ml::Model &model() const { return *FittedModel; }
 

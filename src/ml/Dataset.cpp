@@ -15,20 +15,38 @@ using namespace slope::ml;
 void Dataset::addRow(const std::vector<double> &Features, double Target) {
   assert(Features.size() == FeatureNames.size() &&
          "feature vector width does not match the schema");
-  Rows.push_back(Features);
+  for (size_t C = 0; C < Columns.size(); ++C)
+    Columns[C].push_back(Features[C]);
   Targets.push_back(Target);
 }
 
-stats::Matrix Dataset::featureMatrix() const {
-  return stats::Matrix::fromRows(Rows);
+void Dataset::reserveRows(size_t NumRows) {
+  for (std::vector<double> &Col : Columns)
+    Col.reserve(NumRows);
+  Targets.reserve(NumRows);
 }
 
-std::vector<double> Dataset::featureColumn(size_t C) const {
-  assert(C < FeatureNames.size() && "feature index out of range");
-  std::vector<double> Col(Rows.size());
-  for (size_t R = 0; R < Rows.size(); ++R)
-    Col[R] = Rows[R][C];
-  return Col;
+std::vector<double> Dataset::row(size_t R) const {
+  std::vector<double> Out;
+  gatherRow(R, Out);
+  return Out;
+}
+
+void Dataset::gatherRow(size_t R, std::vector<double> &Out) const {
+  assert(R < Targets.size() && "row index out of range");
+  Out.resize(Columns.size());
+  for (size_t C = 0; C < Columns.size(); ++C)
+    Out[C] = Columns[C][R];
+}
+
+stats::Matrix Dataset::featureMatrix() const {
+  stats::Matrix M(numRows(), numFeatures());
+  for (size_t C = 0; C < Columns.size(); ++C) {
+    const double *Col = Columns[C].data();
+    for (size_t R = 0; R < Targets.size(); ++R)
+      M.at(R, C) = Col[R];
+  }
+  return M;
 }
 
 size_t Dataset::indexOfFeature(const std::string &Name) const {
@@ -39,50 +57,52 @@ size_t Dataset::indexOfFeature(const std::string &Name) const {
 }
 
 Dataset Dataset::selectFeatures(const std::vector<std::string> &Names) const {
-  std::vector<size_t> Cols;
-  Cols.reserve(Names.size());
-  for (const std::string &Name : Names) {
-    size_t C = indexOfFeature(Name);
-    assert(C < FeatureNames.size() && "selecting an unknown feature");
-    Cols.push_back(C);
-  }
   Dataset Out(Names);
-  for (size_t R = 0; R < Rows.size(); ++R) {
-    std::vector<double> NewRow(Cols.size());
-    for (size_t I = 0; I < Cols.size(); ++I)
-      NewRow[I] = Rows[R][Cols[I]];
-    Out.addRow(NewRow, Targets[R]);
+  // Columnar storage: the subset is a straight copy of whole columns plus
+  // the shared target array — no per-row rebuild.
+  for (size_t I = 0; I < Names.size(); ++I) {
+    size_t C = indexOfFeature(Names[I]);
+    assert(C < FeatureNames.size() && "selecting an unknown feature");
+    Out.Columns[I] = Columns[C];
   }
+  Out.Targets = Targets;
   return Out;
 }
 
 Dataset Dataset::selectRows(const std::vector<size_t> &Indices) const {
   Dataset Out(FeatureNames);
-  for (size_t R : Indices) {
-    assert(R < Rows.size() && "row index out of range");
-    Out.addRow(Rows[R], Targets[R]);
+  Out.reserveRows(Indices.size());
+  for (size_t C = 0; C < Columns.size(); ++C) {
+    const double *Col = Columns[C].data();
+    std::vector<double> &OutCol = Out.Columns[C];
+    for (size_t R : Indices) {
+      assert(R < Targets.size() && "row index out of range");
+      OutCol.push_back(Col[R]);
+    }
   }
+  for (size_t R : Indices)
+    Out.Targets.push_back(Targets[R]);
   return Out;
 }
 
 std::pair<Dataset, Dataset> Dataset::split(double TestFraction,
                                            Rng SplitRng) const {
   assert(TestFraction >= 0 && TestFraction <= 1 && "bad test fraction");
-  std::vector<size_t> Indices(Rows.size());
+  std::vector<size_t> Indices(numRows());
   std::iota(Indices.begin(), Indices.end(), size_t{0});
   // Fisher-Yates with the supplied deterministic generator.
   for (size_t I = Indices.size(); I > 1; --I)
     std::swap(Indices[I - 1], Indices[SplitRng.below(I)]);
   size_t NumTest = static_cast<size_t>(TestFraction *
-                                       static_cast<double>(Rows.size()));
+                                       static_cast<double>(numRows()));
   std::vector<size_t> TestIdx(Indices.begin(), Indices.begin() + NumTest);
   std::vector<size_t> TrainIdx(Indices.begin() + NumTest, Indices.end());
   return {selectRows(TrainIdx), selectRows(TestIdx)};
 }
 
 std::pair<Dataset, Dataset> Dataset::splitAt(size_t TrainRows) const {
-  assert(TrainRows <= Rows.size() && "train partition exceeds dataset");
-  std::vector<size_t> TrainIdx(TrainRows), TestIdx(Rows.size() - TrainRows);
+  assert(TrainRows <= numRows() && "train partition exceeds dataset");
+  std::vector<size_t> TrainIdx(TrainRows), TestIdx(numRows() - TrainRows);
   std::iota(TrainIdx.begin(), TrainIdx.end(), size_t{0});
   std::iota(TestIdx.begin(), TestIdx.end(), TrainRows);
   return {selectRows(TrainIdx), selectRows(TestIdx)};

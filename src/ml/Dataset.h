@@ -10,6 +10,12 @@
 /// Supports the column-subset and train/test-split operations the Class
 /// A/B/C experiments are built from.
 ///
+/// Storage is columnar (structure of arrays): each feature lives in one
+/// contiguous array, so tree split sweeps, standardization passes and
+/// column subsetting stream cache-line-friendly memory instead of chasing
+/// row vectors. Row access is a gather; hot paths should use column() or
+/// gatherRow() with a reused buffer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_ML_DATASET_H
@@ -31,20 +37,34 @@ public:
 
   /// Creates an empty dataset with the given feature names.
   explicit Dataset(std::vector<std::string> FeatureNames)
-      : FeatureNames(std::move(FeatureNames)) {}
+      : FeatureNames(std::move(FeatureNames)),
+        Columns(this->FeatureNames.size()) {}
 
   /// Appends one observation; \p Features must match the column count.
   void addRow(const std::vector<double> &Features, double Target);
+
+  /// Pre-sizes every column for \p NumRows appends.
+  void reserveRows(size_t NumRows);
 
   size_t numRows() const { return Targets.size(); }
   size_t numFeatures() const { return FeatureNames.size(); }
 
   const std::vector<std::string> &featureNames() const { return FeatureNames; }
   const std::vector<double> &targets() const { return Targets; }
-  const std::vector<double> &row(size_t R) const {
-    assert(R < Rows.size() && "row index out of range");
-    return Rows[R];
+
+  /// \returns a contiguous view of feature column \p C (numRows values).
+  const double *column(size_t C) const {
+    assert(C < Columns.size() && "feature index out of range");
+    return Columns[C].data();
   }
+
+  /// \returns row \p R gathered into a fresh vector. Hot paths should use
+  /// gatherRow() with a reused buffer or read columns directly.
+  std::vector<double> row(size_t R) const;
+
+  /// Gathers row \p R into \p Out (resized to numFeatures()).
+  void gatherRow(size_t R, std::vector<double> &Out) const;
+
   double target(size_t R) const {
     assert(R < Targets.size() && "row index out of range");
     return Targets[R];
@@ -53,14 +73,18 @@ public:
   /// \returns the feature rows as a dense matrix (numRows x numFeatures).
   stats::Matrix featureMatrix() const;
 
-  /// \returns one feature column by index.
-  std::vector<double> featureColumn(size_t C) const;
+  /// \returns one feature column by index, as a contiguous vector view.
+  const std::vector<double> &featureColumn(size_t C) const {
+    assert(C < Columns.size() && "feature index out of range");
+    return Columns[C];
+  }
 
   /// \returns the index of the named column, or numFeatures() if absent.
   size_t indexOfFeature(const std::string &Name) const;
 
   /// \returns a dataset restricted to the named columns (order preserved
-  /// as given). Asserts every name exists.
+  /// as given). Asserts every name exists. Columnar storage makes this a
+  /// straight copy of the selected columns, not a per-row rebuild.
   Dataset selectFeatures(const std::vector<std::string> &Names) const;
 
   /// \returns a dataset containing the rows with the given indices.
@@ -76,7 +100,8 @@ public:
 
 private:
   std::vector<std::string> FeatureNames;
-  std::vector<std::vector<double>> Rows;
+  /// One contiguous array per feature (structure of arrays).
+  std::vector<std::vector<double>> Columns;
   std::vector<double> Targets;
 };
 

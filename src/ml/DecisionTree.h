@@ -9,6 +9,22 @@
 /// feature at a time, mean prediction at the leaves. Used standalone and
 /// as the base learner of ml::RandomForest.
 ///
+/// Two training algorithms produce identical trees:
+///
+///  * Presorted (default): each feature's sample indices are sorted once
+///    per tree by (value, target) — or derived in linear time from a
+///    forest-wide DatasetPresort — and nodes are grown from an explicit
+///    work stack by stable in-place partitioning of the presorted index
+///    arrays, so the per-node cost is linear and the growth loop performs
+///    zero heap allocations after the per-tree scratch setup.
+///  * Naive (the seed implementation, kept as the reference and the
+///    "seed kernel" baseline for perf gates): re-sorts (value, target)
+///    pairs at every node.
+///
+/// The presorted partition keeps every floating-point accumulation in the
+/// same order the naive algorithm uses, so both algorithms produce
+/// bit-identical node structures and predictions for any input.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_ML_DECISIONTREE_H
@@ -22,6 +38,48 @@
 namespace slope {
 namespace ml {
 
+/// Tree-growth algorithm selection (see file comment).
+enum class TreeAlgorithm {
+  Default,   ///< Use the process-wide default (presorted unless overridden).
+  Presorted, ///< One sort per tree + in-place index partitioning.
+  Naive,     ///< Per-node re-sorting (seed kernel; reference baseline).
+};
+
+/// Overrides the process-wide algorithm used when options say Default.
+/// The initial value honours the SLOPE_TREE_ALGO environment variable
+/// ("naive" or "presorted"); benches expose it as --tree-algo.
+void setDefaultTreeAlgorithm(TreeAlgorithm A);
+
+/// \returns the process-wide default growth algorithm (never Default).
+TreeAlgorithm defaultTreeAlgorithm();
+
+/// Feature orderings of a whole dataset, computed once and shared by every
+/// tree grown on (bootstrap) subsets of its rows. Each feature's rows are
+/// sorted by (value, target, row); a tree derives the sorted order of its
+/// own sample multiset from this with a linear bucket gather instead of
+/// per-tree comparison sorts. Rows tied on (value, target) carry equal
+/// targets, so any relative order of them yields bit-identical prefix
+/// sums — which is why the shared ordering is exact, not approximate.
+class DatasetPresort {
+public:
+  explicit DatasetPresort(const Dataset &Training);
+
+  /// \returns row indices of the presorted dataset in ascending
+  /// (value, target, row) order of feature \p Feat (numRows entries).
+  const uint32_t *order(size_t Feat) const {
+    assert(Feat < NumFeatures && "feature index out of range");
+    return Orders.data() + Feat * NumRows;
+  }
+
+  size_t numRows() const { return NumRows; }
+  size_t numFeatures() const { return NumFeatures; }
+
+private:
+  size_t NumRows;
+  size_t NumFeatures;
+  std::vector<uint32_t> Orders; // numFeatures() * numRows()
+};
+
 /// Hyper-parameters of a regression tree.
 struct DecisionTreeOptions {
   unsigned MaxDepth = 16;        ///< Hard depth cap.
@@ -30,6 +88,8 @@ struct DecisionTreeOptions {
   /// Number of candidate features per split; 0 means "all features"
   /// (plain CART). Random forests set this to mtry.
   size_t MaxFeatures = 0;
+  /// Growth algorithm; Default defers to defaultTreeAlgorithm().
+  TreeAlgorithm Algorithm = TreeAlgorithm::Default;
 };
 
 /// CART regression tree.
@@ -42,17 +102,49 @@ public:
   Expected<bool> fit(const Dataset &Training) override;
 
   /// Fits on the given subset of \p Training rows (bootstrap support).
+  /// \p Master, when non-null, must be a DatasetPresort of \p Training;
+  /// the presorted algorithm then derives each feature's sample ordering
+  /// from it in linear time instead of sorting per tree. Ensembles build
+  /// one DatasetPresort and share it across all their trees.
   Expected<bool> fitRows(const Dataset &Training,
-                         const std::vector<size_t> &RowIndices);
+                         const std::vector<size_t> &RowIndices,
+                         const DatasetPresort *Master = nullptr);
 
   double predict(const std::vector<double> &Features) const override;
+  std::vector<double> predictBatch(const Dataset &Data) const override;
   std::string name() const override { return "Tree"; }
+
+  /// Predicts from a raw feature pointer (no bounds information; the
+  /// caller guarantees the row matches the fitted width). Lets ensembles
+  /// batch over a reused row buffer without per-call vector churn.
+  double predictRow(const double *Features) const;
 
   /// \returns the number of nodes in the fitted tree.
   size_t numNodes() const { return Nodes.size(); }
 
-  /// \returns the maximum depth actually reached (root = 0).
-  unsigned fittedDepth() const;
+  /// \returns the maximum depth actually reached (root = 0), tracked
+  /// during growth.
+  unsigned fittedDepth() const {
+    assert(Fitted && "depth of an unfitted tree");
+    return MaxFittedDepth;
+  }
+
+  /// Read-only view of one node, for structural tests and serialization.
+  struct NodeView {
+    size_t Feature;   ///< Split feature; SIZE_MAX marks a leaf.
+    double Threshold; ///< Go left if x[Feature] <= Threshold.
+    double LeafValue; ///< Mean target over the node's samples.
+    int32_t Left;
+    int32_t Right;
+    unsigned Depth;
+  };
+
+  /// \returns node \p I of the fitted tree (0 is the root).
+  NodeView node(size_t I) const {
+    assert(I < Nodes.size() && "node index out of range");
+    const Node &N = Nodes[I];
+    return {N.Feature, N.Threshold, N.LeafValue, N.Left, N.Right, N.Depth};
+  }
 
 private:
   struct Node {
@@ -67,15 +159,30 @@ private:
     bool isLeaf() const { return Feature == SIZE_MAX; }
   };
 
+  /// Presorted growth (see file comment).
+  void fitPresorted(const Dataset &Training,
+                    const std::vector<size_t> &RowIndices,
+                    const DatasetPresort *Master);
+
   /// Recursively grows the subtree over \p Indices; \returns its node id.
+  /// (Naive reference algorithm.)
   int32_t grow(const Dataset &Training, std::vector<size_t> &Indices,
                unsigned Depth);
 
   DecisionTreeOptions Options;
   Rng TreeRng;
   std::vector<Node> Nodes;
+  unsigned MaxFittedDepth = 0;
   bool Fitted = false;
 };
+
+namespace detail {
+/// Test hook bracketing the presorted growth loop: called with true right
+/// after the per-tree scratch setup completes and with false when growth
+/// finishes. The allocation-count test uses it to assert the loop itself
+/// performs zero heap allocations. Null (disabled) by default.
+extern void (*TreeGrowPhaseProbe)(bool Entering);
+} // namespace detail
 
 } // namespace ml
 } // namespace slope

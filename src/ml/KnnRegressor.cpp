@@ -23,13 +23,14 @@ Expected<bool> KnnRegressor::fit(const Dataset &Training) {
   FeatureMean.assign(D, 0.0);
   FeatureStd.assign(D, 1.0);
   for (size_t C = 0; C < D; ++C) {
+    const double *Col = Training.column(C);
     double Sum = 0;
     for (size_t R = 0; R < N; ++R)
-      Sum += Training.row(R)[C];
+      Sum += Col[R];
     FeatureMean[C] = Sum / static_cast<double>(N);
     double Sq = 0;
     for (size_t R = 0; R < N; ++R) {
-      double Dx = Training.row(R)[C] - FeatureMean[C];
+      double Dx = Col[R] - FeatureMean[C];
       Sq += Dx * Dx;
     }
     double Std = std::sqrt(Sq / static_cast<double>(N));
@@ -40,7 +41,7 @@ Expected<bool> KnnRegressor::fit(const Dataset &Training) {
   Targets.assign(N, 0.0);
   for (size_t R = 0; R < N; ++R) {
     for (size_t C = 0; C < D; ++C)
-      Rows[R][C] = (Training.row(R)[C] - FeatureMean[C]) / FeatureStd[C];
+      Rows[R][C] = (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
     Targets[R] = Training.target(R);
   }
   Fitted = true;

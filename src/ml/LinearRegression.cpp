@@ -67,3 +67,19 @@ double LinearRegression::predict(const std::vector<double> &Features) const {
     Sum += Coefficients[C] * Features[C];
   return Sum;
 }
+
+std::vector<double> LinearRegression::predictBatch(const Dataset &Data) const {
+  assert(Fitted && "predicting with an unfitted model");
+  assert(Data.numFeatures() == Coefficients.size() &&
+         "feature width does not match the fitted model");
+  // Accumulate per row in ascending feature order — the same order as
+  // predict() — streaming each column once.
+  std::vector<double> Out(Data.numRows(), Intercept);
+  for (size_t C = 0; C < Coefficients.size(); ++C) {
+    const double *Col = Data.column(C);
+    double W = Coefficients[C];
+    for (size_t R = 0; R < Out.size(); ++R)
+      Out[R] += W * Col[R];
+  }
+  return Out;
+}

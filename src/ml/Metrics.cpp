@@ -53,7 +53,7 @@ double ml::r2(const std::vector<double> &Predicted,
 
 stats::ErrorSummary ml::evaluateModel(const Model &M, const Dataset &Test) {
   assert(Test.numRows() > 0 && "evaluating on an empty test set");
-  return stats::predictionErrorSummary(M.predictAll(Test), Test.targets());
+  return stats::predictionErrorSummary(M.predictBatch(Test), Test.targets());
 }
 
 double

@@ -12,10 +12,13 @@ using namespace slope::ml;
 // Out-of-line virtual anchor.
 Model::~Model() = default;
 
-std::vector<double> Model::predictAll(const Dataset &Data) const {
+std::vector<double> Model::predictBatch(const Dataset &Data) const {
   std::vector<double> Out;
   Out.reserve(Data.numRows());
-  for (size_t R = 0; R < Data.numRows(); ++R)
-    Out.push_back(predict(Data.row(R)));
+  std::vector<double> RowBuf;
+  for (size_t R = 0; R < Data.numRows(); ++R) {
+    Data.gatherRow(R, RowBuf);
+    Out.push_back(predict(RowBuf));
+  }
   return Out;
 }

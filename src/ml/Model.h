@@ -39,8 +39,18 @@ public:
   /// \returns a short human-readable family name ("LR", "RF", "NN").
   virtual std::string name() const = 0;
 
-  /// Predicts every row of \p Data.
-  std::vector<double> predictAll(const Dataset &Data) const;
+  /// Predicts every row of \p Data in one pass. The base implementation
+  /// gathers each row into a reused buffer and calls predict(); model
+  /// families override it with columnar kernels that skip the per-row
+  /// vector copy and virtual dispatch. Overrides must produce results
+  /// bit-identical to the row-by-row path.
+  virtual std::vector<double> predictBatch(const Dataset &Data) const;
+
+  /// Predicts every row of \p Data (alias of predictBatch, kept for
+  /// existing call sites).
+  std::vector<double> predictAll(const Dataset &Data) const {
+    return predictBatch(Data);
+  }
 };
 
 } // namespace ml

@@ -97,13 +97,14 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
   FeatureMean.assign(D, 0.0);
   FeatureStd.assign(D, 1.0);
   parallelFor(0, D, 1, [&](size_t C) {
+    const double *Col = Training.column(C);
     double Sum = 0;
     for (size_t R = 0; R < N; ++R)
-      Sum += Training.row(R)[C];
+      Sum += Col[R];
     FeatureMean[C] = Sum / static_cast<double>(N);
     double Sq = 0;
     for (size_t R = 0; R < N; ++R) {
-      double Dx = Training.row(R)[C] - FeatureMean[C];
+      double Dx = Col[R] - FeatureMean[C];
       Sq += Dx * Dx;
     }
     double Std = std::sqrt(Sq / static_cast<double>(N));
@@ -128,7 +129,7 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
   std::vector<double> Ys(N);
   parallelFor(0, N, 64, [&](size_t R) {
     for (size_t C = 0; C < D; ++C)
-      Xs[R][C] = (Training.row(R)[C] - FeatureMean[C]) / FeatureStd[C];
+      Xs[R][C] = (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
     Ys[R] = (Training.target(R) - TargetMean) / TargetStd;
   });
 
@@ -257,4 +258,25 @@ double NeuralNetwork::predict(const std::vector<double> &Features) const {
   std::vector<std::vector<double>> PreActs, Acts;
   forward(X, PreActs, Acts);
   return Acts.back()[0] * TargetStd + TargetMean;
+}
+
+std::vector<double> NeuralNetwork::predictBatch(const Dataset &Data) const {
+  assert(Fitted && "predicting with an unfitted network");
+  assert(Data.numFeatures() == FeatureMean.size() &&
+         "feature width does not match the fitted network");
+  size_t D = FeatureMean.size();
+  std::vector<double> Out;
+  Out.reserve(Data.numRows());
+  // One standardization buffer and one set of forward-pass scratch arrays
+  // reused across rows; each row performs exactly the operations predict()
+  // performs, in the same order.
+  std::vector<double> X(D);
+  std::vector<std::vector<double>> PreActs, Acts;
+  for (size_t R = 0; R < Data.numRows(); ++R) {
+    for (size_t C = 0; C < D; ++C)
+      X[C] = (Data.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
+    forward(X, PreActs, Acts);
+    Out.push_back(Acts.back()[0] * TargetStd + TargetMean);
+  }
+  return Out;
 }

@@ -52,6 +52,7 @@ public:
 
   Expected<bool> fit(const Dataset &Training) override;
   double predict(const std::vector<double> &Features) const override;
+  std::vector<double> predictBatch(const Dataset &Data) const override;
   std::string name() const override { return "NN"; }
 
   /// Training MSE (standardized target units) after the final epoch.

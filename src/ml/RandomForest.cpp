@@ -6,6 +6,7 @@
 
 #include "ml/RandomForest.h"
 
+#include "support/PhaseTimers.h"
 #include "support/ThreadPool.h"
 
 #include <cmath>
@@ -34,6 +35,17 @@ Expected<bool> RandomForest::fit(const Dataset &Training) {
   // trees. Each task records its out-of-bag predictions; the OOB reduction
   // below runs serially in tree order, keeping the floating-point addition
   // order — and hence every result bit — identical to a serial fit.
+  // All trees share one forest-wide presort of the training rows; each
+  // tree derives its bootstrap sample's per-feature orderings from it in
+  // linear time (see DatasetPresort). Skipped when the resolved algorithm
+  // is the naive reference, which never reads it.
+  TreeAlgorithm Algo = Options.Tree.Algorithm == TreeAlgorithm::Default
+                           ? defaultTreeAlgorithm()
+                           : Options.Tree.Algorithm;
+  std::unique_ptr<DatasetPresort> Master;
+  if (Algo != TreeAlgorithm::Naive)
+    Master = std::make_unique<DatasetPresort>(Training);
+
   Rng ForestRng(Options.Seed);
   size_t N = Training.numRows();
   Trees.clear();
@@ -55,15 +67,24 @@ Expected<bool> RandomForest::fit(const Dataset &Training) {
     TreeOptions.MaxFeatures = Mtry;
     auto Tree = std::make_unique<DecisionTree>(TreeOptions,
                                                TreeRng.fork("splits"));
-    if (auto Fit = Tree->fitRows(Training, Bootstrap); !Fit) {
+    Expected<bool> Fit = [&] {
+      // Charged to the tree-fit phase so perf gates can compare growth
+      // kernels without the bootstrap/OOB work that both algorithms share.
+      ScopedPhase Timer(Phase::ForestTreeFit);
+      return Tree->fitRows(Training, Bootstrap, Master.get());
+    }();
+    if (!Fit) {
       FitErrors[T] = Fit.error().message();
       return;
     }
 
     std::vector<double> Preds(N, 0.0);
+    std::vector<double> RowBuf;
     for (size_t R = 0; R < N; ++R)
-      if (!InBag[R])
-        Preds[R] = Tree->predict(Training.row(R));
+      if (!InBag[R]) {
+        Training.gatherRow(R, RowBuf);
+        Preds[R] = Tree->predictRow(RowBuf.data());
+      }
     Trees[T] = std::move(Tree);
     InBags[T] = std::move(InBag);
     OobPreds[T] = std::move(Preds);
@@ -107,4 +128,19 @@ double RandomForest::predict(const std::vector<double> &Features) const {
   for (const auto &Tree : Trees)
     Sum += Tree->predict(Features);
   return Sum / static_cast<double>(Trees.size());
+}
+
+std::vector<double> RandomForest::predictBatch(const Dataset &Data) const {
+  assert(Fitted && "predicting with an unfitted forest");
+  std::vector<double> Out(Data.numRows());
+  std::vector<double> RowBuf;
+  for (size_t R = 0; R < Data.numRows(); ++R) {
+    Data.gatherRow(R, RowBuf);
+    // Trees accumulate in ensemble order, matching predict() bit for bit.
+    double Sum = 0;
+    for (const auto &Tree : Trees)
+      Sum += Tree->predictRow(RowBuf.data());
+    Out[R] = Sum / static_cast<double>(Trees.size());
+  }
+  return Out;
 }

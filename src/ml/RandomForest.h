@@ -42,6 +42,7 @@ public:
 
   Expected<bool> fit(const Dataset &Training) override;
   double predict(const std::vector<double> &Features) const override;
+  std::vector<double> predictBatch(const Dataset &Data) const override;
   std::string name() const override { return "RF"; }
 
   size_t numTrees() const { return Trees.size(); }

@@ -52,6 +52,21 @@ public:
   /// \returns row \p R as a vector copy.
   std::vector<double> row(size_t R) const;
 
+  /// \returns a pointer to the start of row \p R (cols() contiguous
+  /// doubles) — the allocation-free alternative to row().
+  const double *rowSpan(size_t R) const {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+  double *rowSpan(size_t R) {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// \returns the underlying row-major storage (rows() * cols() doubles).
+  const double *data() const { return Data.data(); }
+  double *data() { return Data.data(); }
+
   /// \returns column \p C as a vector copy.
   std::vector<double> col(size_t C) const;
 
@@ -79,8 +94,14 @@ private:
   std::vector<double> Data;
 };
 
+/// \returns the dot product of two length-\p N arrays.
+double dot(const double *A, const double *B, size_t N);
+
 /// \returns the dot product; asserts equal sizes.
 double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Fused multiply-accumulate: Y[I] += Alpha * X[I] for I < N.
+void axpy(double Alpha, const double *X, double *Y, size_t N);
 
 /// \returns the Euclidean norm.
 double norm2(const std::vector<double> &A);

@@ -27,13 +27,20 @@ static void augmentRidge(const Matrix &A, const std::vector<double> &B,
   AugA = Matrix(M + N, N);
   AugB.assign(M + N, 0.0);
   for (size_t R = 0; R < M; ++R)
-    for (size_t C = 0; C < N; ++C)
-      AugA.at(R, C) = A.at(R, C);
+    std::copy(A.rowSpan(R), A.rowSpan(R) + N, AugA.rowSpan(R));
   double Root = std::sqrt(Lambda);
   for (size_t C = 0; C < N; ++C)
     AugA.at(M + C, C) = Root;
-  for (size_t R = 0; R < M; ++R)
-    AugB[R] = B[R];
+  std::copy(B.begin(), B.end(), AugB.begin());
+}
+
+/// Computes the residual b - A x without materializing A x.
+static void computeResidual(const Matrix &A, const std::vector<double> &B,
+                            const std::vector<double> &X,
+                            std::vector<double> &Residual) {
+  Residual.resize(B.size());
+  for (size_t R = 0; R < A.rows(); ++R)
+    Residual[R] = B[R] - dot(A.rowSpan(R), X.data(), A.cols());
 }
 
 /// Solves the unconstrained least squares restricted to the passive set.
@@ -45,9 +52,12 @@ solveOnPassiveSet(const Matrix &A, const std::vector<double> &B,
     if (Passive[C])
       Cols.push_back(C);
   Matrix Sub(A.rows(), Cols.size());
-  for (size_t R = 0; R < A.rows(); ++R)
+  for (size_t R = 0; R < A.rows(); ++R) {
+    const double *ARow = A.rowSpan(R);
+    double *SubRow = Sub.rowSpan(R);
     for (size_t I = 0; I < Cols.size(); ++I)
-      Sub.at(R, I) = A.at(R, Cols[I]);
+      SubRow[I] = ARow[Cols[I]];
+  }
   auto SubSolution = solveLeastSquaresQR(Sub, B);
   if (!SubSolution)
     return SubSolution.error();
@@ -74,13 +84,11 @@ Expected<NnlsResult> stats::solveNnls(const Matrix &A,
   std::vector<bool> Passive(N, false);
 
   const double Tol = 1e-10;
+  std::vector<double> Residual;
   for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
     Result.Iterations = Iter + 1;
     // Gradient of the active (zero) coordinates: w = A^T (b - A x).
-    std::vector<double> Residual = AugB;
-    std::vector<double> Ax = AugA.multiply(Result.X);
-    for (size_t I = 0; I < Residual.size(); ++I)
-      Residual[I] -= Ax[I];
+    computeResidual(AugA, AugB, Result.X, Residual);
     std::vector<double> W = AugA.transposeMultiply(Residual);
 
     // Pick the most promising active coordinate to free.
@@ -135,10 +143,9 @@ Expected<NnlsResult> stats::solveNnls(const Matrix &A,
   for (double &V : Result.X)
     if (V < 0)
       V = 0;
-  std::vector<double> Ax = AugA.multiply(Result.X);
-  for (size_t I = 0; I < Ax.size(); ++I)
-    Ax[I] -= AugB[I];
-  Result.ResidualNorm = norm2(Ax);
+  // norm2 is sign-insensitive, so (b - A x) serves for (A x - b).
+  computeResidual(AugA, AugB, Result.X, Residual);
+  Result.ResidualNorm = norm2(Residual);
   return Result;
 }
 
@@ -153,10 +160,8 @@ bool stats::satisfiesNnlsKkt(const Matrix &A, const std::vector<double> &B,
   for (double V : X)
     if (V < -Tolerance)
       return false;
-  std::vector<double> Residual = AugB;
-  std::vector<double> Ax = AugA.multiply(X);
-  for (size_t I = 0; I < Residual.size(); ++I)
-    Residual[I] -= Ax[I];
+  std::vector<double> Residual;
+  computeResidual(AugA, AugB, X, Residual);
   std::vector<double> W = AugA.transposeMultiply(Residual);
   // Scale the tolerance by the problem's magnitude so the check is
   // meaningful for both tiny and huge column norms.

@@ -16,29 +16,33 @@ stats::solveCholesky(const Matrix &A, const std::vector<double> &B) {
   assert(A.rows() == A.cols() && "Cholesky needs a square matrix");
   assert(B.size() == A.rows() && "right-hand side size mismatch");
   size_t N = A.rows();
-  // Lower-triangular factor L with A = L L^T.
+  // Lower-triangular factor L with A = L L^T. Row pointers keep the inner
+  // dot products branch-free; the operation order is unchanged.
   Matrix L(N, N);
   for (size_t I = 0; I < N; ++I) {
+    double *LRowI = L.rowSpan(I);
     for (size_t J = 0; J <= I; ++J) {
+      const double *LRowJ = L.rowSpan(J);
       double Sum = A.at(I, J);
       for (size_t K = 0; K < J; ++K)
-        Sum -= L.at(I, K) * L.at(J, K);
+        Sum -= LRowI[K] * LRowJ[K];
       if (I == J) {
         if (Sum <= 0)
           return makeError("matrix is not positive definite");
-        L.at(I, I) = std::sqrt(Sum);
+        LRowI[I] = std::sqrt(Sum);
       } else {
-        L.at(I, J) = Sum / L.at(J, J);
+        LRowI[J] = Sum / LRowJ[J];
       }
     }
   }
   // Forward substitution L y = b.
   std::vector<double> Y(N);
   for (size_t I = 0; I < N; ++I) {
+    const double *LRowI = L.rowSpan(I);
     double Sum = B[I];
     for (size_t K = 0; K < I; ++K)
-      Sum -= L.at(I, K) * Y[K];
-    Y[I] = Sum / L.at(I, I);
+      Sum -= LRowI[K] * Y[K];
+    Y[I] = Sum / LRowI[I];
   }
   // Back substitution L^T x = y.
   std::vector<double> X(N);
@@ -60,22 +64,27 @@ stats::solveLeastSquaresQR(const Matrix &A, const std::vector<double> &B) {
     return makeError("least squares needs at least as many rows as columns");
 
   // Householder QR, transforming a working copy of A and B in place.
+  // Columns are strided (row-major storage), so the reflector loops walk
+  // raw pointers with an explicit stride; every floating-point operation
+  // happens in the same order as the assert-checked at() formulation.
   Matrix R = A;
+  double *RD = R.data();
   std::vector<double> Rhs = B;
   for (size_t K = 0; K < N; ++K) {
     // Build the Householder vector for column K below the diagonal.
+    const double *ColK = RD + K;
     double Alpha = 0;
     for (size_t I = K; I < M; ++I)
-      Alpha += R.at(I, K) * R.at(I, K);
+      Alpha += ColK[I * N] * ColK[I * N];
     Alpha = std::sqrt(Alpha);
     if (Alpha == 0)
       return makeError("design matrix is rank deficient");
-    if (R.at(K, K) > 0)
+    if (ColK[K * N] > 0)
       Alpha = -Alpha;
     std::vector<double> V(M, 0.0);
-    V[K] = R.at(K, K) - Alpha;
+    V[K] = ColK[K * N] - Alpha;
     for (size_t I = K + 1; I < M; ++I)
-      V[I] = R.at(I, K);
+      V[I] = ColK[I * N];
     double VNorm2 = 0;
     for (size_t I = K; I < M; ++I)
       VNorm2 += V[I] * V[I];
@@ -83,12 +92,13 @@ stats::solveLeastSquaresQR(const Matrix &A, const std::vector<double> &B) {
       continue;
     // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and rhs.
     for (size_t C = K; C < N; ++C) {
+      double *ColC = RD + C;
       double Proj = 0;
       for (size_t I = K; I < M; ++I)
-        Proj += V[I] * R.at(I, C);
+        Proj += V[I] * ColC[I * N];
       double Scale = 2 * Proj / VNorm2;
       for (size_t I = K; I < M; ++I)
-        R.at(I, C) -= Scale * V[I];
+        ColC[I * N] -= Scale * V[I];
     }
     double Proj = 0;
     for (size_t I = K; I < M; ++I)
@@ -102,12 +112,13 @@ stats::solveLeastSquaresQR(const Matrix &A, const std::vector<double> &B) {
   std::vector<double> X(N);
   for (size_t Kp1 = N; Kp1 > 0; --Kp1) {
     size_t K = Kp1 - 1;
-    double Diag = R.at(K, K);
+    const double *RowK = R.rowSpan(K);
+    double Diag = RowK[K];
     if (std::fabs(Diag) < 1e-12)
       return makeError("design matrix is rank deficient");
     double Sum = Rhs[K];
     for (size_t C = K + 1; C < N; ++C)
-      Sum -= R.at(K, C) * X[C];
+      Sum -= RowK[C] * X[C];
     X[K] = Sum / Diag;
   }
   return X;

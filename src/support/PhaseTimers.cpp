@@ -1,0 +1,31 @@
+//===- support/PhaseTimers.cpp - Process-wide phase accumulators ----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PhaseTimers.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace slope;
+
+namespace {
+std::atomic<uint64_t> Totals[static_cast<unsigned>(Phase::NumPhases)];
+} // namespace
+
+void slope::phaseAccumulate(Phase P, uint64_t Ns) {
+  assert(P < Phase::NumPhases && "phase slot out of range");
+  Totals[static_cast<unsigned>(P)].fetch_add(Ns, std::memory_order_relaxed);
+}
+
+uint64_t slope::phaseTotalNs(Phase P) {
+  assert(P < Phase::NumPhases && "phase slot out of range");
+  return Totals[static_cast<unsigned>(P)].load(std::memory_order_relaxed);
+}
+
+void slope::phaseResetAll() {
+  for (auto &Total : Totals)
+    Total.store(0, std::memory_order_relaxed);
+}

@@ -103,3 +103,59 @@ TEST(DatasetDeath, MismatchedRowWidthAsserts) {
   Dataset D({"a", "b"});
   EXPECT_DEATH(D.addRow({1.0}, 2.0), "width");
 }
+
+TEST(Dataset, ColumnViewIsContiguousPerFeature) {
+  Dataset D = makeToy();
+  for (size_t C = 0; C < D.numFeatures(); ++C) {
+    const double *Col = D.column(C);
+    for (size_t R = 0; R < D.numRows(); ++R)
+      EXPECT_DOUBLE_EQ(Col[R], D.row(R)[C]) << "col " << C << " row " << R;
+  }
+}
+
+TEST(Dataset, GatherRowMatchesRowCopy) {
+  Dataset D = makeToy();
+  std::vector<double> Buf;
+  for (size_t R = 0; R < D.numRows(); ++R) {
+    D.gatherRow(R, Buf);
+    EXPECT_EQ(Buf, D.row(R));
+  }
+  // The buffer is reused across calls without shrinking surprises.
+  EXPECT_EQ(Buf.size(), D.numFeatures());
+}
+
+TEST(Dataset, ReserveRowsDoesNotChangeContents) {
+  Dataset D({"a", "b"});
+  D.reserveRows(64);
+  EXPECT_EQ(D.numRows(), 0u);
+  D.addRow({1, 2}, 3);
+  D.addRow({4, 5}, 6);
+  EXPECT_EQ(D.numRows(), 2u);
+  EXPECT_EQ(D.row(1), (std::vector<double>{4, 5}));
+  EXPECT_DOUBLE_EQ(D.target(1), 6);
+}
+
+TEST(Dataset, SelectFeaturesCopiesWholeColumns) {
+  Dataset D = makeToy();
+  Dataset S = D.selectFeatures({"c", "a"});
+  const double *C0 = S.column(0);
+  const double *C1 = S.column(1);
+  for (size_t R = 0; R < D.numRows(); ++R) {
+    EXPECT_DOUBLE_EQ(C0[R], D.column(2)[R]);
+    EXPECT_DOUBLE_EQ(C1[R], D.column(0)[R]);
+    EXPECT_DOUBLE_EQ(S.target(R), D.target(R));
+  }
+}
+
+TEST(Dataset, SelectRowsGathersEveryColumn) {
+  Dataset D = makeToy();
+  Dataset S = D.selectRows({3, 1, 1});
+  ASSERT_EQ(S.numRows(), 3u);
+  EXPECT_EQ(S.row(0), D.row(3));
+  EXPECT_EQ(S.row(1), D.row(1));
+  EXPECT_EQ(S.row(2), D.row(1));
+  const double *Col = S.column(2);
+  EXPECT_DOUBLE_EQ(Col[0], 400);
+  EXPECT_DOUBLE_EQ(Col[1], 200);
+  EXPECT_DOUBLE_EQ(Col[2], 200);
+}

@@ -1,0 +1,223 @@
+//===- tests/ml/TreeAlgorithmTest.cpp - Presorted vs naive growth --------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests that the presorted growth algorithm reproduces the naive
+// seed algorithm's trees bit for bit, and that its growth loop performs
+// zero heap allocations after the per-tree scratch setup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+using namespace slope;
+using namespace slope::ml;
+
+//===----------------------------------------------------------------------===//
+// Allocation counting: the global operator new/delete pair counts while
+// armed; the TreeGrowPhaseProbe hook arms it exactly around the presorted
+// growth loop.
+//===----------------------------------------------------------------------===//
+
+static std::atomic<bool> AllocCountingArmed{false};
+static std::atomic<size_t> ArmedAllocationCount{0};
+
+// GCC does not model user replacement of the global allocation functions
+// and flags the malloc/free pairing inside them as mismatched new/delete;
+// replacement is exactly what makes the pairing correct here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *operator new(std::size_t Size) {
+  if (AllocCountingArmed.load(std::memory_order_relaxed))
+    ArmedAllocationCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+Dataset randomDataset(uint64_t Seed, size_t Rows, size_t Cols,
+                      bool Quantize) {
+  Rng R(Seed);
+  std::vector<std::string> Names;
+  for (size_t J = 0; J < Cols; ++J)
+    Names.push_back("f" + std::to_string(J));
+  Dataset D(Names);
+  for (size_t I = 0; I < Rows; ++I) {
+    std::vector<double> X(Cols);
+    double Y = 0;
+    for (size_t J = 0; J < Cols; ++J) {
+      double V = R.uniform(0, 10);
+      // Quantizing forces duplicate feature values, exercising the
+      // can't-split-between-equal-values paths and sort tie-breaking.
+      X[J] = Quantize ? std::floor(V) : V;
+      Y += static_cast<double>(J + 1) * X[J];
+    }
+    D.addRow(X, Y + R.gaussian(0, 1));
+  }
+  return D;
+}
+
+/// Requires bit-for-bit identical fitted trees (structure, thresholds,
+/// leaf means, depths).
+void expectIdenticalTrees(const DecisionTree &A, const DecisionTree &B) {
+  ASSERT_EQ(A.numNodes(), B.numNodes());
+  EXPECT_EQ(A.fittedDepth(), B.fittedDepth());
+  for (size_t I = 0; I < A.numNodes(); ++I) {
+    DecisionTree::NodeView NA = A.node(I), NB = B.node(I);
+    EXPECT_EQ(NA.Feature, NB.Feature) << "node " << I;
+    EXPECT_EQ(NA.Left, NB.Left) << "node " << I;
+    EXPECT_EQ(NA.Right, NB.Right) << "node " << I;
+    EXPECT_EQ(NA.Depth, NB.Depth) << "node " << I;
+    EXPECT_EQ(std::memcmp(&NA.Threshold, &NB.Threshold, sizeof(double)), 0)
+        << "node " << I << " threshold " << NA.Threshold << " vs "
+        << NB.Threshold;
+    EXPECT_EQ(std::memcmp(&NA.LeafValue, &NB.LeafValue, sizeof(double)), 0)
+        << "node " << I << " leaf value " << NA.LeafValue << " vs "
+        << NB.LeafValue;
+  }
+}
+
+TEST(TreeAlgorithm, PresortedMatchesNaiveOnRandomDatasets) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Dataset D = randomDataset(Seed, 60, 4, /*Quantize=*/Seed % 2 == 0);
+    DecisionTreeOptions Options;
+    Options.Algorithm = TreeAlgorithm::Presorted;
+    DecisionTree Fast(Options);
+    ASSERT_TRUE(bool(Fast.fit(D)));
+    Options.Algorithm = TreeAlgorithm::Naive;
+    DecisionTree Reference(Options);
+    ASSERT_TRUE(bool(Reference.fit(D)));
+    expectIdenticalTrees(Fast, Reference);
+  }
+}
+
+TEST(TreeAlgorithm, PresortedMatchesNaiveWithMtryAndBootstrap) {
+  for (uint64_t Seed = 11; Seed <= 16; ++Seed) {
+    Dataset D = randomDataset(Seed, 80, 6, /*Quantize=*/true);
+    // Bootstrap sample with duplicates, as RandomForest draws it.
+    Rng BootRng(Seed ^ 0xB007);
+    std::vector<size_t> Rows(D.numRows());
+    for (size_t &R : Rows)
+      R = BootRng.below(D.numRows());
+
+    DecisionTreeOptions Options;
+    Options.MaxFeatures = 2; // mtry: exercises the per-node shuffle RNG.
+    Options.MinSamplesLeaf = 1;
+    Options.MinSamplesSplit = 2;
+    Options.MaxDepth = 12;
+    Options.Algorithm = TreeAlgorithm::Presorted;
+    DecisionTree Fast(Options, Rng(Seed));
+    ASSERT_TRUE(bool(Fast.fitRows(D, Rows)));
+    Options.Algorithm = TreeAlgorithm::Naive;
+    DecisionTree Reference(Options, Rng(Seed));
+    ASSERT_TRUE(bool(Reference.fitRows(D, Rows)));
+    expectIdenticalTrees(Fast, Reference);
+  }
+}
+
+TEST(TreeAlgorithm, SharedPresortMatchesPerTreeSortAndNaive) {
+  // The DatasetPresort path (used by RandomForest) orders ties on
+  // (value, target) by row instead of by sample id; both orderings must
+  // still grow bit-identical trees.
+  for (uint64_t Seed = 21; Seed <= 26; ++Seed) {
+    Dataset D = randomDataset(Seed, 90, 5, /*Quantize=*/true);
+    DatasetPresort Master(D);
+    Rng BootRng(Seed ^ 0x5EED);
+    std::vector<size_t> Rows(D.numRows());
+    for (size_t &R : Rows)
+      R = BootRng.below(D.numRows());
+
+    DecisionTreeOptions Options;
+    Options.MaxFeatures = 2;
+    Options.MinSamplesLeaf = 1;
+    Options.MinSamplesSplit = 2;
+    Options.Algorithm = TreeAlgorithm::Presorted;
+    DecisionTree Shared(Options, Rng(Seed));
+    ASSERT_TRUE(bool(Shared.fitRows(D, Rows, &Master)));
+    DecisionTree PerTree(Options, Rng(Seed));
+    ASSERT_TRUE(bool(PerTree.fitRows(D, Rows)));
+    Options.Algorithm = TreeAlgorithm::Naive;
+    DecisionTree Reference(Options, Rng(Seed));
+    ASSERT_TRUE(bool(Reference.fitRows(D, Rows)));
+    expectIdenticalTrees(Shared, PerTree);
+    expectIdenticalTrees(Shared, Reference);
+  }
+}
+
+TEST(TreeAlgorithm, PresortedMatchesNaiveOnDegenerateData) {
+  // Constant targets and heavily tied features.
+  Dataset D({"a", "b"});
+  for (int I = 0; I < 30; ++I)
+    D.addRow({static_cast<double>(I % 2), static_cast<double>(I % 3)},
+             I % 5 == 0 ? 1.0 : 1.0);
+  DecisionTreeOptions Options;
+  Options.Algorithm = TreeAlgorithm::Presorted;
+  DecisionTree Fast(Options);
+  ASSERT_TRUE(bool(Fast.fit(D)));
+  Options.Algorithm = TreeAlgorithm::Naive;
+  DecisionTree Reference(Options);
+  ASSERT_TRUE(bool(Reference.fit(D)));
+  expectIdenticalTrees(Fast, Reference);
+}
+
+TEST(TreeAlgorithm, DefaultAlgorithmIsOverridable) {
+  TreeAlgorithm Saved = defaultTreeAlgorithm();
+  setDefaultTreeAlgorithm(TreeAlgorithm::Naive);
+  EXPECT_EQ(defaultTreeAlgorithm(), TreeAlgorithm::Naive);
+  setDefaultTreeAlgorithm(Saved);
+  EXPECT_EQ(defaultTreeAlgorithm(), Saved);
+}
+
+TEST(TreeAlgorithm, PresortedGrowthLoopDoesNotAllocate) {
+  Dataset D = randomDataset(99, 200, 6, /*Quantize=*/true);
+  DecisionTreeOptions Options;
+  Options.Algorithm = TreeAlgorithm::Presorted;
+  Options.MaxFeatures = 2;
+  Options.MinSamplesLeaf = 1;
+  Options.MinSamplesSplit = 2;
+
+  detail::TreeGrowPhaseProbe = [](bool Entering) {
+    if (Entering) {
+      ArmedAllocationCount.store(0, std::memory_order_relaxed);
+      AllocCountingArmed.store(true, std::memory_order_relaxed);
+    } else {
+      AllocCountingArmed.store(false, std::memory_order_relaxed);
+    }
+  };
+  DecisionTree T(Options);
+  ASSERT_TRUE(bool(T.fit(D)));
+  detail::TreeGrowPhaseProbe = nullptr;
+
+  EXPECT_GT(T.numNodes(), 1u);
+  EXPECT_EQ(ArmedAllocationCount.load(), 0u)
+      << "presorted growth loop allocated after scratch setup";
+}
+
+} // namespace

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 using namespace slope;
 using namespace slope::stats;
 
@@ -105,4 +108,97 @@ TEST(VectorOps, DotAndNorm) {
 TEST(MatrixDeath, OutOfRangeAsserts) {
   Matrix M(2, 2);
   EXPECT_DEATH((void)M.at(2, 0), "out of range");
+}
+
+namespace {
+Matrix randomMatrix(size_t Rows, size_t Cols, uint64_t Seed) {
+  Rng R(Seed);
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M.at(I, J) = R.uniform(-3, 3);
+  return M;
+}
+} // namespace
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix M = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  const double *R1 = M.rowSpan(1);
+  EXPECT_DOUBLE_EQ(R1[0], 4);
+  EXPECT_DOUBLE_EQ(R1[2], 6);
+  // The non-const span writes through to the matrix.
+  M.rowSpan(0)[1] = 20;
+  EXPECT_DOUBLE_EQ(M.at(0, 1), 20);
+  // Rows are contiguous in row-major storage.
+  EXPECT_EQ(M.rowSpan(1), M.data() + M.cols());
+}
+
+// The blocked kernels must be bit-identical to the naive triple loop:
+// each output element accumulates its contraction terms in ascending
+// index order, exactly as the reference loops below do.
+
+TEST(Matrix, BlockedMultiplyBitIdenticalToNaive) {
+  // 70x90 * 90x65 spans multiple 64-wide blocks plus ragged edges.
+  Matrix A = randomMatrix(70, 90, 21);
+  Matrix B = randomMatrix(90, 65, 22);
+  Matrix C = A.multiply(B);
+  ASSERT_EQ(C.rows(), 70u);
+  ASSERT_EQ(C.cols(), 65u);
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < B.cols(); ++J) {
+      double Ref = 0;
+      for (size_t K = 0; K < A.cols(); ++K)
+        Ref += A.at(I, K) * B.at(K, J);
+      EXPECT_EQ(std::memcmp(&C.at(I, J), &Ref, sizeof(double)), 0)
+          << "C(" << I << "," << J << ") = " << C.at(I, J) << " vs " << Ref;
+    }
+}
+
+TEST(Matrix, BlockedGramBitIdenticalToNaive) {
+  Matrix A = randomMatrix(130, 70, 23);
+  Matrix G = A.gram();
+  ASSERT_EQ(G.rows(), 70u);
+  ASSERT_EQ(G.cols(), 70u);
+  for (size_t I = 0; I < A.cols(); ++I)
+    for (size_t J = I; J < A.cols(); ++J) {
+      double Ref = 0;
+      for (size_t R = 0; R < A.rows(); ++R)
+        Ref += A.at(R, I) * A.at(R, J);
+      EXPECT_EQ(std::memcmp(&G.at(I, J), &Ref, sizeof(double)), 0)
+          << "G(" << I << "," << J << ")";
+      // The mirrored lower triangle is a copy, not a recomputation.
+      EXPECT_EQ(std::memcmp(&G.at(J, I), &G.at(I, J), sizeof(double)), 0);
+    }
+}
+
+TEST(Matrix, TransposeMultiplyBitIdenticalToNaive) {
+  Matrix A = randomMatrix(110, 40, 24);
+  Rng R(25);
+  std::vector<double> V(110);
+  for (double &X : V)
+    X = R.uniform(-2, 2);
+  std::vector<double> Got = A.transposeMultiply(V);
+  ASSERT_EQ(Got.size(), 40u);
+  for (size_t C = 0; C < A.cols(); ++C) {
+    double Ref = 0;
+    for (size_t I = 0; I < A.rows(); ++I)
+      Ref += V[I] * A.at(I, C);
+    EXPECT_EQ(std::memcmp(&Got[C], &Ref, sizeof(double)), 0) << "col " << C;
+  }
+}
+
+TEST(VectorOps, PointerDotMatchesVectorDot) {
+  std::vector<double> A = {1.5, -2, 3, 0.25};
+  std::vector<double> B = {4, 5.5, -6, 8};
+  EXPECT_DOUBLE_EQ(stats::dot(A.data(), B.data(), A.size()), dot(A, B));
+  EXPECT_DOUBLE_EQ(stats::dot(A.data(), B.data(), 0), 0);
+}
+
+TEST(VectorOps, AxpyAccumulatesInPlace) {
+  std::vector<double> X = {1, 2, 3};
+  std::vector<double> Y = {10, 20, 30};
+  stats::axpy(2.0, X.data(), Y.data(), 3);
+  EXPECT_EQ(Y, (std::vector<double>{12, 24, 36}));
+  stats::axpy(0.0, X.data(), Y.data(), 3);
+  EXPECT_EQ(Y, (std::vector<double>{12, 24, 36}));
 }
