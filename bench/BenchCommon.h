@@ -18,6 +18,7 @@
 #include "core/Experiments.h"
 #include "core/Report.h"
 #include "ml/DecisionTree.h"
+#include "ml/NeuralNetwork.h"
 #include "pmc/PlatformEvents.h"
 #include "support/PhaseTimers.h"
 #include "support/Str.h"
@@ -60,7 +61,8 @@ inline unsigned &requestedThreads() {
 /// sizes the global experiment thread pool; parallel results are
 /// bit-identical at any setting, so the knob trades wall clock only.
 /// `--tree-algo naive|presorted` selects the decision-tree growth
-/// algorithm (also bit-neutral; perf gates compare the two). `--bench-json
+/// algorithm and `--nn-algo naive|batched` the neural-network training
+/// kernel (both bit-neutral; perf gates compare the two). `--bench-json
 /// PATH` (or SLOPE_BENCH_JSON) writes a machine-readable timing summary
 /// to PATH without changing anything on stdout. `--sweep-repeat N`
 /// repeats the model sweep in benches that support it.
@@ -79,6 +81,11 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
                                            ? slope::ml::TreeAlgorithm::Naive
                                            : slope::ml::TreeAlgorithm::Presorted);
   };
+  auto SetNnAlgo = [](const std::string &Value) {
+    slope::ml::setDefaultNnAlgorithm(Value == "naive"
+                                         ? slope::ml::NnAlgorithm::Naive
+                                         : slope::ml::NnAlgorithm::Batched);
+  };
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -90,6 +97,10 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
       SetTreeAlgo(Argv[++I]);
     } else if (Arg.rfind("--tree-algo=", 0) == 0) {
       SetTreeAlgo(Arg.substr(std::strlen("--tree-algo=")));
+    } else if (Arg == "--nn-algo" && I + 1 < Argc) {
+      SetNnAlgo(Argv[++I]);
+    } else if (Arg.rfind("--nn-algo=", 0) == 0) {
+      SetNnAlgo(Arg.substr(std::strlen("--nn-algo=")));
     } else if (Arg == "--bench-json" && I + 1 < Argc) {
       benchJsonPath() = Argv[++I];
     } else if (Arg.rfind("--bench-json=", 0) == 0) {
@@ -157,6 +168,10 @@ inline void writeBenchJson(const char *BenchName) {
                        slope::ml::TreeAlgorithm::Naive
                    ? "naive"
                    : "presorted");
+  std::fprintf(F, "  \"nn_algo\": \"%s\",\n",
+               slope::ml::defaultNnAlgorithm() == slope::ml::NnAlgorithm::Naive
+                   ? "naive"
+                   : "batched");
   std::fprintf(F, "  \"sweep_repeat\": %u,\n", sweepRepeatFlag());
   std::fprintf(F, "  \"sections\": [\n");
   for (size_t I = 0; I < timedSections().size(); ++I) {
@@ -171,6 +186,9 @@ inline void writeBenchJson(const char *BenchName) {
   std::fprintf(F, "  \"tree_fit_ms\": %.3f,\n",
                static_cast<double>(
                    slope::phaseTotalNs(slope::Phase::ForestTreeFit)) /
+                   1e6);
+  std::fprintf(F, "  \"nn_fit_ms\": %.3f,\n",
+               static_cast<double>(slope::phaseTotalNs(slope::Phase::NnFit)) /
                    1e6);
   std::fprintf(F, "  \"total_ms\": %.3f\n}\n", TotalMs);
   std::fclose(F);

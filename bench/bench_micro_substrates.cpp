@@ -189,6 +189,54 @@ void BM_NeuralNetworkFit(benchmark::State &State) {
 }
 BENCHMARK(BM_NeuralNetworkFit)->Arg(10)->Arg(50);
 
+// Class-A-scale network training (277 rows, 6 PMCs, one 16-unit hidden
+// layer as the table sweep trains it), batched GEMM kernel vs the naive
+// per-sample seed kernel; both learn bit-identical networks. The CI
+// speedup gate reads these two timings from the benchmark JSON.
+void BM_NNFit(benchmark::State &State) {
+  ml::Dataset D = randomDataset(277, 6, 18);
+  ml::NeuralNetworkOptions Options;
+  Options.HiddenLayers = {16};
+  Options.Epochs = 50;
+  Options.Algorithm = State.range(0) == 0 ? ml::NnAlgorithm::Batched
+                                          : ml::NnAlgorithm::Naive;
+  for (auto _ : State) {
+    ml::NeuralNetwork Net(Options);
+    auto Fit = Net.fit(D);
+    benchmark::DoNotOptimize(Fit);
+  }
+}
+BENCHMARK(BM_NNFit)->Arg(0)->Arg(1);
+
+// Whole-set GEMM inference vs the row-by-row forward loop it replaced
+// (both produce bit-identical predictions).
+void BM_NNForwardBatch(benchmark::State &State) {
+  ml::Dataset Train = randomDataset(277, 6, 19);
+  ml::Dataset Test = randomDataset(512, 6, 20);
+  ml::NeuralNetworkOptions Options;
+  Options.HiddenLayers = {16};
+  Options.Epochs = 20;
+  ml::NeuralNetwork Net(Options);
+  auto Fit = Net.fit(Train);
+  assert(Fit);
+  (void)Fit;
+  if (State.range(0) == 0) {
+    for (auto _ : State) {
+      std::vector<double> Preds = Net.predictBatch(Test);
+      benchmark::DoNotOptimize(Preds);
+    }
+  } else {
+    for (auto _ : State) {
+      std::vector<double> Preds;
+      Preds.reserve(Test.numRows());
+      for (size_t R = 0; R < Test.numRows(); ++R)
+        Preds.push_back(Net.predict(Test.row(R)));
+      benchmark::DoNotOptimize(Preds);
+    }
+  }
+}
+BENCHMARK(BM_NNForwardBatch)->Arg(0)->Arg(1);
+
 void BM_SchedulerFullRegistry(benchmark::State &State) {
   pmc::EventRegistry R = State.range(0) == 0 ? pmc::buildHaswellRegistry()
                                              : pmc::buildSkylakeRegistry();

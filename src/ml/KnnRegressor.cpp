@@ -37,39 +37,37 @@ Expected<bool> KnnRegressor::fit(const Dataset &Training) {
     FeatureStd[C] = Std > 1e-12 ? Std : 1.0;
   }
 
-  Rows.assign(N, std::vector<double>(D));
+  Rows.assign(N * D, 0.0);
   Targets.assign(N, 0.0);
   for (size_t R = 0; R < N; ++R) {
     for (size_t C = 0; C < D; ++C)
-      Rows[R][C] = (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
+      Rows[R * D + C] =
+          (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
     Targets[R] = Training.target(R);
   }
   Fitted = true;
   return true;
 }
 
-double KnnRegressor::predict(const std::vector<double> &Features) const {
-  assert(Fitted && "predicting with an unfitted k-NN model");
-  assert(Features.size() == FeatureMean.size() &&
-         "feature width does not match the fitted model");
-
-  std::vector<double> Query(Features.size());
-  for (size_t C = 0; C < Features.size(); ++C)
-    Query[C] = (Features[C] - FeatureMean[C]) / FeatureStd[C];
+double KnnRegressor::predictStandardized(
+    const double *Query,
+    std::vector<std::pair<double, size_t>> &Distances) const {
+  size_t N = Targets.size();
+  size_t D = FeatureMean.size();
 
   // Partial sort of (distance^2, index) pairs; N is small enough that a
   // full nth_element is the simplest correct choice.
-  std::vector<std::pair<double, size_t>> Distances;
-  Distances.reserve(Rows.size());
-  for (size_t R = 0; R < Rows.size(); ++R) {
+  Distances.clear();
+  for (size_t R = 0; R < N; ++R) {
+    const double *Row = &Rows[R * D];
     double Sq = 0;
-    for (size_t C = 0; C < Query.size(); ++C) {
-      double Dx = Rows[R][C] - Query[C];
+    for (size_t C = 0; C < D; ++C) {
+      double Dx = Row[C] - Query[C];
       Sq += Dx * Dx;
     }
     Distances.emplace_back(Sq, R);
   }
-  size_t K = std::min(Options.K, Rows.size());
+  size_t K = std::min(Options.K, N);
   std::nth_element(Distances.begin(), Distances.begin() + (K - 1),
                    Distances.end());
 
@@ -89,4 +87,39 @@ double KnnRegressor::predict(const std::vector<double> &Features) const {
     }
   }
   return ValueSum / WeightSum;
+}
+
+double KnnRegressor::predict(const std::vector<double> &Features) const {
+  assert(Fitted && "predicting with an unfitted k-NN model");
+  assert(Features.size() == FeatureMean.size() &&
+         "feature width does not match the fitted model");
+
+  std::vector<double> Query(Features.size());
+  for (size_t C = 0; C < Features.size(); ++C)
+    Query[C] = (Features[C] - FeatureMean[C]) / FeatureStd[C];
+
+  std::vector<std::pair<double, size_t>> Distances;
+  Distances.reserve(Targets.size());
+  return predictStandardized(Query.data(), Distances);
+}
+
+std::vector<double> KnnRegressor::predictBatch(const Dataset &Data) const {
+  assert(Fitted && "predicting with an unfitted k-NN model");
+  assert(Data.numFeatures() == FeatureMean.size() &&
+         "feature width does not match the fitted model");
+  size_t D = FeatureMean.size();
+  std::vector<double> Out;
+  Out.reserve(Data.numRows());
+  // One standardized-query buffer and one distance scratch reused across
+  // rows, filled from the columnar storage; each row runs exactly the
+  // neighbourhood vote predict() runs, on identical inputs.
+  std::vector<double> Query(D);
+  std::vector<std::pair<double, size_t>> Distances;
+  Distances.reserve(Targets.size());
+  for (size_t R = 0; R < Data.numRows(); ++R) {
+    for (size_t C = 0; C < D; ++C)
+      Query[C] = (Data.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
+    Out.push_back(predictStandardized(Query.data(), Distances));
+  }
+  return Out;
 }

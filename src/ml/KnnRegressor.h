@@ -19,6 +19,8 @@
 
 #include "ml/Model.h"
 
+#include <utility>
+
 namespace slope {
 namespace ml {
 
@@ -37,18 +39,26 @@ public:
 
   Expected<bool> fit(const Dataset &Training) override;
   double predict(const std::vector<double> &Features) const override;
+  std::vector<double> predictBatch(const Dataset &Data) const override;
   std::string name() const override { return "kNN"; }
 
   /// \returns the effective neighbourhood size (K clamped to the
   /// training size). Valid after fit.
   size_t effectiveK() const {
     assert(Fitted && "model not fitted");
-    return std::min(Options.K, Rows.size());
+    return std::min(Options.K, Targets.size());
   }
 
 private:
+  /// Neighbourhood vote over one standardized query row; \p Distances is
+  /// caller-owned scratch so batch prediction reuses one buffer.
+  double predictStandardized(
+      const double *Query,
+      std::vector<std::pair<double, size_t>> &Distances) const;
+
   KnnOptions Options;
-  std::vector<std::vector<double>> Rows; ///< Standardized training rows.
+  /// Standardized training rows, flat row-major (numRows x numFeatures).
+  std::vector<double> Rows;
   std::vector<double> Targets;
   std::vector<double> FeatureMean, FeatureStd;
   bool Fitted = false;

@@ -6,14 +6,42 @@
 
 #include "ml/NeuralNetwork.h"
 
+#include "stats/Matrix.h"
+#include "support/PhaseTimers.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
+#include <string_view>
 
 using namespace slope;
 using namespace slope::ml;
+
+void (*ml::detail::NnFitPhaseProbe)(bool) = nullptr;
+
+namespace {
+NnAlgorithm initialNnAlgorithm() {
+  if (const char *Env = std::getenv("SLOPE_NN_ALGO")) {
+    if (std::string_view(Env) == "naive")
+      return NnAlgorithm::Naive;
+    if (std::string_view(Env) == "batched")
+      return NnAlgorithm::Batched;
+  }
+  return NnAlgorithm::Batched;
+}
+
+NnAlgorithm GlobalNnAlgorithm = initialNnAlgorithm();
+} // namespace
+
+void ml::setDefaultNnAlgorithm(NnAlgorithm A) {
+  assert(A != NnAlgorithm::Default && "the default cannot defer to itself");
+  GlobalNnAlgorithm = A;
+}
+
+NnAlgorithm ml::defaultNnAlgorithm() { return GlobalNnAlgorithm; }
 
 const char *ml::activationName(Activation A) {
   switch (A) {
@@ -41,43 +69,267 @@ double NeuralNetwork::applyTransfer(double X) const {
   return X;
 }
 
-double NeuralNetwork::transferDerivative(double PreAct) const {
+double NeuralNetwork::transferDerivative(double Act) const {
   switch (Options.Transfer) {
   case Activation::Identity:
     return 1;
   case Activation::ReLU:
-    return PreAct > 0 ? 1 : 0;
-  case Activation::Tanh: {
-    double T = std::tanh(PreAct);
-    return 1 - T * T;
-  }
+    // ReLU(x) > 0 exactly when x > 0, so the stored activation decides
+    // the gate bit-identically to the pre-activation.
+    return Act > 0 ? 1 : 0;
+  case Activation::Tanh:
+    // The forward pass already computed tanh(x); 1 - a^2 equals the
+    // recomputed 1 - tanh(x)^2 bit for bit, one transcendental cheaper.
+    return 1 - Act * Act;
   }
   assert(false && "unknown activation");
   return 1;
 }
 
-void NeuralNetwork::forward(const std::vector<double> &Input,
-                            std::vector<std::vector<double>> &PreActs,
+void NeuralNetwork::forward(const double *Input,
                             std::vector<std::vector<double>> &Acts) const {
-  PreActs.resize(Layers.size());
   Acts.resize(Layers.size() + 1);
-  Acts[0] = Input;
+  Acts[0].assign(Input, Input + (Layers.empty() ? 0 : Layers[0].InDim));
   for (size_t L = 0; L < Layers.size(); ++L) {
     const Layer &Lay = Layers[L];
-    PreActs[L].assign(Lay.OutDim, 0.0);
+    Acts[L + 1].assign(Lay.OutDim, 0.0);
+    bool IsOutput = (L + 1 == Layers.size());
     for (size_t O = 0; O < Lay.OutDim; ++O) {
       double Sum = Lay.Bias[O];
       const double *WRow = &Lay.Weights[O * Lay.InDim];
       for (size_t I = 0; I < Lay.InDim; ++I)
         Sum += WRow[I] * Acts[L][I];
-      PreActs[L][O] = Sum;
-    }
-    Acts[L + 1].assign(Lay.OutDim, 0.0);
-    bool IsOutput = (L + 1 == Layers.size());
-    for (size_t O = 0; O < Lay.OutDim; ++O)
       // The output unit is always linear for regression.
-      Acts[L + 1][O] = IsOutput ? PreActs[L][O] : applyTransfer(PreActs[L][O]);
+      Acts[L + 1][O] = IsOutput ? Sum : applyTransfer(Sum);
+    }
   }
+}
+
+void NeuralNetwork::applyAdamUpdate(
+    const std::vector<std::vector<double>> &GradW,
+    const std::vector<std::vector<double>> &GradB, uint64_t AdamStep) {
+  const double Beta1 = 0.9, Beta2 = 0.999, Eps = 1e-8;
+  double Corr1 = 1 - std::pow(Beta1, static_cast<double>(AdamStep));
+  double Corr2 = 1 - std::pow(Beta2, static_cast<double>(AdamStep));
+  for (size_t L = 0; L < Layers.size(); ++L) {
+    Layer &Lay = Layers[L];
+    for (size_t I = 0; I < Lay.Weights.size(); ++I) {
+      double G = GradW[L][I] + Options.L2 * Lay.Weights[I];
+      Lay.MW[I] = Beta1 * Lay.MW[I] + (1 - Beta1) * G;
+      Lay.VW[I] = Beta2 * Lay.VW[I] + (1 - Beta2) * G * G;
+      Lay.Weights[I] -= Options.LearningRate * (Lay.MW[I] / Corr1) /
+                        (std::sqrt(Lay.VW[I] / Corr2) + Eps);
+    }
+    for (size_t O = 0; O < Lay.OutDim; ++O) {
+      double G = GradB[L][O];
+      Lay.MB[O] = Beta1 * Lay.MB[O] + (1 - Beta1) * G;
+      Lay.VB[O] = Beta2 * Lay.VB[O] + (1 - Beta2) * G * G;
+      Lay.Bias[O] -= Options.LearningRate * (Lay.MB[O] / Corr1) /
+                     (std::sqrt(Lay.VB[O] / Corr2) + Eps);
+    }
+  }
+}
+
+void NeuralNetwork::fitNaive(const double *Xs, const std::vector<double> &Ys,
+                             Rng &NetRng, size_t N, size_t D) {
+  size_t BatchSize = std::min(Options.BatchSize, N);
+  assert(BatchSize > 0 && "batch size must be positive");
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+
+  std::vector<std::vector<double>> Acts;
+  // Per-layer gradient accumulators.
+  std::vector<std::vector<double>> GradW(Layers.size()), GradB(Layers.size());
+  uint64_t AdamStep = 0;
+
+  for (unsigned Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    for (size_t I = N; I > 1; --I)
+      std::swap(Order[I - 1], Order[NetRng.below(I)]);
+
+    double EpochLoss = 0;
+    for (size_t Start = 0; Start < N; Start += BatchSize) {
+      size_t End = std::min(Start + BatchSize, N);
+      double InvBatch = 1.0 / static_cast<double>(End - Start);
+      for (size_t L = 0; L < Layers.size(); ++L) {
+        GradW[L].assign(Layers[L].Weights.size(), 0.0);
+        GradB[L].assign(Layers[L].OutDim, 0.0);
+      }
+
+      for (size_t P = Start; P < End; ++P) {
+        size_t R = Order[P];
+        forward(Xs + R * D, Acts);
+        double Pred = Acts.back()[0];
+        double Err = Pred - Ys[R];
+        EpochLoss += Err * Err;
+
+        // Backpropagate dLoss/dPreAct layer by layer.
+        std::vector<double> Delta(1, 2 * Err * InvBatch);
+        for (size_t Lp1 = Layers.size(); Lp1 > 0; --Lp1) {
+          size_t L = Lp1 - 1;
+          Layer &Lay = Layers[L];
+          bool IsOutput = (L + 1 == Layers.size());
+          // Delta currently holds dLoss/dAct of layer L's output; convert
+          // to dLoss/dPreAct (output layer is linear).
+          if (!IsOutput)
+            for (size_t O = 0; O < Lay.OutDim; ++O)
+              Delta[O] *= transferDerivative(Acts[L + 1][O]);
+          for (size_t O = 0; O < Lay.OutDim; ++O) {
+            GradB[L][O] += Delta[O];
+            double *GRow = &GradW[L][O * Lay.InDim];
+            for (size_t In = 0; In < Lay.InDim; ++In)
+              GRow[In] += Delta[O] * Acts[L][In];
+          }
+          if (L == 0)
+            break;
+          std::vector<double> Prev(Lay.InDim, 0.0);
+          for (size_t O = 0; O < Lay.OutDim; ++O) {
+            const double *WRow = &Lay.Weights[O * Lay.InDim];
+            for (size_t In = 0; In < Lay.InDim; ++In)
+              Prev[In] += WRow[In] * Delta[O];
+          }
+          Delta = std::move(Prev);
+        }
+      }
+
+      ++AdamStep;
+      applyAdamUpdate(GradW, GradB, AdamStep);
+    }
+    FinalLoss = EpochLoss / static_cast<double>(N);
+  }
+}
+
+void NeuralNetwork::fitBatched(const double *Xs, const std::vector<double> &Ys,
+                               Rng &NetRng, size_t N, size_t D) {
+  size_t BatchSize = std::min(Options.BatchSize, N);
+  assert(BatchSize > 0 && "batch size must be positive");
+  size_t NumLayers = Layers.size();
+
+  // Per-fit training arena: every buffer the epoch loop touches is
+  // allocated here, once. Activations are stored *sample-major*
+  // (width x batch, sample S in column S) so every kernel's inner loop
+  // runs contiguously over the minibatch instead of over the short layer
+  // widths. Acts[0] is the gathered minibatch input (D x batch) and
+  // Deltas[L] holds dLoss/dPreAct of layer L's outputs. A partial final
+  // minibatch of B samples reinterprets the same flat buffers with row
+  // stride B — every batch overwrites them in full, so no padding (and
+  // no risk of stale ±0.0 columns leaking in).
+  std::vector<std::vector<double>> Acts(NumLayers + 1), Deltas(NumLayers);
+  Acts[0].assign(D * BatchSize, 0.0);
+  for (size_t L = 0; L < NumLayers; ++L) {
+    Acts[L + 1].assign(Layers[L].OutDim * BatchSize, 0.0);
+    Deltas[L].assign(Layers[L].OutDim * BatchSize, 0.0);
+  }
+  std::vector<std::vector<double>> GradW(NumLayers), GradB(NumLayers);
+  for (size_t L = 0; L < NumLayers; ++L) {
+    GradW[L].assign(Layers[L].Weights.size(), 0.0);
+    GradB[L].assign(Layers[L].OutDim, 0.0);
+  }
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  uint64_t AdamStep = 0;
+
+  if (detail::NnFitPhaseProbe)
+    detail::NnFitPhaseProbe(true);
+
+  for (unsigned Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    for (size_t I = N; I > 1; --I)
+      std::swap(Order[I - 1], Order[NetRng.below(I)]);
+
+    double EpochLoss = 0;
+    for (size_t Start = 0; Start < N; Start += BatchSize) {
+      size_t End = std::min(Start + BatchSize, N);
+      size_t B = End - Start;
+      double InvBatch = 1.0 / static_cast<double>(B);
+      for (size_t L = 0; L < NumLayers; ++L) {
+        std::fill(GradW[L].begin(), GradW[L].end(), 0.0);
+        std::fill(GradB[L].begin(), GradB[L].end(), 0.0);
+      }
+
+      // Gather the shuffled minibatch, transposed: sample S is column S.
+      for (size_t S = 0; S < B; ++S) {
+        const double *Row = Xs + Order[Start + S] * D;
+        for (size_t C = 0; C < D; ++C)
+          Acts[0][C * B + S] = Row[C];
+      }
+
+      // Forward: broadcast each bias across its output row, then one
+      // plain GEMM per layer — Weights (OutDim x InDim) times the
+      // sample-major activations (InDim x B) — accumulating the weighted
+      // inputs onto the bias in ascending input order, exactly the
+      // per-sample kernel's accumulation. The transfer is applied in a
+      // fused pass (the output layer stays linear, and Identity is
+      // skipped because it is, well, the identity).
+      for (size_t L = 0; L < NumLayers; ++L) {
+        const Layer &Lay = Layers[L];
+        double *Out = Acts[L + 1].data();
+        for (size_t O = 0; O < Lay.OutDim; ++O)
+          std::fill(Out + O * B, Out + (O + 1) * B, Lay.Bias[O]);
+        stats::gemmAccumulate(Lay.Weights.data(), Acts[L].data(), Out,
+                              Lay.OutDim, Lay.InDim, B);
+        if (L + 1 < NumLayers && Options.Transfer != Activation::Identity)
+          for (size_t I = 0; I < Lay.OutDim * B; ++I)
+            Out[I] = applyTransfer(Out[I]);
+      }
+
+      // Loss and the output-layer delta, in ascending sample order (the
+      // same order the per-sample loop adds its loss terms).
+      const double *Pred = Acts[NumLayers].data(); // 1 x B
+      double *DOut = Deltas[NumLayers - 1].data();
+      for (size_t S = 0; S < B; ++S) {
+        double Err = Pred[S] - Ys[Order[Start + S]];
+        EpochLoss += Err * Err;
+        DOut[S] = 2 * Err * InvBatch;
+      }
+
+      // Backward: convert dLoss/dAct to dLoss/dPreAct through the stored
+      // activations, reduce each bias gradient over samples in ascending
+      // order, form the weight gradient as one sample-contiguous GEMM
+      // per layer (instead of per-sample outer products), and push the
+      // delta down one layer with an output-ascending GEMM.
+      for (size_t Lp1 = NumLayers; Lp1 > 0; --Lp1) {
+        size_t L = Lp1 - 1;
+        const Layer &Lay = Layers[L];
+        double *DeltaL = Deltas[L].data();
+        if (L + 1 != NumLayers) {
+          const double *ActL1 = Acts[L + 1].data();
+          for (size_t I = 0; I < Lay.OutDim * B; ++I)
+            DeltaL[I] *= transferDerivative(ActL1[I]);
+        }
+        for (size_t O = 0; O < Lay.OutDim; ++O) {
+          const double *DRow = DeltaL + O * B;
+          double Sum = GradB[L][O];
+          for (size_t S = 0; S < B; ++S)
+            Sum += DRow[S];
+          GradB[L][O] = Sum;
+        }
+        // GradW (OutDim x InDim) += DeltaL (OutDim x B) x Acts^T: both
+        // operands stream sample-contiguous rows and every element dots
+        // its samples in ascending order.
+        stats::gemmBTransposedAccumulate(DeltaL, Acts[L].data(),
+                                         GradW[L].data(), Lay.OutDim, B,
+                                         Lay.InDim);
+        if (L == 0)
+          break;
+        // Prev (InDim x B) = Weights^T (InDim x OutDim) x DeltaL: each
+        // element accumulates its outputs in ascending order, as the
+        // per-sample loop does.
+        std::fill(Deltas[L - 1].begin(),
+                  Deltas[L - 1].begin() +
+                      static_cast<std::ptrdiff_t>(Lay.InDim * B),
+                  0.0);
+        stats::gemmATransposedAccumulate(Lay.Weights.data(), DeltaL,
+                                         Deltas[L - 1].data(), Lay.InDim,
+                                         Lay.OutDim, B);
+      }
+
+      ++AdamStep;
+      applyAdamUpdate(GradW, GradB, AdamStep);
+    }
+    FinalLoss = EpochLoss / static_cast<double>(N);
+  }
+
+  if (detail::NnFitPhaseProbe)
+    detail::NnFitPhaseProbe(false);
 }
 
 Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
@@ -124,12 +376,13 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
   }
 
   // Minibatch prep: the standardized design matrix the epoch loop shuffles
-  // indices into. Rows are disjoint, so this parallelizes cleanly.
-  std::vector<std::vector<double>> Xs(N, std::vector<double>(D));
+  // indices into, stored flat row-major. Rows are disjoint, so this
+  // parallelizes cleanly.
+  std::vector<double> Xs(N * D);
   std::vector<double> Ys(N);
   parallelFor(0, N, 64, [&](size_t R) {
     for (size_t C = 0; C < D; ++C)
-      Xs[R][C] = (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
+      Xs[R * D + C] = (Training.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
     Ys[R] = (Training.target(R) - TargetMean) / TargetStd;
   });
 
@@ -159,89 +412,15 @@ Expected<bool> NeuralNetwork::fit(const Dataset &Training) {
     Layers.push_back(std::move(Lay));
   }
 
-  const double Beta1 = 0.9, Beta2 = 0.999, Eps = 1e-8;
-  size_t BatchSize = std::min(Options.BatchSize, N);
-  assert(BatchSize > 0 && "batch size must be positive");
-  std::vector<size_t> Order(N);
-  std::iota(Order.begin(), Order.end(), size_t{0});
-
-  std::vector<std::vector<double>> PreActs, Acts;
-  // Per-layer gradient accumulators.
-  std::vector<std::vector<double>> GradW(Layers.size()), GradB(Layers.size());
-  uint64_t AdamStep = 0;
-
-  for (unsigned Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
-    for (size_t I = N; I > 1; --I)
-      std::swap(Order[I - 1], Order[NetRng.below(I)]);
-
-    double EpochLoss = 0;
-    for (size_t Start = 0; Start < N; Start += BatchSize) {
-      size_t End = std::min(Start + BatchSize, N);
-      double InvBatch = 1.0 / static_cast<double>(End - Start);
-      for (size_t L = 0; L < Layers.size(); ++L) {
-        GradW[L].assign(Layers[L].Weights.size(), 0.0);
-        GradB[L].assign(Layers[L].OutDim, 0.0);
-      }
-
-      for (size_t P = Start; P < End; ++P) {
-        size_t R = Order[P];
-        forward(Xs[R], PreActs, Acts);
-        double Pred = Acts.back()[0];
-        double Err = Pred - Ys[R];
-        EpochLoss += Err * Err;
-
-        // Backpropagate dLoss/dPreAct layer by layer.
-        std::vector<double> Delta(1, 2 * Err * InvBatch);
-        for (size_t Lp1 = Layers.size(); Lp1 > 0; --Lp1) {
-          size_t L = Lp1 - 1;
-          Layer &Lay = Layers[L];
-          bool IsOutput = (L + 1 == Layers.size());
-          // Delta currently holds dLoss/dAct of layer L's output; convert
-          // to dLoss/dPreAct (output layer is linear).
-          if (!IsOutput)
-            for (size_t O = 0; O < Lay.OutDim; ++O)
-              Delta[O] *= transferDerivative(PreActs[L][O]);
-          for (size_t O = 0; O < Lay.OutDim; ++O) {
-            GradB[L][O] += Delta[O];
-            double *GRow = &GradW[L][O * Lay.InDim];
-            for (size_t In = 0; In < Lay.InDim; ++In)
-              GRow[In] += Delta[O] * Acts[L][In];
-          }
-          if (L == 0)
-            break;
-          std::vector<double> Prev(Lay.InDim, 0.0);
-          for (size_t O = 0; O < Lay.OutDim; ++O) {
-            const double *WRow = &Lay.Weights[O * Lay.InDim];
-            for (size_t In = 0; In < Lay.InDim; ++In)
-              Prev[In] += WRow[In] * Delta[O];
-          }
-          Delta = std::move(Prev);
-        }
-      }
-
-      // Adam update.
-      ++AdamStep;
-      double Corr1 = 1 - std::pow(Beta1, static_cast<double>(AdamStep));
-      double Corr2 = 1 - std::pow(Beta2, static_cast<double>(AdamStep));
-      for (size_t L = 0; L < Layers.size(); ++L) {
-        Layer &Lay = Layers[L];
-        for (size_t I = 0; I < Lay.Weights.size(); ++I) {
-          double G = GradW[L][I] + Options.L2 * Lay.Weights[I];
-          Lay.MW[I] = Beta1 * Lay.MW[I] + (1 - Beta1) * G;
-          Lay.VW[I] = Beta2 * Lay.VW[I] + (1 - Beta2) * G * G;
-          Lay.Weights[I] -= Options.LearningRate * (Lay.MW[I] / Corr1) /
-                            (std::sqrt(Lay.VW[I] / Corr2) + Eps);
-        }
-        for (size_t O = 0; O < Lay.OutDim; ++O) {
-          double G = GradB[L][O];
-          Lay.MB[O] = Beta1 * Lay.MB[O] + (1 - Beta1) * G;
-          Lay.VB[O] = Beta2 * Lay.VB[O] + (1 - Beta2) * G * G;
-          Lay.Bias[O] -= Options.LearningRate * (Lay.MB[O] / Corr1) /
-                         (std::sqrt(Lay.VB[O] / Corr2) + Eps);
-        }
-      }
-    }
-    FinalLoss = EpochLoss / static_cast<double>(N);
+  NnAlgorithm Algo = Options.Algorithm == NnAlgorithm::Default
+                         ? defaultNnAlgorithm()
+                         : Options.Algorithm;
+  {
+    ScopedPhase Timer(Phase::NnFit);
+    if (Algo == NnAlgorithm::Naive)
+      fitNaive(Xs.data(), Ys, NetRng, N, D);
+    else
+      fitBatched(Xs.data(), Ys, NetRng, N, D);
   }
 
   Fitted = true;
@@ -255,8 +434,8 @@ double NeuralNetwork::predict(const std::vector<double> &Features) const {
   std::vector<double> X(Features.size());
   for (size_t C = 0; C < Features.size(); ++C)
     X[C] = (Features[C] - FeatureMean[C]) / FeatureStd[C];
-  std::vector<std::vector<double>> PreActs, Acts;
-  forward(X, PreActs, Acts);
+  std::vector<std::vector<double>> Acts;
+  forward(X.data(), Acts);
   return Acts.back()[0] * TargetStd + TargetMean;
 }
 
@@ -264,19 +443,37 @@ std::vector<double> NeuralNetwork::predictBatch(const Dataset &Data) const {
   assert(Fitted && "predicting with an unfitted network");
   assert(Data.numFeatures() == FeatureMean.size() &&
          "feature width does not match the fitted network");
+  size_t N = Data.numRows();
   size_t D = FeatureMean.size();
-  std::vector<double> Out;
-  Out.reserve(Data.numRows());
-  // One standardization buffer and one set of forward-pass scratch arrays
-  // reused across rows; each row performs exactly the operations predict()
+  if (N == 0)
+    return {};
+  // Whole-set batched forward with the same bias-seeded GEMM kernels the
+  // trainer uses; each row runs exactly the operations predict()
   // performs, in the same order.
-  std::vector<double> X(D);
-  std::vector<std::vector<double>> PreActs, Acts;
-  for (size_t R = 0; R < Data.numRows(); ++R) {
+  stats::Matrix Cur(N, D);
+  for (size_t R = 0; R < N; ++R) {
+    double *Row = Cur.rowSpan(R);
     for (size_t C = 0; C < D; ++C)
-      X[C] = (Data.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
-    forward(X, PreActs, Acts);
-    Out.push_back(Acts.back()[0] * TargetStd + TargetMean);
+      Row[C] = (Data.column(C)[R] - FeatureMean[C]) / FeatureStd[C];
   }
+  for (size_t L = 0; L < Layers.size(); ++L) {
+    const Layer &Lay = Layers[L];
+    stats::Matrix Next(N, Lay.OutDim);
+    for (size_t R = 0; R < N; ++R)
+      std::memcpy(Next.rowSpan(R), Lay.Bias.data(),
+                  Lay.OutDim * sizeof(double));
+    stats::gemmBTransposedAccumulate(Cur.data(), Lay.Weights.data(),
+                                     Next.data(), N, Lay.InDim, Lay.OutDim);
+    if (L + 1 < Layers.size() && Options.Transfer != Activation::Identity)
+      for (size_t R = 0; R < N; ++R) {
+        double *Row = Next.rowSpan(R);
+        for (size_t O = 0; O < Lay.OutDim; ++O)
+          Row[O] = applyTransfer(Row[O]);
+      }
+    Cur = std::move(Next);
+  }
+  std::vector<double> Out(N);
+  for (size_t R = 0; R < N; ++R)
+    Out[R] = Cur.rowSpan(R)[0] * TargetStd + TargetMean;
   return Out;
 }

@@ -12,6 +12,25 @@
 /// for the ablation bench. Inputs and the target are standardized
 /// internally, and predictions are mapped back to the original scale.
 ///
+/// Two training kernels produce identical networks:
+///
+///  * Batched (default): each minibatch runs as per-layer matrix kernels
+///    over flat activation buffers — forward is one bias-seeded GEMM per
+///    layer with a fused activation pass, and backprop computes every
+///    weight gradient as one GEMM per layer instead of per-sample outer
+///    products. All epoch-loop scratch lives in a preallocated per-fit
+///    arena, so the epoch loop performs zero heap allocations after
+///    setup.
+///  * Naive (the seed implementation, kept as the reference and the
+///    baseline for perf gates): per-sample forward/backprop with
+///    per-sample scratch vectors.
+///
+/// Every GEMM accumulates each output element's contraction terms in
+/// ascending index order, and gradient accumulators see their minibatch
+/// samples in ascending sample order — exactly the order the per-sample
+/// reference uses — so both kernels produce bit-identical weights, loss
+/// curves, and predictions for any input, at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_ML_NEURALNETWORK_H
@@ -33,6 +52,21 @@ enum class Activation {
 /// \returns a short printable name for \p A.
 const char *activationName(Activation A);
 
+/// Training-kernel selection (see file comment).
+enum class NnAlgorithm {
+  Default, ///< Use the process-wide default (batched unless overridden).
+  Batched, ///< Minibatch GEMM kernels over a preallocated arena.
+  Naive,   ///< Per-sample forward/backprop (seed kernel; reference).
+};
+
+/// Overrides the process-wide kernel used when options say Default.
+/// The initial value honours the SLOPE_NN_ALGO environment variable
+/// ("naive" or "batched"); benches expose it as --nn-algo.
+void setDefaultNnAlgorithm(NnAlgorithm A);
+
+/// \returns the process-wide default training kernel (never Default).
+NnAlgorithm defaultNnAlgorithm();
+
 /// Hyper-parameters of the MLP.
 struct NeuralNetworkOptions {
   std::vector<size_t> HiddenLayers = {16};
@@ -42,6 +76,8 @@ struct NeuralNetworkOptions {
   double LearningRate = 1e-2;
   double L2 = 1e-5;
   uint64_t Seed = 0xAE77;
+  /// Training kernel; Default defers to defaultNnAlgorithm().
+  NnAlgorithm Algorithm = NnAlgorithm::Default;
 };
 
 /// Multilayer perceptron regressor.
@@ -71,13 +107,32 @@ private:
     std::vector<double> MW, VW, MB, VB;
   };
 
-  /// Forward pass; fills per-layer pre-activations and activations.
-  void forward(const std::vector<double> &Input,
-               std::vector<std::vector<double>> &PreActs,
+  /// Per-sample forward pass over the standardized input row \p Input;
+  /// fills the per-layer activations (Acts[0] is the input copy).
+  void forward(const double *Input,
                std::vector<std::vector<double>> &Acts) const;
 
+  /// Per-sample reference kernel (the seed epoch loop).
+  void fitNaive(const double *Xs, const std::vector<double> &Ys,
+                Rng &NetRng, size_t N, size_t D);
+
+  /// Minibatch GEMM kernel over a preallocated arena (see file comment).
+  void fitBatched(const double *Xs, const std::vector<double> &Ys,
+                  Rng &NetRng, size_t N, size_t D);
+
+  /// One Adam update from the accumulated minibatch gradients; shared by
+  /// both kernels so their parameter updates cannot drift apart.
+  void applyAdamUpdate(const std::vector<std::vector<double>> &GradW,
+                       const std::vector<std::vector<double>> &GradB,
+                       uint64_t AdamStep);
+
   double applyTransfer(double X) const;
-  double transferDerivative(double PreAct) const;
+
+  /// Transfer derivative from the *stored activation value* (not the
+  /// pre-activation): Identity -> 1, ReLU -> [A > 0], Tanh -> 1 - A^2.
+  /// Equal to the pre-activation form bit for bit, one transcendental
+  /// cheaper for Tanh.
+  double transferDerivative(double Act) const;
 
   NeuralNetworkOptions Options;
   std::vector<Layer> Layers;
@@ -87,6 +142,14 @@ private:
   double FinalLoss = 0;
   bool Fitted = false;
 };
+
+namespace detail {
+/// Test hook bracketing the batched epoch loop: called with true right
+/// after the per-fit arena setup completes and with false when training
+/// finishes. The allocation-count test uses it to assert the loop itself
+/// performs zero heap allocations. Null (disabled) by default.
+extern void (*NnFitPhaseProbe)(bool Entering);
+} // namespace detail
 
 } // namespace ml
 } // namespace slope

@@ -42,12 +42,6 @@ Matrix Matrix::identity(size_t N) {
   return M;
 }
 
-std::vector<double> Matrix::row(size_t R) const {
-  assert(R < NumRows && "row index out of range");
-  return std::vector<double>(Data.begin() + R * NumCols,
-                             Data.begin() + (R + 1) * NumCols);
-}
-
 std::vector<double> Matrix::col(size_t C) const {
   assert(C < NumCols && "column index out of range");
   std::vector<double> Out(NumRows);
@@ -67,28 +61,8 @@ Matrix Matrix::transposed() const {
 Matrix Matrix::multiply(const Matrix &Other) const {
   assert(NumCols == Other.NumRows && "non-conformable matrix product");
   Matrix Out(NumRows, Other.NumCols);
-  size_t N = Other.NumCols;
-  // Tile order (R, K, C) with the K tiles ascending outside the C tiles:
-  // each Out element still sees its K terms in ascending order.
-  for (size_t R0 = 0; R0 < NumRows; R0 += BlockEdge) {
-    size_t REnd = std::min(R0 + BlockEdge, NumRows);
-    for (size_t K0 = 0; K0 < NumCols; K0 += BlockEdge) {
-      size_t KEnd = std::min(K0 + BlockEdge, NumCols);
-      for (size_t C0 = 0; C0 < N; C0 += BlockEdge) {
-        size_t CEnd = std::min(C0 + BlockEdge, N);
-        for (size_t R = R0; R < REnd; ++R) {
-          const double *ARow = Data.data() + R * NumCols;
-          double *ORow = Out.Data.data() + R * N;
-          for (size_t K = K0; K < KEnd; ++K) {
-            double V = ARow[K];
-            const double *BRow = Other.Data.data() + K * N;
-            for (size_t C = C0; C < CEnd; ++C)
-              ORow[C] += V * BRow[C];
-          }
-        }
-      }
-    }
-  }
+  stats::gemmAccumulate(Data.data(), Other.Data.data(), Out.Data.data(),
+                        NumRows, NumCols, Other.NumCols);
   return Out;
 }
 
@@ -142,6 +116,118 @@ double Matrix::maxAbsDiff(const Matrix &Other) const {
   for (size_t I = 0; I < Data.size(); ++I)
     Max = std::max(Max, std::fabs(Data[I] - Other.Data[I]));
   return Max;
+}
+
+void stats::gemmAccumulate(const double *A, const double *B, double *C,
+                           size_t M, size_t K, size_t N) {
+  // Tile order (R, K, C) with the K tiles ascending outside the C tiles:
+  // each C element still sees its K terms in ascending order, resuming
+  // the partial sum it holds in memory between K tiles. Within a tile,
+  // two consecutive K terms are fused into one read-modify-write —
+  // (CRow[Cc] + t0) + t1 associates exactly like two separate updates —
+  // halving the C traffic without moving a single addition.
+  for (size_t R0 = 0; R0 < M; R0 += BlockEdge) {
+    size_t REnd = std::min(R0 + BlockEdge, M);
+    for (size_t K0 = 0; K0 < K; K0 += BlockEdge) {
+      size_t KEnd = std::min(K0 + BlockEdge, K);
+      for (size_t C0 = 0; C0 < N; C0 += BlockEdge) {
+        size_t CEnd = std::min(C0 + BlockEdge, N);
+        for (size_t R = R0; R < REnd; ++R) {
+          const double *ARow = A + R * K;
+          double *CRow = C + R * N;
+          size_t Kk = K0;
+          for (; Kk + 2 <= KEnd; Kk += 2) {
+            double V0 = ARow[Kk], V1 = ARow[Kk + 1];
+            const double *B0 = B + Kk * N;
+            const double *B1 = B0 + N;
+            for (size_t Cc = C0; Cc < CEnd; ++Cc)
+              CRow[Cc] = (CRow[Cc] + V0 * B0[Cc]) + V1 * B1[Cc];
+          }
+          for (; Kk < KEnd; ++Kk) {
+            double V = ARow[Kk];
+            const double *BRow = B + Kk * N;
+            for (size_t Cc = C0; Cc < CEnd; ++Cc)
+              CRow[Cc] += V * BRow[Cc];
+          }
+        }
+      }
+    }
+  }
+}
+
+void stats::gemmBTransposedAccumulate(const double *A, const double *B,
+                                      double *C, size_t M, size_t K,
+                                      size_t N) {
+  // Both operands stream K-contiguous rows, so only the (R, C) output
+  // tiles need blocking; the full K sweep per element is one fused dot
+  // seeded from the element's current value. Each dot is a serial FP
+  // chain (its association is the contract), so four output columns run
+  // their independent chains side by side to hide the add latency — no
+  // element's own accumulation order moves.
+  for (size_t R0 = 0; R0 < M; R0 += BlockEdge) {
+    size_t REnd = std::min(R0 + BlockEdge, M);
+    for (size_t C0 = 0; C0 < N; C0 += BlockEdge) {
+      size_t CEnd = std::min(C0 + BlockEdge, N);
+      for (size_t R = R0; R < REnd; ++R) {
+        const double *ARow = A + R * K;
+        double *CRow = C + R * N;
+        size_t Cc = C0;
+        for (; Cc + 4 <= CEnd; Cc += 4) {
+          const double *B0 = B + Cc * K;
+          const double *B1 = B0 + K;
+          const double *B2 = B1 + K;
+          const double *B3 = B2 + K;
+          double S0 = CRow[Cc], S1 = CRow[Cc + 1];
+          double S2 = CRow[Cc + 2], S3 = CRow[Cc + 3];
+          for (size_t Kk = 0; Kk < K; ++Kk) {
+            double V = ARow[Kk];
+            S0 += V * B0[Kk];
+            S1 += V * B1[Kk];
+            S2 += V * B2[Kk];
+            S3 += V * B3[Kk];
+          }
+          CRow[Cc] = S0;
+          CRow[Cc + 1] = S1;
+          CRow[Cc + 2] = S2;
+          CRow[Cc + 3] = S3;
+        }
+        for (; Cc < CEnd; ++Cc) {
+          const double *BRow = B + Cc * K;
+          double Sum = CRow[Cc];
+          for (size_t Kk = 0; Kk < K; ++Kk)
+            Sum += ARow[Kk] * BRow[Kk];
+          CRow[Cc] = Sum;
+        }
+      }
+    }
+  }
+}
+
+void stats::gemmATransposedAccumulate(const double *A, const double *B,
+                                      double *C, size_t M, size_t K,
+                                      size_t N) {
+  // K rank-1 updates in ascending K order; pairs of consecutive updates
+  // fuse into one read-modify-write of C — (C[I] + t0) + t1 associates
+  // exactly like two separate axpys — halving the C traffic.
+  size_t Kk = 0;
+  for (; Kk + 2 <= K; Kk += 2) {
+    const double *A0 = A + Kk * M;
+    const double *A1 = A0 + M;
+    const double *B0 = B + Kk * N;
+    const double *B1 = B0 + N;
+    for (size_t Mm = 0; Mm < M; ++Mm) {
+      double V0 = A0[Mm], V1 = A1[Mm];
+      double *CRow = C + Mm * N;
+      for (size_t I = 0; I < N; ++I)
+        CRow[I] = (CRow[I] + V0 * B0[I]) + V1 * B1[I];
+    }
+  }
+  for (; Kk < K; ++Kk) {
+    const double *ARow = A + Kk * M;
+    const double *BRow = B + Kk * N;
+    for (size_t Mm = 0; Mm < M; ++Mm)
+      stats::axpy(ARow[Mm], BRow, C + Mm * N, N);
+  }
 }
 
 double stats::dot(const double *A, const double *B, size_t N) {

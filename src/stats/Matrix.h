@@ -49,9 +49,6 @@ public:
     return Data[R * NumCols + C];
   }
 
-  /// \returns row \p R as a vector copy.
-  std::vector<double> row(size_t R) const;
-
   /// \returns a pointer to the start of row \p R (cols() contiguous
   /// doubles) — the allocation-free alternative to row().
   const double *rowSpan(size_t R) const {
@@ -93,6 +90,35 @@ private:
   size_t NumCols = 0;
   std::vector<double> Data;
 };
+
+//===----------------------------------------------------------------------===//
+// Accumulating GEMM kernels
+//
+// All three accumulate a matrix product on top of the caller's initial C
+// contents, and every C element adds its K contraction terms in ascending
+// order starting from that initial value. Seeding C with zeros, a
+// broadcast bias row, or a partial sum therefore composes bit-exactly
+// with a plain sequential accumulation loop that starts from the same
+// seed — which is what lets the batched neural-network kernels reproduce
+// the per-sample reference arithmetic bit for bit.
+//===----------------------------------------------------------------------===//
+
+/// C (M x N) += A (M x K) * B (K x N), all dense row-major. Cache-blocked
+/// with the K tiles ascending per element, like Matrix::multiply.
+void gemmAccumulate(const double *A, const double *B, double *C, size_t M,
+                    size_t K, size_t N);
+
+/// C (M x N) += A (M x K) * transpose(B), with B stored N x K row-major
+/// (one contiguous K-row per output column). Each C element is a fused
+/// dot over K seeded from C's current value.
+void gemmBTransposedAccumulate(const double *A, const double *B, double *C,
+                               size_t M, size_t K, size_t N);
+
+/// C (M x N) += transpose(A) * B, with A stored K x M row-major. Applied
+/// as K rank-1 (axpy) updates in ascending K order — the batched
+/// equivalent of accumulating per-sample outer products sample by sample.
+void gemmATransposedAccumulate(const double *A, const double *B, double *C,
+                               size_t M, size_t K, size_t N);
 
 /// \returns the dot product of two length-\p N arrays.
 double dot(const double *A, const double *B, size_t N);

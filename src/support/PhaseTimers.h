@@ -28,6 +28,7 @@ namespace slope {
 /// perf gate wants to see separately from its surrounding workload.
 enum class Phase : unsigned {
   ForestTreeFit, ///< DecisionTree::fitRows calls made by RandomForest::fit.
+  NnFit,         ///< NeuralNetwork::fit training loops (either kernel).
   NumPhases,
 };
 

@@ -1,0 +1,54 @@
+//===- tests/ml/AllocCounting.cpp - Armed operator-new counter -----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AllocCounting.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<bool> AllocCountingArmed{false};
+static std::atomic<size_t> ArmedAllocationCount{0};
+
+void slope::test::allocCountingArm() {
+  ArmedAllocationCount.store(0, std::memory_order_relaxed);
+  AllocCountingArmed.store(true, std::memory_order_relaxed);
+}
+
+void slope::test::allocCountingDisarm() {
+  AllocCountingArmed.store(false, std::memory_order_relaxed);
+}
+
+size_t slope::test::armedAllocationCount() {
+  return ArmedAllocationCount.load(std::memory_order_relaxed);
+}
+
+// GCC does not model user replacement of the global allocation functions
+// and flags the malloc/free pairing inside them as mismatched new/delete;
+// replacement is exactly what makes the pairing correct here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *operator new(std::size_t Size) {
+  if (AllocCountingArmed.load(std::memory_order_relaxed))
+    ArmedAllocationCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -1,0 +1,35 @@
+//===- tests/ml/AllocCounting.h - Armed operator-new counter ----*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Shared operator new/delete replacement that counts allocations while
+// armed. The zero-allocation property tests (presorted tree growth, the
+// batched NN epoch loop) arm it from their phase probes; it lives in its
+// own translation unit because the global allocation functions may only
+// be replaced once per test binary.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_TESTS_ML_ALLOCCOUNTING_H
+#define SLOPE_TESTS_ML_ALLOCCOUNTING_H
+
+#include <cstddef>
+
+namespace slope {
+namespace test {
+
+/// Resets the counter and starts counting global operator new calls.
+void allocCountingArm();
+
+/// Stops counting; armedAllocationCount() keeps the final tally.
+void allocCountingDisarm();
+
+/// \returns the number of operator new calls seen while armed.
+size_t armedAllocationCount();
+
+} // namespace test
+} // namespace slope
+
+#endif // SLOPE_TESTS_ML_ALLOCCOUNTING_H

@@ -10,55 +10,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "AllocCounting.h"
+
 #include "ml/DecisionTree.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
-#include <new>
 
 using namespace slope;
 using namespace slope::ml;
-
-//===----------------------------------------------------------------------===//
-// Allocation counting: the global operator new/delete pair counts while
-// armed; the TreeGrowPhaseProbe hook arms it exactly around the presorted
-// growth loop.
-//===----------------------------------------------------------------------===//
-
-static std::atomic<bool> AllocCountingArmed{false};
-static std::atomic<size_t> ArmedAllocationCount{0};
-
-// GCC does not model user replacement of the global allocation functions
-// and flags the malloc/free pairing inside them as mismatched new/delete;
-// replacement is exactly what makes the pairing correct here.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-void *operator new(std::size_t Size) {
-  if (AllocCountingArmed.load(std::memory_order_relaxed))
-    ArmedAllocationCount.fetch_add(1, std::memory_order_relaxed);
-  if (void *P = std::malloc(Size ? Size : 1))
-    return P;
-  throw std::bad_alloc();
-}
-
-void *operator new[](std::size_t Size) { return ::operator new(Size); }
-
-void operator delete(void *P) noexcept { std::free(P); }
-void operator delete(void *P, std::size_t) noexcept { std::free(P); }
-void operator delete[](void *P) noexcept { std::free(P); }
-void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 namespace {
 
@@ -204,19 +167,17 @@ TEST(TreeAlgorithm, PresortedGrowthLoopDoesNotAllocate) {
   Options.MinSamplesSplit = 2;
 
   detail::TreeGrowPhaseProbe = [](bool Entering) {
-    if (Entering) {
-      ArmedAllocationCount.store(0, std::memory_order_relaxed);
-      AllocCountingArmed.store(true, std::memory_order_relaxed);
-    } else {
-      AllocCountingArmed.store(false, std::memory_order_relaxed);
-    }
+    if (Entering)
+      test::allocCountingArm();
+    else
+      test::allocCountingDisarm();
   };
   DecisionTree T(Options);
   ASSERT_TRUE(bool(T.fit(D)));
   detail::TreeGrowPhaseProbe = nullptr;
 
   EXPECT_GT(T.numNodes(), 1u);
-  EXPECT_EQ(ArmedAllocationCount.load(), 0u)
+  EXPECT_EQ(test::armedAllocationCount(), 0u)
       << "presorted growth loop allocated after scratch setup";
 }
 

@@ -62,9 +62,11 @@ TEST(Matrix, MatVec) {
   EXPECT_DOUBLE_EQ(V[1], 7);
 }
 
-TEST(Matrix, RowAndColExtraction) {
+TEST(Matrix, RowSpanAndColExtraction) {
   Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
-  EXPECT_EQ(M.row(1), (std::vector<double>{3, 4}));
+  const double *R1 = M.rowSpan(1);
+  EXPECT_DOUBLE_EQ(R1[0], 3);
+  EXPECT_DOUBLE_EQ(R1[1], 4);
   EXPECT_EQ(M.col(0), (std::vector<double>{1, 3}));
 }
 
@@ -185,6 +187,74 @@ TEST(Matrix, TransposeMultiplyBitIdenticalToNaive) {
       Ref += V[I] * A.at(I, C);
     EXPECT_EQ(std::memcmp(&Got[C], &Ref, sizeof(double)), 0) << "col " << C;
   }
+}
+
+// The accumulating GEMM kernels seed every output element from C's
+// initial contents and add contraction terms in ascending order, so each
+// must be bit-identical to the corresponding seeded reference loop.
+
+TEST(GemmAccumulate, PlainProductBitIdenticalToSeededNaive) {
+  // 70x90 * 90x65 spans multiple 64-wide blocks plus ragged edges, and a
+  // non-zero initial C exercises the seeding contract.
+  Matrix A = randomMatrix(70, 90, 31);
+  Matrix B = randomMatrix(90, 65, 32);
+  Matrix C = randomMatrix(70, 65, 33);
+  Matrix Ref = C;
+  gemmAccumulate(A.data(), B.data(), C.data(), 70, 90, 65);
+  for (size_t I = 0; I < 70; ++I)
+    for (size_t J = 0; J < 65; ++J) {
+      double Sum = Ref.at(I, J);
+      for (size_t K = 0; K < 90; ++K)
+        Sum += A.at(I, K) * B.at(K, J);
+      EXPECT_EQ(std::memcmp(&C.at(I, J), &Sum, sizeof(double)), 0)
+          << "C(" << I << "," << J << ") = " << C.at(I, J) << " vs " << Sum;
+    }
+}
+
+TEST(GemmAccumulate, BTransposedBitIdenticalToBiasSeededDots) {
+  // C = bias-like seed, A (M x K) times B^T with B stored N x K — the
+  // batched forward-pass shape.
+  Matrix A = randomMatrix(67, 70, 34);
+  Matrix B = randomMatrix(65, 70, 35);
+  Matrix C = randomMatrix(67, 65, 36);
+  Matrix Ref = C;
+  gemmBTransposedAccumulate(A.data(), B.data(), C.data(), 67, 70, 65);
+  for (size_t I = 0; I < 67; ++I)
+    for (size_t J = 0; J < 65; ++J) {
+      double Sum = Ref.at(I, J);
+      for (size_t K = 0; K < 70; ++K)
+        Sum += A.at(I, K) * B.at(J, K);
+      EXPECT_EQ(std::memcmp(&C.at(I, J), &Sum, sizeof(double)), 0)
+          << "C(" << I << "," << J << ")";
+    }
+}
+
+TEST(GemmAccumulate, ATransposedBitIdenticalToSampleOrderedOuterProducts) {
+  // C += A^T B with A stored K x M — the batched weight-gradient shape,
+  // which must equal accumulating the K rank-1 updates one at a time.
+  Matrix A = randomMatrix(70, 33, 37);
+  Matrix B = randomMatrix(70, 41, 38);
+  Matrix C = randomMatrix(33, 41, 39);
+  Matrix Ref = C;
+  gemmATransposedAccumulate(A.data(), B.data(), C.data(), 33, 70, 41);
+  for (size_t K = 0; K < 70; ++K)
+    for (size_t M = 0; M < 33; ++M)
+      for (size_t N = 0; N < 41; ++N)
+        Ref.at(M, N) += A.at(K, M) * B.at(K, N);
+  for (size_t M = 0; M < 33; ++M)
+    for (size_t N = 0; N < 41; ++N)
+      EXPECT_EQ(std::memcmp(&C.at(M, N), &Ref.at(M, N), sizeof(double)), 0)
+          << "C(" << M << "," << N << ")";
+}
+
+TEST(GemmAccumulate, MatrixMultiplyUsesTheSharedKernel) {
+  // Matrix::multiply is the zero-seeded case of gemmAccumulate.
+  Matrix A = randomMatrix(12, 9, 40);
+  Matrix B = randomMatrix(9, 7, 41);
+  Matrix Via = A.multiply(B);
+  Matrix Direct(12, 7);
+  gemmAccumulate(A.data(), B.data(), Direct.data(), 12, 9, 7);
+  EXPECT_DOUBLE_EQ(Via.maxAbsDiff(Direct), 0.0);
 }
 
 TEST(VectorOps, PointerDotMatchesVectorDot) {
