@@ -20,6 +20,7 @@
 #include "ml/DecisionTree.h"
 #include "ml/NeuralNetwork.h"
 #include "pmc/PlatformEvents.h"
+#include "sim/Machine.h"
 #include "support/PhaseTimers.h"
 #include "support/Str.h"
 #include "support/TablePrinter.h"
@@ -49,6 +50,14 @@ inline unsigned &sweepRepeatFlag() {
   return Repeat;
 }
 
+/// Value of --profile-repeat (default 1); benches that support it forward
+/// the count into their experiment config to amplify the profiling
+/// campaign for perf gates (extra passes are discarded, output unchanged).
+inline unsigned &profileRepeatFlag() {
+  static unsigned Repeat = 1;
+  return Repeat;
+}
+
 /// Thread count requested on the command line (0 = pool default);
 /// recorded for the JSON summary.
 inline unsigned &requestedThreads() {
@@ -61,11 +70,13 @@ inline unsigned &requestedThreads() {
 /// sizes the global experiment thread pool; parallel results are
 /// bit-identical at any setting, so the knob trades wall clock only.
 /// `--tree-algo naive|presorted` selects the decision-tree growth
-/// algorithm and `--nn-algo naive|batched` the neural-network training
-/// kernel (both bit-neutral; perf gates compare the two). `--bench-json
+/// algorithm, `--nn-algo naive|batched` the neural-network training
+/// kernel, and `--synth-algo naive|batched` the counter-synthesis kernel
+/// (all bit-neutral; perf gates compare the two sides). `--bench-json
 /// PATH` (or SLOPE_BENCH_JSON) writes a machine-readable timing summary
 /// to PATH without changing anything on stdout. `--sweep-repeat N`
-/// repeats the model sweep in benches that support it.
+/// repeats the model sweep in benches that support it; `--profile-repeat
+/// N` likewise repeats the profiling campaign (extra passes discarded).
 /// google-benchmark style `--benchmark_*` flags are accepted and ignored
 /// so CI can pass one command line to every bench binary.
 inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
@@ -86,6 +97,11 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
                                          ? slope::ml::NnAlgorithm::Naive
                                          : slope::ml::NnAlgorithm::Batched);
   };
+  auto SetSynthAlgo = [](const std::string &Value) {
+    slope::sim::setDefaultSynthAlgorithm(
+        Value == "naive" ? slope::sim::SynthAlgorithm::Naive
+                         : slope::sim::SynthAlgorithm::Batched);
+  };
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -101,10 +117,21 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
       SetNnAlgo(Argv[++I]);
     } else if (Arg.rfind("--nn-algo=", 0) == 0) {
       SetNnAlgo(Arg.substr(std::strlen("--nn-algo=")));
+    } else if (Arg == "--synth-algo" && I + 1 < Argc) {
+      SetSynthAlgo(Argv[++I]);
+    } else if (Arg.rfind("--synth-algo=", 0) == 0) {
+      SetSynthAlgo(Arg.substr(std::strlen("--synth-algo=")));
     } else if (Arg == "--bench-json" && I + 1 < Argc) {
       benchJsonPath() = Argv[++I];
     } else if (Arg.rfind("--bench-json=", 0) == 0) {
       benchJsonPath() = Arg.substr(std::strlen("--bench-json="));
+    } else if (Arg == "--profile-repeat" && I + 1 < Argc) {
+      long N = std::strtol(Argv[++I], nullptr, 10);
+      profileRepeatFlag() = N > 0 ? static_cast<unsigned>(N) : 1;
+    } else if (Arg.rfind("--profile-repeat=", 0) == 0) {
+      long N = std::strtol(Arg.c_str() + std::strlen("--profile-repeat="),
+                           nullptr, 10);
+      profileRepeatFlag() = N > 0 ? static_cast<unsigned>(N) : 1;
     } else if (Arg == "--sweep-repeat" && I + 1 < Argc) {
       long N = std::strtol(Argv[++I], nullptr, 10);
       sweepRepeatFlag() = N > 0 ? static_cast<unsigned>(N) : 1;
@@ -172,7 +199,13 @@ inline void writeBenchJson(const char *BenchName) {
                slope::ml::defaultNnAlgorithm() == slope::ml::NnAlgorithm::Naive
                    ? "naive"
                    : "batched");
+  std::fprintf(F, "  \"synth_algo\": \"%s\",\n",
+               slope::sim::defaultSynthAlgorithm() ==
+                       slope::sim::SynthAlgorithm::Naive
+                   ? "naive"
+                   : "batched");
   std::fprintf(F, "  \"sweep_repeat\": %u,\n", sweepRepeatFlag());
+  std::fprintf(F, "  \"profile_repeat\": %u,\n", profileRepeatFlag());
   std::fprintf(F, "  \"sections\": [\n");
   for (size_t I = 0; I < timedSections().size(); ++I) {
     const auto &[Name, Ms] = timedSections()[I];
@@ -189,6 +222,16 @@ inline void writeBenchJson(const char *BenchName) {
                    1e6);
   std::fprintf(F, "  \"nn_fit_ms\": %.3f,\n",
                static_cast<double>(slope::phaseTotalNs(slope::Phase::NnFit)) /
+                   1e6);
+  // profile_ms is charged at campaign level on the calling thread (wall
+  // clock), so a parallel campaign reports a smaller number — the CI
+  // speedup gate compares exactly this. synth_ms is summed across all
+  // threads' readCountersBatch scopes (kernel CPU time).
+  std::fprintf(F, "  \"profile_ms\": %.3f,\n",
+               static_cast<double>(slope::phaseTotalNs(slope::Phase::Profile)) /
+                   1e6);
+  std::fprintf(F, "  \"synth_ms\": %.3f,\n",
+               static_cast<double>(slope::phaseTotalNs(slope::Phase::Synth)) /
                    1e6);
   std::fprintf(F, "  \"total_ms\": %.3f\n}\n", TotalMs);
   std::fclose(F);

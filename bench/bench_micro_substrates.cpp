@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AdditivityChecker.h"
+#include "core/DatasetBuilder.h"
 #include "ml/LinearRegression.h"
 #include "ml/NeuralNetwork.h"
 #include "ml/RandomForest.h"
@@ -271,6 +272,49 @@ void BM_CounterSynthesisAllEvents(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_CounterSynthesisAllEvents);
+
+// Whole-registry synthesis through the batch entry point, batched plan
+// kernel vs the per-event naive reference dispatch; both produce
+// bit-identical counts. The CI speedup gate reads these two timings.
+void BM_ReadCountersBatch(benchmark::State &State) {
+  sim::SynthAlgorithm Saved = sim::defaultSynthAlgorithm();
+  sim::setDefaultSynthAlgorithm(State.range(0) == 0
+                                    ? sim::SynthAlgorithm::Batched
+                                    : sim::SynthAlgorithm::Naive);
+  sim::Machine M(sim::Platform::intelSkylakeServer(), 8);
+  sim::Execution E = M.run(sim::Application(sim::KernelKind::MklFft, 24000));
+  std::vector<pmc::EventId> All = M.registry().allEvents();
+  std::vector<double> Counts(All.size());
+  for (auto _ : State) {
+    M.readCountersBatch(All.data(), All.size(), E, Counts.data());
+    benchmark::DoNotOptimize(Counts);
+  }
+  sim::setDefaultSynthAlgorithm(Saved);
+}
+BENCHMARK(BM_ReadCountersBatch)->Arg(0)->Arg(1);
+
+// A small profiling campaign end to end (plan, batch-run, meter, reduce,
+// rows): the fused parallel path vs the same campaign with the naive
+// synthesis kernel.
+void BM_DatasetBuild(benchmark::State &State) {
+  sim::SynthAlgorithm Saved = sim::defaultSynthAlgorithm();
+  sim::setDefaultSynthAlgorithm(State.range(0) == 0
+                                    ? sim::SynthAlgorithm::Batched
+                                    : sim::SynthAlgorithm::Naive);
+  std::vector<sim::CompoundApplication> Apps;
+  for (int I = 0; I < 8; ++I)
+    Apps.push_back(sim::CompoundApplication(
+        sim::Application(sim::KernelKind::MklDgemm, 8000 + 500 * I)));
+  for (auto _ : State) {
+    sim::Machine M(sim::Platform::intelHaswellServer(), 10);
+    power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+    core::DatasetBuilder Builder(M, Meter);
+    auto Data = Builder.buildByName(Apps, pmc::haswellClassAPmcNames());
+    benchmark::DoNotOptimize(Data);
+  }
+  sim::setDefaultSynthAlgorithm(Saved);
+}
+BENCHMARK(BM_DatasetBuild)->Arg(0)->Arg(1);
 
 void BM_AdditivityCheckSixPmcs(benchmark::State &State) {
   for (auto _ : State) {

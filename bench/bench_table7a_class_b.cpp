@@ -21,10 +21,12 @@ using namespace slope::core;
 int main(int Argc, char **Argv) {
   bench::parseArgs(Argc, Argv);
   bench::banner("Table 7a: Class B nine-PMC models");
+  ClassBCConfig Config = bench::fullClassBC();
+  Config.ProfileRepeat = bench::profileRepeatFlag();
   ClassBCResult Result;
   {
     bench::ScopedTimer Timer("run_class_bc");
-    Result = runClassBC(bench::fullClassBC());
+    Result = runClassBC(Config);
   }
 
   TablePrinter T({"Model", "PMCs", "Reproduced [Min, Avg, Max]",

@@ -47,18 +47,22 @@ std::unique_ptr<ml::Model> makeModel(ModelFamily Family, uint64_t Seed,
   return nullptr;
 }
 
-/// Fits a model of \p Family on the named columns and evaluates it on the
-/// test split, producing one table row.
+/// Fits a model of \p Family on the pre-selected train/test datasets and
+/// evaluates it, producing one table row. \p SubTrain / \p SubTest must be
+/// restricted to the \p Pmcs columns already — the subset datasets are
+/// built once per subset and shared across the model families and sweep
+/// passes instead of being re-copied per variant.
 ModelEvalRow evaluateSubset(ModelFamily Family, const std::string &Label,
                             const std::vector<std::string> &Pmcs,
-                            const ml::Dataset &Train,
-                            const ml::Dataset &Test, uint64_t Seed,
+                            const ml::Dataset &SubTrain,
+                            const ml::Dataset &SubTest, uint64_t Seed,
                             unsigned NnEpochs, size_t RfTrees) {
   ModelEvalRow Row;
   Row.Label = Label;
   Row.Pmcs = Pmcs;
-  ml::Dataset SubTrain = Train.selectFeatures(Pmcs);
-  ml::Dataset SubTest = Test.selectFeatures(Pmcs);
+  assert(SubTrain.numFeatures() == Pmcs.size() &&
+         SubTest.numFeatures() == Pmcs.size() &&
+         "expected pre-selected subset datasets");
   std::unique_ptr<ml::Model> M = makeModel(Family, Seed, NnEpochs, RfTrees);
   [[maybe_unused]] auto Fit = M->fit(SubTrain);
   assert(Fit && "experiment model failed to fit");
@@ -120,6 +124,14 @@ ClassAResult core::runClassA(const ClassAConfig &Config) {
   Result.Lr.resize(Subsets.size());
   Result.Rf.resize(Subsets.size());
   Result.Nn.resize(Subsets.size());
+  // Each subset's train/test datasets are shared by the three model
+  // families and every sweep pass, so select the columns once per subset
+  // rather than 3 x passes times.
+  std::vector<ml::Dataset> SubTrain(Subsets.size()), SubTest(Subsets.size());
+  parallelFor(0, Subsets.size(), 1, [&](size_t I) {
+    SubTrain[I] = Train.selectFeatures(Subsets[I]);
+    SubTest[I] = Test.selectFeatures(Subsets[I]);
+  });
   unsigned Repeat = std::max(1u, Config.SweepRepeat);
   for (unsigned Pass = 0; Pass < Repeat; ++Pass)
     parallelFor(0, Subsets.size() * 3, 1, [&](size_t Task) {
@@ -129,20 +141,20 @@ ClassAResult core::runClassA(const ClassAConfig &Config) {
       case 0:
         if (Config.Families & ClassAConfig::FamilyLR)
           Result.Lr[I] = evaluateSubset(
-              ModelFamily::LR, "LR" + Index, Subsets[I], Train, Test,
-              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+              ModelFamily::LR, "LR" + Index, Subsets[I], SubTrain[I],
+              SubTest[I], Config.Seed + I, Config.NnEpochs, Config.RfTrees);
         break;
       case 1:
         if (Config.Families & ClassAConfig::FamilyRF)
           Result.Rf[I] = evaluateSubset(
-              ModelFamily::RF, "RF" + Index, Subsets[I], Train, Test,
-              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+              ModelFamily::RF, "RF" + Index, Subsets[I], SubTrain[I],
+              SubTest[I], Config.Seed + I, Config.NnEpochs, Config.RfTrees);
         break;
       default:
         if (Config.Families & ClassAConfig::FamilyNN)
           Result.Nn[I] = evaluateSubset(
-              ModelFamily::NN, "NN" + Index, Subsets[I], Train, Test,
-              Config.Seed + I, Config.NnEpochs, Config.RfTrees);
+              ModelFamily::NN, "NN" + Index, Subsets[I], SubTrain[I],
+              SubTest[I], Config.Seed + I, Config.NnEpochs, Config.RfTrees);
         break;
       }
     });
@@ -194,11 +206,19 @@ ClassBCResult core::runClassBC(const ClassBCConfig &Config) {
   }
 
   DatasetBuilder Builder(M, Meter);
-  ml::Dataset Full = *Builder.buildByName(asCompounds(Points), [&] {
-    std::vector<std::string> All = PaNames;
-    All.insert(All.end(), PnaNames.begin(), PnaNames.end());
-    return All;
-  }());
+  std::vector<std::string> AllNames = PaNames;
+  AllNames.insert(AllNames.end(), PnaNames.begin(), PnaNames.end());
+  std::vector<CompoundApplication> PointCompounds = asCompounds(Points);
+  ml::Dataset Full = *Builder.buildByName(PointCompounds, AllNames);
+
+  // Extra profiling passes for perf gates: they re-run the campaign after
+  // the real one and are discarded, so nothing downstream (and no table)
+  // changes, while Phase::Profile grows past runner timing noise.
+  for (unsigned Pass = 1; Pass < Config.ProfileRepeat; ++Pass) {
+    (void)Checker.checkAll(PaEvents, AddCompounds);
+    (void)Checker.checkAll(PnaEvents, AddCompounds);
+    (void)Builder.buildByName(PointCompounds, AllNames);
+  }
 
   // --- Table 6: correlation with dynamic energy over the full dataset.
   std::vector<double> Correlations = energyCorrelations(Full);
@@ -240,20 +260,31 @@ ClassBCResult core::runClassBC(const ClassBCConfig &Config) {
   Result.Pna4 = selectMostCorrelated(Full.selectFeatures(PnaNames), 4);
   Result.ClassC.resize(6);
 
+  // Four distinct feature subsets serve the twelve variants; build each
+  // subset's train/test datasets once and share them across families.
+  const std::vector<std::string> *SubsetNames[4] = {&PaNames, &PnaNames,
+                                                    &Result.Pa4, &Result.Pna4};
+  std::vector<ml::Dataset> SubTrain(4), SubTest(4);
+  parallelFor(0, 4, 1, [&](size_t I) {
+    SubTrain[I] = Train.selectFeatures(*SubsetNames[I]);
+    SubTest[I] = Test.selectFeatures(*SubsetNames[I]);
+  });
+
   parallelFor(0, 12, 1, [&](size_t Task) {
     ModelFamily Family = AllFamilies[(Task % 6) / 2];
     std::string Base = modelFamilyName(Family);
     bool Additive = (Task % 2) == 0;
+    size_t Subset = (Task < 6 ? 0 : 2) + (Additive ? 0 : 1);
     if (Task < 6)
       Result.ClassB[Task] = evaluateSubset(
-          Family, Base + (Additive ? "-A" : "-NA"),
-          Additive ? PaNames : PnaNames, Train, Test,
+          Family, Base + (Additive ? "-A" : "-NA"), *SubsetNames[Subset],
+          SubTrain[Subset], SubTest[Subset],
           Config.Seed + (Additive ? 31 : 37), Config.NnEpochs,
           Config.RfTrees);
     else
       Result.ClassC[Task - 6] = evaluateSubset(
-          Family, Base + (Additive ? "-A4" : "-NA4"),
-          Additive ? Result.Pa4 : Result.Pna4, Train, Test,
+          Family, Base + (Additive ? "-A4" : "-NA4"), *SubsetNames[Subset],
+          SubTrain[Subset], SubTest[Subset],
           Config.Seed + (Additive ? 41 : 43), Config.NnEpochs,
           Config.RfTrees);
   });

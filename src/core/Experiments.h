@@ -90,6 +90,11 @@ struct ClassBCConfig {
   size_t RfTrees = 100;
   /// Set to reduce the 801-point model dataset for quick runs (0 = all).
   size_t MaxDatasetPoints = 0;
+  /// Number of times the profiling campaign (additivity study + dataset
+  /// build) runs; passes after the first are discarded, so every table
+  /// stays byte-identical. Perf gates raise this so campaign time
+  /// dominates runner timing noise.
+  unsigned ProfileRepeat = 1;
 };
 
 /// One Table 6 row: a PMC with its energy correlation and additivity.

@@ -23,6 +23,14 @@
 namespace slope {
 namespace core {
 
+namespace detail {
+/// Test-only hook bracketing the profiler's warm reduction loop (the
+/// per-run, per-repetition counter reads and accumulations): called with
+/// true on entry and false on exit, after all scratch buffers are sized.
+/// Tests use it to assert the loop performs zero heap allocations.
+extern void (*ProfilerRepLoopProbe)(bool Entering);
+} // namespace detail
+
 /// Result of one profiling request.
 struct ProfileResult {
   /// Mean counts, ordered like the requested event ids.
@@ -54,6 +62,18 @@ public:
 
   /// \returns the number of runs needed to collect \p Events once.
   Expected<size_t> collectionCost(const std::vector<pmc::EventId> &Events) const;
+
+  /// Reduces already-performed executions (and their optional per-run
+  /// meter readings) into the profile collect() would report. \p Execs
+  /// must hold Plan.numRuns() * \p Repetitions executions in plan order
+  /// (collection-run major, repetition minor); \p Readings, when non-null,
+  /// must parallel \p Execs. Pure with respect to the machine (counter
+  /// synthesis is const), so disjoint campaigns — e.g. the per-application
+  /// slices of DatasetBuilder::build — may reduce concurrently.
+  ProfileResult reduceRuns(const pmc::CollectionPlan &Plan,
+                           const std::vector<pmc::EventId> &Events,
+                           unsigned Repetitions, const sim::Execution *Execs,
+                           const power::EnergyReading *Readings) const;
 
 private:
   sim::Machine &M;

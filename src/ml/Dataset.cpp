@@ -39,12 +39,18 @@ void Dataset::gatherRow(size_t R, std::vector<double> &Out) const {
     Out[C] = Columns[C][R];
 }
 
-stats::Matrix Dataset::featureMatrix() const {
-  stats::Matrix M(numRows(), numFeatures());
+stats::Matrix Dataset::featureMatrix() const { return designMatrix(false); }
+
+stats::Matrix Dataset::designMatrix(bool IncludeOnes) const {
+  const size_t Ones = IncludeOnes ? 1 : 0;
+  stats::Matrix M(numRows(), numFeatures() + Ones);
+  if (IncludeOnes)
+    for (size_t R = 0; R < Targets.size(); ++R)
+      M.at(R, 0) = 1.0;
   for (size_t C = 0; C < Columns.size(); ++C) {
     const double *Col = Columns[C].data();
     for (size_t R = 0; R < Targets.size(); ++R)
-      M.at(R, C) = Col[R];
+      M.at(R, C + Ones) = Col[R];
   }
   return M;
 }

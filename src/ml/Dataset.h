@@ -73,6 +73,13 @@ public:
   /// \returns the feature rows as a dense matrix (numRows x numFeatures).
   stats::Matrix featureMatrix() const;
 
+  /// \returns the regression design matrix: the feature rows, preceded by
+  /// a constant-1 intercept column when \p IncludeOnes is set. Written
+  /// directly from the columnar store (one strided pass per column), so
+  /// fitting with an intercept does not copy a featureMatrix() element by
+  /// element first. Entries equal featureMatrix()'s, shifted one column.
+  stats::Matrix designMatrix(bool IncludeOnes) const;
+
   /// \returns one feature column by index, as a contiguous vector view.
   const std::vector<double> &featureColumn(size_t C) const {
     assert(C < Columns.size() && "feature index out of range");

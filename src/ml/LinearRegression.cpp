@@ -18,18 +18,10 @@ Expected<bool> LinearRegression::fit(const Dataset &Training) {
   if (Training.numFeatures() == 0)
     return makeError("cannot fit a linear model without features");
 
-  stats::Matrix X = Training.featureMatrix();
-  // With an intercept, prepend a constant-1 column and treat its
-  // coefficient as the intercept afterwards.
-  if (!Options.ZeroIntercept) {
-    stats::Matrix WithOnes(X.rows(), X.cols() + 1);
-    for (size_t R = 0; R < X.rows(); ++R) {
-      WithOnes.at(R, 0) = 1.0;
-      for (size_t C = 0; C < X.cols(); ++C)
-        WithOnes.at(R, C + 1) = X.at(R, C);
-    }
-    X = WithOnes;
-  }
+  // With an intercept, the design matrix carries a leading constant-1
+  // column whose coefficient becomes the intercept afterwards; it is
+  // assembled straight from the columnar store.
+  stats::Matrix X = Training.designMatrix(!Options.ZeroIntercept);
 
   std::vector<double> Beta;
   if (Options.NonNegative) {

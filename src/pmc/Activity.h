@@ -113,6 +113,10 @@ public:
     return *this;
   }
 
+  /// \returns the dense count array (NumActivityKinds doubles, indexed by
+  /// ActivityKind). Batch synthesis streams phases through this view.
+  const double *data() const { return Counts.data(); }
+
   /// \returns the sum of all counts (used in sanity checks).
   double total() const {
     double Sum = 0;

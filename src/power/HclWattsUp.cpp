@@ -28,6 +28,15 @@ EnergyReading HclWattsUp::readingFor(const Execution &Exec) {
   return Reading;
 }
 
+std::vector<EnergyReading>
+HclWattsUp::readingsFor(const std::vector<Execution> &Execs) {
+  std::vector<EnergyReading> Readings;
+  Readings.reserve(Execs.size());
+  for (const Execution &Exec : Execs)
+    Readings.push_back(readingFor(Exec));
+  return Readings;
+}
+
 EnergyReading HclWattsUp::measureRun(const CompoundApplication &App) {
   Execution Exec = M.run(App);
   return readingFor(Exec);

@@ -48,6 +48,12 @@ public:
   /// PMCs and energy must come from the same run).
   EnergyReading readingFor(const sim::Execution &Exec);
 
+  /// Readings for a batch of already-performed executions, in order. The
+  /// meter is stateful (its sampling RNG advances per reading), so batch
+  /// campaigns funnel all their readings through this one serial scan to
+  /// stay bit-identical to reading each execution as it finishes.
+  std::vector<EnergyReading> readingsFor(const std::vector<sim::Execution> &Execs);
+
   /// Measures the dynamic energy of \p App with the repeated-runs
   /// methodology; \returns the converged sample-mean summary.
   MeasurementResult measureDynamicEnergy(const sim::CompoundApplication &App,

@@ -6,13 +6,38 @@
 
 #include "sim/Machine.h"
 
+#include "support/PhaseTimers.h"
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 using namespace slope;
 using namespace slope::pmc;
 using namespace slope::sim;
+
+namespace {
+SynthAlgorithm initialSynthAlgorithm() {
+  if (const char *Env = std::getenv("SLOPE_SYNTH_ALGO")) {
+    if (std::string_view(Env) == "naive")
+      return SynthAlgorithm::Naive;
+    if (std::string_view(Env) == "batched")
+      return SynthAlgorithm::Batched;
+  }
+  return SynthAlgorithm::Batched;
+}
+
+SynthAlgorithm GlobalSynthAlgorithm = initialSynthAlgorithm();
+} // namespace
+
+void sim::setDefaultSynthAlgorithm(SynthAlgorithm A) {
+  GlobalSynthAlgorithm = A;
+}
+
+SynthAlgorithm sim::defaultSynthAlgorithm() { return GlobalSynthAlgorithm; }
 
 ActivityVector Execution::totalActivities() const {
   ActivityVector Total;
@@ -30,12 +55,44 @@ double Execution::totalTimeSec() const {
 
 Machine::Machine(Platform P, uint64_t Seed)
     : Plat(std::move(P)), Registry(Plat.buildRegistry()), Energy(Plat),
-      MachineRng(Seed) {}
+      MachineRng(Seed) {
+  buildSynthesisPlan();
+}
 
-Execution Machine::run(const CompoundApplication &App) {
+void Machine::buildSynthesisPlan() {
+  Plan.Events.resize(Registry.size());
+  size_t NumTerms = 0;
+  for (size_t Id = 0; Id < Registry.size(); ++Id)
+    NumTerms += Registry.event(static_cast<EventId>(Id)).Model.Coeffs.size();
+  Plan.TermKind.reserve(NumTerms);
+  Plan.TermWeight.reserve(NumTerms);
+
+  for (size_t Id = 0; Id < Registry.size(); ++Id) {
+    const SynthesisModel &Model =
+        Registry.event(static_cast<EventId>(Id)).Model;
+    SynthesisPlan::EventEntry &Entry = Plan.Events[Id];
+    Entry.TermBegin = static_cast<uint32_t>(Plan.TermKind.size());
+    // Keep the registry's term order: the weighted base sums below must
+    // associate exactly as readCounter's loop over Model.Coeffs does.
+    for (const ActivityTerm &Term : Model.Coeffs) {
+      Plan.TermKind.push_back(static_cast<uint32_t>(Term.Kind));
+      Plan.TermWeight.push_back(Term.Weight);
+    }
+    Entry.TermEnd = static_cast<uint32_t>(Plan.TermKind.size());
+    Entry.NaFraction = Model.NaFraction;
+    Entry.NaBoundaryBeta = Model.NaBoundaryBeta;
+    Entry.IntensityFloor = Model.IntensityFloor;
+    Entry.NaJitterSigma = Model.NaJitterSigma;
+    Entry.ContextFloor = Model.ContextFloor;
+    Entry.NoiseSigma = Model.NoiseSigma;
+  }
+}
+
+Execution Machine::runWithSeed(const CompoundApplication &App,
+                               uint64_t RunSeed) const {
   assert(!App.Phases.empty() && "running an empty compound application");
   Execution Exec;
-  Exec.RunSeed = MachineRng.fork(++RunCounter).next();
+  Exec.RunSeed = RunSeed;
 
   Rng RunRng(Exec.RunSeed);
   for (const Application &Base : App.Phases) {
@@ -83,6 +140,28 @@ Execution Machine::run(const CompoundApplication &App) {
   return Exec;
 }
 
+Execution Machine::run(const CompoundApplication &App) {
+  return runWithSeed(App, MachineRng.fork(++RunCounter).next());
+}
+
+std::vector<uint64_t> Machine::forkRunSeeds(size_t NumRuns) {
+  std::vector<uint64_t> Seeds;
+  Seeds.reserve(NumRuns);
+  for (size_t I = 0; I < NumRuns; ++I)
+    Seeds.push_back(MachineRng.fork(++RunCounter).next());
+  return Seeds;
+}
+
+std::vector<Execution> Machine::runBatch(const CompoundApplication &App,
+                                         size_t NumRuns) {
+  std::vector<uint64_t> Seeds = forkRunSeeds(NumRuns);
+  std::vector<Execution> Execs(NumRuns);
+  parallelFor(0, NumRuns, 1, [&](size_t I) {
+    Execs[I] = runWithSeed(App, Seeds[I]);
+  });
+  return Execs;
+}
+
 double Machine::readCounter(EventId Id, const Execution &Exec) const {
   assert(!Exec.Phases.empty() && "reading a counter without an execution");
   const SynthesisModel &Model = Registry.event(Id).Model;
@@ -124,4 +203,83 @@ Machine::readCounters(const std::vector<EventId> &Ids,
   for (EventId Id : Ids)
     Counts.push_back(readCounter(Id, Exec));
   return Counts;
+}
+
+std::vector<double>
+Machine::readCountersBatch(const std::vector<EventId> &Ids,
+                           const Execution &Exec) const {
+  std::vector<double> Counts(Ids.size());
+  readCountersBatch(Ids.data(), Ids.size(), Exec, Counts.data());
+  return Counts;
+}
+
+void Machine::readCountersBatch(const EventId *Ids, size_t NumIds,
+                                const Execution &Exec, double *Out) const {
+  assert(!Exec.Phases.empty() && "reading counters without an execution");
+  ScopedPhase Timer(Phase::Synth);
+
+  if (GlobalSynthAlgorithm == SynthAlgorithm::Naive) {
+    for (size_t I = 0; I < NumIds; ++I)
+      Out[I] = readCounter(Ids[I], Exec);
+    return;
+  }
+
+  // Batched kernel. Everything shared across events is hoisted out of the
+  // event loop: the seed generator (fork() is const, so one Rng serves all
+  // events), the per-phase activity pointers and effective intensities,
+  // and the boundary count. The per-event work then streams the flattened
+  // term table. Order guarantees that make each count bit-identical to
+  // readCounter: terms accumulate in the registry's Coeffs order, phases
+  // accumulate in execution order, and the three RNG draws happen in the
+  // same sequence against the same fork tag.
+  const Rng SeedRng(Exec.RunSeed);
+  const size_t NumPhases = Exec.Phases.size();
+  const double Boundaries = static_cast<double>(NumPhases) - 1.0;
+
+  // Phase views on the stack for the common case; direct access (still
+  // allocation-free) for pathologically long compounds.
+  constexpr size_t MaxHoistedPhases = 32;
+  const double *ActData[MaxHoistedPhases];
+  double Intensity[MaxHoistedPhases];
+  const bool Hoisted = NumPhases <= MaxHoistedPhases;
+  if (Hoisted) {
+    for (size_t P = 0; P < NumPhases; ++P) {
+      ActData[P] = Exec.Phases[P].Activities.data();
+      Intensity[P] = Exec.Phases[P].ContextIntensity;
+    }
+  }
+
+  for (size_t I = 0; I < NumIds; ++I) {
+    const EventId Id = Ids[I];
+    assert(Id < Plan.Events.size() && "event id out of range");
+    const SynthesisPlan::EventEntry &E = Plan.Events[Id];
+
+    Rng EventRng = SeedRng.fork(static_cast<uint64_t>(Id) + 1);
+
+    double BaseTotal = 0;
+    double ContextSum = 0;
+    for (size_t P = 0; P < NumPhases; ++P) {
+      const double *Act =
+          Hoisted ? ActData[P] : Exec.Phases[P].Activities.data();
+      const double PhaseIntensity =
+          Hoisted ? Intensity[P] : Exec.Phases[P].ContextIntensity;
+      double Base = 0;
+      for (uint32_t T = E.TermBegin; T != E.TermEnd; ++T)
+        Base += Plan.TermWeight[T] * Act[Plan.TermKind[T]];
+      BaseTotal += Base;
+      ContextSum += Base * std::max(PhaseIntensity, E.IntensityFloor);
+    }
+
+    double Context = E.NaFraction * ContextSum *
+                     (1.0 + E.NaBoundaryBeta * Boundaries) *
+                     EventRng.lognormalFactor(E.NaJitterSigma);
+
+    double Floor = E.ContextFloor;
+    if (Floor > 0)
+      Floor *= EventRng.lognormalFactor(E.NoiseSigma);
+
+    double Count = (BaseTotal + Context + Floor) *
+                   EventRng.lognormalFactor(E.NoiseSigma);
+    Out[I] = std::max(Count, 0.0);
+  }
 }

@@ -47,6 +47,23 @@ struct Execution {
   double totalTimeSec() const;
 };
 
+/// Selectable counter-synthesis kernel. Both produce bit-identical
+/// counts; the naive kernel is the readable per-event reference, the
+/// batched kernel synthesizes whole event groups per execution through a
+/// flattened copy of the registry's synthesis models.
+enum class SynthAlgorithm {
+  Naive,   ///< Per-event readCounter through the registry (seed kernel).
+  Batched, ///< Blocked pass over a machine-wide flattened term table.
+};
+
+/// Overrides the process-wide synthesis kernel. The initial value honours
+/// the SLOPE_SYNTH_ALGO environment variable ("naive" / "batched") and
+/// defaults to Batched; the --synth-algo driver flag routes here.
+void setDefaultSynthAlgorithm(SynthAlgorithm A);
+
+/// \returns the process-wide synthesis kernel.
+SynthAlgorithm defaultSynthAlgorithm();
+
 /// A simulated platform instance with its event registry and energy model.
 class Machine {
 public:
@@ -66,9 +83,30 @@ public:
     return run(CompoundApplication(App));
   }
 
+  /// Executes \p App against an explicit run seed. Pure: does not touch
+  /// the machine's run counter, so pre-forked runs may execute
+  /// concurrently. run() is exactly runWithSeed() on the next counter
+  /// seed.
+  Execution runWithSeed(const CompoundApplication &App,
+                        uint64_t RunSeed) const;
+
+  /// Draws the next \p NumRuns run seeds from the stateful run counter,
+  /// in the order \p NumRuns successive run() calls would consume them.
+  /// Forking serially and executing with runWithSeed() in parallel
+  /// reproduces a serial scan bit for bit.
+  std::vector<uint64_t> forkRunSeeds(size_t NumRuns);
+
+  /// Executes \p App \p NumRuns times: seeds are forked serially, the
+  /// runs execute in parallel on the global thread pool into disjoint
+  /// slots. Bit-identical to \p NumRuns successive run() calls at any
+  /// thread count.
+  std::vector<Execution> runBatch(const CompoundApplication &App,
+                                  size_t NumRuns);
+
   /// Synthesizes the observed count of \p Id for \p Exec (see
   /// pmc::SynthesisModel for the formula). Deterministic per
-  /// (Exec.RunSeed, Id).
+  /// (Exec.RunSeed, Id). This is the reference kernel the batched path
+  /// must match bit for bit.
   double readCounter(pmc::EventId Id, const Execution &Exec) const;
 
   /// Reads several counters against one execution. The caller is
@@ -77,12 +115,51 @@ public:
   std::vector<double> readCounters(const std::vector<pmc::EventId> &Ids,
                                    const Execution &Exec) const;
 
+  /// Synthesizes all of \p Ids against \p Exec in one pass, dispatching
+  /// on defaultSynthAlgorithm(). The batched kernel hoists the RNG seed
+  /// state and the execution's per-phase activity vectors once and
+  /// streams a flattened machine-wide weight table, preserving each
+  /// event's term order and phase order — every count is bit-identical
+  /// to readCounter().
+  std::vector<double>
+  readCountersBatch(const std::vector<pmc::EventId> &Ids,
+                    const Execution &Exec) const;
+
+  /// Allocation-free core of readCountersBatch: writes \p NumIds counts
+  /// to \p Out. Hot rep loops reuse one output buffer across calls.
+  void readCountersBatch(const pmc::EventId *Ids, size_t NumIds,
+                         const Execution &Exec, double *Out) const;
+
 private:
+  /// Flattened, cache-contiguous copy of every event's SynthesisModel:
+  /// one dense parameter entry per event plus a shared term table in the
+  /// registry's original per-event term order (term order must be
+  /// preserved — reassociating the weighted sums would change the
+  /// floating-point result).
+  struct SynthesisPlan {
+    struct EventEntry {
+      uint32_t TermBegin = 0;    ///< First index into TermKind/TermWeight.
+      uint32_t TermEnd = 0;      ///< One past the last term.
+      double NaFraction = 0;
+      double NaBoundaryBeta = 0;
+      double IntensityFloor = 0;
+      double NaJitterSigma = 0;
+      double ContextFloor = 0;
+      double NoiseSigma = 0;
+    };
+    std::vector<EventEntry> Events; ///< Indexed by EventId.
+    std::vector<uint32_t> TermKind; ///< ActivityKind per term.
+    std::vector<double> TermWeight; ///< Weight per term.
+  };
+
+  void buildSynthesisPlan();
+
   Platform Plat;
   pmc::EventRegistry Registry;
   EnergyModel Energy;
   Rng MachineRng;
   uint64_t RunCounter = 0;
+  SynthesisPlan Plan;
 };
 
 } // namespace sim

@@ -29,6 +29,12 @@ namespace slope {
 enum class Phase : unsigned {
   ForestTreeFit, ///< DecisionTree::fitRows calls made by RandomForest::fit.
   NnFit,         ///< NeuralNetwork::fit training loops (either kernel).
+  Profile,       ///< Profiling campaigns: DatasetBuilder::build and
+                 ///< AdditivityChecker::checkAll, timed on the calling
+                 ///< thread so the counter reflects wall clock (and thus
+                 ///< credits parallel execution), never summed CPU time.
+  Synth,         ///< Machine::readCountersBatch counter synthesis
+                 ///< (either kernel).
   NumPhases,
 };
 

@@ -7,6 +7,7 @@
 #include "core/DatasetBuilder.h"
 
 #include "pmc/PlatformEvents.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -102,4 +103,73 @@ TEST(DatasetBuilder, CountsScaleWithWork) {
   // 2 * 8000^3 vs 2 * 12000^3.
   double Ratio = Data->row(1)[0] / Data->row(0)[0];
   EXPECT_NEAR(Ratio, std::pow(12000.0 / 8000.0, 3), Ratio * 0.05);
+}
+
+namespace {
+/// Restores global pool/kernel configuration on scope exit.
+struct CampaignConfigGuard {
+  sim::SynthAlgorithm Saved = sim::defaultSynthAlgorithm();
+  ~CampaignConfigGuard() {
+    ThreadPool::setGlobalThreadCount(0);
+    sim::setDefaultSynthAlgorithm(Saved);
+  }
+};
+
+/// Asserts two datasets are bit-for-bit equal (columns and targets).
+void expectDatasetsIdentical(const ml::Dataset &A, const ml::Dataset &B) {
+  ASSERT_EQ(A.numRows(), B.numRows());
+  ASSERT_EQ(A.featureNames(), B.featureNames());
+  EXPECT_EQ(A.targets(), B.targets());
+  for (size_t C = 0; C < A.numFeatures(); ++C)
+    EXPECT_EQ(A.featureColumn(C), B.featureColumn(C))
+        << "column " << A.featureNames()[C] << " differs";
+}
+} // namespace
+
+TEST(DatasetBuilder, ParallelBuildMatchesSerialPerAppCampaign) {
+  // The fused campaign (seeds pre-forked app-major, runs parallel, meter
+  // serial, reductions parallel) must reproduce profiling each
+  // application one after the other on a twin rig, bit for bit.
+  CampaignConfigGuard Guard;
+  DatasetBuildOptions Options;
+  Options.Repetitions = 2;
+
+  Machine SerialM(Platform::intelSkylakeServer(), 21);
+  power::HclWattsUp SerialMeter(SerialM,
+                                std::make_unique<power::WattsUpProMeter>());
+  PmcProfiler SerialProfiler(SerialM, &SerialMeter);
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name : pmc::skylakePaNames())
+    Events.push_back(*SerialM.registry().lookup(Name));
+  ml::Dataset Reference(pmc::skylakePaNames());
+  ThreadPool::setGlobalThreadCount(1);
+  for (const CompoundApplication &App : someApps()) {
+    auto Profile = SerialProfiler.collect(App, Events, Options.Repetitions);
+    ASSERT_TRUE(bool(Profile));
+    Reference.addRow(Profile->Counts, Profile->DynamicEnergyJ);
+  }
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ThreadPool::setGlobalThreadCount(Threads);
+    Machine M(Platform::intelSkylakeServer(), 21);
+    power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+    DatasetBuilder Builder(M, Meter, Options);
+    auto Data = Builder.buildByName(someApps(), pmc::skylakePaNames());
+    ASSERT_TRUE(bool(Data));
+    expectDatasetsIdentical(*Data, Reference);
+  }
+}
+
+TEST(DatasetBuilder, SynthesisKernelsProduceIdenticalDatasets) {
+  CampaignConfigGuard Guard;
+  std::vector<ml::Dataset> PerAlgo;
+  for (sim::SynthAlgorithm Algo :
+       {sim::SynthAlgorithm::Naive, sim::SynthAlgorithm::Batched}) {
+    sim::setDefaultSynthAlgorithm(Algo);
+    Rig R(22);
+    auto Data = R.Builder.buildByName(someApps(), pmc::skylakePaNames());
+    ASSERT_TRUE(bool(Data));
+    PerAlgo.push_back(*Data);
+  }
+  expectDatasetsIdentical(PerAlgo[0], PerAlgo[1]);
 }

@@ -6,9 +6,12 @@
 
 #include "core/PmcProfiler.h"
 
+#include "../ml/AllocCounting.h"
 #include "pmc/PlatformEvents.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
 
 using namespace slope;
 using namespace slope::core;
@@ -18,6 +21,54 @@ using namespace slope::sim;
 namespace {
 CompoundApplication dgemm() {
   return CompoundApplication(Application(KernelKind::MklDgemm, 10000));
+}
+
+/// Restores the process-wide synthesis kernel on scope exit.
+struct SynthAlgoGuard {
+  SynthAlgorithm Saved = defaultSynthAlgorithm();
+  ~SynthAlgoGuard() { setDefaultSynthAlgorithm(Saved); }
+};
+
+/// The seed-era collection algorithm, kept verbatim as the reference the
+/// batched campaign must reproduce bit for bit: one serial machine run
+/// per (collection run, repetition), the meter read as each run finishes,
+/// per-event counts accumulated through ordered map nodes.
+ProfileResult referenceCollect(Machine &M, power::HclWattsUp *Meter,
+                               const CompoundApplication &App,
+                               const std::vector<EventId> &Events,
+                               unsigned Repetitions) {
+  auto Plan = planCollection(M.registry(), Events);
+  EXPECT_TRUE(bool(Plan));
+  std::map<EventId, double> MeanByEvent;
+  ProfileResult Result;
+  double EnergySum = 0, TotalSum = 0, TimeSum = 0;
+  for (const CollectionRun &Run : Plan->Runs) {
+    std::map<EventId, double> GroupSum;
+    for (unsigned Rep = 0; Rep < Repetitions; ++Rep) {
+      Execution Exec = M.run(App);
+      ++Result.RunsUsed;
+      TimeSum += Exec.totalTimeSec();
+      if (Meter) {
+        power::EnergyReading Reading = Meter->readingFor(Exec);
+        EnergySum += Reading.DynamicEnergyJ;
+        TotalSum += Reading.TotalEnergyJ;
+      }
+      for (EventId Id : Run.Events)
+        GroupSum[Id] += M.readCounter(Id, Exec);
+    }
+    for (EventId Id : Run.Events)
+      MeanByEvent[Id] = GroupSum[Id] / Repetitions;
+  }
+  for (EventId Id : Events)
+    Result.Counts.push_back(MeanByEvent[Id]);
+  if (Result.RunsUsed > 0) {
+    Result.TimeSec = TimeSum / static_cast<double>(Result.RunsUsed);
+    Result.DynamicEnergyJ =
+        Meter ? EnergySum / static_cast<double>(Result.RunsUsed) : 0.0;
+    Result.TotalEnergyJ =
+        Meter ? TotalSum / static_cast<double>(Result.RunsUsed) : 0.0;
+  }
+  return Result;
 }
 } // namespace
 
@@ -103,4 +154,63 @@ TEST(PmcProfiler, CountsOrderedLikeRequest) {
   ASSERT_TRUE(bool(Forward));
   // Uop volume dwarfs divider counts for DGEMM.
   EXPECT_GT(Forward->Counts[0], Forward->Counts[1]);
+}
+
+TEST(PmcProfiler, BatchedCampaignMatchesSeedEraSerialScan) {
+  // Twin rigs with identical seeds: one profiled through the batched
+  // campaign (under both synthesis kernels), one through the seed-era
+  // serial algorithm replicated above. Every count, energy, and time
+  // must agree bit for bit.
+  SynthAlgoGuard Guard;
+  std::vector<EventId> Ids;
+  {
+    Machine Probe(Platform::intelHaswellServer(), 9);
+    for (const std::string &Name : haswellClassAPmcNames())
+      Ids.push_back(*Probe.registry().lookup(Name));
+  }
+  Machine RefM(Platform::intelHaswellServer(), 9);
+  power::HclWattsUp RefMeter(RefM,
+                             std::make_unique<power::WattsUpProMeter>());
+  ProfileResult Ref =
+      referenceCollect(RefM, &RefMeter, dgemm(), Ids, /*Repetitions=*/3);
+
+  for (SynthAlgorithm Algo :
+       {SynthAlgorithm::Naive, SynthAlgorithm::Batched}) {
+    setDefaultSynthAlgorithm(Algo);
+    Machine M(Platform::intelHaswellServer(), 9);
+    power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+    PmcProfiler Profiler(M, &Meter);
+    auto Result = Profiler.collect(dgemm(), Ids, /*Repetitions=*/3);
+    ASSERT_TRUE(bool(Result));
+    EXPECT_EQ(Result->RunsUsed, Ref.RunsUsed);
+    EXPECT_EQ(Result->Counts, Ref.Counts);
+    EXPECT_EQ(Result->DynamicEnergyJ, Ref.DynamicEnergyJ);
+    EXPECT_EQ(Result->TotalEnergyJ, Ref.TotalEnergyJ);
+    EXPECT_EQ(Result->TimeSec, Ref.TimeSec);
+  }
+}
+
+TEST(PmcProfiler, WarmRepLoopDoesNotAllocate) {
+  Machine M(Platform::intelHaswellServer(), 10);
+  power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+  PmcProfiler Profiler(M, &Meter);
+  std::vector<EventId> Ids;
+  for (const std::string &Name : haswellClassAPmcNames())
+    Ids.push_back(*M.registry().lookup(Name));
+
+  // The probe fires after all reduction scratch is sized and before the
+  // per-run, per-repetition read/accumulate loop — which must then touch
+  // the heap exactly zero times.
+  detail::ProfilerRepLoopProbe = [](bool Entering) {
+    if (Entering)
+      test::allocCountingArm();
+    else
+      test::allocCountingDisarm();
+  };
+  auto Result = Profiler.collect(dgemm(), Ids, /*Repetitions=*/4);
+  detail::ProfilerRepLoopProbe = nullptr;
+
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(test::armedAllocationCount(), 0u)
+      << "profiler rep loop allocated after scratch setup";
 }

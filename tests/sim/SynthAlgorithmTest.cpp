@@ -1,0 +1,235 @@
+//===- tests/sim/SynthAlgorithmTest.cpp - Batched synthesis properties ----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property suite for the batched counter-synthesis engine: the batched
+// kernel must reproduce the per-event readCounter reference bit for bit
+// across platforms, phase counts, and event subsets, and the batch run
+// APIs must reproduce a serial sequence of run() calls at any thread
+// count. All comparisons are exact (EXPECT_EQ on doubles), not tolerance
+// based — the engine's contract is bit-identity, not approximation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "pmc/PlatformEvents.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace slope;
+using namespace slope::pmc;
+using namespace slope::sim;
+
+namespace {
+
+/// Restores the process-wide synthesis kernel on scope exit so a test
+/// that pins one kernel does not leak it into later tests.
+struct SynthAlgoGuard {
+  SynthAlgorithm Saved = defaultSynthAlgorithm();
+  ~SynthAlgoGuard() { setDefaultSynthAlgorithm(Saved); }
+};
+
+/// Restores the global pool configuration on scope exit.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::setGlobalThreadCount(0); }
+};
+
+/// A compound with \p NumPhases alternating kernels (exercises both the
+/// stack-hoisted phase views and, past 32 phases, the fallback path).
+CompoundApplication longCompound(size_t NumPhases) {
+  CompoundApplication App;
+  for (size_t I = 0; I < NumPhases; ++I)
+    App.Phases.push_back(I % 2 == 0
+                             ? Application(KernelKind::MklDgemm, 4000 + I)
+                             : Application(KernelKind::Stream, 4e8));
+  return App;
+}
+
+void expectBatchedMatchesNaive(Platform P, const CompoundApplication &App,
+                               uint64_t Seed) {
+  SynthAlgoGuard Guard;
+  Machine M(std::move(P), Seed);
+  Execution E = M.run(App);
+  std::vector<EventId> Ids = M.registry().allEvents();
+
+  setDefaultSynthAlgorithm(SynthAlgorithm::Batched);
+  std::vector<double> Batched = M.readCountersBatch(Ids, E);
+  setDefaultSynthAlgorithm(SynthAlgorithm::Naive);
+  std::vector<double> Naive = M.readCountersBatch(Ids, E);
+
+  ASSERT_EQ(Batched.size(), Ids.size());
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    EXPECT_EQ(Batched[I], M.readCounter(Ids[I], E))
+        << "batched mismatch for " << M.registry().event(Ids[I]).Name;
+    EXPECT_EQ(Naive[I], M.readCounter(Ids[I], E))
+        << "naive dispatch mismatch for "
+        << M.registry().event(Ids[I]).Name;
+  }
+}
+
+} // namespace
+
+TEST(SynthAlgorithm, DefaultIsBatchedAndSelectorRoundTrips) {
+  SynthAlgoGuard Guard;
+  setDefaultSynthAlgorithm(SynthAlgorithm::Naive);
+  EXPECT_EQ(defaultSynthAlgorithm(), SynthAlgorithm::Naive);
+  setDefaultSynthAlgorithm(SynthAlgorithm::Batched);
+  EXPECT_EQ(defaultSynthAlgorithm(), SynthAlgorithm::Batched);
+}
+
+TEST(SynthAlgorithm, BatchedMatchesNaiveOnHaswellBaseApp) {
+  expectBatchedMatchesNaive(
+      Platform::intelHaswellServer(),
+      CompoundApplication(Application(KernelKind::MklDgemm, 8192)), 101);
+}
+
+TEST(SynthAlgorithm, BatchedMatchesNaiveOnSkylakeBaseApp) {
+  expectBatchedMatchesNaive(
+      Platform::intelSkylakeServer(),
+      CompoundApplication(Application(KernelKind::MklFft, 25600)), 102);
+}
+
+TEST(SynthAlgorithm, BatchedMatchesNaiveOnTwoPhaseCompound) {
+  expectBatchedMatchesNaive(
+      Platform::intelHaswellServer(),
+      CompoundApplication(Application(KernelKind::MklDgemm, 6000),
+                          Application(KernelKind::QuickSort, 1u << 24)),
+      103);
+}
+
+TEST(SynthAlgorithm, BatchedMatchesNaiveOnFivePhaseCompound) {
+  expectBatchedMatchesNaive(Platform::intelSkylakeServer(), longCompound(5),
+                            104);
+}
+
+TEST(SynthAlgorithm, BatchedMatchesNaivePastPhaseHoistCapacity) {
+  // 40 phases exceeds the kernel's 32-slot stack hoist, forcing the
+  // allocation-free direct-access fallback.
+  expectBatchedMatchesNaive(Platform::intelHaswellServer(), longCompound(40),
+                            105);
+}
+
+TEST(SynthAlgorithm, ArbitrarySubsetsAndOrdersMatch) {
+  SynthAlgoGuard Guard;
+  setDefaultSynthAlgorithm(SynthAlgorithm::Batched);
+  Machine M(Platform::intelSkylakeServer(), 106);
+  Execution E = M.run(CompoundApplication(
+      Application(KernelKind::MklDgemm, 9000),
+      Application(KernelKind::MonteCarlo, 1u << 22)));
+
+  std::vector<EventId> All = M.registry().allEvents();
+  // Every 7th event, in reverse order — batch output must follow the
+  // request order, not the registry order.
+  std::vector<EventId> Subset;
+  for (size_t I = 0; I < All.size(); I += 7)
+    Subset.push_back(All[I]);
+  std::reverse(Subset.begin(), Subset.end());
+
+  std::vector<double> Batch = M.readCountersBatch(Subset, E);
+  for (size_t I = 0; I < Subset.size(); ++I)
+    EXPECT_EQ(Batch[I], M.readCounter(Subset[I], E));
+}
+
+TEST(SynthAlgorithm, SingleEventAndRepeatedReadsAreStable) {
+  SynthAlgoGuard Guard;
+  setDefaultSynthAlgorithm(SynthAlgorithm::Batched);
+  Machine M(Platform::intelHaswellServer(), 107);
+  Execution E = M.run(Application(KernelKind::Stream, 6e8));
+  EventId Id = *M.registry().lookup("UOPS_EXECUTED_CORE");
+  double A = 0, B = 0;
+  M.readCountersBatch(&Id, 1, E, &A);
+  M.readCountersBatch(&Id, 1, E, &B);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A, M.readCounter(Id, E));
+}
+
+TEST(SynthAlgorithm, RunWithSeedReproducesRun) {
+  Machine A(Platform::intelHaswellServer(), 108);
+  Machine B(Platform::intelHaswellServer(), 108);
+  CompoundApplication App(Application(KernelKind::MklDgemm, 7000),
+                          Application(KernelKind::Stencil2D, 3000));
+  std::vector<uint64_t> Seeds = B.forkRunSeeds(3);
+  for (uint64_t Seed : Seeds) {
+    Execution Ea = A.run(App);
+    Execution Eb = B.runWithSeed(App, Seed);
+    EXPECT_EQ(Ea.RunSeed, Eb.RunSeed);
+    EXPECT_EQ(Ea.TrueDynamicEnergyJ, Eb.TrueDynamicEnergyJ);
+    ASSERT_EQ(Ea.Phases.size(), Eb.Phases.size());
+    for (size_t P = 0; P < Ea.Phases.size(); ++P) {
+      EXPECT_EQ(Ea.Phases[P].TimeSec, Eb.Phases[P].TimeSec);
+      EXPECT_EQ(Ea.Phases[P].ContextIntensity,
+                Eb.Phases[P].ContextIntensity);
+      for (size_t K = 0; K < NumActivityKinds; ++K)
+        EXPECT_EQ(Ea.Phases[P].Activities.at(K),
+                  Eb.Phases[P].Activities.at(K));
+    }
+  }
+}
+
+TEST(SynthAlgorithm, RunWithSeedDoesNotAdvanceMachineState) {
+  Machine A(Platform::intelHaswellServer(), 109);
+  Machine B(Platform::intelHaswellServer(), 109);
+  Application App(KernelKind::MklDgemm, 8000);
+  // Interleave pure runs on B; its counter-driven stream must not move.
+  (void)B.runWithSeed(CompoundApplication(App), 0xDEAD);
+  (void)B.runWithSeed(CompoundApplication(App), 0xBEEF);
+  EXPECT_EQ(A.run(App).RunSeed, B.run(App).RunSeed);
+}
+
+TEST(SynthAlgorithm, RunBatchMatchesSerialRunsAtAnyThreadCount) {
+  ThreadCountGuard Guard;
+  CompoundApplication App(Application(KernelKind::MklDgemm, 6000),
+                          Application(KernelKind::MklFft, 20000));
+  Machine Serial(Platform::intelSkylakeServer(), 110);
+  std::vector<Execution> Reference;
+  for (int I = 0; I < 6; ++I)
+    Reference.push_back(Serial.run(App));
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ThreadPool::setGlobalThreadCount(Threads);
+    Machine M(Platform::intelSkylakeServer(), 110);
+    std::vector<Execution> Batch = M.runBatch(App, 6);
+    ASSERT_EQ(Batch.size(), Reference.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      EXPECT_EQ(Batch[I].RunSeed, Reference[I].RunSeed);
+      EXPECT_EQ(Batch[I].TrueDynamicEnergyJ,
+                Reference[I].TrueDynamicEnergyJ);
+    }
+    // The batch must also leave the machine's run counter where the
+    // serial scan would: the next run continues the same seed sequence.
+    Execution Next = M.run(App);
+    Machine Twin(Platform::intelSkylakeServer(), 110);
+    for (int I = 0; I < 6; ++I)
+      (void)Twin.run(App);
+    EXPECT_EQ(Next.RunSeed, Twin.run(App).RunSeed);
+  }
+}
+
+TEST(SynthAlgorithm, BatchedCountersIdenticalAcrossThreadCounts) {
+  ThreadCountGuard PoolGuard;
+  SynthAlgoGuard AlgoGuard;
+  setDefaultSynthAlgorithm(SynthAlgorithm::Batched);
+  std::vector<std::vector<double>> PerThreadCounts;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ThreadPool::setGlobalThreadCount(Threads);
+    Machine M(Platform::intelHaswellServer(), 111);
+    std::vector<Execution> Execs =
+        M.runBatch(CompoundApplication(Application(KernelKind::MklDgemm, 8000)),
+                   4);
+    std::vector<EventId> Ids = M.registry().allEvents();
+    std::vector<double> Counts;
+    for (const Execution &E : Execs) {
+      std::vector<double> C = M.readCountersBatch(Ids, E);
+      Counts.insert(Counts.end(), C.begin(), C.end());
+    }
+    PerThreadCounts.push_back(std::move(Counts));
+  }
+  EXPECT_EQ(PerThreadCounts[0], PerThreadCounts[1]);
+  EXPECT_EQ(PerThreadCounts[0], PerThreadCounts[2]);
+}
