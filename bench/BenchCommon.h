@@ -155,6 +155,14 @@ inline std::vector<std::pair<std::string, double>> &timedSections() {
   return Sections;
 }
 
+/// Extra bench-specific numeric fields appended to the JSON summary
+/// (e.g. the serving driver's predictions_per_sec and latency
+/// percentiles). Keys must be unique and JSON-safe.
+inline std::vector<std::pair<std::string, double>> &extraJsonNumbers() {
+  static std::vector<std::pair<std::string, double>> Extras;
+  return Extras;
+}
+
 /// Records the wall time of one named scope into timedSections().
 class ScopedTimer {
 public:
@@ -233,6 +241,14 @@ inline void writeBenchJson(const char *BenchName) {
   std::fprintf(F, "  \"synth_ms\": %.3f,\n",
                static_cast<double>(slope::phaseTotalNs(slope::Phase::Synth)) /
                    1e6);
+  // serve_ms is the ServingEngine replay wall clock on the calling
+  // thread (ingest + shard epochs + folds); the CI serving gate compares
+  // exactly this across thread counts.
+  std::fprintf(F, "  \"serve_ms\": %.3f,\n",
+               static_cast<double>(slope::phaseTotalNs(slope::Phase::Serve)) /
+                   1e6);
+  for (const auto &[Key, Value] : extraJsonNumbers())
+    std::fprintf(F, "  \"%s\": %.3f,\n", Key.c_str(), Value);
   std::fprintf(F, "  \"total_ms\": %.3f\n}\n", TotalMs);
   std::fclose(F);
 }

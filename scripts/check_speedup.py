@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI speedup gate: assert json_a's timing is >= min_ratio x json_b's.
+
+Usage:
+    check_speedup.py JSON_A JSON_B KEY MIN_RATIO LABEL [--key-b KEY_B]
+
+JSON_A holds the slow/baseline timing, JSON_B the fast/optimized one; the
+gate passes when value_a / value_b >= MIN_RATIO. KEY selects the value:
+
+  * bench-harness JSON (bench/BenchCommon.h writeBenchJson): KEY is a
+    top-level numeric field such as "tree_fit_ms", "serve_ms", "total_ms";
+  * google-benchmark JSON: KEY is a benchmark name in the "benchmarks"
+    list (e.g. "BM_ForestFitClassA/1") and the value is its "real_time".
+
+--key-b reads a different key from JSON_B (defaults to KEY); pass the
+same file twice with --key-b to compare two entries of one
+google-benchmark report. On failure prints a GitHub Actions ::error::
+annotation and exits 1.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_value(path, key):
+    with open(path) as f:
+        doc = json.load(f)
+    if key in doc:
+        return float(doc[key])
+    for bench in doc.get("benchmarks", []):
+        if bench.get("name") == key:
+            return float(bench["real_time"])
+    raise SystemExit(f"::error::{path}: no top-level field or benchmark "
+                     f"named {key!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("json_a", help="baseline (slow) timing JSON")
+    parser.add_argument("json_b", help="optimized (fast) timing JSON")
+    parser.add_argument("key", help="timing field or benchmark name")
+    parser.add_argument("min_ratio", type=float,
+                        help="required value_a / value_b ratio")
+    parser.add_argument("label", help="human-readable gate name for logs")
+    parser.add_argument("--key-b", default=None,
+                        help="key to read from JSON_B (default: KEY)")
+    args = parser.parse_args()
+
+    key_b = args.key_b if args.key_b is not None else args.key
+    value_a = load_value(args.json_a, args.key)
+    value_b = load_value(args.json_b, key_b)
+    if value_b <= 0:
+        raise SystemExit(f"::error::{args.label}: non-positive optimized "
+                         f"timing {value_b}")
+    ratio = value_a / value_b
+    print(f"{args.label}: baseline={value_a:.1f} optimized={value_b:.1f} "
+          f"ratio={ratio:.2f}x (required >= {args.min_ratio:.2f}x)")
+    if ratio < args.min_ratio:
+        print(f"::error::{args.label}: expected >= {args.min_ratio:.2f}x "
+              f"speedup, got {ratio:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

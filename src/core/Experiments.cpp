@@ -42,6 +42,9 @@ std::unique_ptr<ml::Model> makeModel(ModelFamily Family, uint64_t Seed,
     Options.Seed = Seed;
     return std::make_unique<ml::NeuralNetwork>(Options);
   }
+  case ModelFamily::Knn:
+    // The kNN baseline ignores the budget knobs (no trees, no epochs).
+    return std::make_unique<ml::KnnRegressor>(ml::KnnOptions());
   }
   assert(false && "unknown model family");
   return nullptr;

@@ -1,0 +1,91 @@
+//===- core/FleetTrace.h - Simulated fleet observation stream ---*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synthetic heavy-traffic observation stream for the serving engine:
+/// millions of (tenant-id, app-id, PMC-vector) records drawn from a
+/// Zipf-skewed tenant population running a catalogue of app templates.
+/// Feature vectors are grounded in the simulator — each app template is
+/// executed a few times on the machine and its single-run PMC subset read
+/// back as prototype rows — then each observation picks a prototype and
+/// applies per-observation lognormal jitter, so a million-record trace
+/// costs a handful of machine runs, not a million.
+///
+/// Synthesis is deterministic: observation I draws everything from
+/// Rng::fork(I), so generation parallelizes over the pool and the trace
+/// is bit-identical at any thread count (the house splittable-seeding
+/// style, see support/ThreadPool.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_FLEETTRACE_H
+#define SLOPE_CORE_FLEETTRACE_H
+
+#include "sim/Machine.h"
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slope {
+namespace core {
+
+/// Shape of the synthesized stream.
+struct FleetTraceConfig {
+  size_t NumObservations = 1000000;
+  uint32_t NumTenants = 10000;
+  /// Zipf exponent of the tenant popularity distribution: tenant T is
+  /// drawn with weight (T+1)^-Skew, so low tenant ids are hot (the top
+  /// tenant of a 10k-tenant fleet at 1.1 carries ~14% of the traffic).
+  double TenantSkew = 1.1;
+  /// Machine executions per app template; each observation reuses one.
+  size_t PrototypesPerApp = 8;
+  /// Sigma of the per-feature lognormal jitter applied per observation.
+  double JitterSigma = 0.05;
+  uint64_t Seed = 0xF1EE7;
+};
+
+/// An immutable, replayable observation stream in columnar storage.
+class FleetTrace {
+public:
+  /// Synthesizes a trace: runs every template in \p Apps
+  /// Config.PrototypesPerApp times on \p M, reads the \p Events subset of
+  /// each execution as a prototype row, then draws
+  /// Config.NumObservations records. \returns an error for an empty app
+  /// catalogue, an empty event subset, or zero tenants.
+  static Expected<FleetTrace>
+  synthesize(sim::Machine &M, const std::vector<pmc::EventId> &Events,
+             const std::vector<sim::CompoundApplication> &Apps,
+             const FleetTraceConfig &Config);
+
+  size_t size() const { return Tenants.size(); }
+  size_t width() const { return Width; }
+  uint32_t numTenants() const { return NumTenants; }
+  uint32_t numApps() const { return NumApps; }
+
+  uint32_t tenant(size_t I) const { return Tenants[I]; }
+  uint32_t app(size_t I) const { return Apps[I]; }
+
+  /// \returns observation \p I's feature row (width() values).
+  const double *features(size_t I) const {
+    return Features.data() + I * Width;
+  }
+
+private:
+  FleetTrace() = default;
+
+  size_t Width = 0;
+  uint32_t NumTenants = 0;
+  uint32_t NumApps = 0;
+  std::vector<uint32_t> Tenants;
+  std::vector<uint32_t> Apps;
+  std::vector<double> Features; ///< Flat row-major (size() x width()).
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_FLEETTRACE_H

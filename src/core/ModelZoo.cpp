@@ -20,6 +20,8 @@ const char *core::modelFamilyName(ModelFamily Family) {
     return "RF";
   case ModelFamily::NN:
     return "NN";
+  case ModelFamily::Knn:
+    return "kNN";
   }
   assert(false && "unknown model family");
   return "?";
@@ -45,6 +47,9 @@ std::unique_ptr<Model> core::makePaperModel(ModelFamily Family,
     Options.Seed = Seed;
     return std::make_unique<NeuralNetwork>(Options);
   }
+  case ModelFamily::Knn:
+    // Deterministic (no stochastic fitting); Seed intentionally unused.
+    return std::make_unique<KnnRegressor>(KnnOptions());
   }
   assert(false && "unknown model family");
   return nullptr;

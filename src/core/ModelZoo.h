@@ -15,6 +15,7 @@
 #ifndef SLOPE_CORE_MODELZOO_H
 #define SLOPE_CORE_MODELZOO_H
 
+#include "ml/KnnRegressor.h"
 #include "ml/LinearRegression.h"
 #include "ml/NeuralNetwork.h"
 #include "ml/RandomForest.h"
@@ -24,10 +25,13 @@
 namespace slope {
 namespace core {
 
-/// The three families of Tables 3-5 and 7.
-enum class ModelFamily { LR, RF, NN };
+/// The three families of Tables 3-5 and 7, plus the nearest-neighbour
+/// literature baseline (Mair et al.) the extension benches compare
+/// against — it shares the Model interface, so the estimator and the
+/// serving engine can host it like any paper family.
+enum class ModelFamily { LR, RF, NN, Knn };
 
-/// \returns "LR", "RF", or "NN".
+/// \returns "LR", "RF", "NN", or "kNN".
 const char *modelFamilyName(ModelFamily Family);
 
 /// Creates a model of \p Family in its paper configuration. \p Seed

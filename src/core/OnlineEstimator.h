@@ -53,6 +53,7 @@ public:
   estimateExecutions(const std::vector<sim::Execution> &Execs) const;
 
   const std::vector<std::string> &pmcNames() const { return Names; }
+  const std::vector<pmc::EventId> &events() const { return Events; }
   const ml::Model &model() const { return *FittedModel; }
 
 private:

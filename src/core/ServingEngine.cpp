@@ -1,0 +1,206 @@
+//===- core/ServingEngine.cpp - Fleet energy-attribution service ----------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ServingEngine.h"
+
+#include "support/PhaseTimers.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+using namespace slope;
+using namespace slope::core;
+
+double ServingStats::batchLatencyQuantileMs(double Q) const {
+  if (BatchMs.empty())
+    return 0;
+  std::vector<double> Sorted(BatchMs);
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t I = static_cast<size_t>(Q * static_cast<double>(Sorted.size() - 1));
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+ServingEngine::ServingEngine(const ml::Model &M, size_t FeatureWidth,
+                             uint32_t NumTenants, uint32_t NumApps,
+                             ServingConfig Config)
+    : Model(&M), Width(FeatureWidth), NumTenants(NumTenants),
+      NumApps(NumApps), EpochSize(std::max<size_t>(1, Config.EpochSize)),
+      BatchSize(std::max<size_t>(1, Config.BatchSize)) {
+  assert(FeatureWidth > 0 && "serving needs at least one feature");
+  assert(NumTenants > 0 && NumApps > 0 && "serving needs a fleet shape");
+  unsigned NumShards = Config.NumShards > 0
+                           ? Config.NumShards
+                           : ThreadPool::global().numThreads();
+  Shards.resize(std::max(1u, NumShards));
+  std::vector<std::string> FeatureNames;
+  FeatureNames.reserve(Width);
+  for (size_t F = 0; F < Width; ++F)
+    FeatureNames.push_back("pmc" + std::to_string(F));
+  for (size_t SI = 0; SI < Shards.size(); ++SI) {
+    // Shard SI owns the striped tenants {SI, SI + S, SI + 2S, ...};
+    // shards past the tenant count (more shards than tenants) own none.
+    size_t Owned = SI < NumTenants
+                       ? (NumTenants - SI + Shards.size() - 1) / Shards.size()
+                       : 0;
+    Shards[SI].Cells.resize(Owned * NumApps);
+    Shards[SI].Batch = ml::Dataset(FeatureNames);
+    Shards[SI].Batch.reserveRows(BatchSize);
+    Shards[SI].BatchCells.reserve(BatchSize);
+  }
+  Folded.resize(static_cast<size_t>(NumTenants) * NumApps);
+  PendingTenants.reserve(EpochSize);
+  PendingApps.reserve(EpochSize);
+  PendingFeatures.reserve(EpochSize * Width);
+}
+
+void ServingEngine::ingest(uint32_t Tenant, uint32_t App,
+                           const double *Features) {
+  assert(Tenant < NumTenants && "tenant id out of range");
+  assert(App < NumApps && "app id out of range");
+  PendingTenants.push_back(Tenant);
+  PendingApps.push_back(App);
+  PendingFeatures.insert(PendingFeatures.end(), Features, Features + Width);
+  if (PendingTenants.size() >= EpochSize)
+    foldEpoch();
+}
+
+void ServingEngine::processShard(Shard &S, const size_t *Indices,
+                                 size_t NumIndices) {
+  for (size_t First = 0; First < NumIndices; First += BatchSize) {
+    const size_t Last = std::min(First + BatchSize, NumIndices);
+    S.Batch.clearRows();
+    S.BatchCells.clear();
+    for (size_t I = First; I < Last; ++I) {
+      const size_t Obs = Indices[I];
+      S.Batch.addRow(PendingFeatures.data() + Obs * Width, 0.0);
+      const size_t Local = PendingTenants[Obs] / Shards.size();
+      S.BatchCells.push_back(Local * NumApps + PendingApps[Obs]);
+    }
+    const auto Start = std::chrono::steady_clock::now();
+    const std::vector<double> Predicted = Model->predictBatch(S.Batch);
+    S.BatchMs.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count());
+    ++S.Batches;
+    for (size_t R = 0; R < Predicted.size(); ++R) {
+      Cell &C = S.Cells[S.BatchCells[R]];
+      C.EnergyJ += Predicted[R];
+      C.Count += 1;
+    }
+  }
+}
+
+void ServingEngine::foldEpoch() {
+  const size_t NumPending = PendingTenants.size();
+  const size_t NumShards = Shards.size();
+
+  // Stable counting-sort partition of the pending observations by shard:
+  // per-shard contiguous index runs, each preserving trace order, so a
+  // cell's accumulation order is independent of the shard count.
+  std::vector<size_t> Offsets(NumShards + 1, 0);
+  for (size_t I = 0; I < NumPending; ++I)
+    ++Offsets[shardOf(PendingTenants[I]) + 1];
+  for (size_t SI = 0; SI < NumShards; ++SI)
+    Offsets[SI + 1] += Offsets[SI];
+  PartitionScratch.resize(NumPending);
+  {
+    std::vector<size_t> Cursor(Offsets.begin(), Offsets.end() - 1);
+    for (size_t I = 0; I < NumPending; ++I)
+      PartitionScratch[Cursor[shardOf(PendingTenants[I])]++] = I;
+  }
+
+  // Shard epochs: one task per shard, each writing only its own slots —
+  // plain stores, no atomics (see support/ThreadPool.h parallelInvoke).
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(NumShards);
+  for (size_t SI = 0; SI < NumShards; ++SI)
+    Tasks.push_back([this, SI, &Offsets] {
+      processShard(Shards[SI], PartitionScratch.data() + Offsets[SI],
+                   Offsets[SI + 1] - Offsets[SI]);
+    });
+  ThreadPool::global().parallelInvoke(Tasks);
+
+  // The fold: publish every shard's running accumulators into the
+  // query-visible table, in shard order. Cells are owned by exactly one
+  // shard, so this is a snapshot copy, never a cross-shard sum.
+  for (size_t SI = 0; SI < NumShards; ++SI) {
+    Shard &S = Shards[SI];
+    const size_t Owned = S.Cells.size() / NumApps;
+    for (size_t Local = 0; Local < Owned; ++Local) {
+      const size_t Tenant = Local * NumShards + SI;
+      std::copy_n(S.Cells.data() + Local * NumApps, NumApps,
+                  Folded.data() + Tenant * NumApps);
+    }
+    Stats.Batches += S.Batches;
+    S.Batches = 0;
+    Stats.BatchMs.insert(Stats.BatchMs.end(), S.BatchMs.begin(),
+                         S.BatchMs.end());
+    S.BatchMs.clear();
+  }
+  Stats.Observations += NumPending;
+  Stats.Epochs += 1;
+  PendingTenants.clear();
+  PendingApps.clear();
+  PendingFeatures.clear();
+}
+
+void ServingEngine::endEpoch() {
+  if (PendingTenants.empty())
+    return;
+  foldEpoch();
+}
+
+void ServingEngine::replay(const FleetTrace &Trace) {
+  assert(Trace.width() == Width && "trace width does not match the engine");
+  ScopedPhase Timer(Phase::Serve);
+  for (size_t I = 0; I < Trace.size(); ++I)
+    ingest(Trace.tenant(I), Trace.app(I), Trace.features(I));
+  endEpoch();
+}
+
+double ServingEngine::tenantEnergy(uint32_t Tenant) const {
+  assert(Tenant < NumTenants && "tenant id out of range");
+  const Cell *Row = Folded.data() + static_cast<size_t>(Tenant) * NumApps;
+  double Sum = 0;
+  for (uint32_t A = 0; A < NumApps; ++A)
+    Sum += Row[A].EnergyJ;
+  return Sum;
+}
+
+uint64_t ServingEngine::tenantObservations(uint32_t Tenant) const {
+  assert(Tenant < NumTenants && "tenant id out of range");
+  const Cell *Row = Folded.data() + static_cast<size_t>(Tenant) * NumApps;
+  uint64_t Sum = 0;
+  for (uint32_t A = 0; A < NumApps; ++A)
+    Sum += Row[A].Count;
+  return Sum;
+}
+
+double ServingEngine::appEnergy(uint32_t App) const {
+  assert(App < NumApps && "app id out of range");
+  double Sum = 0;
+  for (uint32_t T = 0; T < NumTenants; ++T)
+    Sum += Folded[static_cast<size_t>(T) * NumApps + App].EnergyJ;
+  return Sum;
+}
+
+uint64_t ServingEngine::appObservations(uint32_t App) const {
+  assert(App < NumApps && "app id out of range");
+  uint64_t Sum = 0;
+  for (uint32_t T = 0; T < NumTenants; ++T)
+    Sum += Folded[static_cast<size_t>(T) * NumApps + App].Count;
+  return Sum;
+}
+
+double ServingEngine::fleetEnergy() const {
+  double Sum = 0;
+  for (uint32_t T = 0; T < NumTenants; ++T)
+    Sum += tenantEnergy(T);
+  return Sum;
+}

@@ -1,0 +1,165 @@
+//===- core/ServingEngine.h - Fleet energy-attribution service --*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running estimator service the pipeline's artifact plugs into:
+/// ingests a stream of (tenant-id, app-id, PMC-vector) observations from
+/// a simulated fleet and answers per-tenant / per-app dynamic-energy
+/// queries, with inference through the model's batch path in bounded-size
+/// batches so latency stays bounded while throughput scales.
+///
+/// Concurrency follows the per-CPU accumulator + periodic-fold idiom of
+/// in-kernel energy models: tenant state is sharded (tenant % NumShards,
+/// striped so Zipf-hot low tenant ids spread across shards), each shard
+/// owns plain per-shard accumulation slots written by exactly one task
+/// per epoch — no locks or atomics on the hot path — and an explicit
+/// epoch boundary folds every shard's running totals into the
+/// query-visible table in deterministic shard order.
+///
+/// Determinism argument (the house bit-identity style): a (tenant, app)
+/// cell is owned by exactly one shard, that shard processes its
+/// observations in trace order (the epoch partition is a stable counting
+/// sort), and each prediction is a pure function of one feature row — so
+/// every cell's float accumulation order is trace order regardless of
+/// shard count, thread count, or batch size. Derived aggregates are
+/// summed from the folded cells in ascending (tenant, app) order, never
+/// across shards, so replaying the same trace is bit-identical at any
+/// shard/thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_CORE_SERVINGENGINE_H
+#define SLOPE_CORE_SERVINGENGINE_H
+
+#include "core/FleetTrace.h"
+#include "ml/Model.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slope {
+namespace core {
+
+/// Serving knobs. None of them changes any query result — they trade
+/// wall clock and memory only (EpochSize additionally sets how much
+/// ingested traffic may be pending before it becomes query-visible).
+struct ServingConfig {
+  /// Tenant-state shards; 0 means one per global-pool thread.
+  unsigned NumShards = 0;
+  /// Observations buffered before an automatic epoch fold.
+  size_t EpochSize = 65536;
+  /// Maximum rows per Model::predictBatch call (bounds batch latency).
+  size_t BatchSize = 256;
+};
+
+/// Serving-side counters, populated as epochs fold.
+struct ServingStats {
+  uint64_t Observations = 0; ///< Observations folded into the table.
+  uint64_t Epochs = 0;       ///< Folds performed.
+  uint64_t Batches = 0;      ///< predictBatch calls issued.
+  /// Wall-clock latency of every predictBatch call, appended in shard
+  /// order at each fold. Values are timing (not deterministic); counts
+  /// are deterministic for a fixed shard count.
+  std::vector<double> BatchMs;
+
+  /// \returns the \p Q quantile (0..1) of BatchMs, 0 when empty.
+  double batchLatencyQuantileMs(double Q) const;
+};
+
+/// A sharded, epoch-folded energy-attribution engine over one fitted
+/// model (typically OnlineEstimator::model()).
+class ServingEngine {
+public:
+  /// Serves \p M (borrowed; must outlive the engine and be fitted) for a
+  /// fleet of \p NumTenants tenants running \p NumApps app templates,
+  /// with \p FeatureWidth PMCs per observation.
+  ServingEngine(const ml::Model &M, size_t FeatureWidth, uint32_t NumTenants,
+                uint32_t NumApps, ServingConfig Config = ServingConfig());
+
+  /// Buffers one observation (\p Features: featureWidth() values); folds
+  /// automatically once EpochSize observations are pending.
+  void ingest(uint32_t Tenant, uint32_t App, const double *Features);
+
+  /// Flushes pending observations through the shards and folds every
+  /// shard's accumulators into the query-visible table (shard order).
+  void endEpoch();
+
+  /// Ingests the whole trace and ends the epoch; the standard replay
+  /// driver (charged to Phase::Serve).
+  void replay(const FleetTrace &Trace);
+
+  /// Folded per-tenant dynamic energy (J) / observation count.
+  double tenantEnergy(uint32_t Tenant) const;
+  uint64_t tenantObservations(uint32_t Tenant) const;
+
+  /// Folded per-app dynamic energy (J) / observation count, summed over
+  /// tenants in ascending order.
+  double appEnergy(uint32_t App) const;
+  uint64_t appObservations(uint32_t App) const;
+
+  /// Folded fleet-wide dynamic energy: per-tenant totals summed in
+  /// ascending tenant order.
+  double fleetEnergy() const;
+
+  size_t featureWidth() const { return Width; }
+  uint32_t numTenants() const { return NumTenants; }
+  uint32_t numApps() const { return NumApps; }
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  const ServingStats &stats() const { return Stats; }
+
+private:
+  /// One (tenant, app) accumulation slot.
+  struct Cell {
+    double EnergyJ = 0;
+    uint64_t Count = 0;
+  };
+
+  /// Per-shard state: running accumulators for the owned tenants plus
+  /// reused inference scratch. Written only by this shard's epoch task.
+  struct Shard {
+    /// Running totals, local-tenant-major (localTenant * NumApps + app);
+    /// local tenant L is global tenant L * NumShards + shardIndex.
+    std::vector<Cell> Cells;
+    ml::Dataset Batch;               ///< Reused bounded inference batch.
+    std::vector<size_t> BatchCells;  ///< Cell index per batch row.
+    std::vector<double> BatchMs;     ///< Latencies since the last fold.
+    uint64_t Batches = 0;            ///< Batches since the last fold.
+  };
+
+  unsigned shardOf(uint32_t Tenant) const {
+    return Tenant % static_cast<unsigned>(Shards.size());
+  }
+
+  /// Runs one shard's slice of the pending epoch: batches the rows
+  /// through the model and accumulates predictions in trace order.
+  void processShard(Shard &S, const size_t *Indices, size_t NumIndices);
+
+  /// Partitions pending observations by shard (stable), fans the shards
+  /// out over the pool, then folds in shard order.
+  void foldEpoch();
+
+  const ml::Model *Model;
+  size_t Width;
+  uint32_t NumTenants;
+  uint32_t NumApps;
+  size_t EpochSize;
+  size_t BatchSize;
+
+  std::vector<Shard> Shards;
+  std::vector<Cell> Folded; ///< Query-visible table (tenant * NumApps + app).
+  ServingStats Stats;
+
+  // Pending (unprocessed) observations, columnar like the trace.
+  std::vector<uint32_t> PendingTenants;
+  std::vector<uint32_t> PendingApps;
+  std::vector<double> PendingFeatures; ///< Flat row-major.
+  std::vector<size_t> PartitionScratch; ///< Reused stable-partition output.
+};
+
+} // namespace core
+} // namespace slope
+
+#endif // SLOPE_CORE_SERVINGENGINE_H

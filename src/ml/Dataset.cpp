@@ -20,10 +20,22 @@ void Dataset::addRow(const std::vector<double> &Features, double Target) {
   Targets.push_back(Target);
 }
 
+void Dataset::addRow(const double *Features, double Target) {
+  for (size_t C = 0; C < Columns.size(); ++C)
+    Columns[C].push_back(Features[C]);
+  Targets.push_back(Target);
+}
+
 void Dataset::reserveRows(size_t NumRows) {
   for (std::vector<double> &Col : Columns)
     Col.reserve(NumRows);
   Targets.reserve(NumRows);
+}
+
+void Dataset::clearRows() {
+  for (std::vector<double> &Col : Columns)
+    Col.clear();
+  Targets.clear();
 }
 
 std::vector<double> Dataset::row(size_t R) const {

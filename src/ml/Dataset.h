@@ -43,8 +43,18 @@ public:
   /// Appends one observation; \p Features must match the column count.
   void addRow(const std::vector<double> &Features, double Target);
 
+  /// Appends one observation from a raw row of numFeatures() values.
+  /// Serving hot paths append straight from flat trace storage without
+  /// materializing a std::vector per observation.
+  void addRow(const double *Features, double Target);
+
   /// Pre-sizes every column for \p NumRows appends.
   void reserveRows(size_t NumRows);
+
+  /// Drops every row but keeps the schema and the columns' capacity, so
+  /// a bounded-size inference batch can be refilled with no allocations
+  /// once the first batch sized the columns.
+  void clearRows();
 
   size_t numRows() const { return Targets.size(); }
   size_t numFeatures() const { return FeatureNames.size(); }

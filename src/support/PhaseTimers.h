@@ -35,6 +35,10 @@ enum class Phase : unsigned {
                  ///< credits parallel execution), never summed CPU time.
   Synth,         ///< Machine::readCountersBatch counter synthesis
                  ///< (either kernel).
+  Serve,         ///< ServingEngine trace replay (ingest, shard epochs,
+                 ///< folds), timed on the calling thread so the counter
+                 ///< reflects wall clock and credits the per-shard
+                 ///< fan-out.
   NumPhases,
 };
 

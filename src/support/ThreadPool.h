@@ -65,6 +65,15 @@ public:
   void parallelFor(size_t Begin, size_t End, size_t Chunk,
                    const std::function<void(size_t)> &Fn);
 
+  /// Runs every task in \p Tasks once, distributing them over the workers
+  /// with the calling thread participating; blocks until all completed.
+  /// This is the epoch-coordination entry point for a small number of
+  /// heterogeneous tasks (e.g. one per state shard) rather than a
+  /// homogeneous index range: each task owns its slot of pre-partitioned
+  /// work and writes only its own state, so no locks or atomics are
+  /// needed inside the tasks. Exceptions propagate as in parallelFor.
+  void parallelInvoke(const std::vector<std::function<void()>> &Tasks);
+
   /// \returns the process-global pool, (re)sized per the current
   /// configuration. Do not reconfigure while parallel work is in flight.
   static ThreadPool &global();

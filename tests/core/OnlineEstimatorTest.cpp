@@ -113,3 +113,39 @@ TEST(OnlineEstimator, SupportsAllThreeFamilies) {
               0.0);
   }
 }
+
+TEST(OnlineEstimator, EstimateRunIsDeterministicForEqualSeeds) {
+  // Two identically seeded rigs replay the same training campaign and
+  // the same fresh run, so the estimate must match bit for bit.
+  CompoundApplication App(Application(KernelKind::MklDgemm, 11000));
+  double Estimates[2];
+  for (double &Estimate : Estimates) {
+    Rig R(11);
+    auto Estimator =
+        OnlineEstimator::train(R.M, R.Meter, pa4(), dgemmSweep());
+    ASSERT_TRUE(bool(Estimator));
+    Estimate = Estimator->estimateRun(App);
+  }
+  EXPECT_EQ(Estimates[0], Estimates[1]);
+}
+
+TEST(OnlineEstimator, BatchEstimatesMatchPerElementForAllFamilies) {
+  // estimateExecutions routes through Model::predictBatch; its contract
+  // is bit-identity with the per-element path for every family override
+  // (LR/NN columnar kernels, RF per-tree batch walk, kNN flat rows).
+  for (ModelFamily Family : {ModelFamily::LR, ModelFamily::RF,
+                             ModelFamily::NN, ModelFamily::Knn}) {
+    Rig R(20 + static_cast<uint64_t>(Family));
+    auto Estimator = OnlineEstimator::train(R.M, R.Meter, pa4(),
+                                            dgemmSweep(), Family, 1);
+    ASSERT_TRUE(bool(Estimator)) << modelFamilyName(Family);
+    std::vector<Execution> Execs;
+    for (uint64_t N : {7500ull, 9000ull, 13000ull, 16500ull, 19000ull})
+      Execs.push_back(R.M.run(Application(KernelKind::MklDgemm, N)));
+    std::vector<double> Batch = Estimator->estimateExecutions(Execs);
+    ASSERT_EQ(Batch.size(), Execs.size());
+    for (size_t I = 0; I < Execs.size(); ++I)
+      EXPECT_EQ(Batch[I], Estimator->estimateExecution(Execs[I]))
+          << modelFamilyName(Family) << " execution " << I;
+  }
+}

@@ -1,0 +1,310 @@
+//===- tests/core/ServingEngineTest.cpp - Serving engine tests ------------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ServingEngine.h"
+
+#include "core/OnlineEstimator.h"
+#include "pmc/PlatformEvents.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace slope;
+using namespace slope::core;
+using namespace slope::sim;
+
+namespace {
+
+/// Restores automatic global-pool sizing when a test returns.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::setGlobalThreadCount(0); }
+};
+
+/// Deterministic stand-in model: predicts the plain sum of the features,
+/// so expected accumulations can be checked by hand (fit is a no-op).
+class SumModel : public ml::Model {
+public:
+  Expected<bool> fit(const ml::Dataset &) override { return true; }
+  double predict(const std::vector<double> &Features) const override {
+    double Sum = 0;
+    for (double F : Features)
+      Sum += F;
+    return Sum;
+  }
+  std::string name() const override { return "sum"; }
+};
+
+/// One synthetic observation stream, columnar like a FleetTrace.
+struct MiniTrace {
+  size_t Width = 0;
+  uint32_t NumTenants = 0;
+  uint32_t NumApps = 0;
+  std::vector<uint32_t> Tenants;
+  std::vector<uint32_t> Apps;
+  std::vector<double> Features; ///< Flat row-major.
+
+  size_t size() const { return Tenants.size(); }
+};
+
+/// Draws a deterministic skewed stream for the property tests.
+MiniTrace makeMiniTrace(size_t NumObservations, uint32_t NumTenants,
+                        uint32_t NumApps, size_t Width, uint64_t Seed) {
+  MiniTrace T;
+  T.Width = Width;
+  T.NumTenants = NumTenants;
+  T.NumApps = NumApps;
+  Rng Base(Seed);
+  for (size_t I = 0; I < NumObservations; ++I) {
+    Rng R = Base.fork(I);
+    // Square the tenant draw to skew traffic toward low ids.
+    double U = R.uniform();
+    T.Tenants.push_back(static_cast<uint32_t>(U * U * NumTenants));
+    T.Apps.push_back(static_cast<uint32_t>(R.below(NumApps)));
+    for (size_t F = 0; F < Width; ++F)
+      T.Features.push_back(R.uniform(0.25, 4.0));
+  }
+  return T;
+}
+
+/// Replays \p T through a fresh engine with the given config.
+ServingEngine replayed(const ml::Model &M, const MiniTrace &T,
+                       ServingConfig Config) {
+  ServingEngine Engine(M, T.Width, T.NumTenants, T.NumApps, Config);
+  for (size_t I = 0; I < T.size(); ++I)
+    Engine.ingest(T.Tenants[I], T.Apps[I], T.Features.data() + I * T.Width);
+  Engine.endEpoch();
+  return Engine;
+}
+
+} // namespace
+
+TEST(ServingEngine, HandCheckedMiniTrace) {
+  SumModel M;
+  ServingConfig Config;
+  Config.NumShards = 2;
+  ServingEngine Engine(M, 2, /*NumTenants=*/3, /*NumApps=*/2, Config);
+
+  const double Rows[4][2] = {{1, 2}, {10, 0.5}, {2, 3}, {0.5, 0.25}};
+  Engine.ingest(0, 0, Rows[0]); // tenant 0, app 0 -> 3
+  Engine.ingest(1, 1, Rows[1]); // tenant 1, app 1 -> 10.5
+  Engine.ingest(0, 1, Rows[2]); // tenant 0, app 1 -> 5
+  Engine.ingest(2, 0, Rows[3]); // tenant 2, app 0 -> 0.75
+
+  // Nothing is query-visible until the epoch folds.
+  EXPECT_EQ(Engine.fleetEnergy(), 0.0);
+  EXPECT_EQ(Engine.tenantObservations(0), 0u);
+
+  Engine.endEpoch();
+  EXPECT_EQ(Engine.tenantEnergy(0), 8.0);
+  EXPECT_EQ(Engine.tenantEnergy(1), 10.5);
+  EXPECT_EQ(Engine.tenantEnergy(2), 0.75);
+  EXPECT_EQ(Engine.tenantObservations(0), 2u);
+  EXPECT_EQ(Engine.tenantObservations(1), 1u);
+  EXPECT_EQ(Engine.tenantObservations(2), 1u);
+  EXPECT_EQ(Engine.appEnergy(0), 3.75);
+  EXPECT_EQ(Engine.appEnergy(1), 15.5);
+  EXPECT_EQ(Engine.appObservations(0), 2u);
+  EXPECT_EQ(Engine.appObservations(1), 2u);
+  EXPECT_EQ(Engine.fleetEnergy(), 19.25);
+  EXPECT_EQ(Engine.stats().Observations, 4u);
+  EXPECT_EQ(Engine.stats().Epochs, 1u);
+}
+
+TEST(ServingEngine, AutoFoldsWhenEpochSizeReached) {
+  SumModel M;
+  ServingConfig Config;
+  Config.NumShards = 1;
+  Config.EpochSize = 4;
+  Config.BatchSize = 8;
+  ServingEngine Engine(M, 1, 2, 1, Config);
+  const double One = 1.0;
+  for (int I = 0; I < 4; ++I)
+    Engine.ingest(static_cast<uint32_t>(I % 2), 0, &One);
+  // The fourth ingest crossed EpochSize: folded with no explicit call.
+  EXPECT_EQ(Engine.stats().Epochs, 1u);
+  EXPECT_EQ(Engine.fleetEnergy(), 4.0);
+  // A second, partial epoch folds on the explicit boundary only.
+  Engine.ingest(0, 0, &One);
+  EXPECT_EQ(Engine.fleetEnergy(), 4.0);
+  Engine.endEpoch();
+  EXPECT_EQ(Engine.fleetEnergy(), 5.0);
+  EXPECT_EQ(Engine.stats().Epochs, 2u);
+  EXPECT_EQ(Engine.stats().Batches, 2u); // 4-row epoch + 1-row epoch.
+}
+
+TEST(ServingEngine, EpochFoldTotalsEqualSerialAccumulation) {
+  SumModel M;
+  MiniTrace T = makeMiniTrace(5000, 37, 5, 3, 0xABCD);
+
+  // Reference: one pass in trace order, accumulating per (tenant, app)
+  // exactly like an unsharded, unbatched server would.
+  std::vector<double> WantEnergy(T.NumTenants * T.NumApps, 0.0);
+  std::vector<uint64_t> WantCount(T.NumTenants * T.NumApps, 0);
+  std::vector<double> Row(T.Width);
+  for (size_t I = 0; I < T.size(); ++I) {
+    for (size_t F = 0; F < T.Width; ++F)
+      Row[F] = T.Features[I * T.Width + F];
+    const size_t Cell = T.Tenants[I] * T.NumApps + T.Apps[I];
+    WantEnergy[Cell] += M.predict(Row);
+    WantCount[Cell] += 1;
+  }
+
+  // Forced through multiple partial epochs and small batches.
+  ServingConfig Config;
+  Config.NumShards = 3;
+  Config.EpochSize = 512;
+  Config.BatchSize = 32;
+  ServingEngine Engine = replayed(M, T, Config);
+  for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant) {
+    double Energy = 0;
+    uint64_t Count = 0;
+    for (uint32_t App = 0; App < T.NumApps; ++App) {
+      Energy += WantEnergy[Tenant * T.NumApps + App];
+      Count += WantCount[Tenant * T.NumApps + App];
+    }
+    EXPECT_EQ(Engine.tenantEnergy(Tenant), Energy) << "tenant " << Tenant;
+    EXPECT_EQ(Engine.tenantObservations(Tenant), Count);
+  }
+  EXPECT_EQ(Engine.stats().Observations, T.size());
+  EXPECT_EQ(Engine.stats().Epochs, 10u); // ceil(5000 / 512).
+}
+
+TEST(ServingEngine, BitIdenticalAtAnyShardAndThreadCount) {
+  ThreadCountGuard Guard;
+  SumModel M;
+  MiniTrace T = makeMiniTrace(4000, 29, 4, 3, 0x5EED);
+
+  ThreadPool::setGlobalThreadCount(1);
+  ServingConfig Baseline;
+  Baseline.NumShards = 1;
+  Baseline.EpochSize = 600;
+  ServingEngine Reference = replayed(M, T, Baseline);
+
+  for (unsigned Shards : {2u, 8u, 64u}) {
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      ThreadPool::setGlobalThreadCount(Threads);
+      ServingConfig Config = Baseline;
+      Config.NumShards = Shards;
+      ServingEngine Engine = replayed(M, T, Config);
+      for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant) {
+        ASSERT_EQ(Engine.tenantEnergy(Tenant),
+                  Reference.tenantEnergy(Tenant))
+            << Shards << " shards, " << Threads << " threads, tenant "
+            << Tenant;
+        ASSERT_EQ(Engine.tenantObservations(Tenant),
+                  Reference.tenantObservations(Tenant));
+      }
+      for (uint32_t App = 0; App < T.NumApps; ++App) {
+        ASSERT_EQ(Engine.appEnergy(App), Reference.appEnergy(App));
+        ASSERT_EQ(Engine.appObservations(App),
+                  Reference.appObservations(App));
+      }
+      ASSERT_EQ(Engine.fleetEnergy(), Reference.fleetEnergy());
+    }
+  }
+}
+
+TEST(ServingEngine, BatchCountIsDeterministicPerShardCount) {
+  SumModel M;
+  ServingConfig Config;
+  Config.NumShards = 1;
+  Config.EpochSize = 64;
+  Config.BatchSize = 8;
+  ServingEngine Engine(M, 1, 4, 1, Config);
+  const double One = 1.0;
+  for (int I = 0; I < 20; ++I)
+    Engine.ingest(static_cast<uint32_t>(I % 4), 0, &One);
+  Engine.endEpoch();
+  EXPECT_EQ(Engine.stats().Batches, 3u); // ceil(20 / 8) in one shard.
+  EXPECT_EQ(Engine.stats().BatchMs.size(), 3u);
+}
+
+TEST(FleetTrace, SynthesisIsDeterministicAtAnyThreadCount) {
+  ThreadCountGuard Guard;
+  Machine M1(Platform::intelSkylakeServer(), 9);
+  Machine M2(Platform::intelSkylakeServer(), 9);
+  std::vector<std::string> Pa = pmc::skylakePaNames();
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name : {Pa[0], Pa[1]})
+    Events.push_back(*M1.registry().lookup(Name));
+  std::vector<CompoundApplication> Apps = {
+      CompoundApplication(Application(KernelKind::MklDgemm, 9000)),
+      CompoundApplication(Application(KernelKind::Stream, 20000000))};
+
+  FleetTraceConfig Config;
+  Config.NumObservations = 3000;
+  Config.NumTenants = 41;
+  Config.PrototypesPerApp = 3;
+  ThreadPool::setGlobalThreadCount(1);
+  auto A = FleetTrace::synthesize(M1, Events, Apps, Config);
+  ASSERT_TRUE(bool(A));
+  ThreadPool::setGlobalThreadCount(8);
+  auto B = FleetTrace::synthesize(M2, Events, Apps, Config);
+  ASSERT_TRUE(bool(B));
+
+  ASSERT_EQ(A->size(), Config.NumObservations);
+  ASSERT_EQ(A->width(), Events.size());
+  for (size_t I = 0; I < A->size(); ++I) {
+    ASSERT_EQ(A->tenant(I), B->tenant(I)) << "observation " << I;
+    ASSERT_LT(A->tenant(I), Config.NumTenants);
+    ASSERT_EQ(A->app(I), B->app(I));
+    ASSERT_LT(A->app(I), Apps.size());
+    for (size_t F = 0; F < A->width(); ++F)
+      ASSERT_EQ(A->features(I)[F], B->features(I)[F]);
+  }
+}
+
+TEST(FleetTrace, RejectsDegenerateConfigurations) {
+  Machine M(Platform::intelSkylakeServer(), 10);
+  std::vector<pmc::EventId> Events = {
+      *M.registry().lookup(pmc::skylakePaNames()[0])};
+  std::vector<CompoundApplication> Apps = {
+      CompoundApplication(Application(KernelKind::MklDgemm, 9000))};
+  EXPECT_FALSE(bool(FleetTrace::synthesize(M, Events, {}, FleetTraceConfig())));
+  EXPECT_FALSE(bool(FleetTrace::synthesize(M, {}, Apps, FleetTraceConfig())));
+  FleetTraceConfig NoTenants;
+  NoTenants.NumTenants = 0;
+  EXPECT_FALSE(bool(FleetTrace::synthesize(M, Events, Apps, NoTenants)));
+}
+
+TEST(ServingEngine, ServesARealEstimatorTraceAcrossShardCounts) {
+  ThreadCountGuard Guard;
+  Machine M(Platform::intelSkylakeServer(), 21);
+  power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>());
+  std::vector<std::string> Pa = pmc::skylakePaNames();
+  std::vector<std::string> Names = {Pa[0], Pa[1], Pa[3], Pa[7]};
+  std::vector<CompoundApplication> Apps;
+  for (uint64_t N = 7000; N <= 18000; N += 1000)
+    Apps.emplace_back(Application(KernelKind::MklDgemm, N));
+  auto Estimator = OnlineEstimator::train(M, Meter, Names, Apps);
+  ASSERT_TRUE(bool(Estimator));
+
+  FleetTraceConfig Config;
+  Config.NumObservations = 2000;
+  Config.NumTenants = 50;
+  Config.PrototypesPerApp = 2;
+  auto Trace = FleetTrace::synthesize(M, Estimator->events(), Apps, Config);
+  ASSERT_TRUE(bool(Trace));
+
+  ServingConfig OneShard;
+  OneShard.NumShards = 1;
+  OneShard.EpochSize = 256;
+  ServingEngine Reference(Estimator->model(), Trace->width(),
+                          Config.NumTenants, Trace->numApps(), OneShard);
+  Reference.replay(*Trace);
+  EXPECT_EQ(Reference.stats().Observations, Trace->size());
+  EXPECT_GT(Reference.fleetEnergy(), 0.0);
+
+  ThreadPool::setGlobalThreadCount(4);
+  ServingConfig FourShards = OneShard;
+  FourShards.NumShards = 4;
+  ServingEngine Sharded(Estimator->model(), Trace->width(),
+                        Config.NumTenants, Trace->numApps(), FourShards);
+  Sharded.replay(*Trace);
+  for (uint32_t Tenant = 0; Tenant < Config.NumTenants; ++Tenant)
+    ASSERT_EQ(Sharded.tenantEnergy(Tenant), Reference.tenantEnergy(Tenant));
+  ASSERT_EQ(Sharded.fleetEnergy(), Reference.fleetEnergy());
+}

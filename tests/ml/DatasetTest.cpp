@@ -135,6 +135,26 @@ TEST(Dataset, ReserveRowsDoesNotChangeContents) {
   EXPECT_DOUBLE_EQ(D.target(1), 6);
 }
 
+TEST(Dataset, ClearRowsKeepsSchemaAndRefills) {
+  Dataset D({"a", "b"});
+  double Row0[] = {1, 2};
+  double Row1[] = {4, 5};
+  D.addRow(Row0, 3);
+  D.addRow(Row1, 6);
+  ASSERT_EQ(D.numRows(), 2u);
+  EXPECT_EQ(D.row(1), (std::vector<double>{4, 5}));
+  EXPECT_DOUBLE_EQ(D.target(0), 3);
+  D.clearRows();
+  EXPECT_EQ(D.numRows(), 0u);
+  EXPECT_EQ(D.numFeatures(), 2u);
+  // Refill after clearing: fresh contents, same schema.
+  double Row2[] = {7, 8};
+  D.addRow(Row2, 9);
+  ASSERT_EQ(D.numRows(), 1u);
+  EXPECT_EQ(D.row(0), (std::vector<double>{7, 8}));
+  EXPECT_DOUBLE_EQ(D.target(0), 9);
+}
+
 TEST(Dataset, SelectFeaturesCopiesWholeColumns) {
   Dataset D = makeToy();
   Dataset S = D.selectFeatures({"c", "a"});
