@@ -19,6 +19,7 @@
 #include "core/Report.h"
 #include "ml/DecisionTree.h"
 #include "ml/NeuralNetwork.h"
+#include "ml/QuantizedModel.h"
 #include "pmc/PlatformEvents.h"
 #include "sim/Machine.h"
 #include "support/PhaseTimers.h"
@@ -72,7 +73,11 @@ inline unsigned &requestedThreads() {
 /// `--tree-algo naive|presorted` selects the decision-tree growth
 /// algorithm, `--nn-algo naive|batched` the neural-network training
 /// kernel, and `--synth-algo naive|batched` the counter-synthesis kernel
-/// (all bit-neutral; perf gates compare the two sides). `--bench-json
+/// (all bit-neutral; perf gates compare the two sides). `--infer-algo
+/// fp|quantized` (or SLOPE_INFER_ALGO) selects the inference kernel the
+/// model factories serve — unlike the bit-neutral switches it changes
+/// numerics within ml/QuantizedModel's documented error bound, so the CI
+/// gate checks speedup and tolerance together. `--bench-json
 /// PATH` (or SLOPE_BENCH_JSON) writes a machine-readable timing summary
 /// to PATH without changing anything on stdout. `--sweep-repeat N`
 /// repeats the model sweep in benches that support it; `--profile-repeat
@@ -102,6 +107,11 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
         Value == "naive" ? slope::sim::SynthAlgorithm::Naive
                          : slope::sim::SynthAlgorithm::Batched);
   };
+  auto SetInferAlgo = [](const std::string &Value) {
+    slope::ml::setDefaultInferenceAlgorithm(
+        Value == "quantized" ? slope::ml::InferenceAlgorithm::Quantized
+                             : slope::ml::InferenceAlgorithm::Fp);
+  };
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -121,6 +131,10 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
       SetSynthAlgo(Argv[++I]);
     } else if (Arg.rfind("--synth-algo=", 0) == 0) {
       SetSynthAlgo(Arg.substr(std::strlen("--synth-algo=")));
+    } else if (Arg == "--infer-algo" && I + 1 < Argc) {
+      SetInferAlgo(Argv[++I]);
+    } else if (Arg.rfind("--infer-algo=", 0) == 0) {
+      SetInferAlgo(Arg.substr(std::strlen("--infer-algo=")));
     } else if (Arg == "--bench-json" && I + 1 < Argc) {
       benchJsonPath() = Argv[++I];
     } else if (Arg.rfind("--bench-json=", 0) == 0) {
@@ -212,6 +226,11 @@ inline void writeBenchJson(const char *BenchName) {
                        slope::sim::SynthAlgorithm::Naive
                    ? "naive"
                    : "batched");
+  std::fprintf(F, "  \"infer_algo\": \"%s\",\n",
+               slope::ml::defaultInferenceAlgorithm() ==
+                       slope::ml::InferenceAlgorithm::Quantized
+                   ? "quantized"
+                   : "fp");
   std::fprintf(F, "  \"sweep_repeat\": %u,\n", sweepRepeatFlag());
   std::fprintf(F, "  \"profile_repeat\": %u,\n", profileRepeatFlag());
   std::fprintf(F, "  \"sections\": [\n");

@@ -15,6 +15,7 @@
 #include "core/DatasetBuilder.h"
 #include "ml/LinearRegression.h"
 #include "ml/NeuralNetwork.h"
+#include "ml/QuantizedModel.h"
 #include "ml/RandomForest.h"
 #include "pmc/CounterScheduler.h"
 #include "pmc/PlatformEvents.h"
@@ -157,6 +158,46 @@ void BM_ForestPredictBatch(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ForestPredictBatch)->Arg(0)->Arg(1);
+
+// Quantized fixed-point batch inference vs the FP reference it was built
+// from (predictions agree within ml/QuantizedModel's documented 1e-4
+// relative-error bound). Arg(0): int64 LR dot-product kernel vs FP LR;
+// Arg(1): branchless flattened-arena forest walk vs FP pointer-chasing
+// forest. Even rows fp, odd rows quantized, so the gate can compare two
+// entries of one report via check_speedup.py --key-b.
+void BM_QuantizedPredictBatch(benchmark::State &State) {
+  ml::Dataset Train = randomDataset(277, 6, 21);
+  ml::Dataset Test = randomDataset(4096, 6, 22);
+  const bool Forest = State.range(0) == 1;
+  const bool Quantized = State.range(1) == 1;
+  std::unique_ptr<ml::Model> Fp;
+  if (Forest) {
+    ml::RandomForestOptions Options;
+    Options.NumTrees = 30;
+    Fp = std::make_unique<ml::RandomForest>(Options);
+  } else {
+    Fp = std::make_unique<ml::LinearRegression>(
+        ml::LinearRegressionOptions::paperDefault());
+  }
+  auto Fit = Fp->fit(Train);
+  assert(Fit);
+  (void)Fit;
+  std::unique_ptr<ml::Model> Under = std::move(Fp);
+  if (Quantized) {
+    auto Q = ml::QuantizedModel::build(std::move(Under), Train);
+    assert(Q);
+    Under = Q.takeValue();
+  }
+  for (auto _ : State) {
+    std::vector<double> Preds = Under->predictBatch(Test);
+    benchmark::DoNotOptimize(Preds);
+  }
+}
+BENCHMARK(BM_QuantizedPredictBatch)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 void BM_MatrixGram(benchmark::State &State) {
   stats::Matrix A = randomMatrix(State.range(0), 32, 15);

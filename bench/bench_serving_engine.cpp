@@ -179,6 +179,18 @@ int main(int Argc, char **Argv) {
       {"batch_ms_p50", Engine.stats().batchLatencyQuantileMs(0.50)},
       {"batch_ms_p99", Engine.stats().batchLatencyQuantileMs(0.99)},
   };
+  // The attribution tables as numbers, so the quantized CI gate can check
+  // FP-vs-quantized accuracy (check_speedup.py --tolerance-json attr_)
+  // in the same call that checks the serve_ms speedup.
+  for (uint32_t A = 0; A < Trace->numApps(); ++A)
+    bench::extraJsonNumbers().emplace_back(
+        "attr_app_" + std::to_string(A) + "_energy_j", Engine.appEnergy(A));
+  for (size_t I = 0; I < std::min<size_t>(10, Order.size()); ++I)
+    bench::extraJsonNumbers().emplace_back(
+        "attr_top_tenant_" + std::to_string(I) + "_energy_j",
+        Engine.tenantEnergy(Order[I]));
+  bench::extraJsonNumbers().emplace_back("attr_fleet_energy_j",
+                                         Engine.fleetEnergy());
   bench::writeBenchJson("serving_engine");
   return 0;
 }

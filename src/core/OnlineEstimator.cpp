@@ -45,6 +45,15 @@ OnlineEstimator::train(Machine &M, power::HclWattsUp &Meter,
   std::unique_ptr<ml::Model> FittedModel = makePaperModel(Family, Seed);
   if (auto Fit = FittedModel->fit(*Training); !Fit)
     return Fit.error();
+  // Under --infer-algo quantized the estimator serves the fixed-point
+  // twin, calibrated on the training dataset. Propagate build failures
+  // (e.g. a non-identity NN) instead of silently serving FP.
+  if (ml::defaultInferenceAlgorithm() == ml::InferenceAlgorithm::Quantized) {
+    auto Q = ml::QuantizedModel::build(std::move(FittedModel), *Training);
+    if (!Q)
+      return Q.error();
+    FittedModel = Q.takeValue();
+  }
   return OnlineEstimator(M, std::move(Events),
                          std::vector<std::string>(PmcNames),
                          std::move(FittedModel));

@@ -6,6 +6,7 @@
 
 #include "core/ServingEngine.h"
 
+#include "ml/QuantizedModel.h"
 #include "support/PhaseTimers.h"
 #include "support/ThreadPool.h"
 
@@ -29,15 +30,24 @@ double ServingStats::batchLatencyQuantileMs(double Q) const {
 ServingEngine::ServingEngine(const ml::Model &M, size_t FeatureWidth,
                              uint32_t NumTenants, uint32_t NumApps,
                              ServingConfig Config)
-    : Model(&M), Width(FeatureWidth), NumTenants(NumTenants),
-      NumApps(NumApps), EpochSize(std::max<size_t>(1, Config.EpochSize)),
+    : Model(&M), Quant(dynamic_cast<const ml::QuantizedModel *>(&M)),
+      Width(FeatureWidth), NumTenants(NumTenants), NumApps(NumApps),
+      EpochSize(std::max<size_t>(1, Config.EpochSize)),
       BatchSize(std::max<size_t>(1, Config.BatchSize)) {
   assert(FeatureWidth > 0 && "serving needs at least one feature");
   assert(NumTenants > 0 && NumApps > 0 && "serving needs a fleet shape");
+  assert((!Quant || Quant->featureWidth() == Width) &&
+         "quantized model width does not match the engine");
   unsigned NumShards = Config.NumShards > 0
                            ? Config.NumShards
                            : ThreadPool::global().numThreads();
   Shards.resize(std::max(1u, NumShards));
+  TenantShard.resize(NumTenants);
+  TenantLocal.resize(NumTenants);
+  for (uint32_t T = 0; T < NumTenants; ++T) {
+    TenantShard[T] = T % static_cast<uint32_t>(Shards.size());
+    TenantLocal[T] = T / static_cast<uint32_t>(Shards.size());
+  }
   std::vector<std::string> FeatureNames;
   FeatureNames.reserve(Width);
   for (size_t F = 0; F < Width; ++F)
@@ -49,24 +59,47 @@ ServingEngine::ServingEngine(const ml::Model &M, size_t FeatureWidth,
                        ? (NumTenants - SI + Shards.size() - 1) / Shards.size()
                        : 0;
     Shards[SI].Cells.resize(Owned * NumApps);
-    Shards[SI].Batch = ml::Dataset(FeatureNames);
-    Shards[SI].Batch.reserveRows(BatchSize);
-    Shards[SI].BatchCells.reserve(BatchSize);
+    if (Quant) {
+      // Integer path: quanta accumulators plus one fixed BatchSize batch
+      // buffer, sized once here so the hot loop never allocates or
+      // checks capacity.
+      Shards[SI].CellsQ.resize(Owned * NumApps);
+      Shards[SI].PendingRows.resize(BatchSize * Width);
+      Shards[SI].PendingCells.resize(BatchSize);
+      Shards[SI].PredQ.resize(BatchSize);
+    } else {
+      Shards[SI].Batch = ml::Dataset(FeatureNames);
+      Shards[SI].Batch.reserveRows(BatchSize);
+      Shards[SI].BatchCells.reserve(BatchSize);
+    }
   }
   Folded.resize(static_cast<size_t>(NumTenants) * NumApps);
-  PendingTenants.reserve(EpochSize);
-  PendingApps.reserve(EpochSize);
-  PendingFeatures.reserve(EpochSize * Width);
+  if (!Quant) {
+    PendingTenants.reserve(EpochSize);
+    PendingApps.reserve(EpochSize);
+    PendingFeatures.reserve(EpochSize * Width);
+  }
 }
 
 void ServingEngine::ingest(uint32_t Tenant, uint32_t App,
                            const double *Features) {
   assert(Tenant < NumTenants && "tenant id out of range");
   assert(App < NumApps && "app id out of range");
-  PendingTenants.push_back(Tenant);
-  PendingApps.push_back(App);
-  PendingFeatures.insert(PendingFeatures.end(), Features, Features + Width);
-  if (PendingTenants.size() >= EpochSize)
+  if (Quant) {
+    // Quantize once at the door and route straight to the owning shard's
+    // batch; the rest of the pipeline is integer, and the staged row is
+    // half the width of the FP path's.
+    Shard &S = Shards[TenantShard[Tenant]];
+    Quant->quantizeRow(Features, S.PendingRows.data() + S.PendingN * Width);
+    S.PendingCells[S.PendingN] = TenantLocal[Tenant] * NumApps + App;
+    if (++S.PendingN == BatchSize)
+      flushShardBatch(S);
+  } else {
+    PendingTenants.push_back(Tenant);
+    PendingApps.push_back(App);
+    PendingFeatures.insert(PendingFeatures.end(), Features, Features + Width);
+  }
+  if (++PendingCount >= EpochSize)
     foldEpoch();
 }
 
@@ -79,7 +112,7 @@ void ServingEngine::processShard(Shard &S, const size_t *Indices,
     for (size_t I = First; I < Last; ++I) {
       const size_t Obs = Indices[I];
       S.Batch.addRow(PendingFeatures.data() + Obs * Width, 0.0);
-      const size_t Local = PendingTenants[Obs] / Shards.size();
+      const size_t Local = TenantLocal[PendingTenants[Obs]];
       S.BatchCells.push_back(Local * NumApps + PendingApps[Obs]);
     }
     const auto Start = std::chrono::steady_clock::now();
@@ -96,46 +129,95 @@ void ServingEngine::processShard(Shard &S, const size_t *Indices,
   }
 }
 
+void ServingEngine::flushShardBatch(Shard &S) {
+  const auto Start = std::chrono::steady_clock::now();
+  Quant->predictQuantizedMany(S.PendingRows.data(), /*Indices=*/nullptr,
+                              S.PendingN, S.PredQ.data());
+  const int64_t *PredQ = S.PredQ.data();
+  const uint32_t *Cells = S.PendingCells.data();
+  for (size_t I = 0, N = S.PendingN; I < N; ++I) {
+    Shard::QCell &C = S.CellsQ[Cells[I]];
+    C.EnergyQ += PredQ[I];
+    C.Count += 1;
+  }
+  S.BatchMs.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count());
+  ++S.Batches;
+  S.PendingN = 0;
+}
+
 void ServingEngine::foldEpoch() {
-  const size_t NumPending = PendingTenants.size();
   const size_t NumShards = Shards.size();
 
-  // Stable counting-sort partition of the pending observations by shard:
-  // per-shard contiguous index runs, each preserving trace order, so a
-  // cell's accumulation order is independent of the shard count.
+  // FP path: stable counting-sort partition of the pending observations
+  // by shard — per-shard contiguous index runs, each preserving trace
+  // order, so a cell's accumulation order is independent of the shard
+  // count. (The quantized path pre-routed its rows at ingest, which
+  // preserves trace order within a shard the same way.)
   std::vector<size_t> Offsets(NumShards + 1, 0);
-  for (size_t I = 0; I < NumPending; ++I)
-    ++Offsets[shardOf(PendingTenants[I]) + 1];
-  for (size_t SI = 0; SI < NumShards; ++SI)
-    Offsets[SI + 1] += Offsets[SI];
-  PartitionScratch.resize(NumPending);
-  {
-    std::vector<size_t> Cursor(Offsets.begin(), Offsets.end() - 1);
-    for (size_t I = 0; I < NumPending; ++I)
-      PartitionScratch[Cursor[shardOf(PendingTenants[I])]++] = I;
+  if (!Quant) {
+    const size_t NumPending = PendingTenants.size();
+    PartitionScratch.resize(NumPending);
+    if (NumShards == 1) {
+      // Everything belongs to the one shard, already in trace order.
+      Offsets[1] = NumPending;
+      for (size_t I = 0; I < NumPending; ++I)
+        PartitionScratch[I] = I;
+    } else {
+      for (size_t I = 0; I < NumPending; ++I)
+        ++Offsets[shardOf(PendingTenants[I]) + 1];
+      for (size_t SI = 0; SI < NumShards; ++SI)
+        Offsets[SI + 1] += Offsets[SI];
+      std::vector<size_t> Cursor(Offsets.begin(), Offsets.end() - 1);
+      for (size_t I = 0; I < NumPending; ++I)
+        PartitionScratch[Cursor[shardOf(PendingTenants[I])]++] = I;
+    }
   }
 
-  // Shard epochs: one task per shard, each writing only its own slots —
-  // plain stores, no atomics (see support/ThreadPool.h parallelInvoke).
-  std::vector<std::function<void()>> Tasks;
-  Tasks.reserve(NumShards);
-  for (size_t SI = 0; SI < NumShards; ++SI)
-    Tasks.push_back([this, SI, &Offsets] {
-      processShard(Shards[SI], PartitionScratch.data() + Offsets[SI],
-                   Offsets[SI + 1] - Offsets[SI]);
-    });
-  ThreadPool::global().parallelInvoke(Tasks);
+  if (Quant) {
+    // Integer path: full batches already flushed in place as they
+    // filled; only each shard's partial remainder is left, one cheap
+    // kernel call per shard — not worth a task dispatch.
+    for (size_t SI = 0; SI < NumShards; ++SI)
+      if (Shards[SI].PendingN > 0)
+        flushShardBatch(Shards[SI]);
+  } else {
+    // Shard epochs: one task per shard, each writing only its own
+    // slots — plain stores, no atomics (see support/ThreadPool.h
+    // parallelInvoke).
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(NumShards);
+    for (size_t SI = 0; SI < NumShards; ++SI)
+      Tasks.push_back([this, SI, &Offsets] {
+        processShard(Shards[SI], PartitionScratch.data() + Offsets[SI],
+                     Offsets[SI + 1] - Offsets[SI]);
+      });
+    ThreadPool::global().parallelInvoke(Tasks);
+  }
 
   // The fold: publish every shard's running accumulators into the
   // query-visible table, in shard order. Cells are owned by exactly one
-  // shard, so this is a snapshot copy, never a cross-shard sum.
+  // shard, so this is a snapshot copy, never a cross-shard sum. The
+  // quantized path converts each cell's exact quanta total to joules
+  // here — one multiply per cell per fold, off the hot loop.
+  const double DequantScale = Quant ? Quant->dequantScale() : 0;
   for (size_t SI = 0; SI < NumShards; ++SI) {
     Shard &S = Shards[SI];
     const size_t Owned = S.Cells.size() / NumApps;
     for (size_t Local = 0; Local < Owned; ++Local) {
       const size_t Tenant = Local * NumShards + SI;
-      std::copy_n(S.Cells.data() + Local * NumApps, NumApps,
-                  Folded.data() + Tenant * NumApps);
+      Cell *Out = Folded.data() + Tenant * NumApps;
+      const size_t Base = Local * NumApps;
+      if (Quant) {
+        for (size_t A = 0; A < NumApps; ++A) {
+          Out[A].EnergyJ =
+              static_cast<double>(S.CellsQ[Base + A].EnergyQ) * DequantScale;
+          Out[A].Count = S.CellsQ[Base + A].Count;
+        }
+      } else {
+        std::copy_n(S.Cells.data() + Base, NumApps, Out);
+      }
     }
     Stats.Batches += S.Batches;
     S.Batches = 0;
@@ -143,24 +225,54 @@ void ServingEngine::foldEpoch() {
                          S.BatchMs.end());
     S.BatchMs.clear();
   }
-  Stats.Observations += NumPending;
+  Stats.Observations += PendingCount;
   Stats.Epochs += 1;
+  PendingCount = 0;
   PendingTenants.clear();
   PendingApps.clear();
   PendingFeatures.clear();
 }
 
 void ServingEngine::endEpoch() {
-  if (PendingTenants.empty())
+  if (PendingCount == 0)
     return;
   foldEpoch();
+}
+
+void ServingEngine::stageQuantized(const FleetTrace &Trace, size_t Begin,
+                                   size_t End) {
+  // Same body as the quantized arm of ingest(), minus the per-row call
+  // and epoch bookkeeping: quantize straight into the owning shard's
+  // batch, flush in place when it fills.
+  for (size_t I = Begin; I < End; ++I) {
+    const uint32_t Tenant = Trace.tenant(I);
+    Shard &S = Shards[TenantShard[Tenant]];
+    Quant->quantizeRow(Trace.features(I), S.PendingRows.data() + S.PendingN * Width);
+    S.PendingCells[S.PendingN] = TenantLocal[Tenant] * NumApps + Trace.app(I);
+    if (++S.PendingN == BatchSize)
+      flushShardBatch(S);
+  }
+  PendingCount += End - Begin;
 }
 
 void ServingEngine::replay(const FleetTrace &Trace) {
   assert(Trace.width() == Width && "trace width does not match the engine");
   ScopedPhase Timer(Phase::Serve);
-  for (size_t I = 0; I < Trace.size(); ++I)
-    ingest(Trace.tenant(I), Trace.app(I), Trace.features(I));
+  if (Quant) {
+    // Bulk-stage in epoch-sized chunks; results are identical to the
+    // per-row ingest loop below (same rows, order, and fold boundaries).
+    size_t I = 0;
+    while (I < Trace.size()) {
+      const size_t End = std::min(Trace.size(), I + (EpochSize - PendingCount));
+      stageQuantized(Trace, I, End);
+      I = End;
+      if (PendingCount >= EpochSize)
+        foldEpoch();
+    }
+  } else {
+    for (size_t I = 0; I < Trace.size(); ++I)
+      ingest(Trace.tenant(I), Trace.app(I), Trace.features(I));
+  }
   endEpoch();
 }
 

@@ -29,6 +29,25 @@
 /// across shards, so replaying the same trace is bit-identical at any
 /// shard/thread count.
 ///
+/// Serving a ml::QuantizedModel switches the hot loop to the integer fast
+/// path: each observation is quantized once at ingest (int32 rows, half
+/// the memory traffic of doubles) and staged directly into its owning
+/// shard's batch buffer with a precomputed accumulation slot — the shard
+/// is a pure function of the tenant id, so the integer path skips the
+/// epoch partition pass and the index gather entirely. The moment a
+/// shard's batch fills, predictQuantizedMany runs over it in place — no
+/// Dataset assembly, no per-batch allocation, no FP in the loop — and
+/// accumulates raw int64 prediction quanta into per-cell 128-bit integer
+/// slots, converted to joules once per cell at fold time. Flushing
+/// in place keeps the whole pipeline inside one BatchSize buffer per
+/// shard (L1-resident) instead of writing an epoch of rows to memory and
+/// reading them back at the fold; the integer kernel is cheap enough
+/// that the saved traffic outweighs fold-task parallelism. Per-shard
+/// staging preserves trace order within a shard (appends happen in
+/// arrival order), and integer accumulation is exact, so the bit-identity
+/// argument above holds trivially; the quantized replay additionally
+/// matches the FP reference within the model's documented error bound.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_CORE_SERVINGENGINE_H
@@ -41,6 +60,9 @@
 #include <vector>
 
 namespace slope {
+namespace ml {
+class QuantizedModel;
+} // namespace ml
 namespace core {
 
 /// Serving knobs. None of them changes any query result — they trade
@@ -123,25 +145,70 @@ private:
     /// Running totals, local-tenant-major (localTenant * NumApps + app);
     /// local tenant L is global tenant L * NumShards + shardIndex.
     std::vector<Cell> Cells;
+    /// Quantized-path accumulation slot: running energy in raw
+    /// prediction quanta plus the observation count, fused so the hot
+    /// loop touches one cache line per observation. 128-bit quanta so
+    /// even pathological output bases cannot overflow under millions of
+    /// observations per cell; exact, converted to joules once per cell
+    /// at fold time.
+    struct QCell {
+      __int128 EnergyQ = 0;
+      uint64_t Count = 0;
+    };
+    /// Quantized path only: same cell layout as Cells.
+    std::vector<QCell> CellsQ;
+    /// Quantized path only: this shard's current batch, staged at ingest
+    /// (the shard of an observation is known the moment it arrives, so
+    /// the integer path never needs the epoch partition pass). Fixed
+    /// BatchSize capacity — the moment it fills, the integer kernel runs
+    /// over it in place (see flushShardBatch), so the quantized epoch
+    /// never materialises: rows live in one L1-resident buffer instead of
+    /// an epoch-sized staging array that would be written and re-read
+    /// through memory. PendingRows is flat row-major int32 in trace
+    /// order; PendingCells holds the precomputed accumulation slot per
+    /// row; PendingN counts staged rows.
+    std::vector<int32_t> PendingRows;
+    std::vector<uint32_t> PendingCells;
+    size_t PendingN = 0;
+    /// Quantized path only: reused per-batch prediction-quanta buffer.
+    std::vector<int64_t> PredQ;
     ml::Dataset Batch;               ///< Reused bounded inference batch.
     std::vector<size_t> BatchCells;  ///< Cell index per batch row.
     std::vector<double> BatchMs;     ///< Latencies since the last fold.
     uint64_t Batches = 0;            ///< Batches since the last fold.
   };
 
-  unsigned shardOf(uint32_t Tenant) const {
-    return Tenant % static_cast<unsigned>(Shards.size());
-  }
+  unsigned shardOf(uint32_t Tenant) const { return TenantShard[Tenant]; }
 
   /// Runs one shard's slice of the pending epoch: batches the rows
   /// through the model and accumulates predictions in trace order.
   void processShard(Shard &S, const size_t *Indices, size_t NumIndices);
+
+  /// Integer fast path: predictQuantizedMany straight over the shard's
+  /// staged int32 batch into its quanta accumulators — no Dataset
+  /// assembly, no allocation, no FP, no index gather. Called the moment a
+  /// shard's batch fills (and once per shard at the epoch fold for the
+  /// partial remainder), so per-shard batch counts match the FP path's
+  /// ceil(rows / BatchSize) exactly. The kernel is cheap enough that
+  /// running it inline beats shipping rows to fold-time tasks: the batch
+  /// buffer stays cache-hot instead of round-tripping an epoch of rows
+  /// through memory.
+  void flushShardBatch(Shard &S);
+
+  /// Bulk quantized staging for replay(): stages trace observations
+  /// [Begin, End) exactly as per-row ingest would (same rows, same
+  /// per-shard order, same cell slots, same flush points — replay results
+  /// are identical), minus the per-row call overhead. [Begin, End) must
+  /// fit in the current epoch.
+  void stageQuantized(const FleetTrace &Trace, size_t Begin, size_t End);
 
   /// Partitions pending observations by shard (stable), fans the shards
   /// out over the pool, then folds in shard order.
   void foldEpoch();
 
   const ml::Model *Model;
+  /// Non-null when serving a quantized model; enables the integer path.
+  const ml::QuantizedModel *Quant = nullptr;
   size_t Width;
   uint32_t NumTenants;
   uint32_t NumApps;
@@ -149,14 +216,25 @@ private:
   size_t BatchSize;
 
   std::vector<Shard> Shards;
+  /// Precomputed striping maps: tenant -> owning shard (tenant %
+  /// NumShards) and tenant -> local index within it (tenant / NumShards).
+  /// The epoch partition and both shard loops read these per observation;
+  /// a runtime-divisor div there costs more than the rest of the
+  /// quantized per-row work combined.
+  std::vector<uint32_t> TenantShard;
+  std::vector<uint32_t> TenantLocal;
   std::vector<Cell> Folded; ///< Query-visible table (tenant * NumApps + app).
   ServingStats Stats;
 
-  // Pending (unprocessed) observations, columnar like the trace.
+  // Pending (unprocessed) observations, columnar like the trace (FP path
+  // only — a quantized engine stages rows pre-quantized and pre-routed in
+  // the shards' PendingRows/PendingCells; ingest is the only place its
+  // features exist as doubles).
   std::vector<uint32_t> PendingTenants;
   std::vector<uint32_t> PendingApps;
-  std::vector<double> PendingFeatures; ///< Flat row-major.
+  std::vector<double> PendingFeatures; ///< Flat row-major (FP path).
   std::vector<size_t> PartitionScratch; ///< Reused stable-partition output.
+  size_t PendingCount = 0; ///< Observations buffered since the last fold.
 };
 
 } // namespace core

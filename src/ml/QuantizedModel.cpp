@@ -1,0 +1,471 @@
+//===- ml/QuantizedModel.cpp - Fixed-point inference fast path -------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/QuantizedModel.h"
+
+#include "ml/KnnRegressor.h"
+#include "ml/LinearRegression.h"
+#include "ml/NeuralNetwork.h"
+#include "ml/RandomForest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+using namespace slope;
+using namespace slope::ml;
+
+namespace {
+
+/// Fixed-point budget (see the header's scheme): calibration maxima land
+/// near 2^24 feature quanta, saturation at 2^28 leaves 16x headroom, the
+/// largest linear weight lands near 2^28, and leaf quanta stay <= 2^44 so
+/// even thousand-tree forests accumulate in int64.
+constexpr double FeatureTargetQuanta = 16777216.0;        // 2^24
+constexpr double WeightCapQuanta = 268435456.0;           // 2^28
+constexpr double LeafCapQuanta = 17592186044416.0;        // 2^44
+constexpr size_t MaxQuantizedWidth = QuantizedModel::MaxWidth;
+
+InferenceAlgorithm initialInferenceAlgorithm() {
+  if (const char *Env = std::getenv("SLOPE_INFER_ALGO")) {
+    if (std::string_view(Env) == "quantized")
+      return InferenceAlgorithm::Quantized;
+    if (std::string_view(Env) == "fp")
+      return InferenceAlgorithm::Fp;
+  }
+  return InferenceAlgorithm::Fp;
+}
+
+InferenceAlgorithm GlobalInferenceAlgorithm = initialInferenceAlgorithm();
+
+/// The largest power of two <= \p X (X > 0), computed exactly.
+double floorPow2(double X) {
+  assert(X > 0 && std::isfinite(X) && "scale selection needs a finite range");
+  return std::exp2(std::floor(std::log2(X)));
+}
+
+/// Per-feature scale from a calibration column: the column's absolute
+/// maximum lands in (2^23, 2^24] quanta. All-zero (or degenerate) columns
+/// scale by 1 — every value quantizes to 0 anyway.
+double featureScaleFor(const double *Col, size_t N) {
+  double MaxAbs = 0;
+  for (size_t R = 0; R < N; ++R)
+    MaxAbs = std::max(MaxAbs, std::fabs(Col[R]));
+  if (!(MaxAbs > 0) || !std::isfinite(MaxAbs))
+    return 1.0;
+  return floorPow2(FeatureTargetQuanta / MaxAbs);
+}
+
+} // namespace
+
+void ml::setDefaultInferenceAlgorithm(InferenceAlgorithm A) {
+  GlobalInferenceAlgorithm = A;
+}
+
+InferenceAlgorithm ml::defaultInferenceAlgorithm() {
+  return GlobalInferenceAlgorithm;
+}
+
+double ml::maxRelativeError(const std::vector<double> &Ref,
+                            const std::vector<double> &Got) {
+  assert(Ref.size() == Got.size() && "comparing mismatched prediction sets");
+  double MaxAbsRef = 0;
+  for (double V : Ref)
+    MaxAbsRef = std::max(MaxAbsRef, std::fabs(V));
+  const double Floor = 1e-9 * MaxAbsRef;
+  double Worst = 0;
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    const double Denom = std::max(std::fabs(Ref[I]), Floor);
+    if (Denom > 0)
+      Worst = std::max(Worst, std::fabs(Got[I] - Ref[I]) / Denom);
+  }
+  return Worst;
+}
+
+Expected<std::unique_ptr<QuantizedModel>>
+QuantizedModel::build(std::unique_ptr<Model> Reference,
+                      const Dataset &Calibration) {
+  if (!Reference)
+    return makeError("cannot quantize a null model");
+  if (Calibration.numRows() == 0)
+    return makeError("quantization needs a non-empty calibration dataset");
+  const size_t Width = Calibration.numFeatures();
+  if (Width == 0 || Width > MaxQuantizedWidth)
+    return makeError("quantized inference supports 1.." +
+                     std::to_string(MaxQuantizedWidth) + " features, got " +
+                     std::to_string(Width));
+
+  auto Q = std::unique_ptr<QuantizedModel>(new QuantizedModel());
+  Q->QuantScale.resize(Width);
+  Q->QuantOffset.assign(Width, 0.0);
+  for (size_t F = 0; F < Width; ++F)
+    Q->QuantScale[F] =
+        featureScaleFor(Calibration.column(F), Calibration.numRows());
+
+  // Linear models — directly (LR) or by probing the affine map (an
+  // identity-transfer NN is affine end to end, standardization included,
+  // so predict() at the origin and the unit vectors recovers exact
+  // effective weights).
+  std::vector<double> Coefficients;
+  double Intercept = 0;
+  bool IsLinear = false;
+  if (const auto *Lr = dynamic_cast<const LinearRegression *>(Reference.get())) {
+    if (Lr->coefficients().size() != Width)
+      return makeError("calibration width does not match the fitted model");
+    Coefficients = Lr->coefficients();
+    Intercept = Lr->intercept();
+    IsLinear = true;
+  } else if (const auto *Nn =
+                 dynamic_cast<const NeuralNetwork *>(Reference.get())) {
+    if (Nn->transfer() != Activation::Identity)
+      return makeError("quantized inference requires an identity-transfer "
+                       "NN (the paper configuration); " +
+                       std::string(activationName(Nn->transfer())) +
+                       " networks have no integer kernel");
+    std::vector<double> Probe(Width, 0.0);
+    Intercept = Nn->predict(Probe);
+    Coefficients.resize(Width);
+    for (size_t F = 0; F < Width; ++F) {
+      // Probe at calibration scale, not at 1.0: PMC counts run to 1e9+,
+      // so a unit probe would recover the coefficient as the difference
+      // of two nearly equal affine-map values (catastrophic
+      // cancellation). The step is a power of two, so dividing it back
+      // out is exact.
+      const double Step = FeatureTargetQuanta / Q->QuantScale[F];
+      Probe[F] = Step;
+      Coefficients[F] = (Nn->predict(Probe) - Intercept) / Step;
+      Probe[F] = 0.0;
+    }
+    IsLinear = true;
+  }
+  if (IsLinear) {
+    Q->ModelKind = Kind::Linear;
+    double MaxPerQuantum = 0;
+    for (size_t F = 0; F < Width; ++F)
+      MaxPerQuantum = std::max(MaxPerQuantum,
+                               std::fabs(Coefficients[F]) / Q->QuantScale[F]);
+    // Output quanta per joule: the adaptive EM_TO_INT base. Push the
+    // largest weight to ~2^28 so weight rounding is a 2^-29 relative
+    // perturbation; an all-zero model gets the default pico-joule-like
+    // 2^40 base.
+    Q->OutputBase = MaxPerQuantum > 0
+                        ? floorPow2(WeightCapQuanta / MaxPerQuantum)
+                        : std::exp2(40);
+    Q->DequantScale = 1.0 / Q->OutputBase;
+    Q->WeightQ.resize(Width);
+    for (size_t F = 0; F < Width; ++F)
+      Q->WeightQ[F] =
+          std::llround(Coefficients[F] * Q->OutputBase / Q->QuantScale[F]);
+    Q->BiasQ = std::llround(Intercept * Q->OutputBase);
+    Q->Ref = std::move(Reference);
+    return Q;
+  }
+
+  // Trees and forests share the flattened-arena kernel.
+  std::vector<const DecisionTree *> Trees;
+  if (const auto *Tree = dynamic_cast<const DecisionTree *>(Reference.get())) {
+    Trees.push_back(Tree);
+  } else if (const auto *Forest =
+                 dynamic_cast<const RandomForest *>(Reference.get())) {
+    for (size_t T = 0; T < Forest->numTrees(); ++T)
+      Trees.push_back(&Forest->tree(T));
+  }
+  if (!Trees.empty()) {
+    Q->ModelKind = Kind::Forest;
+    double MaxAbsLeaf = 0;
+    size_t TotalNodes = 0;
+    for (const DecisionTree *Tree : Trees) {
+      TotalNodes += Tree->numNodes();
+      for (size_t I = 0; I < Tree->numNodes(); ++I) {
+        const DecisionTree::NodeView N = Tree->node(I);
+        if (N.Feature == SIZE_MAX)
+          MaxAbsLeaf = std::max(MaxAbsLeaf, std::fabs(N.LeafValue));
+        else if (N.Feature >= Width)
+          return makeError("calibration width does not match the fitted "
+                           "model");
+      }
+    }
+    Q->OutputBase = MaxAbsLeaf > 0 ? floorPow2(LeafCapQuanta / MaxAbsLeaf)
+                                   : std::exp2(40);
+    Q->DequantScale =
+        1.0 / (Q->OutputBase * static_cast<double>(Trees.size()));
+    Q->Nodes.reserve(TotalNodes);
+    Q->LeafQ.reserve(TotalNodes);
+    Q->Roots.reserve(Trees.size());
+    Q->Depths.reserve(Trees.size());
+    for (const DecisionTree *Tree : Trees) {
+      const uint32_t Base = static_cast<uint32_t>(Q->Nodes.size());
+      Q->Roots.push_back(Base);
+      Q->Depths.push_back(static_cast<uint8_t>(Tree->fittedDepth()));
+      for (size_t I = 0; I < Tree->numNodes(); ++I) {
+        const DecisionTree::NodeView N = Tree->node(I);
+        QNode Out;
+        if (N.Feature == SIZE_MAX) {
+          // Leaf: self-loop on a comparison that reads feature 0; the
+          // walk stays put for its remaining fixed-depth iterations.
+          Out.Thresh = INT32_MAX;
+          Out.Feat = 0;
+          Out.Child[0] = Out.Child[1] = static_cast<int32_t>(Base + I);
+          Q->LeafQ.push_back(std::llround(N.LeafValue * Q->OutputBase));
+        } else {
+          const double ScaledT = N.Threshold * Q->QuantScale[N.Feature];
+          const double Clamped =
+              std::max(-1073741824.0, std::min(1073741824.0, ScaledT));
+          Out.Thresh = static_cast<int32_t>(std::llround(Clamped));
+          Out.Feat = static_cast<uint16_t>(N.Feature);
+          Out.Child[0] = static_cast<int32_t>(Base) + N.Left;
+          Out.Child[1] = static_cast<int32_t>(Base) + N.Right;
+          Q->LeafQ.push_back(0);
+        }
+        Q->Nodes.push_back(Out);
+      }
+    }
+    Q->Ref = std::move(Reference);
+    return Q;
+  }
+
+  if (const auto *Knn = dynamic_cast<const KnnRegressor *>(Reference.get())) {
+    if (Knn->featureMeans().size() != Width)
+      return makeError("calibration width does not match the fitted model");
+    Q->ModelKind = Kind::Knn;
+    const std::vector<double> &Rows = Knn->standardizedRows();
+    const size_t N = Knn->trainingTargets().size();
+    double MaxAbsStd = 0;
+    for (double V : Rows)
+      MaxAbsStd = std::max(MaxAbsStd, std::fabs(V));
+    // One shared scale for the whole standardized space — distances mix
+    // features, so per-feature scales would distort the metric.
+    Q->KnnDistScale =
+        MaxAbsStd > 0 ? floorPow2(FeatureTargetQuanta / MaxAbsStd) : 1.0;
+    for (size_t F = 0; F < Width; ++F) {
+      const double Std = Knn->featureStds()[F];
+      Q->QuantScale[F] = Q->KnnDistScale / Std;
+      Q->QuantOffset[F] = -Knn->featureMeans()[F] * Q->KnnDistScale / Std;
+    }
+    Q->KnnRows.resize(N * Width);
+    for (size_t I = 0; I < N * Width; ++I)
+      Q->KnnRows[I] = quantizeValue(Rows[I], Q->KnnDistScale, 0.0);
+    Q->KnnTargets = Knn->trainingTargets();
+    Q->KnnK = Knn->effectiveK();
+    Q->KnnDistanceWeighted = Knn->options().DistanceWeighted;
+    double MaxAbsTarget = 0;
+    for (double T : Q->KnnTargets)
+      MaxAbsTarget = std::max(MaxAbsTarget, std::fabs(T));
+    Q->OutputBase = MaxAbsTarget > 0 ? floorPow2(LeafCapQuanta / MaxAbsTarget)
+                                     : std::exp2(40);
+    Q->DequantScale = 1.0 / Q->OutputBase;
+    Q->Ref = std::move(Reference);
+    return Q;
+  }
+
+  return makeError("model family '" + Reference->name() +
+                   "' has no quantized inference kernel");
+}
+
+Expected<bool> QuantizedModel::fit(const Dataset &) {
+  return makeError("quantized models are built from fitted FP models via "
+                   "QuantizedModel::build, never fitted directly");
+}
+
+int64_t QuantizedModel::predictLinear(const int32_t *QRow) const {
+  int64_t Acc = BiasQ;
+  const size_t Width = WeightQ.size();
+  for (size_t F = 0; F < Width; ++F)
+    Acc += WeightQ[F] * static_cast<int64_t>(QRow[F]);
+  return Acc;
+}
+
+int64_t QuantizedModel::predictForest(const int32_t *QRow) const {
+  int64_t Acc = 0;
+  const QNode *Arena = Nodes.data();
+  for (size_t T = 0; T < Roots.size(); ++T) {
+    uint32_t I = Roots[T];
+    for (unsigned D = Depths[T]; D-- > 0;) {
+      const QNode &N = Arena[I];
+      I = static_cast<uint32_t>(N.Child[QRow[N.Feat] > N.Thresh]);
+    }
+    Acc += LeafQ[I];
+  }
+  return Acc;
+}
+
+int64_t QuantizedModel::predictKnn(const int32_t *QRow) const {
+  const size_t Width = QuantScale.size();
+  const size_t N = KnnTargets.size();
+  // Exact integer squared distances (deltas <= 2^29, so 64 features stay
+  // under 2^63); the O(N) scan is the hot part and is integer-only.
+  std::vector<std::pair<int64_t, size_t>> Distances;
+  Distances.reserve(N);
+  for (size_t R = 0; R < N; ++R) {
+    const int32_t *Row = &KnnRows[R * Width];
+    int64_t Sq = 0;
+    for (size_t C = 0; C < Width; ++C) {
+      const int64_t Dx = static_cast<int64_t>(Row[C]) - QRow[C];
+      Sq += Dx * Dx;
+    }
+    Distances.emplace_back(Sq, R);
+  }
+  const size_t K = std::min(KnnK, N);
+  std::nth_element(Distances.begin(), Distances.begin() + (K - 1),
+                   Distances.end());
+
+  // The k-element vote mirrors the FP reference on dequantized distances.
+  double WeightSum = 0, ValueSum = 0;
+  for (size_t I = 0; I < K; ++I) {
+    const auto &[Sq, R] = Distances[I];
+    if (KnnDistanceWeighted) {
+      if (Sq == 0)
+        return std::llround(KnnTargets[R] * OutputBase);
+      const double Dist = std::sqrt(static_cast<double>(Sq)) / KnnDistScale;
+      const double W = 1.0 / Dist;
+      WeightSum += W;
+      ValueSum += W * KnnTargets[R];
+    } else {
+      WeightSum += 1;
+      ValueSum += KnnTargets[R];
+    }
+  }
+  return std::llround(ValueSum / WeightSum * OutputBase);
+}
+
+int64_t QuantizedModel::predictQuantized(const int32_t *QRow) const {
+  switch (ModelKind) {
+  case Kind::Linear:
+    return predictLinear(QRow);
+  case Kind::Forest:
+    return predictForest(QRow);
+  case Kind::Knn:
+    return predictKnn(QRow);
+  }
+  assert(false && "unknown quantized kernel");
+  return 0;
+}
+
+void QuantizedModel::predictQuantizedMany(const int32_t *Rows,
+                                          const size_t *Indices, size_t N,
+                                          int64_t *Out) const {
+  const size_t Width = QuantScale.size();
+  switch (ModelKind) {
+  case Kind::Linear: {
+    // Open-coded: the dot product is ~Width multiply-adds, so a per-row
+    // function call and kind dispatch would be a measurable fraction of
+    // the work. The contiguous (null-Indices) variant is a plain strided
+    // walk the compiler can keep entirely in registers.
+    const int64_t *W = WeightQ.data();
+    const int64_t Bias = BiasQ;
+    if (Indices) {
+      for (size_t I = 0; I < N; ++I) {
+        const int32_t *QRow = Rows + Indices[I] * Width;
+        int64_t Acc = Bias;
+        for (size_t F = 0; F < Width; ++F)
+          Acc += W[F] * static_cast<int64_t>(QRow[F]);
+        Out[I] = Acc;
+      }
+    } else {
+      const int32_t *QRow = Rows;
+      for (size_t I = 0; I < N; ++I, QRow += Width) {
+        int64_t Acc = Bias;
+        for (size_t F = 0; F < Width; ++F)
+          Acc += W[F] * static_cast<int64_t>(QRow[F]);
+        Out[I] = Acc;
+      }
+    }
+    return;
+  }
+  case Kind::Forest: {
+    if (!Indices) {
+      // Tree-major with four rows in flight: a row-major walk is one
+      // dependent load chain per row (every node load waits on the
+      // previous one), while four independent walks saturate the load
+      // ports, and visiting one tree across the whole batch keeps that
+      // tree's arena slice cache-hot for 4+ reuses per node instead of
+      // touching every tree per row. Same int64 tree sum per row, just
+      // reordered — integer accumulation is exact, so the result is
+      // bit-identical to predictForest.
+      std::fill(Out, Out + N, INT64_C(0));
+      const QNode *Arena = Nodes.data();
+      const int64_t *Leaf = LeafQ.data();
+      for (size_t T = 0; T < Roots.size(); ++T) {
+        const uint32_t Root = Roots[T];
+        const unsigned Depth = Depths[T];
+        size_t I = 0;
+        for (; I + 4 <= N; I += 4) {
+          const int32_t *R0 = Rows + I * Width;
+          const int32_t *R1 = R0 + Width;
+          const int32_t *R2 = R1 + Width;
+          const int32_t *R3 = R2 + Width;
+          uint32_t N0 = Root, N1 = Root, N2 = Root, N3 = Root;
+          for (unsigned D = Depth; D-- > 0;) {
+            const QNode &A0 = Arena[N0];
+            N0 = static_cast<uint32_t>(A0.Child[R0[A0.Feat] > A0.Thresh]);
+            const QNode &A1 = Arena[N1];
+            N1 = static_cast<uint32_t>(A1.Child[R1[A1.Feat] > A1.Thresh]);
+            const QNode &A2 = Arena[N2];
+            N2 = static_cast<uint32_t>(A2.Child[R2[A2.Feat] > A2.Thresh]);
+            const QNode &A3 = Arena[N3];
+            N3 = static_cast<uint32_t>(A3.Child[R3[A3.Feat] > A3.Thresh]);
+          }
+          Out[I] += Leaf[N0];
+          Out[I + 1] += Leaf[N1];
+          Out[I + 2] += Leaf[N2];
+          Out[I + 3] += Leaf[N3];
+        }
+        for (; I < N; ++I) {
+          const int32_t *R = Rows + I * Width;
+          uint32_t Node = Root;
+          for (unsigned D = Depth; D-- > 0;) {
+            const QNode &A = Arena[Node];
+            Node = static_cast<uint32_t>(A.Child[R[A.Feat] > A.Thresh]);
+          }
+          Out[I] += Leaf[Node];
+        }
+      }
+      return;
+    }
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = predictForest(Rows + Indices[I] * Width);
+    return;
+  }
+  case Kind::Knn:
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = predictKnn(Rows + (Indices ? Indices[I] : I) * Width);
+    return;
+  }
+  assert(false && "unknown quantized kernel");
+}
+
+double QuantizedModel::predict(const std::vector<double> &Features) const {
+  assert(Features.size() == QuantScale.size() &&
+         "feature width does not match the quantized model");
+  int32_t QRow[MaxQuantizedWidth];
+  quantizeRow(Features.data(), QRow);
+  return dequantize(predictQuantized(QRow));
+}
+
+std::vector<double> QuantizedModel::predictBatch(const Dataset &Data) const {
+  assert(Data.numFeatures() == QuantScale.size() &&
+         "feature width does not match the quantized model");
+  const size_t N = Data.numRows();
+  const size_t Width = QuantScale.size();
+  // Quantize column by column (one streaming pass per feature), then run
+  // the batched integer kernel over the contiguous rows — identical
+  // arithmetic to predict() (the forest kernel only reorders an exact
+  // int64 sum), so the two paths agree bit for bit.
+  std::vector<int32_t> QBuf(N * Width);
+  for (size_t F = 0; F < Width; ++F) {
+    const double *Col = Data.column(F);
+    const double Scale = QuantScale[F], Offset = QuantOffset[F];
+    for (size_t R = 0; R < N; ++R)
+      QBuf[R * Width + F] = quantizeValue(Col[R], Scale, Offset);
+  }
+  std::vector<int64_t> OutQ(N);
+  predictQuantizedMany(QBuf.data(), /*Indices=*/nullptr, N, OutQ.data());
+  std::vector<double> Out(N);
+  for (size_t R = 0; R < N; ++R)
+    Out[R] = dequantize(OutQ[R]);
+  return Out;
+}

@@ -1,0 +1,253 @@
+//===- ml/QuantizedModel.h - Fixed-point inference fast path ----*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantized fixed-point inference: an integer twin of a fitted FP model,
+/// built once from the trained parameters plus a calibration dataset, so
+/// the serving hot loop can run in pure integer arithmetic — the deployed
+/// form of counter-based energy models (in-kernel schedulers ship their LR
+/// weights as integer pico-joule units precisely because the hot path
+/// cannot afford FP, and that constraint is also the speed play).
+///
+/// Quantization scheme (all scales are powers of two, so every rescale is
+/// exact in FP):
+///
+///  * Features: per-feature scale chosen from the calibration range so the
+///    calibration maximum lands near 2^24 quanta; quantizeRow() saturates
+///    at +/-2^28, i.e. 16x headroom over anything seen at calibration.
+///  * Linear models (LR, and identity-transfer NNs, which are affine maps
+///    and are folded to effective linear weights by probing): weights are
+///    scaled to integers by an output base chosen per model from the
+///    trained coefficient range — the largest weight lands near 2^28 —
+///    mirroring the kernel EM_TO_INT idiom with an adaptive base instead
+///    of a fixed 1e-12. The dot product is pure int64 adds/multiplies
+///    (term <= 2^56, so up to 64 features cannot overflow) with a single
+///    final rescale.
+///  * Trees / forests: nodes are flattened into one contiguous arena of
+///    16-byte nodes (int32 threshold in feature quanta, uint16 feature,
+///    two absolute child indices); leaves self-loop, so the walk is
+///    branchless — node = child[q[feat] > thresh] for the tree's fitted
+///    depth — with no pointer chasing. Leaf values are int64 quanta on an
+///    output base chosen from the trained leaf range; forest predictions
+///    accumulate in int64 (<= 2^44 per leaf, so thousands of trees fit).
+///  * k-NN: squared distances in standardized space are exact int64 sums
+///    over quantized rows; the k-element vote itself stays FP (it is not
+///    on the O(N) hot path) and its result is published in output quanta.
+///
+/// Unlike the repo's other selectable kernels, quantized inference cannot
+/// be bit-identical to the FP reference. It instead ships with a
+/// documented, tested error bound: decisions only flip within one feature
+/// quantum of a threshold and rounding contributes O(2^-24) per term, so
+/// |quantized - fp| relative error stays below 1e-4 with orders of
+/// magnitude to spare; tests/ml/QuantizedModelTest.cpp proves the bound
+/// across all trained paper families and the CI serving gate re-checks the
+/// attribution tables end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_ML_QUANTIZEDMODEL_H
+#define SLOPE_ML_QUANTIZEDMODEL_H
+
+#include "ml/Model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+
+namespace slope {
+namespace ml {
+
+/// Inference-kernel selection, following the --tree-algo/--nn-algo house
+/// pattern. Unlike those bit-neutral switches this one changes numerics
+/// (within the documented error bound), so the paper-table drivers keep
+/// their FP default and the serving gate compares the two sides.
+enum class InferenceAlgorithm {
+  Fp,        ///< The fitted FP model as-is (reference; default).
+  Quantized, ///< Fixed-point twin built by QuantizedModel::build.
+};
+
+/// Overrides the process-wide inference algorithm. The initial value
+/// honours the SLOPE_INFER_ALGO environment variable ("fp" or
+/// "quantized"); benches expose it as --infer-algo.
+void setDefaultInferenceAlgorithm(InferenceAlgorithm A);
+
+/// \returns the process-wide default inference algorithm.
+InferenceAlgorithm defaultInferenceAlgorithm();
+
+/// \returns max_i |Got[i] - Ref[i]| / max(|Ref[i]|, Floor) over both
+/// vectors, where Floor is 1e-9 x max_i |Ref[i]| so near-zero reference
+/// entries cannot blow the ratio up. The error-bound property tests and
+/// the serving tolerance gate measure exactly this. Asserts equal sizes;
+/// \returns 0 for empty input.
+double maxRelativeError(const std::vector<double> &Ref,
+                        const std::vector<double> &Got);
+
+/// An integer fixed-point twin of a fitted model (see file comment). Owns
+/// the FP reference it was built from; predict/predictBatch run the
+/// integer kernels, and the serving engine uses the quantizeRow /
+/// predictQuantized / dequantize split to keep its hot loop integer-only.
+class QuantizedModel : public Model {
+public:
+  /// Builds the fixed-point twin of \p Reference (must be fitted; the
+  /// twin takes ownership). \p Calibration supplies the per-feature value
+  /// ranges the feature scales are chosen from — normally the training
+  /// dataset. \returns an error for models whose family has no integer
+  /// kernel (non-identity-transfer NNs), empty calibration data, a
+  /// feature-width mismatch, or more than 64 features (the int64
+  /// accumulator budget).
+  static Expected<std::unique_ptr<QuantizedModel>>
+  build(std::unique_ptr<Model> Reference, const Dataset &Calibration);
+
+  /// The int64 accumulator budget caps quantized models at 64 features
+  /// (term <= 2^56 each); callers may size stack row buffers with this.
+  static constexpr size_t MaxWidth = 64;
+
+  /// Feature quanta saturate at +/-2^28 — 16x headroom over the 2^24
+  /// calibration target.
+  static constexpr int64_t SaturationQuanta = INT64_C(1) << 28;
+
+  /// Quantizes one value: round(X * Scale + Offset), saturated. The
+  /// single place the rounding rule lives, so predict, predictBatch, and
+  /// the serving engine's ingest-time quantization cannot drift apart.
+  /// On x86-64 the rounding is a single cvtsd2si (round-to-nearest-even
+  /// under the default MXCSR mode) — std::llround is a libm call the
+  /// compiler cannot inline without -fno-math-errno, and this runs once
+  /// per feature per served observation.
+  static int32_t quantizeValue(double X, double Scale, double Offset) {
+#if defined(__x86_64__) || defined(_M_X64)
+    const int64_t Q = _mm_cvtsd_si64(_mm_set_sd(X * Scale + Offset));
+#else
+    const int64_t Q = std::llround(X * Scale + Offset);
+#endif
+    return static_cast<int32_t>(
+        std::max(-SaturationQuanta, std::min(SaturationQuanta, Q)));
+  }
+
+  /// Quantized models are built from fitted FP models, never fitted
+  /// directly; \returns an error unconditionally.
+  Expected<bool> fit(const Dataset &Training) override;
+
+  double predict(const std::vector<double> &Features) const override;
+  std::vector<double> predictBatch(const Dataset &Data) const override;
+
+  /// "Q" + the reference family name ("QLR", "QRF", ...), so a quantized
+  /// model can never masquerade as its FP reference in a table or log.
+  std::string name() const override { return "Q" + Ref->name(); }
+
+  /// The FP model this twin was built from.
+  const Model &reference() const { return *Ref; }
+
+  size_t featureWidth() const { return QuantScale.size(); }
+
+  /// Quantizes one raw feature row into \p Out (featureWidth() values):
+  /// Out[f] = round(x[f] * scale[f] + offset[f]), saturated at +/-2^28.
+  /// The offset is zero except for k-NN, whose quantized space is
+  /// standardized. Inline (and two-wide on x86-64) because serving calls
+  /// it once per ingested observation.
+  void quantizeRow(const double *Features, int32_t *Out) const {
+    const size_t Width = QuantScale.size();
+    size_t F = 0;
+#if defined(__x86_64__) || defined(_M_X64)
+    // Two features per step: scale, shift, clamp in the double domain,
+    // then cvtpd2dq (round-to-nearest-even, same mode as quantizeValue).
+    // Clamping before the conversion is equivalent to quantizeValue's
+    // round-then-clamp for finite inputs: +/-2^28 is exactly
+    // representable, values inside the range are untouched, and values
+    // outside round to a magnitude >= 2^28 either way.
+    const __m128d Lo = _mm_set1_pd(-268435456.0);
+    const __m128d Hi = _mm_set1_pd(268435456.0);
+    for (; F + 2 <= Width; F += 2) {
+      __m128d V = _mm_loadu_pd(Features + F);
+      V = _mm_add_pd(_mm_mul_pd(V, _mm_loadu_pd(QuantScale.data() + F)),
+                     _mm_loadu_pd(QuantOffset.data() + F));
+      V = _mm_min_pd(_mm_max_pd(V, Lo), Hi);
+      _mm_storel_epi64(reinterpret_cast<__m128i *>(Out + F),
+                       _mm_cvtpd_epi32(V));
+    }
+#endif
+    for (; F < Width; ++F)
+      Out[F] = quantizeValue(Features[F], QuantScale[F], QuantOffset[F]);
+  }
+
+  /// Integer-only prediction over a quantized row, in output quanta.
+  /// Pure given the row — no allocation, no FP on the linear and forest
+  /// paths — so shards may call it concurrently.
+  int64_t predictQuantized(const int32_t *QRow) const;
+
+  /// Batched predictQuantized: runs the integer kernel over \p N rows of
+  /// \p Rows and writes the result quanta to Out[i]. Row i is
+  /// Rows + Indices[i] * featureWidth(), or the i-th consecutive row when
+  /// \p Indices is null. One kernel dispatch per batch instead of per
+  /// row — the serving hot loop's entry point.
+  void predictQuantizedMany(const int32_t *Rows, const size_t *Indices,
+                            size_t N, int64_t *Out) const;
+
+  /// Output quanta -> target units (J). The factor is
+  /// 1 / (output base * ensemble size), so integer cell accumulators can
+  /// sum raw predictQuantized results and rescale once at fold time.
+  double dequantize(int64_t PredQ) const {
+    return static_cast<double>(PredQ) * DequantScale;
+  }
+  double dequantScale() const { return DequantScale; }
+
+  /// Output quanta per target unit (the model's adaptive EM_TO_INT base;
+  /// exposed for tests and the DESIGN.md scale-selection argument).
+  double outputBase() const { return OutputBase; }
+
+private:
+  QuantizedModel() = default;
+
+  /// One flattened tree node: go to Child[q[Feat] > Thresh]. Leaves point
+  /// both children at themselves, which keeps the walk branchless.
+  struct QNode {
+    int32_t Thresh;
+    uint16_t Feat;
+    int32_t Child[2];
+  };
+
+  enum class Kind { Linear, Forest, Knn };
+
+  int64_t predictLinear(const int32_t *QRow) const;
+  int64_t predictForest(const int32_t *QRow) const;
+  int64_t predictKnn(const int32_t *QRow) const;
+
+  std::unique_ptr<Model> Ref;
+  Kind ModelKind = Kind::Linear;
+
+  // Feature quantization: q = round(x * QuantScale + QuantOffset).
+  std::vector<double> QuantScale;
+  std::vector<double> QuantOffset;
+
+  double OutputBase = 1;    ///< Output quanta per target unit.
+  double DequantScale = 1;  ///< 1 / (OutputBase * ensemble size).
+
+  // Linear kernel.
+  std::vector<int64_t> WeightQ;
+  int64_t BiasQ = 0;
+
+  // Forest kernel: one arena over all trees, per-tree roots and depths.
+  std::vector<QNode> Nodes;
+  std::vector<int64_t> LeafQ;     ///< Leaf value quanta per arena node.
+  std::vector<uint32_t> Roots;
+  std::vector<uint8_t> Depths;    ///< Fitted depth per tree (walk length).
+
+  // k-NN kernel: quantized standardized training rows + raw targets.
+  std::vector<int32_t> KnnRows;   ///< Flat row-major (N x width).
+  std::vector<double> KnnTargets;
+  size_t KnnK = 1;
+  bool KnnDistanceWeighted = true;
+  double KnnDistScale = 1;        ///< Feature quanta per standardized unit.
+};
+
+} // namespace ml
+} // namespace slope
+
+#endif // SLOPE_ML_QUANTIZEDMODEL_H

@@ -47,6 +47,13 @@ public:
 
   size_t numTrees() const { return Trees.size(); }
 
+  /// The \p I-th fitted tree, in ensemble order. Valid after fit; used by
+  /// QuantizedModel::build to flatten the ensemble into one node arena.
+  const DecisionTree &tree(size_t I) const {
+    assert(Fitted && I < Trees.size() && "tree index out of range");
+    return *Trees[I];
+  }
+
   /// Out-of-bag mean-squared error estimated during fit; NaN if no row was
   /// ever out of bag (tiny datasets).
   double oobMse() const {

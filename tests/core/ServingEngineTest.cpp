@@ -7,6 +7,8 @@
 #include "core/ServingEngine.h"
 
 #include "core/OnlineEstimator.h"
+#include "ml/LinearRegression.h"
+#include "ml/QuantizedModel.h"
 #include "pmc/PlatformEvents.h"
 #include "support/ThreadPool.h"
 
@@ -77,6 +79,36 @@ ServingEngine replayed(const ml::Model &M, const MiniTrace &T,
     Engine.ingest(T.Tenants[I], T.Apps[I], T.Features.data() + I * T.Width);
   Engine.endEpoch();
   return Engine;
+}
+
+/// A small training set over the same feature distribution the mini
+/// traces draw from (so quantization calibration covers the trace).
+ml::Dataset miniTrainingSet(size_t Width, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::string> Names;
+  for (size_t F = 0; F < Width; ++F)
+    Names.push_back("f" + std::to_string(F));
+  ml::Dataset Train(Names);
+  for (int I = 0; I < 200; ++I) {
+    std::vector<double> X(Width);
+    double Y = 0;
+    for (size_t F = 0; F < Width; ++F) {
+      X[F] = R.uniform(0.25, 4.0);
+      Y += static_cast<double>(F + 1) * X[F];
+    }
+    Train.addRow(X, Y + R.gaussian(0, 0.1));
+  }
+  return Train;
+}
+
+/// Fits a fresh LR on \p Train; the NNLS-free default solver is
+/// deterministic, so two calls produce identical models.
+std::unique_ptr<ml::Model> fittedLr(const ml::Dataset &Train) {
+  auto M = std::make_unique<ml::LinearRegression>();
+  auto Fit = M->fit(Train);
+  assert(Fit);
+  (void)Fit;
+  return M;
 }
 
 } // namespace
@@ -220,6 +252,129 @@ TEST(ServingEngine, BatchCountIsDeterministicPerShardCount) {
   Engine.endEpoch();
   EXPECT_EQ(Engine.stats().Batches, 3u); // ceil(20 / 8) in one shard.
   EXPECT_EQ(Engine.stats().BatchMs.size(), 3u);
+}
+
+TEST(ServingEngine, PartialFinalEpochIsFolded) {
+  SumModel M;
+  MiniTrace T = makeMiniTrace(1000, 17, 3, 2, 0xFACE);
+
+  // Serial reference accumulation, one pass in trace order, per
+  // (tenant, app) cell to match the engine's summation order.
+  std::vector<double> WantEnergy(T.NumTenants * T.NumApps, 0.0);
+  std::vector<uint64_t> WantCount(T.NumTenants * T.NumApps, 0);
+  std::vector<double> Row(T.Width);
+  for (size_t I = 0; I < T.size(); ++I) {
+    for (size_t F = 0; F < T.Width; ++F)
+      Row[F] = T.Features[I * T.Width + F];
+    const size_t Cell = T.Tenants[I] * T.NumApps + T.Apps[I];
+    WantEnergy[Cell] += M.predict(Row);
+    WantCount[Cell] += 1;
+  }
+
+  // 1000 = 3 * 300 + 100: the last 100 observations only reach the
+  // tables if endEpoch folds the partial remainder.
+  ServingConfig Config;
+  Config.NumShards = 2;
+  Config.EpochSize = 300;
+  Config.BatchSize = 16;
+  ServingEngine Engine = replayed(M, T, Config);
+  EXPECT_EQ(Engine.stats().Epochs, 4u); // ceil(1000 / 300).
+  EXPECT_EQ(Engine.stats().Observations, T.size());
+  for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant) {
+    double Energy = 0;
+    uint64_t Count = 0;
+    for (uint32_t App = 0; App < T.NumApps; ++App) {
+      Energy += WantEnergy[Tenant * T.NumApps + App];
+      Count += WantCount[Tenant * T.NumApps + App];
+    }
+    EXPECT_EQ(Engine.tenantEnergy(Tenant), Energy) << "tenant " << Tenant;
+    EXPECT_EQ(Engine.tenantObservations(Tenant), Count);
+  }
+}
+
+TEST(ServingEngine, EpochLargerThanTraceFoldsOnce) {
+  SumModel M;
+  MiniTrace T = makeMiniTrace(1000, 11, 2, 2, 0xD1CE);
+  ServingConfig Config;
+  Config.NumShards = 2;
+  Config.EpochSize = 5000; // Never reached: the whole trace is partial.
+  ServingEngine Engine = replayed(M, T, Config);
+  EXPECT_EQ(Engine.stats().Epochs, 1u);
+  EXPECT_EQ(Engine.stats().Observations, T.size());
+  uint64_t Folded = 0;
+  for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant)
+    Folded += Engine.tenantObservations(Tenant);
+  EXPECT_EQ(Folded, T.size());
+  EXPECT_GT(Engine.fleetEnergy(), 0.0);
+}
+
+TEST(ServingEngine, QuantizedReplayMatchesFpWithinBound) {
+  ml::Dataset Train = miniTrainingSet(3, 0x99);
+  std::unique_ptr<ml::Model> Fp = fittedLr(Train);
+  auto Quant = ml::QuantizedModel::build(fittedLr(Train), Train);
+  ASSERT_TRUE(bool(Quant));
+
+  // Uneven epoch size on purpose: the partial-epoch fold must also be
+  // exercised by the integer fast path.
+  MiniTrace T = makeMiniTrace(3000, 23, 4, 3, 0xBEEF);
+  ServingConfig Config;
+  Config.NumShards = 2;
+  Config.EpochSize = 700;
+  Config.BatchSize = 64;
+  ServingEngine FpEngine = replayed(*Fp, T, Config);
+  ServingEngine QEngine = replayed(**Quant, T, Config);
+
+  EXPECT_EQ(QEngine.stats().Epochs, 5u); // ceil(3000 / 700).
+  EXPECT_EQ(QEngine.stats().Observations, T.size());
+  EXPECT_EQ(QEngine.stats().Batches, FpEngine.stats().Batches);
+
+  std::vector<double> FpEnergy, QEnergy;
+  for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant) {
+    FpEnergy.push_back(FpEngine.tenantEnergy(Tenant));
+    QEnergy.push_back(QEngine.tenantEnergy(Tenant));
+    ASSERT_EQ(QEngine.tenantObservations(Tenant),
+              FpEngine.tenantObservations(Tenant));
+  }
+  for (uint32_t App = 0; App < T.NumApps; ++App) {
+    FpEnergy.push_back(FpEngine.appEnergy(App));
+    QEnergy.push_back(QEngine.appEnergy(App));
+    ASSERT_EQ(QEngine.appObservations(App), FpEngine.appObservations(App));
+  }
+  FpEnergy.push_back(FpEngine.fleetEnergy());
+  QEnergy.push_back(QEngine.fleetEnergy());
+  EXPECT_LT(ml::maxRelativeError(FpEnergy, QEnergy), 1e-4);
+}
+
+TEST(ServingEngine, QuantizedReplayBitIdenticalAtAnyShardAndThreadCount) {
+  ThreadCountGuard Guard;
+  ml::Dataset Train = miniTrainingSet(3, 0x77);
+  auto Quant = ml::QuantizedModel::build(fittedLr(Train), Train);
+  ASSERT_TRUE(bool(Quant));
+  MiniTrace T = makeMiniTrace(4000, 29, 4, 3, 0x5EED);
+
+  ThreadPool::setGlobalThreadCount(1);
+  ServingConfig Baseline;
+  Baseline.NumShards = 1;
+  Baseline.EpochSize = 600;
+  ServingEngine Reference = replayed(**Quant, T, Baseline);
+
+  for (unsigned Shards : {2u, 8u, 64u}) {
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      ThreadPool::setGlobalThreadCount(Threads);
+      ServingConfig Config = Baseline;
+      Config.NumShards = Shards;
+      ServingEngine Engine = replayed(**Quant, T, Config);
+      for (uint32_t Tenant = 0; Tenant < T.NumTenants; ++Tenant) {
+        ASSERT_EQ(Engine.tenantEnergy(Tenant),
+                  Reference.tenantEnergy(Tenant))
+            << Shards << " shards, " << Threads << " threads, tenant "
+            << Tenant;
+        ASSERT_EQ(Engine.tenantObservations(Tenant),
+                  Reference.tenantObservations(Tenant));
+      }
+      ASSERT_EQ(Engine.fleetEnergy(), Reference.fleetEnergy());
+    }
+  }
 }
 
 TEST(FleetTrace, SynthesisIsDeterministicAtAnyThreadCount) {
