@@ -22,6 +22,7 @@
 #include "ml/QuantizedModel.h"
 #include "pmc/PlatformEvents.h"
 #include "sim/Machine.h"
+#include "stats/SimdKernels.h"
 #include "support/PhaseTimers.h"
 #include "support/Str.h"
 #include "support/TablePrinter.h"
@@ -77,7 +78,12 @@ inline unsigned &requestedThreads() {
 /// fp|quantized` (or SLOPE_INFER_ALGO) selects the inference kernel the
 /// model factories serve — unlike the bit-neutral switches it changes
 /// numerics within ml/QuantizedModel's documented error bound, so the CI
-/// gate checks speedup and tolerance together. `--bench-json
+/// gate checks speedup and tolerance together. `--simd
+/// auto|avx2|scalar` (or SLOPE_SIMD) selects the SIMD kernel variant:
+/// auto (the default) enables only the bit-identical column-parallel
+/// AVX2 kernels, avx2 additionally opts into the reassociating K-split
+/// kernels, scalar forces the reference — see stats/SimdKernels.h.
+/// `--bench-json
 /// PATH` (or SLOPE_BENCH_JSON) writes a machine-readable timing summary
 /// to PATH without changing anything on stdout. `--sweep-repeat N`
 /// repeats the model sweep in benches that support it; `--profile-repeat
@@ -112,6 +118,12 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
         Value == "quantized" ? slope::ml::InferenceAlgorithm::Quantized
                              : slope::ml::InferenceAlgorithm::Fp);
   };
+  auto SetSimd = [](const std::string &Value) {
+    slope::stats::setDefaultSimdMode(
+        Value == "scalar" ? slope::stats::SimdMode::Scalar
+        : Value == "avx2" ? slope::stats::SimdMode::Avx2
+                          : slope::stats::SimdMode::Auto);
+  };
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -135,6 +147,10 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
       SetInferAlgo(Argv[++I]);
     } else if (Arg.rfind("--infer-algo=", 0) == 0) {
       SetInferAlgo(Arg.substr(std::strlen("--infer-algo=")));
+    } else if (Arg == "--simd" && I + 1 < Argc) {
+      SetSimd(Argv[++I]);
+    } else if (Arg.rfind("--simd=", 0) == 0) {
+      SetSimd(Arg.substr(std::strlen("--simd=")));
     } else if (Arg == "--bench-json" && I + 1 < Argc) {
       benchJsonPath() = Argv[++I];
     } else if (Arg.rfind("--bench-json=", 0) == 0) {
@@ -231,6 +247,11 @@ inline void writeBenchJson(const char *BenchName) {
                        slope::ml::InferenceAlgorithm::Quantized
                    ? "quantized"
                    : "fp");
+  // The *resolved* variant the column-parallel kernels actually ran with
+  // on this host (auto resolves to "avx2" or "scalar" here), so archived
+  // JSON records what executed rather than what was requested.
+  std::fprintf(F, "  \"simd\": \"%s\",\n",
+               slope::stats::resolvedSimdVariant());
   std::fprintf(F, "  \"sweep_repeat\": %u,\n", sweepRepeatFlag());
   std::fprintf(F, "  \"profile_repeat\": %u,\n", profileRepeatFlag());
   std::fprintf(F, "  \"sections\": [\n");

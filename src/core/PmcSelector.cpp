@@ -46,8 +46,9 @@ std::vector<double> core::energyCorrelations(const ml::Dataset &Data) {
   std::vector<double> Correlations;
   Correlations.reserve(Data.numFeatures());
   for (size_t C = 0; C < Data.numFeatures(); ++C)
-    Correlations.push_back(
-        stats::pearson(Data.featureColumn(C), Data.targets()));
+    Correlations.push_back(stats::pearson(Data.column(C),
+                                          Data.targets().data(),
+                                          Data.numRows()));
   return Correlations;
 }
 

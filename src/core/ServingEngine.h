@@ -55,6 +55,7 @@
 
 #include "core/FleetTrace.h"
 #include "ml/Model.h"
+#include "support/AlignedBuffer.h"
 
 #include <cstdint>
 #include <vector>
@@ -165,9 +166,11 @@ private:
     /// never materialises: rows live in one L1-resident buffer instead of
     /// an epoch-sized staging array that would be written and re-read
     /// through memory. PendingRows is flat row-major int32 in trace
-    /// order; PendingCells holds the precomputed accumulation slot per
+    /// order, in 64-byte-aligned line-padded storage so ingest's
+    /// eight-wide quantizeRow never tangles with the allocation edge;
+    /// PendingCells holds the precomputed accumulation slot per
     /// row; PendingN counts staged rows.
-    std::vector<int32_t> PendingRows;
+    AlignedBuffer<int32_t> PendingRows;
     std::vector<uint32_t> PendingCells;
     size_t PendingN = 0;
     /// Quantized path only: reused per-batch prediction-quanta buffer.

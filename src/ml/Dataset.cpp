@@ -27,13 +27,13 @@ void Dataset::addRow(const double *Features, double Target) {
 }
 
 void Dataset::reserveRows(size_t NumRows) {
-  for (std::vector<double> &Col : Columns)
+  for (AlignedBuffer<double> &Col : Columns)
     Col.reserve(NumRows);
   Targets.reserve(NumRows);
 }
 
 void Dataset::clearRows() {
-  for (std::vector<double> &Col : Columns)
+  for (AlignedBuffer<double> &Col : Columns)
     Col.clear();
   Targets.clear();
 }
@@ -92,7 +92,7 @@ Dataset Dataset::selectRows(const std::vector<size_t> &Indices) const {
   Out.reserveRows(Indices.size());
   for (size_t C = 0; C < Columns.size(); ++C) {
     const double *Col = Columns[C].data();
-    std::vector<double> &OutCol = Out.Columns[C];
+    AlignedBuffer<double> &OutCol = Out.Columns[C];
     for (size_t R : Indices) {
       assert(R < Targets.size() && "row index out of range");
       OutCol.push_back(Col[R]);

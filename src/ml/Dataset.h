@@ -16,12 +16,18 @@
 /// row vectors. Row access is a gather; hot paths should use column() or
 /// gatherRow() with a reused buffer.
 ///
+/// Columns live in support/AlignedBuffer storage: 64-byte aligned with
+/// zero-filled padding up to a whole cache line, so the SIMD kernel pass
+/// (stats/SimdKernels.h) can stream any column with full-width vector
+/// loads and no masked epilogue hazards.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_ML_DATASET_H
 #define SLOPE_ML_DATASET_H
 
 #include "stats/Matrix.h"
+#include "support/AlignedBuffer.h"
 #include "support/Rng.h"
 
 #include <string>
@@ -90,8 +96,9 @@ public:
   /// element first. Entries equal featureMatrix()'s, shifted one column.
   stats::Matrix designMatrix(bool IncludeOnes) const;
 
-  /// \returns one feature column by index, as a contiguous vector view.
-  const std::vector<double> &featureColumn(size_t C) const {
+  /// \returns one feature column by index, as a contiguous aligned view
+  /// (vector-safe: padded to a whole cache line past size()).
+  const AlignedBuffer<double> &featureColumn(size_t C) const {
     assert(C < Columns.size() && "feature index out of range");
     return Columns[C];
   }
@@ -117,8 +124,9 @@ public:
 
 private:
   std::vector<std::string> FeatureNames;
-  /// One contiguous array per feature (structure of arrays).
-  std::vector<std::vector<double>> Columns;
+  /// One contiguous 64-byte-aligned, line-padded array per feature
+  /// (structure of arrays).
+  std::vector<AlignedBuffer<double>> Columns;
   std::vector<double> Targets;
 };
 

@@ -111,22 +111,18 @@ void NeuralNetwork::applyAdamUpdate(
   const double Beta1 = 0.9, Beta2 = 0.999, Eps = 1e-8;
   double Corr1 = 1 - std::pow(Beta1, static_cast<double>(AdamStep));
   double Corr2 = 1 - std::pow(Beta2, static_cast<double>(AdamStep));
+  // One dispatched element-wise kernel per parameter block (see
+  // stats/SimdKernels.h: column-parallel, bit-identical to the loop it
+  // replaced under every SIMD mode). Biases take L2 = 0: the bias
+  // gradient was never regularized.
   for (size_t L = 0; L < Layers.size(); ++L) {
     Layer &Lay = Layers[L];
-    for (size_t I = 0; I < Lay.Weights.size(); ++I) {
-      double G = GradW[L][I] + Options.L2 * Lay.Weights[I];
-      Lay.MW[I] = Beta1 * Lay.MW[I] + (1 - Beta1) * G;
-      Lay.VW[I] = Beta2 * Lay.VW[I] + (1 - Beta2) * G * G;
-      Lay.Weights[I] -= Options.LearningRate * (Lay.MW[I] / Corr1) /
-                        (std::sqrt(Lay.VW[I] / Corr2) + Eps);
-    }
-    for (size_t O = 0; O < Lay.OutDim; ++O) {
-      double G = GradB[L][O];
-      Lay.MB[O] = Beta1 * Lay.MB[O] + (1 - Beta1) * G;
-      Lay.VB[O] = Beta2 * Lay.VB[O] + (1 - Beta2) * G * G;
-      Lay.Bias[O] -= Options.LearningRate * (Lay.MB[O] / Corr1) /
-                     (std::sqrt(Lay.VB[O] / Corr2) + Eps);
-    }
+    stats::adamStep(Lay.Weights.data(), Lay.MW.data(), Lay.VW.data(),
+                    GradW[L].data(), Lay.Weights.size(), Options.L2, Beta1,
+                    Beta2, Corr1, Corr2, Options.LearningRate, Eps);
+    stats::adamStep(Lay.Bias.data(), Lay.MB.data(), Lay.VB.data(),
+                    GradB[L].data(), Lay.OutDim, /*L2=*/0.0, Beta1, Beta2,
+                    Corr1, Corr2, Options.LearningRate, Eps);
   }
 }
 
@@ -290,18 +286,20 @@ void NeuralNetwork::fitBatched(const double *Xs, const std::vector<double> &Ys,
         size_t L = Lp1 - 1;
         const Layer &Lay = Layers[L];
         double *DeltaL = Deltas[L].data();
-        if (L + 1 != NumLayers) {
+        // Identity's derivative is exactly 1, so the conversion pass is
+        // skipped outright (multiplying by 1.0 is bit-neutral), like the
+        // forward pass skips the identity transfer itself.
+        if (L + 1 != NumLayers &&
+            Options.Transfer != Activation::Identity) {
           const double *ActL1 = Acts[L + 1].data();
           for (size_t I = 0; I < Lay.OutDim * B; ++I)
             DeltaL[I] *= transferDerivative(ActL1[I]);
         }
-        for (size_t O = 0; O < Lay.OutDim; ++O) {
-          const double *DRow = DeltaL + O * B;
-          double Sum = GradB[L][O];
-          for (size_t S = 0; S < B; ++S)
-            Sum += DRow[S];
-          GradB[L][O] = Sum;
-        }
+        // Bias gradients reduce each delta row over samples; the
+        // dispatched sum keeps ascending order by default and K-splits
+        // only under the explicit avx2 opt-in (see stats/SimdKernels.h).
+        for (size_t O = 0; O < Lay.OutDim; ++O)
+          GradB[L][O] += stats::sum(DeltaL + O * B, B);
         // GradW (OutDim x InDim) += DeltaL (OutDim x B) x Acts^T: both
         // operands stream sample-contiguous rows and every element dots
         // its samples in ascending order.

@@ -52,6 +52,7 @@
 #define SLOPE_ML_QUANTIZEDMODEL_H
 
 #include "ml/Model.h"
+#include "stats/SimdKernels.h"
 
 #include <algorithm>
 #include <cmath>
@@ -150,31 +151,14 @@ public:
   /// Quantizes one raw feature row into \p Out (featureWidth() values):
   /// Out[f] = round(x[f] * scale[f] + offset[f]), saturated at +/-2^28.
   /// The offset is zero except for k-NN, whose quantized space is
-  /// standardized. Inline (and two-wide on x86-64) because serving calls
-  /// it once per ingested observation.
+  /// standardized. Routed through stats::quantizeScaleClamp — eight-wide
+  /// AVX2 under the default SIMD dispatch, two-wide SSE2 otherwise, with
+  /// bit-identical results either way (the rounding rule is
+  /// quantizeValue's in every variant).
   void quantizeRow(const double *Features, int32_t *Out) const {
-    const size_t Width = QuantScale.size();
-    size_t F = 0;
-#if defined(__x86_64__) || defined(_M_X64)
-    // Two features per step: scale, shift, clamp in the double domain,
-    // then cvtpd2dq (round-to-nearest-even, same mode as quantizeValue).
-    // Clamping before the conversion is equivalent to quantizeValue's
-    // round-then-clamp for finite inputs: +/-2^28 is exactly
-    // representable, values inside the range are untouched, and values
-    // outside round to a magnitude >= 2^28 either way.
-    const __m128d Lo = _mm_set1_pd(-268435456.0);
-    const __m128d Hi = _mm_set1_pd(268435456.0);
-    for (; F + 2 <= Width; F += 2) {
-      __m128d V = _mm_loadu_pd(Features + F);
-      V = _mm_add_pd(_mm_mul_pd(V, _mm_loadu_pd(QuantScale.data() + F)),
-                     _mm_loadu_pd(QuantOffset.data() + F));
-      V = _mm_min_pd(_mm_max_pd(V, Lo), Hi);
-      _mm_storel_epi64(reinterpret_cast<__m128i *>(Out + F),
-                       _mm_cvtpd_epi32(V));
-    }
-#endif
-    for (; F < Width; ++F)
-      Out[F] = quantizeValue(Features[F], QuantScale[F], QuantOffset[F]);
+    stats::quantizeScaleClamp(Features, QuantScale.data(),
+                              QuantOffset.data(), QuantScale.size(),
+                              SaturationQuanta, Out);
   }
 
   /// Integer-only prediction over a quantized row, in output quanta.

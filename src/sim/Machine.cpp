@@ -6,6 +6,7 @@
 
 #include "sim/Machine.h"
 
+#include "stats/SimdKernels.h"
 #include "support/PhaseTimers.h"
 #include "support/ThreadPool.h"
 
@@ -263,9 +264,13 @@ void Machine::readCountersBatch(const EventId *Ids, size_t NumIds,
           Hoisted ? ActData[P] : Exec.Phases[P].Activities.data();
       const double PhaseIntensity =
           Hoisted ? Intensity[P] : Exec.Phases[P].ContextIntensity;
-      double Base = 0;
-      for (uint32_t T = E.TermBegin; T != E.TermEnd; ++T)
-        Base += Plan.TermWeight[T] * Act[Plan.TermKind[T]];
+      // Gathered weighted sum over the event's term-table slice; the
+      // scalar reference accumulates in ascending term order (the
+      // registry's Coeffs order), and the opt-in AVX2 variant K-splits
+      // it (see stats/SimdKernels.h).
+      double Base = stats::weightedIndexedSum(
+          Plan.TermWeight.data() + E.TermBegin,
+          Plan.TermKind.data() + E.TermBegin, E.TermEnd - E.TermBegin, Act);
       BaseTotal += Base;
       ContextSum += Base * std::max(PhaseIntensity, E.IntensityFloor);
     }

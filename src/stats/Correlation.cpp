@@ -14,15 +14,13 @@
 using namespace slope;
 using namespace slope::stats;
 
-double stats::pearson(const std::vector<double> &Xs,
-                      const std::vector<double> &Ys) {
-  assert(Xs.size() == Ys.size() && "correlation needs paired samples");
-  assert(Xs.size() >= 2 && "correlation needs at least two points");
-  double N = static_cast<double>(Xs.size());
-  double MeanX = std::accumulate(Xs.begin(), Xs.end(), 0.0) / N;
-  double MeanY = std::accumulate(Ys.begin(), Ys.end(), 0.0) / N;
+double stats::pearson(const double *Xs, const double *Ys, size_t N) {
+  assert(N >= 2 && "correlation needs at least two points");
+  double Nd = static_cast<double>(N);
+  double MeanX = std::accumulate(Xs, Xs + N, 0.0) / Nd;
+  double MeanY = std::accumulate(Ys, Ys + N, 0.0) / Nd;
   double Sxy = 0, Sxx = 0, Syy = 0;
-  for (size_t I = 0; I < Xs.size(); ++I) {
+  for (size_t I = 0; I < N; ++I) {
     double Dx = Xs[I] - MeanX;
     double Dy = Ys[I] - MeanY;
     Sxy += Dx * Dy;
@@ -34,6 +32,12 @@ double stats::pearson(const std::vector<double> &Xs,
   if (Sxx == 0 || Syy == 0)
     return 0;
   return Sxy / std::sqrt(Sxx * Syy);
+}
+
+double stats::pearson(const std::vector<double> &Xs,
+                      const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "correlation needs paired samples");
+  return pearson(Xs.data(), Ys.data(), Xs.size());
 }
 
 std::vector<double> stats::midRanks(const std::vector<double> &Xs) {

@@ -14,14 +14,19 @@
 #ifndef SLOPE_STATS_CORRELATION_H
 #define SLOPE_STATS_CORRELATION_H
 
+#include <cstddef>
 #include <vector>
 
 namespace slope {
 namespace stats {
 
-/// \returns the Pearson product-moment correlation of \p Xs and \p Ys.
-/// Asserts equal sizes and n >= 2. A constant series yields 0 (rather than
-/// NaN) so rankings stay total.
+/// \returns the Pearson product-moment correlation of two length-\p N
+/// arrays. Asserts n >= 2. A constant series yields 0 (rather than NaN)
+/// so rankings stay total. The pointer form serves columnar stores whose
+/// columns are not std::vectors (ml::Dataset's aligned columns).
+double pearson(const double *Xs, const double *Ys, size_t N);
+
+/// \returns the Pearson correlation; asserts equal sizes and n >= 2.
 double pearson(const std::vector<double> &Xs, const std::vector<double> &Ys);
 
 /// \returns Spearman's rank correlation (Pearson over mid-ranks).

@@ -83,6 +83,15 @@ Matrix Matrix::gram() const {
     size_t IEnd = std::min(I0 + BlockEdge, NumCols);
     for (size_t J0 = I0; J0 < NumCols; J0 += BlockEdge) {
       size_t JEnd = std::min(J0 + BlockEdge, NumCols);
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+      // Whole-tile AVX2 variant (bit-identical — see SimdKernels.h):
+      // one call per tile pair keeps the dispatch off the row loop.
+      if (detail::ColumnKernelsAvx2Flag) {
+        detail::gramUpperTileAvx2(Data.data(), NumRows, NumCols, I0, IEnd,
+                                  J0, JEnd, G.Data.data());
+        continue;
+      }
+#endif
       for (size_t R = 0; R < NumRows; ++R) {
         const double *Row = Data.data() + R * NumCols;
         for (size_t I = I0; I < IEnd; ++I) {
@@ -118,8 +127,45 @@ double Matrix::maxAbsDiff(const Matrix &Other) const {
   return Max;
 }
 
+//===----------------------------------------------------------------------===//
+// Dispatchers
+//
+// The inline dot/axpy dispatchers live in Matrix.h; the GEMM entry
+// points dispatch here. Scalar references follow below, compiled -O3
+// like they always were (see stats/CMakeLists.txt).
+//===----------------------------------------------------------------------===//
+
 void stats::gemmAccumulate(const double *A, const double *B, double *C,
                            size_t M, size_t K, size_t N) {
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+  if (detail::ColumnKernelsAvx2Flag)
+    return detail::gemmAccumulateAvx2(A, B, C, M, K, N);
+#endif
+  detail::gemmAccumulateScalar(A, B, C, M, K, N);
+}
+
+void stats::gemmBTransposedAccumulate(const double *A, const double *B,
+                                      double *C, size_t M, size_t K,
+                                      size_t N) {
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+  if (detail::KSplitKernelsAvx2Flag)
+    return detail::gemmBTransposedAccumulateAvx2(A, B, C, M, K, N);
+#endif
+  detail::gemmBTransposedAccumulateScalar(A, B, C, M, K, N);
+}
+
+void stats::gemmATransposedAccumulate(const double *A, const double *B,
+                                      double *C, size_t M, size_t K,
+                                      size_t N) {
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+  if (detail::ColumnKernelsAvx2Flag)
+    return detail::gemmATransposedAccumulateAvx2(A, B, C, M, K, N);
+#endif
+  detail::gemmATransposedAccumulateScalar(A, B, C, M, K, N);
+}
+
+void detail::gemmAccumulateScalar(const double *A, const double *B, double *C,
+                                  size_t M, size_t K, size_t N) {
   // Tile order (R, K, C) with the K tiles ascending outside the C tiles:
   // each C element still sees its K terms in ascending order, resuming
   // the partial sum it holds in memory between K tiles. Within a tile,
@@ -155,9 +201,9 @@ void stats::gemmAccumulate(const double *A, const double *B, double *C,
   }
 }
 
-void stats::gemmBTransposedAccumulate(const double *A, const double *B,
-                                      double *C, size_t M, size_t K,
-                                      size_t N) {
+void detail::gemmBTransposedAccumulateScalar(const double *A, const double *B,
+                                             double *C, size_t M, size_t K,
+                                             size_t N) {
   // Both operands stream K-contiguous rows, so only the (R, C) output
   // tiles need blocking; the full K sweep per element is one fused dot
   // seeded from the element's current value. Each dot is a serial FP
@@ -203,9 +249,9 @@ void stats::gemmBTransposedAccumulate(const double *A, const double *B,
   }
 }
 
-void stats::gemmATransposedAccumulate(const double *A, const double *B,
-                                      double *C, size_t M, size_t K,
-                                      size_t N) {
+void detail::gemmATransposedAccumulateScalar(const double *A, const double *B,
+                                             double *C, size_t M, size_t K,
+                                             size_t N) {
   // K rank-1 updates in ascending K order; pairs of consecutive updates
   // fuse into one read-modify-write of C — (C[I] + t0) + t1 associates
   // exactly like two separate axpys — halving the C traffic.
@@ -226,23 +272,18 @@ void stats::gemmATransposedAccumulate(const double *A, const double *B,
     const double *ARow = A + Kk * M;
     const double *BRow = B + Kk * N;
     for (size_t Mm = 0; Mm < M; ++Mm)
-      stats::axpy(ARow[Mm], BRow, C + Mm * N, N);
+      detail::axpyScalar(ARow[Mm], BRow, C + Mm * N, N);
   }
 }
 
-double stats::dot(const double *A, const double *B, size_t N) {
+double detail::dotScalar(const double *A, const double *B, size_t N) {
   double Sum = 0;
   for (size_t I = 0; I < N; ++I)
     Sum += A[I] * B[I];
   return Sum;
 }
 
-double stats::dot(const std::vector<double> &A, const std::vector<double> &B) {
-  assert(A.size() == B.size() && "dot of unequal vectors");
-  return dot(A.data(), B.data(), A.size());
-}
-
-void stats::axpy(double Alpha, const double *X, double *Y, size_t N) {
+void detail::axpyScalar(double Alpha, const double *X, double *Y, size_t N) {
   for (size_t I = 0; I < N; ++I)
     Y[I] += Alpha * X[I];
 }

@@ -14,6 +14,8 @@
 #ifndef SLOPE_STATS_MATRIX_H
 #define SLOPE_STATS_MATRIX_H
 
+#include "stats/SimdKernels.h"
+
 #include <cassert>
 #include <cstddef>
 #include <vector>
@@ -101,35 +103,65 @@ private:
 // with a plain sequential accumulation loop that starts from the same
 // seed — which is what lets the batched neural-network kernels reproduce
 // the per-sample reference arithmetic bit for bit.
+//
+// Every kernel here is a dispatcher (see stats/SimdKernels.h): the scalar
+// reference lives in detail::*Scalar, and an AVX2 variant takes over per
+// the process-wide SIMD mode. gemmAccumulate, gemmATransposedAccumulate,
+// and axpy are column-parallel (AVX2 result bit-identical, active by
+// default); dot and gemmBTransposedAccumulate are K-split (reassociating,
+// active only under the explicit avx2 opt-in).
 //===----------------------------------------------------------------------===//
 
 /// C (M x N) += A (M x K) * B (K x N), all dense row-major. Cache-blocked
 /// with the K tiles ascending per element, like Matrix::multiply.
+/// Column-parallel dispatch: bit-identical under every SIMD mode.
 void gemmAccumulate(const double *A, const double *B, double *C, size_t M,
                     size_t K, size_t N);
 
 /// C (M x N) += A (M x K) * transpose(B), with B stored N x K row-major
 /// (one contiguous K-row per output column). Each C element is a fused
-/// dot over K seeded from C's current value.
+/// dot over K seeded from C's current value — a serial FP chain in the
+/// scalar reference; the opt-in AVX2 variant K-splits it (reassociates).
 void gemmBTransposedAccumulate(const double *A, const double *B, double *C,
                                size_t M, size_t K, size_t N);
 
 /// C (M x N) += transpose(A) * B, with A stored K x M row-major. Applied
 /// as K rank-1 (axpy) updates in ascending K order — the batched
 /// equivalent of accumulating per-sample outer products sample by sample.
+/// Column-parallel dispatch: bit-identical under every SIMD mode.
 void gemmATransposedAccumulate(const double *A, const double *B, double *C,
                                size_t M, size_t K, size_t N);
 
-/// \returns the dot product of two length-\p N arrays.
-double dot(const double *A, const double *B, size_t N);
+/// \returns the dot product of two length-\p N arrays: a serial
+/// ascending-order chain in the scalar reference; the opt-in AVX2
+/// variant K-splits it across 4 lane accumulators (reassociates).
+inline double dot(const double *A, const double *B, size_t N) {
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+  if (detail::KSplitKernelsAvx2Flag)
+    return detail::dotAvx2(A, B, N);
+#endif
+  return detail::dotScalar(A, B, N);
+}
 
 /// \returns the dot product; asserts equal sizes.
-double dot(const std::vector<double> &A, const std::vector<double> &B);
+inline double dot(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot of unequal vectors");
+  return dot(A.data(), B.data(), A.size());
+}
 
 /// Fused multiply-accumulate: Y[I] += Alpha * X[I] for I < N.
-void axpy(double Alpha, const double *X, double *Y, size_t N);
+/// Column-parallel dispatch (element-wise): bit-identical under every
+/// SIMD mode.
+inline void axpy(double Alpha, const double *X, double *Y, size_t N) {
+#ifdef SLOPE_SIMD_AVX2_COMPILED
+  if (detail::ColumnKernelsAvx2Flag)
+    return detail::axpyAvx2(Alpha, X, Y, N);
+#endif
+  detail::axpyScalar(Alpha, X, Y, N);
+}
 
-/// \returns the Euclidean norm.
+/// \returns the Euclidean norm (routes through dot, so it follows dot's
+/// dispatch contract).
 double norm2(const std::vector<double> &A);
 
 } // namespace stats

@@ -1,0 +1,183 @@
+//===- support/AlignedBuffer.h - 64-byte aligned padded storage -*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable array whose storage is 64-byte aligned and whose capacity is
+/// padded up to a whole number of 64-byte lines. The padding makes every
+/// span "vector-safe": a SIMD kernel may issue a full-width load that
+/// reaches past size() without reading outside the allocation, so column
+/// sweeps never need a masked or scalar epilogue for safety (they still
+/// must not let the lanes past size() affect results). Padding is
+/// zero-filled at allocation so such overreads are deterministic.
+///
+/// Deliberately minimal — the subset of std::vector the columnar stores
+/// use (push_back/reserve/resize/clear with capacity retention, copy and
+/// move) — because the point is the allocation contract, not the API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_ALIGNEDBUFFER_H
+#define SLOPE_SUPPORT_ALIGNEDBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slope {
+
+/// Storage alignment (and padding granularity) of AlignedBuffer, in
+/// bytes: one cache line, which is also the widest vector register any
+/// target we dispatch for uses (64 bytes covers AVX-512; AVX2 needs 32).
+inline constexpr size_t SimdAlignment = 64;
+
+/// Growable 64-byte-aligned array of trivially-copyable T with padded,
+/// zero-initialized capacity (see file comment).
+template <typename T> class AlignedBuffer {
+  static_assert(alignof(T) <= SimdAlignment, "over-aligned element type");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer moves elements with memcpy");
+
+public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t N, T Fill = T()) {
+    resize(N, Fill);
+  }
+
+  AlignedBuffer(const AlignedBuffer &Other) {
+    reserve(Other.Count);
+    std::memcpy(Ptr, Other.Ptr, Other.Count * sizeof(T));
+    Count = Other.Count;
+  }
+
+  AlignedBuffer(AlignedBuffer &&Other) noexcept
+      : Ptr(Other.Ptr), Count(Other.Count), Cap(Other.Cap) {
+    Other.Ptr = nullptr;
+    Other.Count = Other.Cap = 0;
+  }
+
+  AlignedBuffer &operator=(const AlignedBuffer &Other) {
+    if (this == &Other)
+      return *this;
+    Count = 0;
+    reserve(Other.Count);
+    std::memcpy(Ptr, Other.Ptr, Other.Count * sizeof(T));
+    Count = Other.Count;
+    return *this;
+  }
+
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    release();
+    Ptr = Other.Ptr;
+    Count = Other.Count;
+    Cap = Other.Cap;
+    Other.Ptr = nullptr;
+    Other.Count = Other.Cap = 0;
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  /// Usable capacity in elements (always a multiple of the pad quantum).
+  size_t capacity() const { return Cap; }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+  T *begin() { return Ptr; }
+  T *end() { return Ptr + Count; }
+  const T *begin() const { return Ptr; }
+  const T *end() const { return Ptr + Count; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "aligned buffer index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "aligned buffer index out of range");
+    return Ptr[I];
+  }
+  T &back() {
+    assert(Count > 0 && "back() on empty buffer");
+    return Ptr[Count - 1];
+  }
+
+  /// Ensures capacity for \p N elements (rounded up to whole 64-byte
+  /// lines); geometric growth so repeated push_back stays amortized O(1).
+  void reserve(size_t N) {
+    if (N <= Cap)
+      return;
+    grow(N);
+  }
+
+  void push_back(T Value) {
+    if (Count == Cap)
+      grow(Count + 1);
+    Ptr[Count++] = Value;
+  }
+
+  /// Grows or shrinks to exactly \p N elements; new elements get \p Fill.
+  void resize(size_t N, T Fill = T()) {
+    reserve(N);
+    for (size_t I = Count; I < N; ++I)
+      Ptr[I] = Fill;
+    Count = N;
+  }
+
+  /// Drops the contents but keeps the allocation, so refill loops run
+  /// allocation-free once the first pass has sized the buffer.
+  void clear() { Count = 0; }
+
+  friend bool operator==(const AlignedBuffer &A, const AlignedBuffer &B) {
+    if (A.Count != B.Count)
+      return false;
+    return A.Count == 0 ||
+           std::memcmp(A.Ptr, B.Ptr, A.Count * sizeof(T)) == 0;
+  }
+  friend bool operator!=(const AlignedBuffer &A, const AlignedBuffer &B) {
+    return !(A == B);
+  }
+
+private:
+  static constexpr size_t PadElems = SimdAlignment / sizeof(T);
+
+  void grow(size_t MinCap) {
+    size_t NewCap = Cap < PadElems ? PadElems : 2 * Cap;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    NewCap = (NewCap + PadElems - 1) / PadElems * PadElems;
+    T *NewPtr = static_cast<T *>(::operator new(
+        NewCap * sizeof(T), std::align_val_t(SimdAlignment)));
+    // Zero the whole padded region first (deterministic overreads), then
+    // move the live prefix over.
+    std::memset(NewPtr, 0, NewCap * sizeof(T));
+    if (Count > 0)
+      std::memcpy(NewPtr, Ptr, Count * sizeof(T));
+    release();
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  void release() {
+    if (Ptr)
+      ::operator delete(Ptr, std::align_val_t(SimdAlignment));
+    Ptr = nullptr;
+  }
+
+  T *Ptr = nullptr;
+  size_t Count = 0;
+  size_t Cap = 0;
+};
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_ALIGNEDBUFFER_H

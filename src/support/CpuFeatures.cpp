@@ -1,0 +1,50 @@
+//===- support/CpuFeatures.cpp - Runtime CPU capability probes -------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CpuFeatures.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#include <cstdint>
+#endif
+
+using namespace slope;
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+bool probeAvx2() {
+  // Leaf 1: OSXSAVE (OS uses XSAVE), AVX, and FMA.
+  unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+  if (!__get_cpuid(1, &Eax, &Ebx, &Ecx, &Edx))
+    return false;
+  constexpr unsigned OsxsaveBit = 1u << 27;
+  constexpr unsigned AvxBit = 1u << 28;
+  constexpr unsigned FmaBit = 1u << 12;
+  if ((Ecx & (OsxsaveBit | AvxBit | FmaBit)) != (OsxsaveBit | AvxBit | FmaBit))
+    return false;
+  // XCR0: the OS must have enabled xmm (bit 1) and ymm (bit 2) state.
+  uint32_t Xcr0Lo = 0, Xcr0Hi = 0;
+  __asm__("xgetbv" : "=a"(Xcr0Lo), "=d"(Xcr0Hi) : "c"(0));
+  if ((Xcr0Lo & 0x6) != 0x6)
+    return false;
+  // Leaf 7 subleaf 0: AVX2.
+  if (__get_cpuid_max(0, nullptr) < 7)
+    return false;
+  __cpuid_count(7, 0, Eax, Ebx, Ecx, Edx);
+  constexpr unsigned Avx2Bit = 1u << 5;
+  return (Ebx & Avx2Bit) != 0;
+}
+#else
+bool probeAvx2() { return false; }
+#endif
+
+} // namespace
+
+bool slope::cpuHasAvx2() {
+  static const bool Supported = probeAvx2();
+  return Supported;
+}

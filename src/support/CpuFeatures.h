@@ -1,0 +1,29 @@
+//===- support/CpuFeatures.h - Runtime CPU capability probes ----*- C++ -*-===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime detection of the instruction-set extensions the SIMD kernel
+/// variants need (stats/SimdKernels.h). Detection is a pure function of
+/// the hardware: it reports what the CPU and OS support, independently of
+/// what this binary was compiled with — the dispatcher combines both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLOPE_SUPPORT_CPUFEATURES_H
+#define SLOPE_SUPPORT_CPUFEATURES_H
+
+namespace slope {
+
+/// \returns true when the CPU supports AVX2 and FMA *and* the OS saves
+/// the 256-bit ymm state across context switches (OSXSAVE + XCR0), i.e.
+/// the AVX2 kernel variants may actually execute. Always false on
+/// non-x86-64 targets. The probe runs once; subsequent calls return the
+/// cached verdict.
+bool cpuHasAvx2();
+
+} // namespace slope
+
+#endif // SLOPE_SUPPORT_CPUFEATURES_H

@@ -6,6 +6,7 @@
 
 #include "ml/Dataset.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace slope;
@@ -36,7 +37,19 @@ TEST(Dataset, RowAndTargetAccess) {
 
 TEST(Dataset, FeatureColumn) {
   Dataset D = makeToy();
-  EXPECT_EQ(D.featureColumn(1), (std::vector<double>{10, 20, 30, 40}));
+  const AlignedBuffer<double> &Col = D.featureColumn(1);
+  EXPECT_EQ(std::vector<double>(Col.begin(), Col.end()),
+            (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(Dataset, ColumnsAreAlignedAndLinePadded) {
+  Dataset D = makeToy();
+  for (size_t C = 0; C < D.numFeatures(); ++C) {
+    const AlignedBuffer<double> &Col = D.featureColumn(C);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Col.data()) % SimdAlignment, 0u);
+    EXPECT_EQ(Col.capacity() % (SimdAlignment / sizeof(double)), 0u);
+    EXPECT_GE(Col.capacity(), Col.size());
+  }
 }
 
 TEST(Dataset, FeatureMatrixMatchesRows) {

@@ -1,0 +1,74 @@
+//===- tests/support/AlignedBufferTest.cpp - AlignedBuffer tests ----------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AlignedBuffer.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <utility>
+
+using namespace slope;
+
+namespace {
+
+bool isAligned(const void *P) {
+  return reinterpret_cast<uintptr_t>(P) % SimdAlignment == 0;
+}
+
+TEST(AlignedBufferTest, StorageIsAlignedAndLinePadded) {
+  AlignedBuffer<double> B;
+  for (int I = 0; I < 100; ++I) {
+    B.push_back(I * 0.5);
+    EXPECT_TRUE(isAligned(B.data()));
+    EXPECT_EQ(B.capacity() % (SimdAlignment / sizeof(double)), 0u);
+    EXPECT_GE(B.capacity(), B.size());
+  }
+  EXPECT_EQ(B.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(B[I], I * 0.5);
+}
+
+TEST(AlignedBufferTest, PaddingIsZeroFilled) {
+  AlignedBuffer<double> B;
+  B.resize(5, 1.25);
+  // The padded region past size() must read as zero — that is what makes
+  // full-width vector overreads deterministic.
+  for (size_t I = B.size(); I < B.capacity(); ++I)
+    EXPECT_EQ(B.data()[I], 0.0);
+}
+
+TEST(AlignedBufferTest, ResizeFillsAndShrinksKeepingCapacity) {
+  AlignedBuffer<int32_t> B;
+  B.resize(10, 7);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(B[I], 7);
+  size_t Cap = B.capacity();
+  B.clear();
+  EXPECT_TRUE(B.empty());
+  EXPECT_EQ(B.capacity(), Cap);
+  B.resize(3, 9);
+  EXPECT_EQ(B.size(), 3u);
+  EXPECT_EQ(B.capacity(), Cap);
+}
+
+TEST(AlignedBufferTest, CopyAndMoveAndEquality) {
+  AlignedBuffer<double> A;
+  for (int I = 0; I < 20; ++I)
+    A.push_back(I);
+  AlignedBuffer<double> Copy(A);
+  EXPECT_EQ(A, Copy);
+  EXPECT_TRUE(isAligned(Copy.data()));
+  Copy.back() = -1;
+  EXPECT_NE(A, Copy);
+  AlignedBuffer<double> Moved(std::move(Copy));
+  EXPECT_EQ(Moved.size(), 20u);
+  EXPECT_EQ(Moved.back(), -1);
+  A = Moved;
+  EXPECT_EQ(A, Moved);
+}
+
+} // namespace
