@@ -20,6 +20,7 @@
 #include "ml/DecisionTree.h"
 #include "ml/NeuralNetwork.h"
 #include "ml/QuantizedModel.h"
+#include "ml/RlsLinearRegression.h"
 #include "pmc/PlatformEvents.h"
 #include "sim/Machine.h"
 #include "stats/SimdKernels.h"
@@ -78,7 +79,11 @@ inline unsigned &requestedThreads() {
 /// fp|quantized` (or SLOPE_INFER_ALGO) selects the inference kernel the
 /// model factories serve — unlike the bit-neutral switches it changes
 /// numerics within ml/QuantizedModel's documented error bound, so the CI
-/// gate checks speedup and tolerance together. `--simd
+/// gate checks speedup and tolerance together. `--fit-algo rls|refit`
+/// (or SLOPE_FIT_ALGO) selects the online-model maintenance path
+/// (O(F^2) Sherman-Morrison updates vs the O(N*F^2) full-refit
+/// reference); like --infer-algo it is tolerance-gated, not
+/// bit-identical — see ml/RlsLinearRegression.h. `--simd
 /// auto|avx2|scalar` (or SLOPE_SIMD) selects the SIMD kernel variant:
 /// auto (the default) enables only the bit-identical column-parallel
 /// AVX2 kernels, avx2 additionally opts into the reassociating K-split
@@ -118,6 +123,11 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
         Value == "quantized" ? slope::ml::InferenceAlgorithm::Quantized
                              : slope::ml::InferenceAlgorithm::Fp);
   };
+  auto SetFitAlgo = [](const std::string &Value) {
+    slope::ml::setDefaultFitAlgorithm(Value == "refit"
+                                          ? slope::ml::FitAlgorithm::Refit
+                                          : slope::ml::FitAlgorithm::Rls);
+  };
   auto SetSimd = [](const std::string &Value) {
     slope::stats::setDefaultSimdMode(
         Value == "scalar" ? slope::stats::SimdMode::Scalar
@@ -147,6 +157,10 @@ inline std::vector<std::string> parseArgs(int Argc, char **Argv) {
       SetInferAlgo(Argv[++I]);
     } else if (Arg.rfind("--infer-algo=", 0) == 0) {
       SetInferAlgo(Arg.substr(std::strlen("--infer-algo=")));
+    } else if (Arg == "--fit-algo" && I + 1 < Argc) {
+      SetFitAlgo(Argv[++I]);
+    } else if (Arg.rfind("--fit-algo=", 0) == 0) {
+      SetFitAlgo(Arg.substr(std::strlen("--fit-algo=")));
     } else if (Arg == "--simd" && I + 1 < Argc) {
       SetSimd(Argv[++I]);
     } else if (Arg.rfind("--simd=", 0) == 0) {
@@ -247,6 +261,11 @@ inline void writeBenchJson(const char *BenchName) {
                        slope::ml::InferenceAlgorithm::Quantized
                    ? "quantized"
                    : "fp");
+  std::fprintf(F, "  \"fit_algo\": \"%s\",\n",
+               slope::ml::defaultFitAlgorithm() ==
+                       slope::ml::FitAlgorithm::Refit
+                   ? "refit"
+                   : "rls");
   // The *resolved* variant the column-parallel kernels actually ran with
   // on this host (auto resolves to "avx2" or "scalar" here), so archived
   // JSON records what executed rather than what was requested.
@@ -287,6 +306,23 @@ inline void writeBenchJson(const char *BenchName) {
   std::fprintf(F, "  \"serve_ms\": %.3f,\n",
                static_cast<double>(slope::phaseTotalNs(slope::Phase::Serve)) /
                    1e6);
+  // Disjoint sub-slices of serve_ms: row staging/ingest vs epoch folds
+  // (partition, shard inference, publish, online retrain).
+  std::fprintf(
+      F, "  \"ingest_ms\": %.3f,\n",
+      static_cast<double>(slope::phaseTotalNs(slope::Phase::ServeIngest)) /
+          1e6);
+  std::fprintf(
+      F, "  \"fold_ms\": %.3f,\n",
+      static_cast<double>(slope::phaseTotalNs(slope::Phase::ServeFold)) / 1e6);
+  // The online-retrain pair the streaming CI gate compares: O(F^2)
+  // incremental updates vs the O(N*F^2) full-refit reference.
+  std::fprintf(
+      F, "  \"rls_update_ms\": %.3f,\n",
+      static_cast<double>(slope::phaseTotalNs(slope::Phase::RlsUpdate)) / 1e6);
+  std::fprintf(
+      F, "  \"refit_ms\": %.3f,\n",
+      static_cast<double>(slope::phaseTotalNs(slope::Phase::Refit)) / 1e6);
   for (const auto &[Key, Value] : extraJsonNumbers())
     std::fprintf(F, "  \"%s\": %.3f,\n", Key.c_str(), Value);
   std::fprintf(F, "  \"total_ms\": %.3f\n}\n", TotalMs);

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Unit tests for the check_speedup.py CI gate (stdlib unittest only).
+
+Every speedup and accuracy gate in .github/workflows/ci.yml funnels
+through check_speedup.py, so a silent bug there (a key lookup that never
+fails, a tolerance check that passes vacuously) would green-light every
+regression at once. These tests pin the gate's contract:
+
+  * value lookup in both supported JSON shapes (bench-harness top-level
+    fields and google-benchmark "benchmarks" lists), including the
+    missing-key error;
+  * the pass/fail ratio decision and the --key-b cross-file key;
+  * the --tolerance-json accuracy gate: within-bound pass, out-of-bound
+    fail, mismatched key sets, and the no-matching-fields vacuous case.
+
+Run directly (python3 scripts/check_speedup_test.py) or via ctest, which
+registers it as scripts.check_speedup. The tests drive the script the
+same way CI does — as a subprocess — so argument parsing and exit codes
+are covered, not just the helper functions.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_speedup.py")
+
+
+class CheckSpeedupTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write_json(self, name, doc):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_gate(self, *args):
+        """Runs the gate; returns (exit_code, combined_output)."""
+        proc = subprocess.run(
+            [sys.executable, SCRIPT] + [str(a) for a in args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        return proc.returncode, proc.stdout
+
+    # --- value lookup ---------------------------------------------------
+
+    def test_top_level_field_ratio_passes(self):
+        a = self.write_json("a.json", {"serve_ms": 100.0})
+        b = self.write_json("b.json", {"serve_ms": 20.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ratio=5.00x", out)
+
+    def test_ratio_below_minimum_fails(self):
+        a = self.write_json("a.json", {"serve_ms": 100.0})
+        b = self.write_json("b.json", {"serve_ms": 80.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit")
+        self.assertEqual(code, 1, out)
+        self.assertIn("::error::", out)
+
+    def test_google_benchmark_list_lookup(self):
+        doc = {"benchmarks": [
+            {"name": "BM_Fit/0", "real_time": 10.0},
+            {"name": "BM_Fit/1", "real_time": 50.0},
+        ]}
+        a = self.write_json("gb.json", doc)
+        # Same file twice with --key-b: compares two entries of one report,
+        # the shape the microbenchmark artifact step uses.
+        code, out = self.run_gate(a, a, "BM_Fit/1", 2.0, "unit",
+                                  "--key-b", "BM_Fit/0")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ratio=5.00x", out)
+
+    def test_missing_key_is_an_error(self):
+        a = self.write_json("a.json", {"serve_ms": 100.0})
+        b = self.write_json("b.json", {"serve_ms": 20.0})
+        code, out = self.run_gate(a, b, "no_such_key", 2.0, "unit")
+        self.assertEqual(code, 1, out)
+        self.assertIn("no top-level field or benchmark", out)
+
+    def test_key_b_reads_a_different_field(self):
+        # The retrain gate's shape: refit_ms from the baseline JSON
+        # against rls_update_ms from the optimized JSON.
+        a = self.write_json("a.json", {"refit_ms": 600.0})
+        b = self.write_json("b.json", {"rls_update_ms": 100.0})
+        code, out = self.run_gate(a, b, "refit_ms", 5.0, "unit",
+                                  "--key-b", "rls_update_ms")
+        self.assertEqual(code, 0, out)
+        self.assertIn("ratio=6.00x", out)
+
+    def test_non_positive_optimized_timing_is_an_error(self):
+        a = self.write_json("a.json", {"serve_ms": 100.0})
+        b = self.write_json("b.json", {"serve_ms": 0.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit")
+        self.assertEqual(code, 1, out)
+        self.assertIn("non-positive", out)
+
+    # --- --tolerance-json accuracy gate ---------------------------------
+
+    def tolerance_pair(self, attr_b):
+        a = self.write_json("tol_a.json",
+                            {"serve_ms": 100.0, "attr_x": 1000.0,
+                             "attr_y": 2000.0, "other": 7.0})
+        b_doc = {"serve_ms": 20.0, "other": 99.0}
+        b_doc.update(attr_b)
+        return a, self.write_json("tol_b.json", b_doc)
+
+    def test_tolerance_within_bound_passes(self):
+        a, b = self.tolerance_pair({"attr_x": 1000.05, "attr_y": 2000.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit",
+                                  "--tolerance-json", "attr_",
+                                  "--rel-tol", 1e-4)
+        self.assertEqual(code, 0, out)
+        self.assertIn("2 'attr_' fields", out)
+
+    def test_tolerance_out_of_bound_fails_even_when_ratio_passes(self):
+        a, b = self.tolerance_pair({"attr_x": 1001.0, "attr_y": 2000.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit",
+                                  "--tolerance-json", "attr_",
+                                  "--rel-tol", 1e-4)
+        self.assertEqual(code, 1, out)
+        self.assertIn("attr_x", out)
+
+    def test_tolerance_mismatched_key_sets_fail(self):
+        a, b = self.tolerance_pair({"attr_x": 1000.0, "attr_z": 5.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit",
+                                  "--tolerance-json", "attr_",
+                                  "--rel-tol", 1e-4)
+        self.assertEqual(code, 1, out)
+        self.assertIn("key sets differ", out)
+        self.assertIn("attr_y", out)
+        self.assertIn("attr_z", out)
+
+    def test_tolerance_no_matching_fields_is_not_vacuously_green(self):
+        a = self.write_json("a.json", {"serve_ms": 100.0})
+        b = self.write_json("b.json", {"serve_ms": 20.0})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit",
+                                  "--tolerance-json", "attr_",
+                                  "--rel-tol", 1e-4)
+        self.assertEqual(code, 1, out)
+        self.assertIn("vacuously", out)
+
+    def test_tolerance_near_zero_fields_use_floored_denominator(self):
+        # |b - a| / max(|a|, 1e-9 * max|a|): a tiny absolute wobble on a
+        # near-zero entry must not explode the relative error while the
+        # dominant entries agree.
+        a = self.write_json("a.json", {"serve_ms": 100.0,
+                                       "attr_big": 1e6, "attr_tiny": 0.0})
+        b = self.write_json("b.json", {"serve_ms": 20.0,
+                                       "attr_big": 1e6, "attr_tiny": 1e-8})
+        code, out = self.run_gate(a, b, "serve_ms", 2.0, "unit",
+                                  "--tolerance-json", "attr_",
+                                  "--rel-tol", 1e-4)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

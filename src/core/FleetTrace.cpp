@@ -36,12 +36,15 @@ FleetTrace::synthesize(Machine &M, const std::vector<pmc::EventId> &Events,
   // template (runBatch forks the machine's run counter serially, so the
   // prototype set is a deterministic function of the machine state).
   std::vector<double> Prototypes(Apps.size() * Protos * Trace.Width);
+  std::vector<double> ProtoEnergy(Apps.size() * Protos);
   for (size_t A = 0; A < Apps.size(); ++A) {
     std::vector<Execution> Runs = M.runBatch(Apps[A], Protos);
-    for (size_t P = 0; P < Protos; ++P)
+    for (size_t P = 0; P < Protos; ++P) {
       M.readCountersBatch(Events.data(), Events.size(), Runs[P],
                           Prototypes.data() +
                               (A * Protos + P) * Trace.Width);
+      ProtoEnergy[A * Protos + P] = Runs[P].TrueDynamicEnergyJ;
+    }
   }
 
   // Zipf popularity CDF over tenant ids; observations sample it by
@@ -53,10 +56,24 @@ FleetTrace::synthesize(Machine &M, const std::vector<pmc::EventId> &Events,
     TenantCdf[T] = Total;
   }
 
+  // Per-app drift ramps: app A's energy-per-feature ratio scales by
+  // (1 + DriftMax * RampA * t) with t sweeping 0 -> 1 across the trace.
+  const Rng Base(Config.Seed);
+  std::vector<double> Ramp(Apps.size(), 0.0);
+  if (Config.DriftMax != 0) {
+    const Rng RampRng = Base.fork("ramp");
+    for (size_t A = 0; A < Apps.size(); ++A)
+      Ramp[A] = RampRng.fork(A + 1).uniform(-1.0, 1.0);
+  }
+  const double TScale = Config.NumObservations > 1
+                            ? 1.0 / static_cast<double>(
+                                        Config.NumObservations - 1)
+                            : 0.0;
+
   Trace.Tenants.resize(Config.NumObservations);
   Trace.Apps.resize(Config.NumObservations);
   Trace.Features.resize(Config.NumObservations * Trace.Width);
-  const Rng Base(Config.Seed);
+  Trace.Labels.resize(Config.NumObservations);
   parallelFor(0, Config.NumObservations, 4096, [&](size_t I) {
     Rng R = Base.fork(I);
     const double U = R.uniform(0.0, Total);
@@ -72,6 +89,12 @@ FleetTrace::synthesize(Machine &M, const std::vector<pmc::EventId> &Events,
     Trace.Apps[I] = App;
     for (size_t F = 0; F < Trace.Width; ++F)
       Out[F] = Row[F] * R.lognormalFactor(Config.JitterSigma);
+    // Label draws come after every feature draw in the fork(I) stream, so
+    // feature values are invariant under DriftMax and LabelNoiseSigma.
+    const double Drift =
+        1.0 + Config.DriftMax * Ramp[App] * (static_cast<double>(I) * TScale);
+    Trace.Labels[I] = ProtoEnergy[App * Protos + Proto] * Drift *
+                      R.lognormalFactor(Config.LabelNoiseSigma);
   });
   return Trace;
 }

@@ -45,6 +45,16 @@ struct FleetTraceConfig {
   size_t PrototypesPerApp = 8;
   /// Sigma of the per-feature lognormal jitter applied per observation.
   double JitterSigma = 0.05;
+  /// Sigma of the lognormal measurement noise on the energy labels.
+  double LabelNoiseSigma = 0.02;
+  /// Workload drift: each app's energy-per-feature ratio ramps linearly
+  /// across the trace by a per-app factor in [-DriftMax, +DriftMax]
+  /// (intensity creep a model trained on the head of the stream cannot
+  /// see). 0 keeps labels stationary. Drift scales the labels only —
+  /// feature values are bit-identical at any DriftMax, because the label
+  /// draws come after the feature draws in observation I's fork(I)
+  /// stream.
+  double DriftMax = 0;
   uint64_t Seed = 0xF1EE7;
 };
 
@@ -74,6 +84,11 @@ public:
     return Features.data() + I * Width;
   }
 
+  /// \returns observation \p I's measured dynamic energy (J): the
+  /// prototype run's ground truth under the configured drift ramp and
+  /// label noise — the target the online-retrain path learns from.
+  double label(size_t I) const { return Labels[I]; }
+
 private:
   FleetTrace() = default;
 
@@ -83,6 +98,7 @@ private:
   std::vector<uint32_t> Tenants;
   std::vector<uint32_t> Apps;
   std::vector<double> Features; ///< Flat row-major (size() x width()).
+  std::vector<double> Labels;   ///< Energy target per observation (J).
 };
 
 } // namespace core

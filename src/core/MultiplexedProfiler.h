@@ -38,6 +38,20 @@ struct MultiplexOptions {
   double PhaseImbalanceFactor = 0.5;
 };
 
+/// Result of a windowed (trace-mode) multiplexed collection: the
+/// extrapolated whole-run profile plus the reconstruction bookkeeping.
+struct WindowedProfileResult {
+  /// Extrapolated totals, ordered like the request (see collectWindowed).
+  ProfileResult Profile;
+  /// Time windows per run.
+  size_t Windows = 0;
+  /// Scheduler groups rotated across the windows.
+  size_t Groups = 0;
+  /// Per-event PMU occupancy: the fraction of run time the event's group
+  /// was live on the counters (the extrapolation divisor).
+  std::vector<double> Occupancy;
+};
+
 /// Collects many PMCs in one run via time-division multiplexing.
 class MultiplexedProfiler {
 public:
@@ -53,6 +67,22 @@ public:
   Expected<ProfileResult> collect(const sim::CompoundApplication &App,
                                   const std::vector<pmc::EventId> &Events,
                                   unsigned Repetitions = 1);
+
+  /// Real PMU multiplexing over a sampled trace: each run is sliced into
+  /// \p WindowCount time windows (sim::Machine::runTrace) and the
+  /// scheduler's groups rotate across them round-robin — group
+  /// (W mod G) owns the counters during window W, exactly how perf's
+  /// interval-based rotation behaves. Each event's whole-run total is
+  /// reconstructed by occupancy-weighted extrapolation: the sum of its
+  /// observed window deltas divided by the fraction of run time its
+  /// group was live. The whole-run collect() path stays the reference
+  /// this reconstruction is scored against (see bench_streaming_rls).
+  /// \returns an error for duplicate events or WindowCount < numGroups
+  /// (a group that never gets a slice cannot be extrapolated).
+  Expected<WindowedProfileResult>
+  collectWindowed(const sim::CompoundApplication &App,
+                  const std::vector<pmc::EventId> &Events, size_t WindowCount,
+                  unsigned Repetitions = 1);
 
   /// \returns the number of time-slice groups \p Events require (the
   /// G in the error model).

@@ -14,6 +14,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 using namespace slope;
 using namespace slope::core;
@@ -33,7 +34,8 @@ ServingEngine::ServingEngine(const ml::Model &M, size_t FeatureWidth,
     : Model(&M), Quant(dynamic_cast<const ml::QuantizedModel *>(&M)),
       Width(FeatureWidth), NumTenants(NumTenants), NumApps(NumApps),
       EpochSize(std::max<size_t>(1, Config.EpochSize)),
-      BatchSize(std::max<size_t>(1, Config.BatchSize)) {
+      BatchSize(std::max<size_t>(1, Config.BatchSize)),
+      ScoreLabels(Config.ScoreLabels) {
   assert(FeatureWidth > 0 && "serving needs at least one feature");
   assert(NumTenants > 0 && NumApps > 0 && "serving needs a fleet shape");
   assert((!Quant || Quant->featureWidth() == Width) &&
@@ -78,14 +80,43 @@ ServingEngine::ServingEngine(const ml::Model &M, size_t FeatureWidth,
     PendingTenants.reserve(EpochSize);
     PendingApps.reserve(EpochSize);
     PendingFeatures.reserve(EpochSize * Width);
+    PendingLabels.reserve(EpochSize);
+  }
+}
+
+void ServingEngine::enableOnlineRetrain(ml::RlsLinearRegression &OnlineModel,
+                                        ml::FitAlgorithm Algo,
+                                        const ml::Dataset *SeedHistory) {
+  assert(!Quant && "online retrain is incompatible with a quantized model: "
+                   "a retrained model cannot keep a frozen quantization "
+                   "grid");
+  assert(OnlineModel.featureWidth() == Width &&
+         "online model width does not match the engine");
+  assert(Stats.Observations == 0 && PendingCount == 0 &&
+         "enable retrain before ingesting");
+  Online = &OnlineModel;
+  RetrainAlgo = Algo;
+  Model = &OnlineModel;
+  if (RetrainAlgo == ml::FitAlgorithm::Refit) {
+    if (SeedHistory) {
+      assert(SeedHistory->numFeatures() == Width &&
+             "seed history width does not match the engine");
+      History = *SeedHistory;
+    } else {
+      std::vector<std::string> FeatureNames;
+      FeatureNames.reserve(Width);
+      for (size_t F = 0; F < Width; ++F)
+        FeatureNames.push_back("pmc" + std::to_string(F));
+      History = ml::Dataset(FeatureNames);
+    }
   }
 }
 
 void ServingEngine::ingest(uint32_t Tenant, uint32_t App,
                            const double *Features) {
-  assert(Tenant < NumTenants && "tenant id out of range");
-  assert(App < NumApps && "app id out of range");
   if (Quant) {
+    assert(Tenant < NumTenants && "tenant id out of range");
+    assert(App < NumApps && "app id out of range");
     // Quantize once at the door and route straight to the owning shard's
     // batch; the rest of the pipeline is integer, and the staged row is
     // half the width of the FP path's.
@@ -94,11 +125,22 @@ void ServingEngine::ingest(uint32_t Tenant, uint32_t App,
     S.PendingCells[S.PendingN] = TenantLocal[Tenant] * NumApps + App;
     if (++S.PendingN == BatchSize)
       flushShardBatch(S);
-  } else {
-    PendingTenants.push_back(Tenant);
-    PendingApps.push_back(App);
-    PendingFeatures.insert(PendingFeatures.end(), Features, Features + Width);
+    if (++PendingCount >= EpochSize)
+      foldEpoch();
+    return;
   }
+  ingest(Tenant, App, Features, std::numeric_limits<double>::quiet_NaN());
+}
+
+void ServingEngine::ingest(uint32_t Tenant, uint32_t App,
+                           const double *Features, double Label) {
+  assert(Tenant < NumTenants && "tenant id out of range");
+  assert(App < NumApps && "app id out of range");
+  assert(!Quant && "labeled ingestion requires the FP serving path");
+  PendingTenants.push_back(Tenant);
+  PendingApps.push_back(App);
+  PendingFeatures.insert(PendingFeatures.end(), Features, Features + Width);
+  PendingLabels.push_back(Label);
   if (++PendingCount >= EpochSize)
     foldEpoch();
 }
@@ -147,7 +189,65 @@ void ServingEngine::flushShardBatch(Shard &S) {
   S.PendingN = 0;
 }
 
+void ServingEngine::retrainOnPending() {
+  if (Quant || PendingLabels.empty() || (!Online && !ScoreLabels))
+    return;
+  const size_t NumPending = PendingTenants.size();
+  assert(PendingLabels.size() == NumPending && "label column out of sync");
+
+  // Staleness pass: score the epoch-start model — the one this epoch's
+  // predictions were actually served with — against the epoch's labels,
+  // serially in trace order (bit-identical at any shard/thread count).
+  // Runs before any update so frozen and retrained engines are measured
+  // on equal footing: the difference between their scores is exactly the
+  // staleness the retraining removes.
+  std::vector<double> RowBuf;
+  bool AnyLabeled = false;
+  for (size_t I = 0; I < NumPending; ++I) {
+    const double Y = PendingLabels[I];
+    if (!std::isfinite(Y))
+      continue;
+    AnyLabeled = true;
+    const double *X = PendingFeatures.data() + I * Width;
+    double Pred;
+    if (Online) {
+      Pred = Online->predictRow(X);
+    } else {
+      RowBuf.assign(X, X + Width);
+      Pred = Model->predict(RowBuf);
+    }
+    Stats.PredictionAbsErrJ += std::abs(Pred - Y);
+    Stats.LabelAbsJ += std::abs(Y);
+  }
+  if (!Online || !AnyLabeled)
+    return;
+
+  // Advance the model for the next epoch. Both paths apply the labeled
+  // rows serially in trace order, so the retrained coefficients are as
+  // shard/thread-invariant as the folded table.
+  if (RetrainAlgo == ml::FitAlgorithm::Rls) {
+    // O(F^2) per observation, no history: cost per fold is proportional
+    // to the epoch, not to the stream consumed so far.
+    ScopedPhase Timer(Phase::RlsUpdate);
+    for (size_t I = 0; I < NumPending; ++I)
+      if (std::isfinite(PendingLabels[I]))
+        Online->update(PendingFeatures.data() + I * Width, PendingLabels[I]);
+  } else {
+    // The reference: append the epoch to the history and re-solve the
+    // batch fit from scratch — O(N*F^2) with N the entire stream so far.
+    ScopedPhase Timer(Phase::Refit);
+    for (size_t I = 0; I < NumPending; ++I)
+      if (std::isfinite(PendingLabels[I]))
+        History.addRow(PendingFeatures.data() + I * Width, PendingLabels[I]);
+    auto Refitted = Online->fit(History);
+    assert(Refitted && "online refit failed on accumulated history");
+    (void)Refitted;
+  }
+  ++Stats.Retrains;
+}
+
 void ServingEngine::foldEpoch() {
+  ScopedPhase FoldTimer(Phase::ServeFold);
   const size_t NumShards = Shards.size();
 
   // FP path: stable counting-sort partition of the pending observations
@@ -196,6 +296,11 @@ void ServingEngine::foldEpoch() {
     ThreadPool::global().parallelInvoke(Tasks);
   }
 
+  // Score this epoch against its labels and (in retrain mode) advance
+  // the model — the republish point: the next epoch's predictions see
+  // the post-update coefficients, this epoch's saw the pre-update ones.
+  retrainOnPending();
+
   // The fold: publish every shard's running accumulators into the
   // query-visible table, in shard order. Cells are owned by exactly one
   // shard, so this is a snapshot copy, never a cross-shard sum. The
@@ -231,6 +336,7 @@ void ServingEngine::foldEpoch() {
   PendingTenants.clear();
   PendingApps.clear();
   PendingFeatures.clear();
+  PendingLabels.clear();
 }
 
 void ServingEngine::endEpoch() {
@@ -258,20 +364,33 @@ void ServingEngine::stageQuantized(const FleetTrace &Trace, size_t Begin,
 void ServingEngine::replay(const FleetTrace &Trace) {
   assert(Trace.width() == Width && "trace width does not match the engine");
   ScopedPhase Timer(Phase::Serve);
-  if (Quant) {
-    // Bulk-stage in epoch-sized chunks; results are identical to the
-    // per-row ingest loop below (same rows, order, and fold boundaries).
-    size_t I = 0;
-    while (I < Trace.size()) {
-      const size_t End = std::min(Trace.size(), I + (EpochSize - PendingCount));
-      stageQuantized(Trace, I, End);
-      I = End;
-      if (PendingCount >= EpochSize)
-        foldEpoch();
+  // Bulk-stage in epoch-sized chunks; results are identical to a per-row
+  // ingest loop (same rows, order, and fold boundaries), and the chunking
+  // lets the staging slices and the folds charge disjoint sub-phases so
+  // --bench-json can split replay cost into ingest_ms and fold_ms.
+  size_t I = 0;
+  while (I < Trace.size()) {
+    const size_t End = std::min(Trace.size(), I + (EpochSize - PendingCount));
+    {
+      ScopedPhase IngestTimer(Phase::ServeIngest);
+      if (Quant) {
+        stageQuantized(Trace, I, End);
+      } else {
+        // The FP arm of ingest(), minus the per-row call and fold checks;
+        // the trace's labels ride along for the retrain fold.
+        for (size_t R = I; R < End; ++R) {
+          PendingTenants.push_back(Trace.tenant(R));
+          PendingApps.push_back(Trace.app(R));
+          const double *X = Trace.features(R);
+          PendingFeatures.insert(PendingFeatures.end(), X, X + Width);
+          PendingLabels.push_back(Trace.label(R));
+        }
+        PendingCount += End - I;
+      }
     }
-  } else {
-    for (size_t I = 0; I < Trace.size(); ++I)
-      ingest(Trace.tenant(I), Trace.app(I), Trace.features(I));
+    I = End;
+    if (PendingCount >= EpochSize)
+      foldEpoch();
   }
   endEpoch();
 }

@@ -55,6 +55,7 @@
 
 #include "core/FleetTrace.h"
 #include "ml/Model.h"
+#include "ml/RlsLinearRegression.h"
 #include "support/AlignedBuffer.h"
 
 #include <cstdint>
@@ -76,6 +77,12 @@ struct ServingConfig {
   size_t EpochSize = 65536;
   /// Maximum rows per Model::predictBatch call (bounds batch latency).
   size_t BatchSize = 256;
+  /// Score labeled observations against the serving model at each fold
+  /// (ServingStats staleness counters) even without online retrain. Off
+  /// by default: the scoring pass is serial per-row prediction, which a
+  /// frozen forest-family replay does not want on its critical path.
+  /// Online-retrain mode always scores (its per-row predict is O(F)).
+  bool ScoreLabels = false;
 };
 
 /// Serving-side counters, populated as epochs fold.
@@ -83,6 +90,15 @@ struct ServingStats {
   uint64_t Observations = 0; ///< Observations folded into the table.
   uint64_t Epochs = 0;       ///< Folds performed.
   uint64_t Batches = 0;      ///< predictBatch calls issued.
+  uint64_t Retrains = 0;     ///< Online-retrain passes performed at folds.
+  /// Sum of |prediction - label| over every labeled observation, with
+  /// each epoch's predictions made by the model that epoch was actually
+  /// served with (the epoch-start model). This is the staleness measure:
+  /// a frozen model accumulates error as the workload drifts; a retrained
+  /// one tracks it. Accumulated in one serial trace-order pass per fold,
+  /// so it is bit-identical at any shard/thread count.
+  double PredictionAbsErrJ = 0;
+  double LabelAbsJ = 0; ///< Sum of |label| over the same observations.
   /// Wall-clock latency of every predictBatch call, appended in shard
   /// order at each fold. Values are timing (not deterministic); counts
   /// are deterministic for a fixed shard count.
@@ -90,6 +106,12 @@ struct ServingStats {
 
   /// \returns the \p Q quantile (0..1) of BatchMs, 0 when empty.
   double batchLatencyQuantileMs(double Q) const;
+
+  /// \returns the relative staleness error: sum |pred - label| over
+  /// sum |label| (0 when no labeled observations were served).
+  double stalenessError() const {
+    return LabelAbsJ > 0 ? PredictionAbsErrJ / LabelAbsJ : 0;
+  }
 };
 
 /// A sharded, epoch-folded energy-attribution engine over one fitted
@@ -102,16 +124,48 @@ public:
   ServingEngine(const ml::Model &M, size_t FeatureWidth, uint32_t NumTenants,
                 uint32_t NumApps, ServingConfig Config = ServingConfig());
 
+  /// Switches the engine to online-retrain mode: predictions are served
+  /// from \p Online (borrowed; must be fitted — typically seeded from the
+  /// head of the stream — and must outlive the engine), and every epoch
+  /// fold feeds that epoch's labeled observations back into it, then
+  /// republishes the updated model for the next epoch. \p Algo selects
+  /// the maintenance path: Rls folds each observation in with an O(F^2)
+  /// Sherman-Morrison update; Refit accumulates the full history and
+  /// re-runs the O(N*F^2) batch fit every fold (the reference). Either
+  /// way the updates are applied serially in trace order at the fold, so
+  /// replay stays bit-identical at any shard/thread/batch count. Must be
+  /// called before any ingestion; incompatible with a quantized model
+  /// (a retrained model cannot keep a frozen quantization grid).
+  ///
+  /// \p SeedHistory (Refit mode only): the dataset \p Online was seeded
+  /// from. The refit accumulates new epochs on top of it, so the
+  /// reference solves the same ridge system the RLS updates maintain —
+  /// over the seed plus every epoch — and the two paths' attributions
+  /// agree to solver precision.
+  void enableOnlineRetrain(ml::RlsLinearRegression &Online,
+                           ml::FitAlgorithm Algo = ml::defaultFitAlgorithm(),
+                           const ml::Dataset *SeedHistory = nullptr);
+
   /// Buffers one observation (\p Features: featureWidth() values); folds
   /// automatically once EpochSize observations are pending.
   void ingest(uint32_t Tenant, uint32_t App, const double *Features);
+
+  /// Buffers one labeled observation: like ingest(), plus a measured
+  /// dynamic-energy target the online-retrain fold learns from (and
+  /// scores the serving model against — see ServingStats). Without
+  /// retrain mode the label only feeds the staleness stats.
+  void ingest(uint32_t Tenant, uint32_t App, const double *Features,
+              double Label);
 
   /// Flushes pending observations through the shards and folds every
   /// shard's accumulators into the query-visible table (shard order).
   void endEpoch();
 
   /// Ingests the whole trace and ends the epoch; the standard replay
-  /// driver (charged to Phase::Serve).
+  /// driver (charged to Phase::Serve, with the staging and fold slices
+  /// sub-attributed to Phase::ServeIngest / Phase::ServeFold). In
+  /// online-retrain mode the trace's labels ride along, so each fold
+  /// retrains on the epoch just served.
   void replay(const FleetTrace &Trace);
 
   /// Folded per-tenant dynamic energy (J) / observation count.
@@ -206,8 +260,16 @@ private:
   void stageQuantized(const FleetTrace &Trace, size_t Begin, size_t End);
 
   /// Partitions pending observations by shard (stable), fans the shards
-  /// out over the pool, then folds in shard order.
+  /// out over the pool, then folds in shard order. In online-retrain mode
+  /// this is also where the model advances: a serial trace-order pass
+  /// scores the epoch-start model against the epoch's labels (staleness
+  /// stats), then feeds the labeled rows into the online model
+  /// (Phase::RlsUpdate) or refits it over the accumulated history
+  /// (Phase::Refit) before the next epoch begins.
   void foldEpoch();
+
+  /// The serial staleness-scoring + retrain pass of foldEpoch().
+  void retrainOnPending();
 
   const ml::Model *Model;
   /// Non-null when serving a quantized model; enables the integer path.
@@ -217,6 +279,7 @@ private:
   uint32_t NumApps;
   size_t EpochSize;
   size_t BatchSize;
+  bool ScoreLabels;
 
   std::vector<Shard> Shards;
   /// Precomputed striping maps: tenant -> owning shard (tenant %
@@ -229,6 +292,13 @@ private:
   std::vector<Cell> Folded; ///< Query-visible table (tenant * NumApps + app).
   ServingStats Stats;
 
+  // Online-retrain state: the served-and-updated model (null when the
+  // engine serves a frozen model), the maintenance algorithm, and — for
+  // the Refit reference — the accumulated labeled history.
+  ml::RlsLinearRegression *Online = nullptr;
+  ml::FitAlgorithm RetrainAlgo = ml::FitAlgorithm::Rls;
+  ml::Dataset History; ///< Refit mode only: every labeled row so far.
+
   // Pending (unprocessed) observations, columnar like the trace (FP path
   // only — a quantized engine stages rows pre-quantized and pre-routed in
   // the shards' PendingRows/PendingCells; ingest is the only place its
@@ -236,6 +306,7 @@ private:
   std::vector<uint32_t> PendingTenants;
   std::vector<uint32_t> PendingApps;
   std::vector<double> PendingFeatures; ///< Flat row-major (FP path).
+  std::vector<double> PendingLabels; ///< Per-row label (NaN = unlabeled).
   std::vector<size_t> PartitionScratch; ///< Reused stable-partition output.
   size_t PendingCount = 0; ///< Observations buffered since the last fold.
 };

@@ -163,6 +163,134 @@ std::vector<Execution> Machine::runBatch(const CompoundApplication &App,
   return Execs;
 }
 
+namespace {
+/// Lognormal sigma of the per-window power-meter sample in runTrace.
+/// Matches the ~3% unobserved energy variance of whole runs, so windowed
+/// power telemetry is exactly as trustworthy per sample as the WattsUp
+/// trace the offline pipeline consumes.
+constexpr double TracePowerNoiseSigma = 0.03;
+} // namespace
+
+ExecutionTrace Machine::runTrace(const CompoundApplication &App,
+                                 uint64_t RunSeed, size_t WindowCount) const {
+  assert(WindowCount >= 1 && "a trace needs at least one window");
+  ExecutionTrace Trace;
+  Trace.Exec = runWithSeed(App, RunSeed);
+
+  const size_t NumPhases = Trace.Exec.Phases.size();
+  std::vector<double> PhaseEnd(NumPhases);
+  double Total = 0;
+  for (size_t P = 0; P < NumPhases; ++P) {
+    Total += Trace.Exec.Phases[P].TimeSec;
+    PhaseEnd[P] = Total;
+  }
+  const double Dt = Total / static_cast<double>(WindowCount);
+
+  // Every window is a pure function of (RunSeed, window index): activity
+  // shares come from the fixed phase timeline, and the power sample's
+  // noise is drawn from a fork tagged by the index alone. Windows
+  // therefore synthesize in parallel, bit-identical at any thread count,
+  // and window W's draw stream does not change when the trace is cut into
+  // more or fewer windows.
+  Trace.Windows.resize(WindowCount);
+  const Rng SeedRng = Rng(RunSeed).fork("trace");
+  parallelFor(0, WindowCount, 16, [&](size_t W) {
+    TraceWindow &Win = Trace.Windows[W];
+    Win.StartSec = static_cast<double>(W) * Dt;
+    // The last window absorbs the division rounding so the windows
+    // partition [0, Total) exactly.
+    const double End =
+        W + 1 == WindowCount ? Total : static_cast<double>(W + 1) * Dt;
+    Win.DtSec = End - Win.StartSec;
+
+    double IntensitySum = 0;
+    bool AnyPhase = false;
+    for (size_t P = 0; P < NumPhases; ++P) {
+      const double P0 = P == 0 ? 0.0 : PhaseEnd[P - 1];
+      const double P1 = PhaseEnd[P];
+      const double Overlap =
+          std::min(End, P1) - std::max(Win.StartSec, P0);
+      if (Overlap <= 0)
+        continue;
+      if (!AnyPhase)
+        Win.FirstPhase = static_cast<uint32_t>(P);
+      Win.LastPhase = static_cast<uint32_t>(P);
+      AnyPhase = true;
+      const ExecutionPhase &Phase = Trace.Exec.Phases[P];
+      const double Share = Overlap / Phase.TimeSec;
+      for (size_t K = 0; K < pmc::NumActivityKinds; ++K)
+        Win.Activities.at(K) += Share * Phase.Activities.at(K);
+      IntensitySum += Overlap * Phase.ContextIntensity;
+    }
+    Win.ContextIntensity = Win.DtSec > 0 ? IntensitySum / Win.DtSec : 0;
+
+    // The meter sample: true window power under lognormal noise, drawn
+    // from fork(W + 1) so the jitter stream is a pure function of the
+    // window index (window-count and thread-count invariant).
+    Rng WindowRng = SeedRng.fork(W + 1);
+    const double TrueWindowJ = Energy.dynamicEnergyJoules(Win.Activities);
+    Win.PowerW = Win.DtSec > 0
+                     ? (TrueWindowJ / Win.DtSec) *
+                           WindowRng.lognormalFactor(TracePowerNoiseSigma)
+                     : 0;
+  });
+  return Trace;
+}
+
+void Machine::readCountersWindow(const EventId *Ids, size_t NumIds,
+                                 const ExecutionTrace &Trace, size_t W,
+                                 double *Out) const {
+  assert(W < Trace.windowCount() && "window index out of range");
+  ScopedPhase Timer(Phase::Synth);
+  const TraceWindow &Win = Trace.Windows[W];
+  const double TotalTime = Trace.Exec.totalTimeSec();
+  const double TimeShare = TotalTime > 0 ? Win.DtSec / TotalTime : 0;
+  const double Boundaries =
+      static_cast<double>(Win.LastPhase - Win.FirstPhase);
+  const Rng WindowRng = Rng(Trace.Exec.RunSeed).fork("tracewin").fork(W + 1);
+  const double *Act = Win.Activities.data();
+
+  for (size_t I = 0; I < NumIds; ++I) {
+    const EventId Id = Ids[I];
+    assert(Id < Plan.Events.size() && "event id out of range");
+    const SynthesisPlan::EventEntry &E = Plan.Events[Id];
+
+    // The same draw sequence as readCounter against a (window, event)
+    // fork: NA jitter, floor jitter (when a floor exists), observation
+    // noise. A pure function of (RunSeed, W, Id) — reading the same
+    // window twice gives one value, and cutting the trace into a
+    // different window count leaves window W's stream untouched.
+    Rng EventRng = WindowRng.fork(static_cast<uint64_t>(Id) + 1);
+
+    const double Base = stats::weightedIndexedSum(
+        Plan.TermWeight.data() + E.TermBegin,
+        Plan.TermKind.data() + E.TermBegin, E.TermEnd - E.TermBegin, Act);
+    const double ContextSum =
+        Base * std::max(Win.ContextIntensity, E.IntensityFloor);
+    const double Context = E.NaFraction * ContextSum *
+                           (1.0 + E.NaBoundaryBeta * Boundaries) *
+                           EventRng.lognormalFactor(E.NaJitterSigma);
+
+    // Whole-run floors (fixed overheads) are pro-rated onto the window's
+    // time share, so the deltas' sum still tracks the whole-run count.
+    double Floor = E.ContextFloor * TimeShare;
+    if (Floor > 0)
+      Floor *= EventRng.lognormalFactor(E.NoiseSigma);
+
+    const double Count =
+        (Base + Context + Floor) * EventRng.lognormalFactor(E.NoiseSigma);
+    Out[I] = std::max(Count, 0.0);
+  }
+}
+
+std::vector<double>
+Machine::readCountersWindow(const std::vector<EventId> &Ids,
+                            const ExecutionTrace &Trace, size_t W) const {
+  std::vector<double> Counts(Ids.size());
+  readCountersWindow(Ids.data(), Ids.size(), Trace, W, Counts.data());
+  return Counts;
+}
+
 double Machine::readCounter(EventId Id, const Execution &Exec) const {
   assert(!Exec.Phases.empty() && "reading a counter without an execution");
   const SynthesisModel &Model = Registry.event(Id).Model;

@@ -47,6 +47,44 @@ struct Execution {
   double totalTimeSec() const;
 };
 
+/// One sampled time window of an execution trace: the slice of latent
+/// activity falling inside [StartSec, StartSec + DtSec) plus a noisy
+/// power-meter sample over the same interval.
+struct TraceWindow {
+  double StartSec = 0;
+  double DtSec = 0;
+  /// Latent activity attributed to the window (time-proportional share of
+  /// every overlapping phase's activities). Summing all windows'
+  /// activities recovers the run's totalActivities() up to rounding.
+  pmc::ActivityVector Activities;
+  /// Time-weighted mean context disturbance over the window.
+  double ContextIntensity = 0;
+  /// Sampled dynamic power (W): the energy model applied to the window's
+  /// activities over DtSec, under per-window lognormal meter noise.
+  double PowerW = 0;
+  /// Phases overlapping the window, as [FirstPhase, LastPhase] indices
+  /// into Exec.Phases (phase boundaries inside a window distort
+  /// phase-varying counters; see readCountersWindow).
+  uint32_t FirstPhase = 0;
+  uint32_t LastPhase = 0;
+};
+
+/// A sampled per-window view of one execution: the streaming (Class E)
+/// telemetry the per-run scalar pipeline cannot express. The underlying
+/// Execution is bit-identical to runWithSeed() on the same seed — trace
+/// mode observes a run, it never perturbs one.
+struct ExecutionTrace {
+  Execution Exec;
+  std::vector<TraceWindow> Windows;
+
+  size_t windowCount() const { return Windows.size(); }
+
+  /// \returns the sampled dynamic energy (J) of window \p W.
+  double windowEnergyJ(size_t W) const {
+    return Windows[W].PowerW * Windows[W].DtSec;
+  }
+};
+
 /// Selectable counter-synthesis kernel. Both produce bit-identical
 /// counts; the naive kernel is the readable per-event reference, the
 /// batched kernel synthesizes whole event groups per execution through a
@@ -102,6 +140,41 @@ public:
   /// thread count.
   std::vector<Execution> runBatch(const CompoundApplication &App,
                                   size_t NumRuns);
+
+  /// Executes \p App once against an explicit run seed and slices the run
+  /// into \p WindowCount equal time windows with per-window activity
+  /// shares and power samples (see ExecutionTrace). Pure like
+  /// runWithSeed(): the embedded Execution is bit-identical to
+  /// runWithSeed(App, RunSeed) at any WindowCount, and every per-window
+  /// draw comes from a forked Rng tagged by the window index alone — so
+  /// window W's noise stream is invariant under both the total window
+  /// count and the thread count (the FleetTrace splittable-seeding
+  /// contract). Asserts WindowCount >= 1.
+  ExecutionTrace runTrace(const CompoundApplication &App, uint64_t RunSeed,
+                          size_t WindowCount) const;
+
+  /// Stateful convenience overload: draws the next run-counter seed, so
+  /// runTrace(App, N) advances the machine exactly like run(App).
+  ExecutionTrace runTrace(const CompoundApplication &App, size_t WindowCount) {
+    return runTrace(App, MachineRng.fork(++RunCounter).next(), WindowCount);
+  }
+
+  /// Synthesizes the per-window PMC deltas of \p Ids for window \p W of
+  /// \p Trace through the flattened SynthesisPlan term table: base counts
+  /// from the window's activity share, context distortion from the
+  /// window's mean intensity, whole-run floors pro-rated by DtSec, and
+  /// observation noise drawn from a fork tagged (window, event) — a pure
+  /// function of (RunSeed, W, Id), invariant under the trace's window
+  /// count. Summing a counter's deltas over all windows tracks the
+  /// whole-run readCounter() (the reference path) up to sampling noise.
+  void readCountersWindow(const pmc::EventId *Ids, size_t NumIds,
+                          const ExecutionTrace &Trace, size_t W,
+                          double *Out) const;
+
+  /// Allocating convenience wrapper over readCountersWindow.
+  std::vector<double>
+  readCountersWindow(const std::vector<pmc::EventId> &Ids,
+                     const ExecutionTrace &Trace, size_t W) const;
 
   /// Synthesizes the observed count of \p Id for \p Exec (see
   /// pmc::SynthesisModel for the formula). Deterministic per

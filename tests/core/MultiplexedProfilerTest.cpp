@@ -141,3 +141,72 @@ TEST(MultiplexedProfiler, DuplicateRequestRejected) {
   EventId Id = *M.registry().lookup("L2_RQSTS_MISS");
   EXPECT_FALSE(bool(Profiler.collect(dgemm(), {Id, Id})));
 }
+
+TEST(MultiplexedProfiler, WindowedRejectsDegenerateRequests) {
+  Machine M(Platform::intelHaswellServer(), 8);
+  MultiplexedProfiler Profiler(M);
+  std::vector<EventId> Six = classAEvents(M);
+  // Six Class A events need 2 slice groups: a 1-window trace can give a
+  // slice to only one of them, so the other can never be extrapolated.
+  EXPECT_FALSE(bool(Profiler.collectWindowed(dgemm(), Six, 1)));
+  // Duplicates are rejected exactly like the whole-run path.
+  EXPECT_FALSE(bool(Profiler.collectWindowed(dgemm(), {Six[0], Six[0]}, 8)));
+}
+
+TEST(MultiplexedProfiler, WindowedSingleGroupHasFullOccupancy) {
+  // With one slice group there is no rotation: every event is live in
+  // every window, occupancy is exactly 1, and the reconstruction is the
+  // plain sum of the per-window deltas.
+  Machine M(Platform::intelHaswellServer(), 9);
+  MultiplexedProfiler Profiler(M);
+  std::vector<EventId> All = classAEvents(M);
+  std::vector<EventId> Four(All.begin(), All.begin() + 4);
+  auto Result = Profiler.collectWindowed(dgemm(), Four, 16);
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(Result->Groups, 1u);
+  EXPECT_EQ(Result->Windows, 16u);
+  ASSERT_EQ(Result->Occupancy.size(), Four.size());
+  for (double Occ : Result->Occupancy)
+    EXPECT_DOUBLE_EQ(Occ, 1.0);
+}
+
+TEST(MultiplexedProfiler, WindowedReconstructionTracksDedicatedCounts) {
+  // Round-robin rotation sees each group in only ~1/G of the run, yet
+  // the occupancy-extrapolated totals must land near a dedicated
+  // whole-run collection of the same events (within the sampling noise
+  // the error model leaves at this window count).
+  Machine A(Platform::intelHaswellServer(), 10);
+  Machine B(Platform::intelHaswellServer(), 10);
+  std::vector<EventId> Six = classAEvents(A);
+  MultiplexedProfiler Mux(A);
+  auto Result = Mux.collectWindowed(dgemm(), Six, 120, /*Repetitions=*/4);
+  ASSERT_TRUE(bool(Result));
+  EXPECT_EQ(Result->Groups, 2u);
+  EXPECT_EQ(Result->Profile.RunsUsed, 4u);
+
+  PmcProfiler Dedicated(B);
+  auto Ref = Dedicated.collect(dgemm(), Six, /*Repetitions=*/4);
+  ASSERT_TRUE(bool(Ref));
+  for (size_t I = 0; I < Six.size(); ++I) {
+    ASSERT_GT(Ref->Counts[I], 0.0);
+    EXPECT_NEAR(Result->Profile.Counts[I] / Ref->Counts[I], 1.0, 0.10)
+        << "event " << I;
+    // Two groups rotated round-robin: each event's group held the
+    // counters for about half the windows.
+    EXPECT_NEAR(Result->Occupancy[I], 0.5, 0.15) << "event " << I;
+  }
+}
+
+TEST(MultiplexedProfiler, WindowedCollectionIsDeterministic) {
+  Machine A(Platform::intelHaswellServer(), 11);
+  Machine B(Platform::intelHaswellServer(), 11);
+  std::vector<EventId> Six = classAEvents(A);
+  auto R1 = MultiplexedProfiler(A).collectWindowed(dgemm(), Six, 48, 2);
+  auto R2 = MultiplexedProfiler(B).collectWindowed(dgemm(), Six, 48, 2);
+  ASSERT_TRUE(bool(R1));
+  ASSERT_TRUE(bool(R2));
+  for (size_t I = 0; I < Six.size(); ++I) {
+    ASSERT_EQ(R1->Profile.Counts[I], R2->Profile.Counts[I]);
+    ASSERT_EQ(R1->Occupancy[I], R2->Occupancy[I]);
+  }
+}

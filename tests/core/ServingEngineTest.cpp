@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 using namespace slope;
 using namespace slope::core;
 using namespace slope::sim;
@@ -462,4 +465,200 @@ TEST(ServingEngine, ServesARealEstimatorTraceAcrossShardCounts) {
   for (uint32_t Tenant = 0; Tenant < Config.NumTenants; ++Tenant)
     ASSERT_EQ(Sharded.tenantEnergy(Tenant), Reference.tenantEnergy(Tenant));
   ASSERT_EQ(Sharded.fleetEnergy(), Reference.fleetEnergy());
+}
+
+namespace {
+
+/// A small drifting labeled fleet trace over real simulated events, plus
+/// the event list used to synthesize it.
+Expected<FleetTrace> makeDriftingTrace(Machine &M, size_t NumObservations,
+                                       double DriftMax) {
+  std::vector<std::string> Pa = pmc::skylakePaNames();
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name : {Pa[0], Pa[1], Pa[3], Pa[7]})
+    Events.push_back(*M.registry().lookup(Name));
+  std::vector<CompoundApplication> Apps = {
+      CompoundApplication(Application(KernelKind::MklDgemm, 9000)),
+      CompoundApplication(Application(KernelKind::Stream, 20000000)),
+      CompoundApplication(Application(KernelKind::QuickSort, 1u << 24))};
+  FleetTraceConfig Config;
+  Config.NumObservations = NumObservations;
+  Config.NumTenants = 41;
+  Config.PrototypesPerApp = 3;
+  Config.DriftMax = DriftMax;
+  return FleetTrace::synthesize(M, Events, Apps, Config);
+}
+
+/// Snapshot of everything an online-retrain replay publishes.
+struct RetrainResult {
+  std::vector<double> Coefficients;
+  std::vector<double> TenantEnergy;
+  double FleetEnergy = 0;
+  double Staleness = 0;
+  uint64_t Retrains = 0;
+};
+
+/// Replays \p Trace with online retraining (\p Algo) enabled, seeding the
+/// model from the head of the stream exactly like bench_serving_engine.
+RetrainResult replayRetrain(const FleetTrace &Trace, uint32_t NumTenants,
+                            ml::FitAlgorithm Algo, unsigned Shards,
+                            size_t EpochSize) {
+  std::vector<std::string> Names;
+  for (size_t F = 0; F < Trace.width(); ++F)
+    Names.push_back("pmc" + std::to_string(F));
+  ml::Dataset Seed(Names);
+  const size_t SeedRows = std::min<size_t>(512, Trace.size());
+  for (size_t I = 0; I < SeedRows; ++I)
+    Seed.addRow(Trace.features(I), Trace.label(I));
+  ml::RlsLinearRegression Online;
+  auto Fit = Online.fit(Seed);
+  assert(Fit);
+  (void)Fit;
+
+  ServingConfig Config;
+  Config.NumShards = Shards;
+  Config.EpochSize = EpochSize;
+  Config.ScoreLabels = true;
+  ServingEngine Engine(Online, Trace.width(), NumTenants, Trace.numApps(),
+                       Config);
+  Engine.enableOnlineRetrain(Online, Algo, &Seed);
+  Engine.replay(Trace);
+
+  RetrainResult R;
+  R.Coefficients = Online.coefficients();
+  for (uint32_t T = 0; T < NumTenants; ++T)
+    R.TenantEnergy.push_back(Engine.tenantEnergy(T));
+  R.FleetEnergy = Engine.fleetEnergy();
+  R.Staleness = Engine.stats().stalenessError();
+  R.Retrains = Engine.stats().Retrains;
+  return R;
+}
+
+double retrainRelDiff(double A, double B) {
+  return A != 0 ? std::fabs(B - A) / std::fabs(A) : std::fabs(B);
+}
+
+} // namespace
+
+TEST(ServingEngine, OnlineRetrainBitIdenticalAtAnyShardAndThreadCount) {
+  // Staleness scoring and retrain updates are applied serially in trace
+  // order at the fold, so the entire online-retrain replay — published
+  // coefficients included — is a pure function of the trace: shards and
+  // threads trade wall clock only.
+  ThreadCountGuard Guard;
+  Machine M(Platform::intelSkylakeServer(), 33);
+  auto Trace = makeDriftingTrace(M, 3000, /*DriftMax=*/0.3);
+  ASSERT_TRUE(bool(Trace));
+
+  ThreadPool::setGlobalThreadCount(1);
+  RetrainResult Reference =
+      replayRetrain(*Trace, 41, ml::FitAlgorithm::Rls, /*Shards=*/1, 256);
+  EXPECT_GT(Reference.Retrains, 0u);
+
+  for (unsigned Shards : {1u, 8u}) {
+    for (unsigned Threads : {1u, 4u}) {
+      ThreadPool::setGlobalThreadCount(Threads);
+      RetrainResult Got =
+          replayRetrain(*Trace, 41, ml::FitAlgorithm::Rls, Shards, 256);
+      ASSERT_EQ(Got.Coefficients.size(), Reference.Coefficients.size());
+      for (size_t C = 0; C < Reference.Coefficients.size(); ++C)
+        ASSERT_EQ(Got.Coefficients[C], Reference.Coefficients[C])
+            << Shards << " shards, " << Threads << " threads, coef " << C;
+      for (uint32_t T = 0; T < 41; ++T)
+        ASSERT_EQ(Got.TenantEnergy[T], Reference.TenantEnergy[T])
+            << Shards << " shards, " << Threads << " threads, tenant " << T;
+      ASSERT_EQ(Got.FleetEnergy, Reference.FleetEnergy);
+      ASSERT_EQ(Got.Staleness, Reference.Staleness);
+      ASSERT_EQ(Got.Retrains, Reference.Retrains);
+    }
+  }
+}
+
+TEST(ServingEngine, RlsAndRefitRetrainAgreeToSolverPrecision) {
+  // Both modes seed from the identical stream head and maintain the same
+  // ridge system (refit re-solves seed + all folded epochs), so the
+  // published coefficients and the attributions they produce must agree
+  // far inside the 1e-4 CI-gate bound.
+  Machine M(Platform::intelSkylakeServer(), 35);
+  auto Trace = makeDriftingTrace(M, 3000, /*DriftMax=*/0.3);
+  ASSERT_TRUE(bool(Trace));
+
+  RetrainResult Rls =
+      replayRetrain(*Trace, 41, ml::FitAlgorithm::Rls, 2, 256);
+  RetrainResult Refit =
+      replayRetrain(*Trace, 41, ml::FitAlgorithm::Refit, 2, 256);
+
+  ASSERT_EQ(Rls.Retrains, Refit.Retrains);
+  for (size_t C = 0; C < Rls.Coefficients.size(); ++C)
+    EXPECT_LT(retrainRelDiff(Refit.Coefficients[C], Rls.Coefficients[C]),
+              1e-8)
+        << "coef " << C;
+  for (uint32_t T = 0; T < 41; ++T)
+    EXPECT_LT(retrainRelDiff(Refit.TenantEnergy[T], Rls.TenantEnergy[T]),
+              1e-8)
+        << "tenant " << T;
+  EXPECT_LT(retrainRelDiff(Refit.FleetEnergy, Rls.FleetEnergy), 1e-8);
+  EXPECT_LT(retrainRelDiff(Refit.Staleness, Rls.Staleness), 1e-6);
+}
+
+TEST(ServingEngine, OnlineRetrainTracksDriftBetterThanFrozenModel) {
+  // The accuracy claim behind the whole subsystem: on a drifting
+  // workload, continuously retrained predictions carry a lower
+  // prediction-weighted staleness error than the epoch-0 frozen model.
+  Machine M(Platform::intelSkylakeServer(), 37);
+  auto Trace = makeDriftingTrace(M, 4000, /*DriftMax=*/0.5);
+  ASSERT_TRUE(bool(Trace));
+
+  // Frozen baseline: same seeded model, label scoring on, no retraining.
+  std::vector<std::string> Names;
+  for (size_t F = 0; F < Trace->width(); ++F)
+    Names.push_back("pmc" + std::to_string(F));
+  ml::Dataset Seed(Names);
+  for (size_t I = 0; I < 512; ++I)
+    Seed.addRow(Trace->features(I), Trace->label(I));
+  ml::RlsLinearRegression Frozen;
+  ASSERT_TRUE(bool(Frozen.fit(Seed)));
+  ServingConfig Config;
+  Config.NumShards = 2;
+  Config.EpochSize = 256;
+  Config.ScoreLabels = true;
+  ServingEngine FrozenEngine(Frozen, Trace->width(), 41, Trace->numApps(),
+                             Config);
+  FrozenEngine.replay(*Trace);
+  EXPECT_EQ(FrozenEngine.stats().Retrains, 0u);
+  const double FrozenStaleness = FrozenEngine.stats().stalenessError();
+
+  RetrainResult Online =
+      replayRetrain(*Trace, 41, ml::FitAlgorithm::Rls, 2, 256);
+  EXPECT_GT(Online.Retrains, 0u);
+  EXPECT_GT(FrozenStaleness, 0.0);
+  EXPECT_LT(Online.Staleness, FrozenStaleness);
+}
+
+TEST(FleetTrace, DriftScalesLabelsButNeverFeatures) {
+  // Label drift rides a separate fork of the noise stream: turning it on
+  // (or off) must leave every feature value bit-identical, so drifting
+  // and non-drifting runs share the identical serving workload.
+  Machine M1(Platform::intelSkylakeServer(), 39);
+  Machine M2(Platform::intelSkylakeServer(), 39);
+  auto Flat = makeDriftingTrace(M1, 1500, /*DriftMax=*/0.0);
+  auto Drifting = makeDriftingTrace(M2, 1500, /*DriftMax=*/0.4);
+  ASSERT_TRUE(bool(Flat));
+  ASSERT_TRUE(bool(Drifting));
+
+  double MaxLabelRel = 0;
+  for (size_t I = 0; I < Flat->size(); ++I) {
+    ASSERT_EQ(Flat->tenant(I), Drifting->tenant(I));
+    ASSERT_EQ(Flat->app(I), Drifting->app(I));
+    for (size_t F = 0; F < Flat->width(); ++F)
+      ASSERT_EQ(Flat->features(I)[F], Drifting->features(I)[F])
+          << "observation " << I;
+    ASSERT_GT(Flat->label(I), 0.0);
+    MaxLabelRel = std::max(
+        MaxLabelRel, std::fabs(Drifting->label(I) - Flat->label(I)) /
+                         Flat->label(I));
+  }
+  // The drift itself must be visible in the labels (up to 40% here).
+  EXPECT_GT(MaxLabelRel, 0.05);
+  EXPECT_LT(MaxLabelRel, 0.45);
 }

@@ -1,0 +1,196 @@
+//===- tests/sim/TraceModeTest.cpp - Sampled-trace emission tests --------------===//
+//
+// Part of SLOPE-PMC++. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "pmc/PlatformEvents.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace slope;
+using namespace slope::sim;
+
+namespace {
+
+/// Restores automatic global-pool sizing when a test returns.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::setGlobalThreadCount(0); }
+};
+
+CompoundApplication testApp() {
+  return CompoundApplication(Application(KernelKind::MklDgemm, 6000),
+                             Application(KernelKind::Stream, 12000000));
+}
+
+void expectActivitiesEq(const pmc::ActivityVector &A,
+                        const pmc::ActivityVector &B) {
+  for (size_t I = 0; I < pmc::NumActivityKinds; ++I)
+    ASSERT_EQ(A.at(I), B.at(I)) << "activity " << I;
+}
+
+/// The per-window meter-noise factor: PowerW divided by the window's true
+/// model power. A pure function of (RunSeed, window index) by contract.
+double powerJitter(const Machine &M, const ExecutionTrace &Trace, size_t W) {
+  const TraceWindow &Win = Trace.Windows[W];
+  const double TrueJ = M.energyModel().dynamicEnergyJoules(Win.Activities);
+  EXPECT_GT(TrueJ, 0.0);
+  EXPECT_GT(Win.DtSec, 0.0);
+  return Win.PowerW * Win.DtSec / TrueJ;
+}
+
+} // namespace
+
+TEST(TraceMode, EmbeddedExecutionBitIdenticalToRunWithSeed) {
+  // Trace mode observes a run, it never perturbs one: the embedded
+  // Execution must be bit-identical to runWithSeed() on the same seed.
+  Machine M1(Platform::intelSkylakeServer(), 7);
+  Machine M2(Platform::intelSkylakeServer(), 7);
+  ExecutionTrace Trace = M1.runTrace(testApp(), /*RunSeed=*/0x5EED, 24);
+  Execution Ref = M2.runWithSeed(testApp(), /*RunSeed=*/0x5EED);
+
+  ASSERT_EQ(Trace.Exec.RunSeed, Ref.RunSeed);
+  ASSERT_EQ(Trace.Exec.TrueDynamicEnergyJ, Ref.TrueDynamicEnergyJ);
+  ASSERT_EQ(Trace.Exec.Phases.size(), Ref.Phases.size());
+  for (size_t P = 0; P < Ref.Phases.size(); ++P) {
+    ASSERT_EQ(Trace.Exec.Phases[P].TimeSec, Ref.Phases[P].TimeSec);
+    ASSERT_EQ(Trace.Exec.Phases[P].ContextIntensity,
+              Ref.Phases[P].ContextIntensity);
+    expectActivitiesEq(Trace.Exec.Phases[P].Activities,
+                       Ref.Phases[P].Activities);
+  }
+}
+
+TEST(TraceMode, StatefulOverloadAdvancesLikeRun) {
+  // runTrace(App, N) must consume the same run-counter seed run(App)
+  // would, so interleaving trace and scalar collection keeps machines
+  // reproducible.
+  Machine M1(Platform::intelSkylakeServer(), 11);
+  Machine M2(Platform::intelSkylakeServer(), 11);
+  ExecutionTrace Trace = M1.runTrace(testApp(), 16);
+  Execution Ref = M2.run(testApp());
+  ASSERT_EQ(Trace.Exec.RunSeed, Ref.RunSeed);
+  ASSERT_EQ(Trace.Exec.TrueDynamicEnergyJ, Ref.TrueDynamicEnergyJ);
+
+  // And the NEXT run on both machines still agrees.
+  ASSERT_EQ(M1.run(testApp()).RunSeed, M2.run(testApp()).RunSeed);
+}
+
+TEST(TraceMode, WindowSumsRecoverRunTotals) {
+  Machine M(Platform::intelHaswellServer(), 13);
+  ExecutionTrace Trace = M.runTrace(testApp(), 0xFACE, 40);
+  ASSERT_EQ(Trace.windowCount(), 40u);
+
+  double DtSum = 0;
+  pmc::ActivityVector ActivitySum;
+  for (const TraceWindow &Win : Trace.Windows) {
+    ASSERT_GE(Win.DtSec, 0.0);
+    DtSum += Win.DtSec;
+    ActivitySum += Win.Activities;
+  }
+  EXPECT_NEAR(DtSum, Trace.Exec.totalTimeSec(),
+              1e-9 * Trace.Exec.totalTimeSec());
+  pmc::ActivityVector Total = Trace.Exec.totalActivities();
+  for (size_t I = 0; I < pmc::NumActivityKinds; ++I)
+    EXPECT_NEAR(ActivitySum.at(I), Total.at(I),
+                1e-9 * std::max(1.0, Total.at(I)))
+        << "activity " << I;
+
+  // Window boundaries are contiguous and ordered.
+  for (size_t W = 1; W < Trace.windowCount(); ++W)
+    EXPECT_NEAR(Trace.Windows[W].StartSec,
+                Trace.Windows[W - 1].StartSec + Trace.Windows[W - 1].DtSec,
+                1e-12);
+}
+
+TEST(TraceMode, PowerJitterStreamInvariantUnderWindowCount) {
+  // The meter-noise stream is drawn from a fork tagged by the window
+  // index alone, so window W's jitter factor is a pure function of
+  // (RunSeed, W) — slicing the same run into 16 or 64 windows must not
+  // shift any window's draw, even though the window boundaries (and so
+  // the activities under them) all move.
+  Machine M(Platform::intelSkylakeServer(), 17);
+  ExecutionTrace Coarse = M.runTrace(testApp(), 0xABCD, 16);
+  ExecutionTrace Fine = M.runTrace(testApp(), 0xABCD, 64);
+  ASSERT_EQ(Coarse.windowCount(), 16u);
+  ASSERT_EQ(Fine.windowCount(), 64u);
+  for (size_t W = 0; W < Coarse.windowCount(); ++W)
+    EXPECT_DOUBLE_EQ(powerJitter(M, Coarse, W), powerJitter(M, Fine, W))
+        << "window " << W;
+}
+
+TEST(TraceMode, DeterministicAcrossThreadCounts) {
+  ThreadCountGuard Guard;
+  Machine M1(Platform::intelSkylakeServer(), 19);
+  Machine M2(Platform::intelSkylakeServer(), 19);
+  ThreadPool::setGlobalThreadCount(1);
+  ExecutionTrace A = M1.runTrace(testApp(), 0xBEEF, 32);
+  ThreadPool::setGlobalThreadCount(8);
+  ExecutionTrace B = M2.runTrace(testApp(), 0xBEEF, 32);
+  ASSERT_EQ(A.windowCount(), B.windowCount());
+  for (size_t W = 0; W < A.windowCount(); ++W) {
+    ASSERT_EQ(A.Windows[W].StartSec, B.Windows[W].StartSec);
+    ASSERT_EQ(A.Windows[W].DtSec, B.Windows[W].DtSec);
+    ASSERT_EQ(A.Windows[W].PowerW, B.Windows[W].PowerW);
+    ASSERT_EQ(A.Windows[W].ContextIntensity, B.Windows[W].ContextIntensity);
+    expectActivitiesEq(A.Windows[W].Activities, B.Windows[W].Activities);
+  }
+}
+
+TEST(TraceMode, WindowEnergySumTracksTrueEnergy) {
+  // Sampled window energies integrate to the run's true dynamic energy
+  // up to the lognormal meter noise (sigma 3% per window; the mean over
+  // 60 windows concentrates well inside 5%).
+  Machine M(Platform::intelSkylakeServer(), 23);
+  ExecutionTrace Trace = M.runTrace(testApp(), 0xD1CE, 60);
+  double SampledJ = 0;
+  for (size_t W = 0; W < Trace.windowCount(); ++W)
+    SampledJ += Trace.windowEnergyJ(W);
+  EXPECT_NEAR(SampledJ, Trace.Exec.TrueDynamicEnergyJ,
+              0.05 * Trace.Exec.TrueDynamicEnergyJ);
+}
+
+TEST(TraceMode, ReadCountersWindowSumsTrackWholeRunCounter) {
+  Machine M(Platform::intelSkylakeServer(), 29);
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name :
+       {pmc::skylakePaNames()[0], pmc::skylakePaNames()[1],
+        pmc::skylakePaNames()[3]})
+    Events.push_back(*M.registry().lookup(Name));
+
+  ExecutionTrace Trace = M.runTrace(testApp(), 0xC0DE, 48);
+  std::vector<double> Sum(Events.size(), 0.0);
+  for (size_t W = 0; W < Trace.windowCount(); ++W) {
+    std::vector<double> Deltas = M.readCountersWindow(Events, Trace, W);
+    ASSERT_EQ(Deltas.size(), Events.size());
+    for (size_t I = 0; I < Events.size(); ++I)
+      Sum[I] += Deltas[I];
+  }
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const double WholeRun = M.readCounter(Events[I], Trace.Exec);
+    ASSERT_GT(WholeRun, 0.0);
+    // Per-window observation noise is independent across windows, so the
+    // sum concentrates around the whole-run count (itself one more noisy
+    // observation of the same latent activities).
+    EXPECT_NEAR(Sum[I], WholeRun, 0.10 * WholeRun) << "event " << I;
+  }
+}
+
+TEST(TraceMode, ReadCountersWindowIsDeterministic) {
+  Machine M(Platform::intelSkylakeServer(), 31);
+  std::vector<pmc::EventId> Events = {
+      *M.registry().lookup(pmc::skylakePaNames()[0])};
+  ExecutionTrace Trace = M.runTrace(testApp(), 0xF00D, 12);
+  for (size_t W = 0; W < Trace.windowCount(); ++W) {
+    std::vector<double> A = M.readCountersWindow(Events, Trace, W);
+    double Raw = 0;
+    M.readCountersWindow(Events.data(), Events.size(), Trace, W, &Raw);
+    ASSERT_EQ(A.size(), 1u);
+    EXPECT_EQ(A[0], Raw);
+  }
+}
