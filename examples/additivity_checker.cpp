@@ -9,7 +9,8 @@
 // prints a ranked report.
 //
 // Usage:
-//   additivity_checker [--platform haswell|skylake] [--match SUBSTR]...
+//   additivity_checker [--platform haswell|skylake|zen2|biglittle]
+//                      [--match SUBSTR]...
 //                      [--bases N] [--compounds N] [--tolerance PCT]
 //                      [--suite diverse|dgemm-fft] [--top N] [--seed S]
 //
@@ -49,7 +50,7 @@ struct CliOptions {
 
 void printUsage() {
   std::printf(
-      "usage: additivity_checker [--platform haswell|skylake]\n"
+      "usage: additivity_checker [--platform haswell|skylake|zen2|biglittle]\n"
       "                          [--match SUBSTR]... [--bases N]\n"
       "                          [--compounds N] [--tolerance PCT]\n"
       "                          [--suite diverse|dgemm-fft] [--top N]\n"
@@ -125,6 +126,12 @@ int main(int Argc, char **Argv) {
     Plat = Platform::intelHaswellServer();
   } else if (str::lower(Options.PlatformName) == "skylake") {
     Plat = Platform::intelSkylakeServer();
+  } else if (str::lower(Options.PlatformName) == "zen2") {
+    Plat = Platform::amdZen2Server();
+  } else if (str::lower(Options.PlatformName) == "biglittle") {
+    // The board-level machine: the big.LITTLE registry is the A15
+    // superset, so every cluster event can be checked here.
+    Plat = Platform::armBigLittle();
   } else {
     std::fprintf(stderr, "error: unknown platform '%s'\n",
                  Options.PlatformName.c_str());

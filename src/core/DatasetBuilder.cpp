@@ -27,7 +27,7 @@ DatasetBuilder::build(const std::vector<CompoundApplication> &Apps,
     Names.push_back(M.registry().event(Id).Name);
 
   ml::Dataset Data(Names);
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
 

@@ -1,4 +1,4 @@
-//===- core/Experiments.cpp - Class A/B/C experiment drivers -------------------===//
+//===- core/Experiments.cpp - Class A/B/C/D experiment drivers -----------------===//
 //
 // Part of SLOPE-PMC++. See DESIGN.md for the system overview.
 //
@@ -14,6 +14,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <iterator>
 
 using namespace slope;
 using namespace slope::core;
@@ -83,6 +84,201 @@ asCompounds(const std::vector<Application> &Bases) {
   Out.reserve(Bases.size());
   for (const Application &Base : Bases)
     Out.emplace_back(Base);
+  return Out;
+}
+
+/// Per-core energy normalization for cross-platform transfer: dividing a
+/// platform's measured energies by this scale removes the TDP ratio
+/// between platforms, so transfer error reflects counter semantics
+/// rather than absolute wattage. Mirrors EnergyModel's per-core scaling
+/// (the Haswell reference scales to 1.0).
+double perCoreEnergyScale(const Platform &P) {
+  return (P.TdpWatts / static_cast<double>(P.totalCores())) / 10.0;
+}
+
+/// Rebuilds \p In with canonical feature names (same column order) and
+/// targets divided by \p EnergyScale.
+ml::Dataset canonicalizeDataset(const ml::Dataset &In,
+                                const std::vector<std::string> &Canonical,
+                                double EnergyScale) {
+  assert(In.numFeatures() == Canonical.size() &&
+         "canonical rename must preserve the column count");
+  ml::Dataset Out{std::vector<std::string>(Canonical)};
+  Out.reserveRows(In.numRows());
+  std::vector<double> Row;
+  for (size_t R = 0; R < In.numRows(); ++R) {
+    In.gatherRow(R, Row);
+    Out.addRow(Row, In.target(R) / EnergyScale);
+  }
+  return Out;
+}
+
+/// Elementwise sum of same-schema datasets: the board-level view of a
+/// heterogeneous platform (features and energies summed over clusters in
+/// the order given).
+ml::Dataset sumDatasets(const std::vector<ml::Dataset> &Parts) {
+  assert(!Parts.empty() && "need at least one cluster dataset");
+  ml::Dataset Out{std::vector<std::string>(Parts.front().featureNames())};
+  Out.reserveRows(Parts.front().numRows());
+  std::vector<double> Row, Acc;
+  for (size_t R = 0; R < Parts.front().numRows(); ++R) {
+    Acc.assign(Parts.front().numFeatures(), 0.0);
+    double Target = 0;
+    for (const ml::Dataset &Part : Parts) {
+      assert(Part.numRows() == Parts.front().numRows() &&
+             Part.numFeatures() == Parts.front().numFeatures() &&
+             "cluster datasets must align row-for-row");
+      Part.gatherRow(R, Row);
+      for (size_t F = 0; F < Row.size(); ++F)
+        Acc[F] += Row[F];
+      Target += Part.target(R);
+    }
+    Out.addRow(Acc, Target);
+  }
+  return Out;
+}
+
+/// Everything Class D needs from one profiled platform.
+struct ClassDPlatformData {
+  ClassDPlatformInfo Info;
+  ml::Dataset Train; ///< Canonical-named, scale-normalized; base apps.
+  ml::Dataset Test;  ///< Same schema; compound apps.
+  /// big.LITTLE only: the per-cluster datasets the board view sums.
+  std::vector<ml::Dataset> ClusterTrain, ClusterTest;
+};
+
+/// Canonical counters resolvable on \p Registry, in dictionary order,
+/// with their native spellings.
+void resolveCanonicalSet(const pmc::EventRegistry &Registry,
+                         std::vector<std::string> &Canonical,
+                         std::vector<std::string> &Native) {
+  for (const pmc::CanonicalCounter &Counter : pmc::canonicalCounters()) {
+    auto Resolved = pmc::resolveCanonicalCounter(Registry, Counter.Canonical);
+    if (!Resolved)
+      continue;
+    Canonical.push_back(Counter.Canonical);
+    Native.push_back(*Resolved);
+  }
+}
+
+/// Profiles one machine: empirical additivity of \p Native over the
+/// compound suite, then train (bases) / test (compounds) datasets.
+void profileMachine(Machine &M, power::HclWattsUp &Meter,
+                    const std::vector<Application> &Bases,
+                    const std::vector<CompoundApplication> &Compounds,
+                    const std::vector<std::string> &Native,
+                    const AdditivityTestConfig &Additivity,
+                    std::vector<bool> &AdditiveOut, ml::Dataset &TrainOut,
+                    ml::Dataset &TestOut) {
+  std::vector<pmc::EventId> Events;
+  for (const std::string &Name : Native)
+    Events.push_back(*M.registry().lookup(Name));
+  AdditivityChecker Checker(M, Additivity);
+  std::vector<AdditivityResult> Results = Checker.checkAll(Events, Compounds);
+  AdditiveOut.clear();
+  for (const AdditivityResult &R : Results)
+    AdditiveOut.push_back(R.Additive);
+  DatasetBuilder Builder(M, Meter);
+  TrainOut = *Builder.build(asCompounds(Bases), Events);
+  TestOut = *Builder.build(Compounds, Events);
+}
+
+/// Profiles one Class D platform end to end. Homogeneous platforms use
+/// one machine; heterogeneous ones get one machine and meter per cluster
+/// (counts and energies summed in cluster order for the board view).
+ClassDPlatformData profilePlatform(const std::string &Key, const Platform &P,
+                                   const ClassDConfig &Config,
+                                   uint64_t MachineSeed) {
+  ClassDPlatformData Data;
+  Data.Info.Key = Key;
+  Data.Info.Name = P.Name;
+
+  // The app suite is derived from the board platform so every cluster of
+  // a heterogeneous SoC runs the same applications, row for row.
+  Rng SuiteRng(Config.Seed);
+  std::vector<Application> Bases = diverseBaseSuite(
+      P, Config.NumBaseApps, SuiteRng.fork(Key + "-bases"));
+  std::vector<CompoundApplication> Compounds = makeCompoundSuite(
+      Bases, Config.NumCompounds, SuiteRng.fork(Key + "-pairs"));
+
+  // Low-power boards are metered with a lab-grade sampler (SmartPower2
+  // class): the WattsUp's 0.1 W quantization would swamp a sub-watt
+  // cluster's dynamic power.
+  power::WattsUpOptions MeterOpts;
+  if (P.TdpWatts < 20)
+    MeterOpts.QuantizationW = 0.001;
+
+  std::vector<std::string> Native;
+  if (!P.isHeterogeneous()) {
+    Machine M(P, MachineSeed);
+    resolveCanonicalSet(M.registry(), Data.Info.Canonical, Native);
+    power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>(
+                                   MeterOpts, MachineSeed ^ 0x22));
+    std::vector<bool> Additive;
+    ml::Dataset TrainNative, TestNative;
+    profileMachine(M, Meter, Bases, Compounds, Native, Config.Additivity,
+                   Additive, TrainNative, TestNative);
+    double Scale = perCoreEnergyScale(P);
+    Data.Train = canonicalizeDataset(TrainNative, Data.Info.Canonical, Scale);
+    Data.Test = canonicalizeDataset(TestNative, Data.Info.Canonical, Scale);
+    for (size_t I = 0; I < Additive.size(); ++I)
+      if (Additive[I])
+        Data.Info.AdditiveCanonical.push_back(Data.Info.Canonical[I]);
+    return Data;
+  }
+
+  // Heterogeneous: one machine per cluster. A canonical counter is
+  // available/additive for the platform iff it is on every cluster; the
+  // board energy scale normalizes all cluster energies so summed cluster
+  // attributions line up with the summed (board) target.
+  double Scale = perCoreEnergyScale(P);
+  std::vector<bool> AllAdditive;
+  for (size_t C = 0; C < P.numClusters(); ++C) {
+    Platform ClusterP = P.clusterPlatform(C);
+    Machine M(ClusterP, MachineSeed + 0x101 * C);
+    std::vector<std::string> ClusterCanonical, ClusterNative;
+    resolveCanonicalSet(M.registry(), ClusterCanonical, ClusterNative);
+    if (C == 0) {
+      Data.Info.Canonical = ClusterCanonical;
+      Native = ClusterNative;
+    } else {
+      assert(ClusterCanonical == Data.Info.Canonical &&
+             ClusterNative == Native &&
+             "clusters must agree on the canonical counter set");
+    }
+    power::HclWattsUp Meter(M, std::make_unique<power::WattsUpProMeter>(
+                                   MeterOpts, (MachineSeed + 0x101 * C) ^
+                                                  0x22));
+    std::vector<bool> Additive;
+    ml::Dataset TrainNative, TestNative;
+    profileMachine(M, Meter, Bases, Compounds, Native, Config.Additivity,
+                   Additive, TrainNative, TestNative);
+    Data.ClusterTrain.push_back(
+        canonicalizeDataset(TrainNative, Data.Info.Canonical, Scale));
+    Data.ClusterTest.push_back(
+        canonicalizeDataset(TestNative, Data.Info.Canonical, Scale));
+    if (C == 0)
+      AllAdditive = Additive;
+    else
+      for (size_t I = 0; I < AllAdditive.size(); ++I)
+        AllAdditive[I] = AllAdditive[I] && Additive[I];
+  }
+  Data.Train = sumDatasets(Data.ClusterTrain);
+  Data.Test = sumDatasets(Data.ClusterTest);
+  for (size_t I = 0; I < AllAdditive.size(); ++I)
+    if (AllAdditive[I])
+      Data.Info.AdditiveCanonical.push_back(Data.Info.Canonical[I]);
+  return Data;
+}
+
+/// \returns the members of \p Set (canonical order) present in both
+/// \p A and \p B.
+std::vector<std::string> intersectSets(const std::vector<std::string> &A,
+                                       const std::vector<std::string> &B) {
+  std::vector<std::string> Out;
+  for (const std::string &Name : A)
+    if (std::find(B.begin(), B.end(), Name) != B.end())
+      Out.push_back(Name);
   return Out;
 }
 
@@ -290,6 +486,144 @@ ClassBCResult core::runClassBC(const ClassBCConfig &Config) {
           SubTrain[Subset], SubTest[Subset],
           Config.Seed + (Additive ? 41 : 43), Config.NnEpochs,
           Config.RfTrees);
+  });
+  return Result;
+}
+
+ClassDResult core::runClassD(const ClassDConfig &Config) {
+  // Platform zoo in fixed presentation order. Each platform's profiling
+  // campaign is independent and internally deterministic, so the serial
+  // platform loop produces bit-identical data at any thread count.
+  struct ZooEntry {
+    const char *Key;
+    Platform P;
+    uint64_t SeedSalt;
+  };
+  const ZooEntry Zoo[] = {
+      {"haswell", Platform::intelHaswellServer(), 0},
+      {"skylake", Platform::intelSkylakeServer(), 0x5C7B},
+      {"zen2", Platform::amdZen2Server(), 0x3D92},
+      {"biglittle", Platform::armBigLittle(), 0xB167},
+  };
+  const size_t NumPlatforms = std::size(Zoo);
+
+  std::vector<ClassDPlatformData> Data;
+  for (const ZooEntry &Entry : Zoo)
+    Data.push_back(profilePlatform(Entry.Key, Entry.P, Config,
+                                   Config.Seed ^ Entry.SeedSalt));
+
+  ClassDResult Result;
+  for (const ClassDPlatformData &D : Data)
+    Result.Platforms.push_back(D.Info);
+  Result.TrainRowsPerPlatform = Data.front().Train.numRows();
+  Result.TestRowsPerPlatform = Data.front().Test.numRows();
+
+  // Transfer sweep: every ordered (train, test) pair, three families,
+  // unfiltered (counters common to both platforms) and additivity-filtered
+  // (further intersected with both platforms' additive sets). The cell
+  // grid is fixed up front so the parallel sweep writes disjoint slots
+  // with per-cell deterministic seeds.
+  const ModelFamily Families[] = {ModelFamily::LR, ModelFamily::RF,
+                                  ModelFamily::NN};
+  struct PairSets {
+    size_t TrainIdx, TestIdx;
+    std::vector<std::string> Unfiltered, Filtered;
+    ml::Dataset TrainU, TestU, TrainF, TestF;
+  };
+  std::vector<PairSets> PairData;
+  for (size_t X = 0; X < NumPlatforms; ++X)
+    for (size_t Y = 0; Y < NumPlatforms; ++Y) {
+      if (X == Y)
+        continue;
+      PairSets Sets;
+      Sets.TrainIdx = X;
+      Sets.TestIdx = Y;
+      Sets.Unfiltered =
+          intersectSets(Data[X].Info.Canonical, Data[Y].Info.Canonical);
+      Sets.Filtered =
+          intersectSets(intersectSets(Sets.Unfiltered,
+                                      Data[X].Info.AdditiveCanonical),
+                        Data[Y].Info.AdditiveCanonical);
+      assert(!Sets.Unfiltered.empty() &&
+             "zoo platforms must share canonical counters");
+      PairData.push_back(std::move(Sets));
+      TransferPairResult Pair;
+      Pair.TrainPlatform = Data[X].Info.Key;
+      Pair.TestPlatform = Data[Y].Info.Key;
+      Pair.Cells.resize((PairData.back().Filtered.empty() ? 1 : 2) *
+                        std::size(Families));
+      Result.Pairs.push_back(std::move(Pair));
+    }
+
+  // Column selection is pure and per-pair; models do not store feature
+  // names, so a model trained on platform X's canonical columns applies
+  // to platform Y's as long as the column order matches — which the
+  // dictionary-ordered canonical sets guarantee.
+  parallelFor(0, PairData.size(), 1, [&](size_t I) {
+    PairSets &Sets = PairData[I];
+    Sets.TrainU = Data[Sets.TrainIdx].Train.selectFeatures(Sets.Unfiltered);
+    Sets.TestU = Data[Sets.TestIdx].Test.selectFeatures(Sets.Unfiltered);
+    if (!Sets.Filtered.empty()) {
+      Sets.TrainF = Data[Sets.TrainIdx].Train.selectFeatures(Sets.Filtered);
+      Sets.TestF = Data[Sets.TestIdx].Test.selectFeatures(Sets.Filtered);
+    }
+  });
+  size_t CellsPerPair = 2 * std::size(Families);
+  parallelFor(0, PairData.size() * CellsPerPair, 1, [&](size_t Task) {
+    size_t I = Task / CellsPerPair;
+    const PairSets &Sets = PairData[I];
+    size_t FamilyIdx = (Task % CellsPerPair) / 2;
+    bool Filtered = (Task % 2) == 1;
+    if (Filtered && Sets.Filtered.empty())
+      return;
+    TransferCell Cell;
+    Cell.Family = modelFamilyName(Families[FamilyIdx]);
+    Cell.Filtered = Filtered;
+    Cell.Pmcs = Filtered ? Sets.Filtered : Sets.Unfiltered;
+    ModelEvalRow Row = evaluateSubset(
+        Families[FamilyIdx], Cell.Family, Cell.Pmcs,
+        Filtered ? Sets.TrainF : Sets.TrainU,
+        Filtered ? Sets.TestF : Sets.TestU,
+        Config.Seed + 1000 + I * CellsPerPair + FamilyIdx * 2 + Filtered,
+        Config.NnEpochs, Config.RfTrees);
+    Cell.Errors = Row.Errors;
+    // Cells are laid out family-major with the filtered variant (when it
+    // exists) immediately after its unfiltered sibling.
+    size_t Slot = Sets.Filtered.empty() ? FamilyIdx : FamilyIdx * 2 + Filtered;
+    Result.Pairs[I].Cells[Slot] = std::move(Cell);
+  });
+
+  // big.LITTLE on-board comparison: one pooled model on the summed board
+  // dataset vs one model per cluster with attributions summed in cluster
+  // order. Both predict the same board-level test energies.
+  const ClassDPlatformData &Board = Data.back();
+  assert(!Board.ClusterTrain.empty() && "expected a heterogeneous platform");
+  Result.BigLittle.resize(2 * std::size(Families));
+  parallelFor(0, Result.BigLittle.size(), 1, [&](size_t Task) {
+    size_t FamilyIdx = Task / 2;
+    std::string Base = modelFamilyName(Families[FamilyIdx]);
+    uint64_t Seed = Config.Seed + 2000 + FamilyIdx * 8;
+    if (Task % 2 == 0) {
+      Result.BigLittle[Task] = evaluateSubset(
+          Families[FamilyIdx], Base + "-pooled", Board.Info.Canonical,
+          Board.Train, Board.Test, Seed, Config.NnEpochs, Config.RfTrees);
+      return;
+    }
+    ModelEvalRow Row;
+    Row.Label = Base + "-cluster";
+    Row.Pmcs = Board.Info.Canonical;
+    std::vector<double> Sum(Board.Test.numRows(), 0.0);
+    for (size_t C = 0; C < Board.ClusterTrain.size(); ++C) {
+      std::unique_ptr<ml::Model> M = makeModel(
+          Families[FamilyIdx], Seed + 1 + C, Config.NnEpochs, Config.RfTrees);
+      [[maybe_unused]] auto Fit = M->fit(Board.ClusterTrain[C]);
+      assert(Fit && "cluster model failed to fit");
+      std::vector<double> Pred = M->predictBatch(Board.ClusterTest[C]);
+      for (size_t R = 0; R < Pred.size(); ++R)
+        Sum[R] += Pred[R];
+    }
+    Row.Errors = stats::predictionErrorSummary(Sum, Board.Test.targets());
+    Result.BigLittle[Task] = Row;
   });
   return Result;
 }

@@ -1,4 +1,4 @@
-//===- core/Experiments.h - Class A/B/C experiment drivers ------*- C++ -*-===//
+//===- core/Experiments.h - Class A/B/C/D experiment drivers ----*- C++ -*-===//
 //
 // Part of SLOPE-PMC++. See DESIGN.md for the system overview.
 //
@@ -15,6 +15,9 @@
 ///    literature-popular PMCs (PNA) — Tables 6 and 7a.
 ///  * Class C (Skylake): the online four-PMC setting — PA4 vs PNA4
 ///    selected by energy correlation — Table 7b.
+///  * Class D (platform zoo): cross-architecture model transfer over
+///    Haswell, Skylake, AMD Zen2 and ARM big.LITTLE via the canonical
+///    counter dictionary, with and without additivity filtering.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -119,6 +122,72 @@ struct ClassBCResult {
 
 /// Runs the Class B and Class C pipelines on the simulated Skylake server.
 ClassBCResult runClassBC(const ClassBCConfig &Config = ClassBCConfig());
+
+/// Class D configuration: cross-architecture model transfer over the
+/// platform zoo (Haswell, Skylake, Zen2, ARM big.LITTLE).
+struct ClassDConfig {
+  /// Class D filters with a looser additivity threshold than Class A's
+  /// 5%: the filter's job here is to drop the worst non-additive
+  /// counters (divider and icache-miss class events) while leaving a
+  /// usable cross-platform intersection — the Class B "most additive"
+  /// ranking in threshold form. At 5% the intersection collapses to a
+  /// single counter and filtered transfer models are trivially weak.
+  ClassDConfig() { Additivity.TolerancePct = 20.0; }
+
+  size_t NumBaseApps = 60;
+  size_t NumCompounds = 30;
+  uint64_t Seed = 2019;
+  AdditivityTestConfig Additivity;
+  unsigned NnEpochs = 150;
+  size_t RfTrees = 50;
+};
+
+/// One transfer cell: a model family trained on platform X evaluated on
+/// platform Y over a canonical counter set.
+struct TransferCell {
+  std::string Family;            ///< "LR", "RF", "NN".
+  bool Filtered = false;         ///< Additivity-filtered counter set?
+  std::vector<std::string> Pmcs; ///< Canonical counter names used.
+  stats::ErrorSummary Errors;    ///< Percentage prediction errors on Y.
+};
+
+/// All transfer cells of one ordered (train, test) platform pair.
+struct TransferPairResult {
+  std::string TrainPlatform;
+  std::string TestPlatform;
+  std::vector<TransferCell> Cells;
+};
+
+/// Per-platform summary for the Class D tables.
+struct ClassDPlatformInfo {
+  std::string Key;  ///< "haswell", "skylake", "zen2", "biglittle".
+  std::string Name; ///< Display name.
+  /// Canonical counters the platform offers, in dictionary order.
+  std::vector<std::string> Canonical;
+  /// The empirically additive subset (all clusters, for big.LITTLE).
+  std::vector<std::string> AdditiveCanonical;
+};
+
+/// Class D outcome.
+struct ClassDResult {
+  std::vector<ClassDPlatformInfo> Platforms;
+  /// Every ordered platform pair (X != Y), X-major in platform order.
+  std::vector<TransferPairResult> Pairs;
+  /// On-board comparison for big.LITTLE: pooled one-model rows vs
+  /// per-cluster rows (one model per cluster, attributions summed in
+  /// cluster order), per family.
+  std::vector<ModelEvalRow> BigLittle;
+  size_t TrainRowsPerPlatform = 0;
+  size_t TestRowsPerPlatform = 0;
+};
+
+/// Runs the Class D cross-architecture transfer study over the platform
+/// zoo: per-platform profiling campaigns with canonical counters, model
+/// training on each platform, and evaluation on every other platform with
+/// and without additivity filtering (counter sets intersected across the
+/// pair). big.LITTLE datasets are per-cluster (one machine per cluster,
+/// counts and energies summed in deterministic cluster order).
+ClassDResult runClassD(const ClassDConfig &Config = ClassDConfig());
 
 } // namespace core
 } // namespace slope

@@ -16,7 +16,7 @@ using namespace slope::sim;
 
 Expected<size_t>
 MultiplexedProfiler::numGroups(const std::vector<EventId> &Events) const {
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
   return Plan->numRuns();
@@ -27,7 +27,7 @@ MultiplexedProfiler::collect(const CompoundApplication &App,
                              const std::vector<EventId> &Events,
                              unsigned Repetitions) {
   assert(Repetitions >= 1 && "need at least one repetition");
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
   double Groups = static_cast<double>(Plan->numRuns());
@@ -72,7 +72,7 @@ MultiplexedProfiler::collectWindowed(const CompoundApplication &App,
                                      size_t WindowCount,
                                      unsigned Repetitions) {
   assert(Repetitions >= 1 && "need at least one repetition");
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
   const size_t Groups = Plan->numRuns();

@@ -29,7 +29,7 @@ OnlineEstimator::train(Machine &M, power::HclWattsUp &Meter,
   }
 
   // Online constraint: all events in one collection run.
-  auto Plan = pmc::planCollection(M.registry(), Events);
+  auto Plan = pmc::planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
   if (Plan->numRuns() != 1)

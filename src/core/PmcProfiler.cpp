@@ -20,7 +20,7 @@ PmcProfiler::collect(const CompoundApplication &App,
                      const std::vector<EventId> &Events,
                      unsigned Repetitions) {
   assert(Repetitions >= 1 && "need at least one repetition");
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
 
@@ -101,7 +101,7 @@ PmcProfiler::reduceRuns(const CollectionPlan &Plan,
 
 Expected<size_t>
 PmcProfiler::collectionCost(const std::vector<EventId> &Events) const {
-  auto Plan = planCollection(M.registry(), Events);
+  auto Plan = planCollection(M.registry(), Events, M.platform().pmuSpec());
   if (!Plan)
     return Plan.error();
   return Plan->numRuns();

@@ -145,3 +145,39 @@ std::string core::renderTable7(const ClassBCResult &Result) {
     T.addRow({Row.Label, SetName(Row), Row.Errors.str()});
   return T.render();
 }
+
+std::string core::renderClassDPlatforms(const ClassDResult &Result) {
+  TablePrinter T({"Platform", "Canonical counters", "Additive subset"});
+  T.setCaption("Class D platform zoo: canonical cross-architecture "
+               "counters per platform and the empirically additive "
+               "subset.");
+  for (const ClassDPlatformInfo &P : Result.Platforms)
+    T.addRow({P.Name, str::join(P.Canonical, ","),
+              P.AdditiveCanonical.empty()
+                  ? std::string("(none)")
+                  : str::join(P.AdditiveCanonical, ",")});
+  return T.render();
+}
+
+std::string core::renderClassDTransfer(const ClassDResult &Result) {
+  TablePrinter T({"Train -> Test", "Model", "Counter set", "PMCs",
+                  "Prediction errors [Min, Avg, Max]"});
+  T.setCaption("Class D cross-architecture transfer: models trained on one "
+               "platform, evaluated on another, with the full common "
+               "counter set vs the additivity-filtered intersection.");
+  for (const TransferPairResult &Pair : Result.Pairs)
+    for (const TransferCell &Cell : Pair.Cells)
+      T.addRow({Pair.TrainPlatform + " -> " + Pair.TestPlatform, Cell.Family,
+                Cell.Filtered ? "additive" : "common",
+                std::to_string(Cell.Pmcs.size()), Cell.Errors.str()});
+  return T.render();
+}
+
+std::string core::renderClassDBigLittle(const ClassDResult &Result) {
+  TablePrinter T({"Model", "PMCs", "Prediction errors [Min, Avg, Max]"});
+  T.setCaption("Class D big.LITTLE: pooled board-level models vs one model "
+               "per cluster (predictions summed in cluster order).");
+  for (const ModelEvalRow &Row : Result.BigLittle)
+    T.addRow({Row.Label, std::to_string(Row.Pmcs.size()), Row.Errors.str()});
+  return T.render();
+}

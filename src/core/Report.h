@@ -40,6 +40,19 @@ std::string renderTable6(const ClassBCResult &Result);
 /// Table 7: Class B (a) and Class C (b) prediction errors side by side.
 std::string renderTable7(const ClassBCResult &Result);
 
+/// Class D platform summary: every zoo platform with its canonical
+/// counter set and the empirically additive subset.
+std::string renderClassDPlatforms(const ClassDResult &Result);
+
+/// Class D transfer matrix: per ordered platform pair and model family,
+/// prediction errors with the full common counter set and with the
+/// additivity-filtered intersection.
+std::string renderClassDTransfer(const ClassDResult &Result);
+
+/// Class D big.LITTLE comparison: pooled board-level models vs one model
+/// per cluster with attributions summed in cluster order.
+std::string renderClassDBigLittle(const ClassDResult &Result);
+
 /// Short per-PMC names ("X1".."Xn"/"Y1".."Yn") used in compact rendering.
 std::string compactPmcList(const std::vector<std::string> &Subset,
                            const std::vector<std::string> &Universe,

@@ -24,13 +24,32 @@ bool CollectionPlan::covers(const std::vector<EventId> &Requested) const {
   return Seen.size() == Requested.size();
 }
 
+/// \returns true if every programmable event in \p Masks can be assigned
+/// its own slot (a distinct set bit). Exact backtracking; the PMU has at
+/// most 8 programmable slots, so this is cheap.
+static bool hasSlotAssignment(const std::vector<uint8_t> &Masks, size_t I,
+                              unsigned Used) {
+  if (I == Masks.size())
+    return true;
+  unsigned Avail = Masks[I] & ~Used;
+  while (Avail) {
+    unsigned Slot = Avail & (~Avail + 1u); // Lowest available slot bit.
+    if (hasSlotAssignment(Masks, I + 1, Used | Slot))
+      return true;
+    Avail &= Avail - 1u;
+  }
+  return false;
+}
+
 bool pmc::isFeasibleRun(const EventRegistry &Registry,
                         const CollectionRun &Run, const PmuSpec &Pmu) {
   unsigned NumFixed = 0;
   unsigned NumProgrammable = 0;
   unsigned NumPair = 0, NumTriple = 0, NumSolo = 0;
+  bool AnyRestricted = false;
   for (EventId Id : Run.Events) {
-    switch (Registry.event(Id).Constraint) {
+    const EventDef &Def = Registry.event(Id);
+    switch (Def.Constraint) {
     case CounterConstraintKind::Fixed:
       ++NumFixed;
       break;
@@ -50,6 +69,9 @@ bool pmc::isFeasibleRun(const EventRegistry &Registry,
       ++NumProgrammable;
       break;
     }
+    if (Def.Constraint != CounterConstraintKind::Fixed &&
+        Def.isSlotRestricted())
+      AnyRestricted = true;
   }
   if (NumFixed > Pmu.NumFixed || NumProgrammable > Pmu.NumProgrammable)
     return false;
@@ -59,7 +81,26 @@ bool pmc::isFeasibleRun(const EventRegistry &Registry,
     return false;
   if (NumTriple > 0 && NumProgrammable > 3)
     return false;
-  return true;
+  if (!AnyRestricted)
+    return true;
+
+  // PerfEvtSel-style slot restrictions: every programmable event must be
+  // assignable to a distinct slot it is allowed to use.
+  unsigned BudgetMask = Pmu.NumProgrammable >= 8
+                            ? 0xFFu
+                            : ((1u << Pmu.NumProgrammable) - 1u);
+  std::vector<uint8_t> Masks;
+  Masks.reserve(Run.Events.size());
+  for (EventId Id : Run.Events) {
+    const EventDef &Def = Registry.event(Id);
+    if (Def.Constraint == CounterConstraintKind::Fixed)
+      continue;
+    uint8_t Mask = static_cast<uint8_t>(Def.SlotMask & BudgetMask);
+    if (Mask == 0)
+      return false; // Restricted to slots this PMU does not have.
+    Masks.push_back(Mask);
+  }
+  return hasSlotAssignment(Masks, 0, 0);
 }
 
 Expected<CollectionPlan>
@@ -93,20 +134,46 @@ pmc::planCollection(const EventRegistry &Registry,
     }
   }
 
+  if (!Fixed.empty() && Pmu.NumFixed == 0)
+    return makeError("event '" + Registry.event(Fixed.front()).Name +
+                     "' needs a fixed counter but the pmu has none");
+
   CollectionPlan Plan;
-  auto EmitChunks = [&Plan](const std::vector<EventId> &Ids, size_t Width) {
-    for (size_t Start = 0; Start < Ids.size(); Start += Width) {
-      CollectionRun Run;
-      size_t End = std::min(Start + Width, Ids.size());
-      Run.Events.assign(Ids.begin() + Start, Ids.begin() + End);
-      Plan.Runs.push_back(std::move(Run));
+  // Greedy width-limited fill. An event joins the open run only while a
+  // legal slot assignment still exists; for unrestricted (Intel-default)
+  // masks this degenerates to plain chunking, so Intel plans are
+  // unchanged. \returns an error for events no in-budget slot can count.
+  auto EmitPacked = [&](const std::vector<EventId> &Ids,
+                        size_t Width) -> Expected<bool> {
+    CollectionRun Open;
+    for (EventId Id : Ids) {
+      if (Open.Events.size() < Width) {
+        CollectionRun Candidate = Open;
+        Candidate.Events.push_back(Id);
+        if (isFeasibleRun(Registry, Candidate, Pmu)) {
+          Open = std::move(Candidate);
+          continue;
+        }
+      }
+      if (!Open.Events.empty())
+        Plan.Runs.push_back(std::move(Open));
+      Open.Events = {Id};
+      if (!isFeasibleRun(Registry, Open, Pmu))
+        return makeError("event '" + Registry.event(Id).Name +
+                         "' cannot be counted on any available slot");
     }
+    if (!Open.Events.empty())
+      Plan.Runs.push_back(std::move(Open));
+    return true;
   };
-  for (EventId Id : Solo)
-    Plan.Runs.push_back(CollectionRun{{Id}});
-  EmitChunks(Pair, 2);
-  EmitChunks(Triple, 3);
-  EmitChunks(General, Pmu.NumProgrammable);
+  if (auto Packed = EmitPacked(Solo, 1); !Packed)
+    return Packed.error();
+  if (auto Packed = EmitPacked(Pair, 2); !Packed)
+    return Packed.error();
+  if (auto Packed = EmitPacked(Triple, 3); !Packed)
+    return Packed.error();
+  if (auto Packed = EmitPacked(General, Pmu.NumProgrammable); !Packed)
+    return Packed.error();
 
   // Fixed-counter events ride along: spread them over existing runs,
   // Pmu.NumFixed per run. If there are no runs yet, they need one.

@@ -52,9 +52,13 @@ struct CollectionPlan {
 /// get singleton runs; Pair/Triple-restricted events fill runs of their
 /// class width; unrestricted events pack 4 per run; fixed-counter events
 /// ride along on the first runs with spare fixed registers (or get their
-/// own run if the plan would otherwise be empty).
+/// own run if the plan would otherwise be empty). Events carrying
+/// PerfEvtSel-style slot masks (EventDef::SlotMask) only share a run when
+/// a legal slot assignment exists.
 ///
-/// \returns an error if \p Requested contains duplicate events.
+/// \returns an error if \p Requested contains duplicate events, if a
+/// fixed-counter event is requested on a PMU without fixed counters, or
+/// if an event's slot mask lies outside the PMU's slot budget.
 Expected<CollectionPlan> planCollection(const EventRegistry &Registry,
                                         const std::vector<EventId> &Requested,
                                         const PmuSpec &Pmu = PmuSpec());

@@ -105,6 +105,15 @@ struct EventDef {
   CounterConstraintKind Constraint = CounterConstraintKind::AnyProgrammable;
   SynthesisModel Model;
 
+  /// Which programmable counter slots may count this event, as a bitmask
+  /// over slots 0..NumProgrammable-1 (AMD PerfEvtSel-style: some events
+  /// only count on specific PMCx registers). 0xFF = any slot, the Intel
+  /// default. Ignored for Fixed events.
+  uint8_t SlotMask = 0xFF;
+
+  /// \returns true if this event cannot use every programmable slot.
+  bool isSlotRestricted() const { return SlotMask != 0xFF; }
+
   /// \returns true if the synthesis model makes this event additive by
   /// construction (no context share and no floor). The AdditivityChecker
   /// must *discover* this empirically; tests use it as the oracle.

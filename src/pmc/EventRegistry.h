@@ -68,6 +68,20 @@ EventRegistry buildHaswellRegistry();
 /// of Table 6.
 EventRegistry buildSkylakeRegistry();
 
+/// Builds the AMD Zen2 catalogue (PMCx-style events counted on the four
+/// PerfEvtSel0-3 slots; no fixed-function counters). A subset of events
+/// carries per-slot restrictions via EventDef::SlotMask.
+EventRegistry buildAmdZen2Registry();
+
+/// Builds the ARMv7 Cortex-A7 (LITTLE cluster) catalogue: architectural
+/// PMUv2 events plus PMCCNTR as the sole fixed counter.
+EventRegistry buildCortexA7Registry();
+
+/// Builds the ARMv7 Cortex-A15 (big cluster) catalogue: a strict name
+/// superset of the A7's, adding the speculative-issue (\*_SPEC) and
+/// wider-machine events.
+EventRegistry buildCortexA15Registry();
+
 } // namespace pmc
 } // namespace slope
 

@@ -45,14 +45,17 @@ class RegistryAssembler {
 public:
   explicit RegistryAssembler(uint64_t Seed) : FillerRng(Seed) {}
 
-  /// Adds a named significant event.
+  /// Adds a named significant event. \p SlotMask carries PerfEvtSel-style
+  /// per-slot restrictions (0xFF = any programmable slot).
   void add(const std::string &Name, EventDomain Domain,
-           CounterConstraintKind Constraint, SynthesisModel Model) {
+           CounterConstraintKind Constraint, SynthesisModel Model,
+           uint8_t SlotMask = 0xFF) {
     EventDef Def;
     Def.Name = Name;
     Def.Domain = Domain;
     Def.Constraint = Constraint;
     Def.Model = std::move(Model);
+    Def.SlotMask = SlotMask;
     Registry.addEvent(std::move(Def));
   }
 
@@ -373,6 +376,164 @@ void addFixedCounters(RegistryAssembler &A) {
         CounterConstraintKind::Fixed,
         contextCoupled({{ActivityKind::RefCycles, 1.0}}, 0.12, 0.6, 0.3,
                        0.02, 0.006));
+}
+
+/// ARMv7 PMU filler names (shared by the A7 and A15 builders so the A15
+/// catalogue stays a strict name superset of the A7's).
+std::vector<std::string> makeArmFillerNamePool() {
+  return {"L1D_CACHE_WB_VICTIM", "L1I_CACHE",          "L1D_TLB_ACCESS",
+          "BR_IMMED_RETIRED",    "BR_RETURN_RETIRED",  "UNALIGNED_LDST_RETIRED",
+          "L1D_CACHE_ALLOCATE",  "L2D_CACHE_ALLOCATE", "LDST_SPEC_SHARED",
+          "DMB_SPEC_SHARED",     "DSB_SPEC_SHARED",    "ISB_SPEC_SHARED",
+          "TLB_FLUSH",           "CID_WRITE_RETIRED",  "TTBR_WRITE_RETIRED",
+          "BUS_READ_ACCESS",     "BUS_WRITE_ACCESS",   "EXT_MEM_REQUEST",
+          "PREFETCH_LINEFILL",   "ICACHE_DEP_STALL",   "DCACHE_DEP_STALL",
+          "MAIN_TLB_MISS_STALL", "STREX_PASSED",       "STREX_FAILED",
+          "DATA_EVICTION",       "ISSUE_EMPTY_CYCLES", "ISSUE_NO_DISPATCH",
+          "INT_REG_WRITE",       "NEON_REG_WRITE",     "PLD_LINEFILL",
+          "WRITE_STALL",         "READ_ALLOC_MODE"};
+}
+
+/// ARM events below the significance filter on this board (exceptions
+/// and error counters that barely fire).
+std::vector<std::string> makeArmInsignificantNamePool() {
+  return {"EXC_UNDEF",  "EXC_SVC",          "EXC_IRQ",
+          "EXC_FIQ",    "EXC_HVC",          "MEM_ERROR",
+          "BUS_ERROR",  "L1D_CACHE_PARITY", "CCI_SNOOP_ERROR",
+          "WDT_RESETS"};
+}
+
+/// Adds the named ARMv7 architectural events common to both clusters:
+/// the lluchs per-cluster model PMCs plus the usual PMUv2 set.
+void addArmCommonEvents(RegistryAssembler &A) {
+  using CC = CounterConstraintKind;
+  // PMCCNTR is the single fixed cycle counter on both clusters.
+  A.add("PMCCNTR", EventDomain::Core, CC::Fixed,
+        contextCoupled({{ActivityKind::CoreCycles, 1.0}}, 0.12, 0.6, 0.3,
+                       0.02, 0.006));
+  A.add("INST_RETIRED", EventDomain::Core, CC::AnyProgrammable,
+        simple(ActivityKind::Instructions, 1.0, 0.002));
+  // The lluchs A7 model PMCs: branch mispredicts, dTLB refills, L2
+  // refills and writebacks (plus PMCCNTR above).
+  A.add("BR_MIS_PRED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::BranchMisses, 1.0}}, 0.40, 0.8, 0.4,
+                       0.05, 0.015));
+  A.add("L1D_TLB_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DTlbMisses, 1.0}}, 0.35, 0.8, 0.3,
+                       0.04, 0.012));
+  A.add("L2D_CACHE_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Misses, 1.0}}, 0.14, 1.0, 0.1,
+                       0.02, 0.006));
+  A.add("L2D_CACHE_WB", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Misses, 0.45},
+                        {ActivityKind::Stores, 0.01}},
+                       0.16, 0.9, 0.1, 0.02, 0.008));
+  // Loads/stores/branches: mildly coupled, floor 0 (additive for tight
+  // kernels, like their Intel counterparts).
+  A.add("LD_RETIRED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0}}, 0.08, 0.8, 0.0, 0.015,
+                       0.004));
+  A.add("ST_RETIRED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Stores, 1.0}}, 0.08, 0.8, 0.0, 0.015,
+                       0.004));
+  A.add("PC_WRITE_RETIRED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 1.0}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  A.add("L1I_CACHE_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.9}}, 0.80, 0.75, 0.5,
+                       0.05, 0.01));
+  A.add("L1D_CACHE", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0},
+                        {ActivityKind::Stores, 1.0}},
+                       0.08, 0.8, 0.1, 0.015, 0.004));
+  A.add("L1D_CACHE_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L1DMisses, 1.0}}, 0.12, 0.8, 0.1,
+                       0.02, 0.006));
+  A.add("L2D_CACHE", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 1.0}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("MEM_ACCESS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0},
+                        {ActivityKind::Stores, 1.0}},
+                       0.09, 0.8, 0.1, 0.015, 0.005));
+  A.add("ITLB_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ITlbMisses, 1.0}}, 1.2, 0.9, 0.7,
+                       0.08, 0.03));
+  A.add("BR_PRED", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 0.97}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  // Bus/CCI events share a probe port: pair-restricted.
+  A.add("BUS_ACCESS", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L3Misses, 1.0}}, 0.15, 0.8, 0.1,
+                       0.025, 0.008));
+  A.add("BUS_CYCLES", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::RefCycles, 0.5}}, 0.12, 0.6, 0.3,
+                       0.02, 0.008));
+  // Software-visible events measured alone on this board.
+  A.add("EXC_TAKEN", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::PageFaults, 1.0}}, 1.5, 0.9, 0.8,
+                       0.1, 0.05));
+  A.add("SW_INCR", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::ContextSwitches, 1.0}}, 2.0, 0.9,
+                       0.9, 0.25, 0.1));
+}
+
+/// AMD Zen2 filler names (PMCx core events plus DF/L3 uncore boxes).
+std::vector<std::string> makeAmdFillerNamePool() {
+  std::vector<std::string> Pool;
+  static const char *LsKinds[] = {
+      "BAD_STATUS_2",     "DC_ACCESSES",      "MAB_ALLOC_PIPE",
+      "REFILLS_FROM_SYS", "L1_D_TLB_MISS_4K", "L1_D_TLB_MISS_2M",
+      "MISAL_ACCESSES",   "PREF_INSTR_DISP",  "INEF_SW_PREF",
+      "SW_PF_DC_FILLS",   "HW_PF_DC_FILLS",   "ALLOC_MAB_COUNT"};
+  for (const char *Kind : LsKinds)
+    Pool.push_back(std::string("LS_") + Kind);
+  static const char *IcKinds[] = {"FW32", "FW32_MISS", "CACHE_FILL_L2",
+                                  "CACHE_FILL_SYS", "CACHE_INVAL_FILL",
+                                  "OC_MODE_SWITCH"};
+  for (const char *Kind : IcKinds)
+    Pool.push_back(std::string("IC_") + Kind);
+  static const char *BpKinds[] = {"L1_BTB_CORRECT", "L2_BTB_CORRECT",
+                                  "DYN_IND_PRED", "DE_REDIRECT",
+                                  "L1_TLB_FETCH_HIT", "TLB_RELOAD"};
+  for (const char *Kind : BpKinds)
+    Pool.push_back(std::string("BP_") + Kind);
+  static const char *DeKinds[] = {"DIS_UOPS_FROM_DECODER",
+                                  "DIS_UOPS_FROM_OPCACHE",
+                                  "DIS_DISPATCH_TOKEN_STALLS0",
+                                  "DIS_DISPATCH_TOKEN_STALLS1",
+                                  "MS_NOP_UOPS", "UOP_QUEUE_EMPTY"};
+  for (const char *Kind : DeKinds)
+    Pool.push_back(std::string("DE_") + Kind);
+  static const char *ExKinds[] = {
+      "RET_COND",          "RET_COND_MISP",  "RET_BRN_TKN",
+      "RET_BRN_TKN_MISP",  "RET_BRN_FAR",    "RET_BRN_IND_MISP",
+      "RET_NEAR_RET",      "RET_NEAR_RET_MISPRED", "RET_MSPRD_BRNCH_INSTR_DIR",
+      "RET_MMX_FP_INSTR",  "RET_FUSED_INSTR", "DIV_BUSY_CYCLES"};
+  for (const char *Kind : ExKinds)
+    Pool.push_back(std::string("EX_") + Kind);
+  static const char *L2Kinds[] = {
+      "REQUEST_G1_RD_BLK_L",   "REQUEST_G1_RD_BLK_X", "REQUEST_G1_LS_RD_BLK_C_S",
+      "REQUEST_G1_CACHEABLE_IC", "WCB_REQ_CL_ZERO",   "WCB_REQ_WCB_CLOSE",
+      "LATENCY_L2_FILL_BUSY",  "PF_HIT_L2",           "PF_MISS_L2_HIT_L3",
+      "PF_MISS_L2_L3"};
+  for (const char *Kind : L2Kinds)
+    Pool.push_back(std::string("L2_") + Kind);
+  for (int Box = 0; Box < 8; ++Box)
+    for (const char *Ev : {"L3_LOOKUP_STATE", "L3_XI_SAMPLED_LATENCY"})
+      Pool.push_back("UNC_CCX" + std::to_string(Box) + "_" + Ev);
+  for (int Cs = 0; Cs < 4; ++Cs)
+    for (const char *Ev : {"UMC_MEM_READ", "UMC_MEM_WRITE"})
+      Pool.push_back("UNC_DF_CS" + std::to_string(Cs) + "_" + Ev);
+  return Pool;
+}
+
+/// AMD events below the significance filter (SMM, SCF and error paths).
+std::vector<std::string> makeAmdInsignificantNamePool() {
+  return {"LS_SMI_RX",          "LS_INT_TAKEN",      "LS_STLF_NO_DATA",
+          "IC_SMM_ENTER",       "EX_SMM_EXIT",       "DE_MS_STALL_RARE",
+          "L2_FENCE_PENDING",   "UNC_DF_ECC_ERRORS", "MCA_POISON_CONSUMED",
+          "CPUID_SERIALIZING"};
 }
 
 } // namespace
@@ -723,4 +884,259 @@ std::vector<std::string> pmc::skylakePnaNames() {
           "L2_TRANS_CODE_RD",
           "IDQ_MS_UOPS",
           "ARITH_DIVIDER_COUNT"};
+}
+
+EventRegistry pmc::buildCortexA7Registry() {
+  RegistryAssembler A(/*Seed=*/0xA7A7ULL);
+  addArmCommonEvents(A);
+
+  // --- Fill to the LITTLE-cluster quotas: 2 solo, 4 pair, 33 general
+  // significant events (no triple-restricted class on this PMU).
+  using CC = CounterConstraintKind;
+  std::vector<std::string> Pool = makeArmFillerNamePool();
+  size_t PoolPos = 0;
+  A.fillBucket(CC::PairOnly, 4, Pool, PoolPos);
+  A.fillBucket(CC::AnyProgrammable, 33, Pool, PoolPos);
+
+  // --- 4 insignificant events: 44 total, 40 significant.
+  A.addInsignificant(makeArmInsignificantNamePool(), 4);
+
+  EventRegistry Registry = A.take();
+  assert(Registry.size() == 44 && "Cortex-A7 registry must offer 44 events");
+  return Registry;
+}
+
+EventRegistry pmc::buildCortexA15Registry() {
+  RegistryAssembler A(/*Seed=*/0xA7A7ULL);
+  addArmCommonEvents(A);
+
+  using CC = CounterConstraintKind;
+  // --- Events the out-of-order A15 adds over the A7: the speculative
+  // issue (\*_SPEC) counters the lluchs A15 model draws on, plus split
+  // L2/bus breakdowns. Names are a strict superset of the A7 catalogue.
+  A.add("ASE_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpVectorDouble, 1.0}}, 0.06, 0.8,
+                       0.1, 0.015, 0.004));
+  A.add("VFP_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpScalarDouble, 1.0}}, 0.07, 0.8,
+                       0.1, 0.015, 0.004));
+  A.add("DP_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsExecuted, 1.0}}, 0.05, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("LD_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.05}}, 0.08, 0.8, 0.1,
+                       0.015, 0.005));
+  A.add("ST_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Stores, 1.05}}, 0.08, 0.8, 0.1,
+                       0.015, 0.005));
+  A.add("INST_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsIssued, 1.0}}, 0.06, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("BR_IMMED_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 0.8}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  A.add("BR_INDIRECT_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 0.12}}, 0.12, 0.8, 0.1,
+                       0.02, 0.006));
+  A.add("BR_RETURN_SPEC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 0.08}}, 0.12, 0.8, 0.1,
+                       0.02, 0.006));
+  A.add("L1I_TLB_REFILL", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ITlbMisses, 0.9}}, 1.1, 0.9, 0.7,
+                       0.08, 0.03));
+  A.add("L2D_CACHE_LD", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 0.7}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("L2D_CACHE_ST", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 0.3}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("BUS_ACCESS_LD", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L3Misses, 0.7}}, 0.15, 0.8, 0.1,
+                       0.025, 0.008));
+  A.add("BUS_ACCESS_ST", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L3Misses, 0.3}}, 0.15, 0.8, 0.1,
+                       0.025, 0.01));
+
+  // --- Fill to the big-cluster quotas: 2 solo, 6 pair, 45 general. The
+  // fill consumes the same pool prefix as the A7 build, keeping the A15
+  // catalogue a superset.
+  std::vector<std::string> Pool = makeArmFillerNamePool();
+  size_t PoolPos = 0;
+  A.fillBucket(CC::PairOnly, 6, Pool, PoolPos);
+  A.fillBucket(CC::AnyProgrammable, 45, Pool, PoolPos);
+
+  // --- 8 insignificant events: 62 total, 54 significant.
+  A.addInsignificant(makeArmInsignificantNamePool(), 8);
+
+  EventRegistry Registry = A.take();
+  assert(Registry.size() == 62 && "Cortex-A15 registry must offer 62 events");
+  return Registry;
+}
+
+EventRegistry pmc::buildAmdZen2Registry() {
+  RegistryAssembler A(/*Seed=*/0x3D92ULL);
+  using CC = CounterConstraintKind;
+
+  // --- Core events on the four PerfEvtSel0-3 slots. There is no
+  // fixed-function set: instructions and cycles occupy programmable
+  // slots like everything else. A subset is slot-restricted the way
+  // PPR event tables restrict PMCx assignment: FP/FPU events count
+  // only on PMC0-2, divider events only on PMC3.
+  A.add("RETIRED_INSTRUCTIONS", EventDomain::Core, CC::AnyProgrammable,
+        simple(ActivityKind::Instructions, 1.0, 0.002));
+  A.add("CYCLES_NOT_IN_HALT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::CoreCycles, 1.0}}, 0.12, 0.6, 0.3,
+                       0.02, 0.006));
+  A.add("RETIRED_UOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::UopsRetired, 1.0}}, 0.05, 0.8, 0.1,
+                       0.015, 0.004));
+  A.add("RETIRED_BRANCH_INSTRUCTIONS", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Branches, 1.0}}, 0.09, 0.8, 0.1,
+                       0.02, 0.005));
+  A.add("RETIRED_BRANCH_MISPREDICTED", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::BranchMisses, 1.0}}, 0.40, 0.8, 0.4,
+                       0.05, 0.015));
+  A.add("RETIRED_MICROCODED_INSTRUCTIONS", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::MsUops, 1.0}}, 0.50, 1.0, 0.6, 0.05,
+                       0.01));
+  A.add("LS_DISPATCH_LOADS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Loads, 1.0}}, 0.08, 0.8, 0.0, 0.015,
+                       0.004));
+  A.add("LS_DISPATCH_STORES", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Stores, 1.0}}, 0.08, 0.8, 0.0,
+                       0.015, 0.004));
+  A.add("L2_CACHE_MISS_FROM_DC_MISS", EventDomain::Core,
+        CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Misses, 1.0}}, 0.14, 1.0, 0.1,
+                       0.02, 0.006));
+  A.add("L2_CACHE_REQ", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::L2Requests, 1.0}}, 0.10, 0.9, 0.1,
+                       0.02, 0.006));
+  A.add("IC_FETCH", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheAccesses, 1.0}}, 0.30, 0.7,
+                       0.3, 0.04, 0.01));
+  A.add("IC_FETCH_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ICacheMisses, 0.9}}, 0.80, 0.75,
+                       0.5, 0.05, 0.01));
+  A.add("L1_DTLB_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DTlbMisses, 1.0}}, 0.35, 0.8, 0.3,
+                       0.04, 0.012));
+  A.add("L1_ITLB_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::ITlbMisses, 1.0}}, 1.2, 0.9, 0.7,
+                       0.08, 0.03));
+  A.add("L2_DTLB_MISS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::StlbHits, 0.5}}, 0.6, 0.8, 0.4,
+                       0.08, 0.02));
+  A.add("RETIRED_SSE_AVX_FLOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpVectorDouble, 1.0}}, 0.06, 0.8,
+                       0.1, 0.015, 0.004),
+        /*SlotMask=*/0x7);
+  A.add("FP_RET_X87_FLOPS", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::FpScalarDouble, 1.0}}, 0.07, 0.8,
+                       0.1, 0.015, 0.004),
+        /*SlotMask=*/0x7);
+  A.add("FPU_PIPE_ASSIGNMENT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::Port0, 1.0},
+                        {ActivityKind::Port1, 1.0}},
+                       0.07, 0.8, 0.1, 0.02, 0.005),
+        /*SlotMask=*/0x7);
+  A.add("DIV_OP_COUNT", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DivOps, 1.0}}, 4.0, 1.0, 0.8, 0.08,
+                       0.02),
+        /*SlotMask=*/0x8);
+  A.add("DIV_CYCLES_BUSY", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::DivOps, 3.5}}, 3.0, 1.0, 0.7, 0.08,
+                       0.02),
+        /*SlotMask=*/0x8);
+  A.add("LS_NOT_HALTED_CYC", EventDomain::Core, CC::AnyProgrammable,
+        contextCoupled({{ActivityKind::CoreCycles, 0.98}}, 0.15, 0.6, 0.3,
+                       0.02, 0.008),
+        /*SlotMask=*/0x1);
+
+  // --- L3 and data-fabric events (uncore; pair-restricted probes).
+  A.add("L3_LOOKUP", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L2Misses, 1.05}}, 0.12, 0.8, 0.1,
+                       0.02, 0.008));
+  A.add("L3_MISS", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::L3Misses, 1.0}}, 0.15, 0.8, 0.1,
+                       0.025, 0.008));
+  A.add("DF_MEM_READ_TOTAL", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::DramReads, 1.0}}, 0.12, 0.8, 0.1,
+                       0.02, 0.008));
+  A.add("DF_MEM_WRITE_TOTAL", EventDomain::Uncore, CC::PairOnly,
+        contextCoupled({{ActivityKind::DramReads, 0.4}}, 0.12, 0.8, 0.1,
+                       0.02, 0.01));
+
+  // --- Software events.
+  A.add("SW_PAGE_FAULTS", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::PageFaults, 1.0}}, 1.5, 0.9, 0.8,
+                       0.1, 0.05));
+  A.add("SW_CONTEXT_SWITCHES", EventDomain::Software, CC::Solo,
+        contextCoupled({{ActivityKind::ContextSwitches, 1.0}}, 2.0, 0.9,
+                       0.9, 0.25, 0.1));
+
+  // --- Fill to the Zen2 quotas: 4 solo, 8 pair, 76 general significant
+  // events.
+  std::vector<std::string> Pool = makeAmdFillerNamePool();
+  size_t PoolPos = 0;
+  A.fillBucket(CC::Solo, 4, Pool, PoolPos);
+  A.fillBucket(CC::PairOnly, 8, Pool, PoolPos);
+  A.fillBucket(CC::AnyProgrammable, 76, Pool, PoolPos);
+
+  // --- 8 insignificant events: 96 total, 88 significant.
+  A.addInsignificant(makeAmdInsignificantNamePool(), 8);
+
+  EventRegistry Registry = A.take();
+  assert(Registry.size() == 96 && "Zen2 registry must offer 96 events");
+  return Registry;
+}
+
+const std::vector<CanonicalCounter> &pmc::canonicalCounters() {
+  static const std::vector<CanonicalCounter> Counters = {
+      {"instructions",
+       {"INSTR_RETIRED_ANY", "INST_RETIRED", "RETIRED_INSTRUCTIONS"}},
+      {"cycles", {"CPU_CLK_UNHALTED_CORE", "PMCCNTR", "CYCLES_NOT_IN_HALT"}},
+      {"branches",
+       {"BR_INST_RETIRED_ALL_BRANCHES", "PC_WRITE_RETIRED",
+        "RETIRED_BRANCH_INSTRUCTIONS"}},
+      {"branch_misses",
+       {"BR_MISP_RETIRED_ALL_BRANCHES", "BR_MIS_PRED",
+        "RETIRED_BRANCH_MISPREDICTED"}},
+      {"loads",
+       {"MEM_UOPS_RETIRED_ALL_LOADS", "MEM_INST_RETIRED_ALL_LOADS",
+        "LD_RETIRED", "LS_DISPATCH_LOADS"}},
+      {"stores",
+       {"MEM_UOPS_RETIRED_ALL_STORES", "MEM_INST_RETIRED_ALL_STORES",
+        "ST_RETIRED", "LS_DISPATCH_STORES"}},
+      {"l2_misses",
+       {"L2_RQSTS_MISS", "L2D_CACHE_REFILL", "L2_CACHE_MISS_FROM_DC_MISS"}},
+      {"icache_misses",
+       {"ICACHE_64B_IFTAG_MISS", "L1I_CACHE_REFILL", "IC_FETCH_MISS"}},
+      {"dtlb_misses",
+       {"DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", "L1D_TLB_REFILL",
+        "L1_DTLB_MISS"}},
+      // No divider event exists on the ARM clusters: resolving "divides"
+      // fails there, which is what makes cross-platform intersection a
+      // real operation.
+      {"divides", {"ARITH_DIVIDER_COUNT", "DIV_OP_COUNT"}},
+  };
+  return Counters;
+}
+
+Expected<std::string>
+pmc::resolveCanonicalCounter(const EventRegistry &Registry,
+                             const std::string &Canonical) {
+  for (const CanonicalCounter &Counter : canonicalCounters()) {
+    if (Counter.Canonical != Canonical)
+      continue;
+    for (const std::string &Candidate : Counter.Candidates)
+      if (Registry.hasEvent(Candidate))
+        return Candidate;
+    return makeError("platform offers no candidate for canonical counter '" +
+                     Canonical + "'");
+  }
+  return makeError("unknown canonical counter '" + Canonical + "'");
 }

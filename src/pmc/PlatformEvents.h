@@ -7,12 +7,18 @@
 /// \file
 /// Named PMC selections used by the paper's experiments: the six Class-A
 /// model PMCs (Table 2, Haswell) and the PA/PNA nine-event sets (Table 6,
-/// Skylake). Registry construction itself is declared in EventRegistry.h.
+/// Skylake), plus the canonical cross-architecture counter dictionary the
+/// Class D transfer experiment uses to intersect event sets across the
+/// platform zoo. Registry construction itself is declared in
+/// EventRegistry.h.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_PMC_PLATFORMEVENTS_H
 #define SLOPE_PMC_PLATFORMEVENTS_H
+
+#include "pmc/EventRegistry.h"
+#include "support/Expected.h"
 
 #include <string>
 #include <vector>
@@ -30,6 +36,27 @@ std::vector<std::string> skylakePaNames();
 /// The nine non-additive but literature-popular PMCs of Table 6 (PNA,
 /// Y1..Y9).
 std::vector<std::string> skylakePnaNames();
+
+/// One cross-architecture counter: a canonical name (e.g. "instructions")
+/// and the native event-name candidates that realize it per platform, in
+/// preference order (Intel, ARM, AMD spellings).
+struct CanonicalCounter {
+  std::string Canonical;
+  std::vector<std::string> Candidates;
+};
+
+/// The canonical counter dictionary used by cross-architecture transfer:
+/// a fixed-order list of architecture-neutral counters with per-platform
+/// native spellings. Not every platform offers every counter (ARM has no
+/// divider event), which is what makes cross-platform intersection a real
+/// operation.
+const std::vector<CanonicalCounter> &canonicalCounters();
+
+/// Resolves canonical counter \p Canonical to the first candidate present
+/// in \p Registry. \returns an error for an unknown canonical name or a
+/// platform that offers no candidate.
+Expected<std::string> resolveCanonicalCounter(const EventRegistry &Registry,
+                                              const std::string &Canonical);
 
 } // namespace pmc
 } // namespace slope

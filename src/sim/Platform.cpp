@@ -6,7 +6,9 @@
 
 #include "sim/Platform.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace slope;
 using namespace slope::sim;
@@ -17,6 +19,14 @@ const char *sim::microarchName(Microarch Arch) {
     return "Haswell";
   case Microarch::Skylake:
     return "Skylake";
+  case Microarch::Zen2:
+    return "Zen2";
+  case Microarch::CortexA7:
+    return "Cortex-A7";
+  case Microarch::CortexA15:
+    return "Cortex-A15";
+  case Microarch::BigLittle:
+    return "big.LITTLE";
   }
   assert(false && "unknown microarchitecture");
   return "?";
@@ -28,9 +38,91 @@ pmc::EventRegistry Platform::buildRegistry() const {
     return pmc::buildHaswellRegistry();
   case Microarch::Skylake:
     return pmc::buildSkylakeRegistry();
+  case Microarch::Zen2:
+    return pmc::buildAmdZen2Registry();
+  case Microarch::CortexA7:
+    return pmc::buildCortexA7Registry();
+  case Microarch::CortexA15:
+    return pmc::buildCortexA15Registry();
+  case Microarch::BigLittle:
+    // Union catalogue: the A7 event names are a strict subset of the
+    // A15's, so the big cluster's registry covers the whole SoC.
+    return pmc::buildCortexA15Registry();
   }
   assert(false && "unknown microarchitecture");
   return pmc::EventRegistry();
+}
+
+Expected<bool> Platform::validate() const {
+  if (totalCores() == 0)
+    return makeError("platform '" + Name + "' has no cores");
+  if (NumProgrammableCounters == 0)
+    return makeError("platform '" + Name +
+                     "' has a programmable counter budget of 0");
+  std::set<std::string> ClusterNames;
+  for (const ClusterSpec &C : Clusters) {
+    if (C.Name.empty())
+      return makeError("platform '" + Name + "' has an unnamed cluster");
+    if (!ClusterNames.insert(C.Name).second)
+      return makeError("platform '" + Name + "' has duplicate cluster '" +
+                       C.Name + "'");
+    if (C.Cores == 0)
+      return makeError("cluster '" + C.Name + "' of platform '" + Name +
+                       "' has no cores");
+    if (C.NumProgrammableCounters == 0)
+      return makeError("cluster '" + C.Name + "' of platform '" + Name +
+                       "' has a programmable counter budget of 0");
+    if (C.MaxFreqGHz <= 0)
+      return makeError("cluster '" + C.Name + "' of platform '" + Name +
+                       "' has a non-positive frequency range");
+  }
+  for (const ClusterEventSet &Set : ClusterEvents) {
+    size_t ClusterIndex = Clusters.size();
+    for (size_t I = 0; I < Clusters.size(); ++I)
+      if (Clusters[I].Name == Set.Cluster)
+        ClusterIndex = I;
+    if (ClusterIndex == Clusters.size())
+      return makeError("event set references unknown cluster '" +
+                       Set.Cluster + "' on platform '" + Name + "'");
+    if (Set.Events.empty())
+      return makeError("event set for cluster '" + Set.Cluster +
+                       "' of platform '" + Name + "' is empty");
+    pmc::EventRegistry Registry =
+        clusterPlatform(ClusterIndex).buildRegistry();
+    for (const std::string &Event : Set.Events)
+      if (!Registry.hasEvent(Event))
+        return makeError("cluster '" + Set.Cluster + "' of platform '" +
+                         Name + "' has no event named '" + Event + "'");
+  }
+  return true;
+}
+
+Platform Platform::clusterPlatform(size_t I) const {
+  assert(I < Clusters.size() && "cluster index out of range");
+  const ClusterSpec &C = Clusters[I];
+  Platform P = *this;
+  P.Name = Name + " / " + C.Name + " cluster";
+  P.Arch = C.Arch;
+  P.ThreadsPerCore = 1;
+  P.CoresPerSocket = C.Cores;
+  P.Sockets = 1;
+  P.NumaNodes = 1;
+  P.BaseFreqGHz = C.MaxFreqGHz;
+  P.L1DKB = C.L1DKB;
+  P.L1IKB = C.L1DKB;
+  // The cluster-shared L2 plays both mid-level (per-core share) and
+  // last-level (full capacity) roles in the three-level cache model.
+  P.L2KB = std::max(1u, C.L2KB / std::max(1u, C.Cores));
+  P.L3KB = C.L2KB;
+  P.TdpWatts = C.TdpWatts;
+  P.IdlePowerWatts = C.IdlePowerWatts;
+  P.FlopsPerCorePerCycle = C.FlopsPerCorePerCycle;
+  P.NumProgrammableCounters = C.NumProgrammableCounters;
+  P.NumFixedCounters = C.NumFixedCounters;
+  P.Clusters.clear();
+  P.ClusterEvents.clear();
+  P.DvfsEnabled = false;
+  return P;
 }
 
 Platform Platform::intelHaswellServer() {
@@ -76,5 +168,102 @@ Platform Platform::intelSkylakeServer() {
   P.IdlePowerWatts = 32;
   P.FlopsPerCorePerCycle = 16; // Modeling the AVX2 path.
   P.MemBandwidthGBs = 105;     // 6 DDR4-2666 channels.
+  return P;
+}
+
+Platform Platform::amdZen2Server() {
+  Platform P;
+  P.Name = "HCLServer03 (AMD Zen2)";
+  P.Processor = "AMD EPYC 7452 @2.35GHz";
+  P.Os = "Ubuntu 20.04 LTS";
+  P.Arch = Microarch::Zen2;
+  P.ThreadsPerCore = 2;
+  P.CoresPerSocket = 32;
+  P.Sockets = 1;
+  P.NumaNodes = 4; // Four quadrant NUMA domains per socket.
+  P.BaseFreqGHz = 2.35;
+  P.L1DKB = 32;
+  P.L1IKB = 32;
+  P.L2KB = 512;
+  P.L3KB = 131072; // 16 MB per CCX, 8 CCXs.
+  P.MainMemoryGB = 128;
+  P.TdpWatts = 155;
+  P.IdlePowerWatts = 65;
+  P.FlopsPerCorePerCycle = 16; // AVX2 FMA, 2x256-bit pipes.
+  P.MemBandwidthGBs = 140;     // 8 DDR4-3200 channels.
+  // PerfEvtSel0-3: four general-purpose counters, no fixed-function set.
+  P.NumProgrammableCounters = 4;
+  P.NumFixedCounters = 0;
+  return P;
+}
+
+Platform Platform::armBigLittle() {
+  Platform P;
+  P.Name = "OdroidXU3 (ARM big.LITTLE)";
+  P.Processor = "Samsung Exynos 5422 (4xA7 + 4xA15)";
+  P.Os = "Ubuntu 14.04 LTS";
+  P.Arch = Microarch::BigLittle;
+  P.ThreadsPerCore = 1;
+  P.CoresPerSocket = 8; // Unused for scheduling; clusters are authoritative.
+  P.Sockets = 1;
+  P.NumaNodes = 1;
+  P.BaseFreqGHz = 2.0;
+  P.L1DKB = 32;
+  P.L1IKB = 32;
+  P.L2KB = 256;
+  P.L3KB = 2048; // No L3; the big cluster's shared L2 is the LLC.
+  P.MainMemoryGB = 2;
+  P.TdpWatts = 5.0;
+  P.IdlePowerWatts = 0.5;
+  P.FlopsPerCorePerCycle = 4; // NEONv2 FMA on the A15s.
+  P.MemBandwidthGBs = 8.5;    // 2x32-bit LPDDR3-933.
+  // Board-level budget is the LITTLE cluster's (conservative bound);
+  // per-cluster budgets below are authoritative for cluster models.
+  P.NumProgrammableCounters = 4;
+  P.NumFixedCounters = 1; // PMCCNTR.
+
+  ClusterSpec Little;
+  Little.Name = "A7";
+  Little.Arch = Microarch::CortexA7;
+  Little.Cores = 4;
+  Little.MinFreqGHz = 0.2;
+  Little.MaxFreqGHz = 1.4;
+  Little.L1DKB = 32;
+  Little.L2KB = 512;
+  Little.TdpWatts = 0.8;
+  Little.IdlePowerWatts = 0.15;
+  Little.FlopsPerCorePerCycle = 2;
+  Little.NumProgrammableCounters = 4;
+  Little.NumFixedCounters = 1;
+
+  ClusterSpec Big;
+  Big.Name = "A15";
+  Big.Arch = Microarch::CortexA15;
+  Big.Cores = 4;
+  Big.MinFreqGHz = 0.2;
+  Big.MaxFreqGHz = 2.0;
+  Big.L1DKB = 32;
+  Big.L2KB = 2048;
+  Big.TdpWatts = 4.2;
+  Big.IdlePowerWatts = 0.35;
+  Big.FlopsPerCorePerCycle = 4;
+  Big.NumProgrammableCounters = 6;
+  Big.NumFixedCounters = 1;
+
+  // LITTLE island first: on the Exynos the A7 cores always come first.
+  P.Clusters = {Little, Big};
+
+  // Per-cluster model PMCs after the lluchs A7/A15 regressions; the A15
+  // model adds the speculative-issue (SPEC) events the A7 lacks.
+  ClusterEventSet LittleEvents;
+  LittleEvents.Cluster = "A7";
+  LittleEvents.Events = {"PMCCNTR", "BR_MIS_PRED", "L1D_TLB_REFILL",
+                         "L2D_CACHE_REFILL", "L2D_CACHE_WB"};
+  ClusterEventSet BigEvents;
+  BigEvents.Cluster = "A15";
+  BigEvents.Events = {"PMCCNTR",          "ASE_SPEC",    "BR_MIS_PRED",
+                      "DP_SPEC",          "L1D_TLB_REFILL",
+                      "L2D_CACHE_REFILL", "L2D_CACHE_WB", "VFP_SPEC"};
+  P.ClusterEvents = {LittleEvents, BigEvents};
   return P;
 }

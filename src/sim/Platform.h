@@ -8,25 +8,58 @@
 /// Parameterized multicore-CPU platform descriptions carrying the paper's
 /// Table 1 specifications, plus derived quantities (flop rates, memory
 /// bandwidth) the kernel models need. Substitutes for the physical Intel
-/// Haswell and Skylake servers.
+/// Haswell and Skylake servers, and hosts the platform zoo: an AMD
+/// Zen2-flavoured server (PerfEvtSel-style counters, no fixed set) and an
+/// ARM big.LITTLE board (heterogeneous clusters with per-cluster counter
+/// budgets and event sets).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLOPE_SIM_PLATFORM_H
 #define SLOPE_SIM_PLATFORM_H
 
+#include "pmc/CounterScheduler.h"
 #include "pmc/EventRegistry.h"
+#include "support/Expected.h"
 
 #include <string>
+#include <vector>
 
 namespace slope {
 namespace sim {
 
 /// CPU micro-architecture family.
-enum class Microarch { Haswell, Skylake };
+enum class Microarch { Haswell, Skylake, Zen2, CortexA7, CortexA15, BigLittle };
 
 /// \returns a printable name for \p Arch.
 const char *microarchName(Microarch Arch);
+
+/// One homogeneous core cluster of a heterogeneous platform (e.g. the
+/// A7 or A15 island of a big.LITTLE SoC). Clusters have their own core
+/// counts, frequency ranges, cache sizes, power envelopes, and PMU
+/// counter budgets; each drives a per-cluster energy model.
+struct ClusterSpec {
+  std::string Name;
+  Microarch Arch = Microarch::CortexA7;
+  unsigned Cores = 4;
+  double MinFreqGHz = 0.2;
+  double MaxFreqGHz = 1.4;
+  unsigned L1DKB = 32;  ///< Per core.
+  unsigned L2KB = 512;  ///< Shared across the cluster.
+  double TdpWatts = 1;  ///< Whole cluster.
+  double IdlePowerWatts = 0.1;
+  double FlopsPerCorePerCycle = 2;
+  unsigned NumProgrammableCounters = 4;
+  unsigned NumFixedCounters = 1; ///< PMCCNTR on ARM.
+};
+
+/// The PMC names one cluster's energy model consumes (lluchs-style
+/// per-cluster models: the A7 and A15 regressions use different event
+/// sets). Validated against the cluster list and the cluster registry.
+struct ClusterEventSet {
+  std::string Cluster;               ///< Must name a ClusterSpec.
+  std::vector<std::string> Events;   ///< Native event names.
+};
 
 /// A multicore CPU platform (one row of the paper's Table 1).
 struct Platform {
@@ -51,6 +84,21 @@ struct Platform {
   /// Aggregate sustainable DRAM bandwidth in GB/s.
   double MemBandwidthGBs = 100;
 
+  /// PMU counting resources. Intel parts expose 4 programmable + 3
+  /// fixed-function counters; AMD PerfEvtSel0-3 parts have 4 programmable
+  /// and no fixed set; ARM clusters carry their own budgets below.
+  unsigned NumProgrammableCounters = 4;
+  unsigned NumFixedCounters = 3;
+
+  /// Heterogeneous core clusters. Empty for homogeneous platforms; a
+  /// big.LITTLE SoC lists its islands here in fixed order (LITTLE first,
+  /// as on the Exynos: "the A7 cores always come first").
+  std::vector<ClusterSpec> Clusters;
+
+  /// Per-cluster model event sets (may be empty even when Clusters is
+  /// not; then each cluster model draws from its full registry).
+  std::vector<ClusterEventSet> ClusterEvents;
+
   /// Optional DVFS/turbo model (off by default so baseline experiments
   /// match the paper's fixed-frequency calibration). When enabled, the
   /// effective core clock of a phase deviates from BaseFreqGHz with the
@@ -64,10 +112,37 @@ struct Platform {
   /// Compute-dense downclock floor (AVX license factor).
   double AvxThrottle = 0.88;
 
-  unsigned totalCores() const { return CoresPerSocket * Sockets; }
+  bool isHeterogeneous() const { return !Clusters.empty(); }
+
+  size_t numClusters() const { return Clusters.size(); }
+
+  unsigned totalCores() const {
+    if (isHeterogeneous()) {
+      unsigned N = 0;
+      for (const ClusterSpec &C : Clusters)
+        N += C.Cores;
+      return N;
+    }
+    return CoresPerSocket * Sockets;
+  }
+
+  /// This platform's counter budget as a scheduler PMU description.
+  pmc::PmuSpec pmuSpec() const {
+    pmc::PmuSpec Spec;
+    Spec.NumProgrammable = NumProgrammableCounters;
+    Spec.NumFixed = NumFixedCounters;
+    return Spec;
+  }
 
   /// Aggregate peak double-precision GFLOP/s.
   double peakGflops() const {
+    if (isHeterogeneous()) {
+      double G = 0;
+      for (const ClusterSpec &C : Clusters)
+        G += static_cast<double>(C.Cores) * C.MaxFreqGHz *
+             C.FlopsPerCorePerCycle;
+      return G;
+    }
     return static_cast<double>(totalCores()) * BaseFreqGHz *
            FlopsPerCorePerCycle;
   }
@@ -83,7 +158,21 @@ struct Platform {
   /// Per-core L1D capacity in bytes.
   double l1Bytes() const { return static_cast<double>(L1DKB) * 1024.0; }
 
-  /// Builds this platform's Likwid-style event catalogue.
+  /// Checks the profile for malformed configurations (zero cores, empty
+  /// clusters, zero counter budgets, event sets naming unknown clusters
+  /// or events) so they fail loudly instead of producing NaN tables.
+  Expected<bool> validate() const;
+
+  /// A homogeneous per-cluster view of cluster \p I of a heterogeneous
+  /// platform: the cluster's cores, frequency, caches, power share, and
+  /// counter budget as a standalone Platform, suitable for driving a
+  /// `Machine` (and hence a per-cluster energy model).
+  Platform clusterPlatform(size_t I) const;
+
+  /// Builds this platform's Likwid-style event catalogue. For a
+  /// heterogeneous platform this is the union catalogue (the big
+  /// cluster's superset); use `clusterPlatform(i).buildRegistry()` for
+  /// per-cluster catalogues.
   pmc::EventRegistry buildRegistry() const;
 
   /// The dual-socket Intel Haswell server (Intel E5-2670 v3 @ 2.30GHz).
@@ -91,6 +180,16 @@ struct Platform {
 
   /// The single-socket Intel Skylake server (Intel Xeon Gold 6152).
   static Platform intelSkylakeServer();
+
+  /// An AMD Zen2 server (EPYC 7452-like): PerfEvtSel0-3 programmable
+  /// counters only — no fixed-function set — with per-event slot
+  /// restrictions in its registry.
+  static Platform amdZen2Server();
+
+  /// An ARM big.LITTLE developer board (Odroid-XU3-like, Exynos 5422):
+  /// a 4-core Cortex-A7 LITTLE cluster and a 4-core Cortex-A15 big
+  /// cluster, each with its own counter budget and model event set.
+  static Platform armBigLittle();
 };
 
 } // namespace sim

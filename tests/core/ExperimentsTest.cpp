@@ -12,7 +12,11 @@
 
 #include "core/Experiments.h"
 
+#include "support/ThreadPool.h"
+
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace slope;
 using namespace slope::core;
@@ -165,4 +169,117 @@ TEST(ClassBC, MostPaEventsHighlyCorrelated) {
     if (Row.Correlation > 0.75)
       ++Highly;
   EXPECT_GE(Highly, 6u); // X9 (L3 miss) is near zero by design.
+}
+
+namespace {
+/// Small, fast Class D configuration.
+ClassDConfig quickClassD() {
+  ClassDConfig Config;
+  Config.NumBaseApps = 14;
+  Config.NumCompounds = 8;
+  Config.NnEpochs = 40;
+  Config.RfTrees = 12;
+  return Config;
+}
+} // namespace
+
+TEST(ClassD, CoversEveryOrderedPlatformPair) {
+  ClassDResult R = runClassD(quickClassD());
+  ASSERT_EQ(R.Platforms.size(), 4u);
+  EXPECT_EQ(R.Platforms[0].Key, "haswell");
+  EXPECT_EQ(R.Platforms[3].Key, "biglittle");
+  EXPECT_EQ(R.Pairs.size(), 12u); // 4 * 3 ordered pairs.
+  EXPECT_EQ(R.TrainRowsPerPlatform, 14u);
+  EXPECT_EQ(R.TestRowsPerPlatform, 8u);
+  for (const TransferPairResult &Pair : R.Pairs) {
+    EXPECT_NE(Pair.TrainPlatform, Pair.TestPlatform);
+    // Three families, each with a common-set cell (plus a filtered one
+    // when the additive intersection is non-empty).
+    EXPECT_GE(Pair.Cells.size(), 3u);
+    for (const TransferCell &Cell : Pair.Cells)
+      EXPECT_FALSE(Cell.Pmcs.empty()) << Pair.TrainPlatform << " -> "
+                                      << Pair.TestPlatform;
+  }
+}
+
+TEST(ClassD, ArmPlatformLacksDividerCounter) {
+  // The canonical dictionary's "divides" entry has no ARM candidate, so
+  // the big.LITTLE canonical set is strictly smaller — which is what
+  // makes the cross-platform intersection a real operation.
+  ClassDResult R = runClassD(quickClassD());
+  const ClassDPlatformInfo &Haswell = R.Platforms[0];
+  const ClassDPlatformInfo &BigLittle = R.Platforms[3];
+  auto Has = [](const ClassDPlatformInfo &P, const char *Name) {
+    return std::find(P.Canonical.begin(), P.Canonical.end(), Name) !=
+           P.Canonical.end();
+  };
+  EXPECT_TRUE(Has(Haswell, "divides"));
+  EXPECT_FALSE(Has(BigLittle, "divides"));
+  EXPECT_LT(BigLittle.Canonical.size(), Haswell.Canonical.size());
+}
+
+TEST(ClassD, FilteredCellsUseTheAdditiveIntersection) {
+  ClassDResult R = runClassD(quickClassD());
+  for (size_t I = 0; I < R.Pairs.size(); ++I) {
+    const TransferPairResult &Pair = R.Pairs[I];
+    for (const TransferCell &Cell : Pair.Cells) {
+      if (!Cell.Filtered)
+        continue;
+      // Every filtered counter is additive on both endpoints.
+      for (size_t P = 0; P < R.Platforms.size(); ++P) {
+        if (R.Platforms[P].Key != Pair.TrainPlatform &&
+            R.Platforms[P].Key != Pair.TestPlatform)
+          continue;
+        for (const std::string &Pmc : Cell.Pmcs)
+          EXPECT_NE(std::find(R.Platforms[P].AdditiveCanonical.begin(),
+                              R.Platforms[P].AdditiveCanonical.end(), Pmc),
+                    R.Platforms[P].AdditiveCanonical.end())
+              << Pmc << " not additive on " << R.Platforms[P].Key;
+      }
+    }
+  }
+}
+
+TEST(ClassD, BigLittleComparesPooledAgainstPerClusterModels) {
+  ClassDResult R = runClassD(quickClassD());
+  ASSERT_EQ(R.BigLittle.size(), 6u); // 3 families x {pooled, cluster}.
+  for (size_t I = 0; I < R.BigLittle.size(); I += 2) {
+    EXPECT_NE(R.BigLittle[I].Label.find("-pooled"), std::string::npos);
+    EXPECT_NE(R.BigLittle[I + 1].Label.find("-cluster"), std::string::npos);
+    // Both rows predict the same board-level energies over the same
+    // canonical counters, so the error summaries are comparable.
+    EXPECT_EQ(R.BigLittle[I].Pmcs, R.BigLittle[I + 1].Pmcs);
+    EXPECT_GT(R.BigLittle[I].Errors.Avg, 0.0);
+    EXPECT_GT(R.BigLittle[I + 1].Errors.Avg, 0.0);
+  }
+}
+
+namespace {
+/// Restores the default pool size even if the test fails.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::setGlobalThreadCount(0); }
+};
+
+/// Flattens the bits of a Class D result that must be thread-invariant.
+std::string classDFingerprint(const ClassDResult &R) {
+  std::string Out;
+  for (const TransferPairResult &Pair : R.Pairs) {
+    Out += Pair.TrainPlatform + ">" + Pair.TestPlatform + ":";
+    for (const TransferCell &Cell : Pair.Cells)
+      Out += Cell.Family + (Cell.Filtered ? "/f=" : "/u=") +
+             Cell.Errors.str() + ";";
+  }
+  for (const ModelEvalRow &Row : R.BigLittle)
+    Out += Row.Label + "=" + Row.Errors.str() + ";";
+  return Out;
+}
+} // namespace
+
+TEST(ClassD, ResultIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard Guard;
+  ThreadPool::setGlobalThreadCount(1);
+  std::string OneThread = classDFingerprint(runClassD(quickClassD()));
+  ThreadPool::setGlobalThreadCount(4);
+  std::string FourThreads = classDFingerprint(runClassD(quickClassD()));
+  EXPECT_EQ(OneThread, FourThreads);
 }

@@ -180,3 +180,134 @@ TEST_P(SchedulerProperty, CoverageFeasibilityAndCount) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
                          ::testing::Range<uint64_t>(0, 20));
+
+namespace {
+/// An AMD-flavoured PMU: PerfEvtSel-style general-purpose slots only, no
+/// fixed-counter set.
+PmuSpec amdPmu() {
+  PmuSpec Pmu;
+  Pmu.NumProgrammable = 4;
+  Pmu.NumFixed = 0;
+  return Pmu;
+}
+
+/// Adds one general-purpose event with a PerfEvtSel-style slot mask.
+EventId addMasked(EventRegistry &R, const std::string &Name,
+                  uint8_t SlotMask) {
+  EventDef Def;
+  Def.Name = Name;
+  Def.Constraint = CounterConstraintKind::AnyProgrammable;
+  Def.SlotMask = SlotMask;
+  Def.Model.Coeffs.push_back({ActivityKind::Loads, 1.0});
+  return R.addEvent(std::move(Def));
+}
+} // namespace
+
+TEST(AmdSlotConstraints, FixedEventRejectedWithoutFixedCounters) {
+  EventRegistry R = makeRegistry(1, 0, 0, 0, 2);
+  auto Plan = planCollection(R, R.allEvents(), amdPmu());
+  ASSERT_FALSE(bool(Plan));
+  EXPECT_NE(Plan.error().message().find("needs a fixed counter"),
+            std::string::npos);
+}
+
+TEST(AmdSlotConstraints, MaskOutsideBudgetRejected) {
+  EventRegistry R;
+  addMasked(R, "HIGH_SLOT_ONLY", 0x10); // Slot 4 on a 4-slot PMU.
+  auto Plan = planCollection(R, R.allEvents(), amdPmu());
+  ASSERT_FALSE(bool(Plan));
+  EXPECT_NE(Plan.error().message().find("cannot be counted"),
+            std::string::npos);
+}
+
+TEST(AmdSlotConstraints, ConflictingSingleSlotEventsSplitRuns) {
+  EventRegistry R;
+  addMasked(R, "DIV_A", 0x8); // Both pinned to slot 3 -> can't share.
+  addMasked(R, "DIV_B", 0x8);
+  auto Plan = planCollection(R, R.allEvents(), amdPmu());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 2u);
+  EXPECT_TRUE(Plan->covers(R.allEvents()));
+}
+
+TEST(AmdSlotConstraints, DisjointMasksShareOneRun) {
+  EventRegistry R;
+  addMasked(R, "FP0", 0x1);
+  addMasked(R, "FP1", 0x2);
+  addMasked(R, "FP2", 0x4);
+  addMasked(R, "FP3", 0x8);
+  auto Plan = planCollection(R, R.allEvents(), amdPmu());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 1u);
+}
+
+TEST(AmdSlotConstraints, RestrictedRunFeasibilityIsExact) {
+  // Three events all restricted to slots {0,1}: any two fit, three can't.
+  EventRegistry R;
+  addMasked(R, "A", 0x3);
+  addMasked(R, "B", 0x3);
+  addMasked(R, "C", 0x3);
+  CollectionRun Two;
+  Two.Events = {0, 1};
+  EXPECT_TRUE(isFeasibleRun(R, Two, amdPmu()));
+  CollectionRun Three;
+  Three.Events = {0, 1, 2};
+  EXPECT_FALSE(isFeasibleRun(R, Three, amdPmu()));
+  auto Plan = planCollection(R, R.allEvents(), amdPmu());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_EQ(Plan->numRuns(), 2u);
+}
+
+TEST(AmdSlotConstraints, Zen2RegistryPlansFullCatalogue) {
+  EventRegistry R = buildAmdZen2Registry();
+  std::vector<EventId> Request = R.allEvents();
+  auto Plan = planCollection(R, Request, amdPmu());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_TRUE(Plan->covers(Request));
+  for (const CollectionRun &Run : Plan->Runs) {
+    EXPECT_TRUE(isFeasibleRun(R, Run, amdPmu()));
+    EXPECT_LE(Run.Events.size(), 4u); // No fixed ride-alongs exist.
+  }
+}
+
+// Property: random slot-mask mixes on an AMD-style PMU still produce
+// covering plans of feasible runs, and planning is a pure function of
+// the registry order (bit-identical on re-run).
+class AmdSlotProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AmdSlotProperty, CoverageFeasibilityAndDeterminism) {
+  Rng Random(GetParam());
+  EventRegistry R;
+  size_t NumEvents = 1 + Random.below(24);
+  for (size_t I = 0; I < NumEvents; ++I) {
+    // Masks biased toward unrestricted with a sprinkling of 1- and
+    // 2-slot restrictions, like real PerfEvtSel tables.
+    uint8_t Mask = 0xFF;
+    switch (Random.below(4)) {
+    case 0:
+      Mask = static_cast<uint8_t>(1u << Random.below(4));
+      break;
+    case 1:
+      Mask = static_cast<uint8_t>((1u << Random.below(4)) |
+                                  (1u << Random.below(4)));
+      break;
+    default:
+      break;
+    }
+    addMasked(R, "E" + std::to_string(I), Mask);
+  }
+  std::vector<EventId> Request = R.allEvents();
+  auto Plan = planCollection(R, Request, amdPmu());
+  ASSERT_TRUE(bool(Plan));
+  EXPECT_TRUE(Plan->covers(Request));
+  for (const CollectionRun &Run : Plan->Runs)
+    EXPECT_TRUE(isFeasibleRun(R, Run, amdPmu()));
+  auto Again = planCollection(R, Request, amdPmu());
+  ASSERT_TRUE(bool(Again));
+  ASSERT_EQ(Plan->numRuns(), Again->numRuns());
+  for (size_t I = 0; I < Plan->Runs.size(); ++I)
+    EXPECT_EQ(Plan->Runs[I].Events, Again->Runs[I].Events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmdSlotProperty,
+                         ::testing::Range<uint64_t>(100, 120));

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace slope;
 using namespace slope::sim;
 
@@ -57,4 +59,146 @@ TEST(Platform, RegistryDispatchesOnMicroarch) {
 TEST(Platform, MicroarchNames) {
   EXPECT_STREQ(microarchName(Microarch::Haswell), "Haswell");
   EXPECT_STREQ(microarchName(Microarch::Skylake), "Skylake");
+  EXPECT_STREQ(microarchName(Microarch::Zen2), "Zen2");
+  EXPECT_STREQ(microarchName(Microarch::CortexA7), "Cortex-A7");
+  EXPECT_STREQ(microarchName(Microarch::CortexA15), "Cortex-A15");
+  EXPECT_STREQ(microarchName(Microarch::BigLittle), "big.LITTLE");
+}
+
+TEST(Platform, ZooRegistrySizes) {
+  EXPECT_EQ(Platform::amdZen2Server().buildRegistry().size(), 96u);
+  // The board registry is the A15 superset; the clusters get their own.
+  EXPECT_EQ(Platform::armBigLittle().buildRegistry().size(), 62u);
+}
+
+TEST(Platform, Zen2HasNoFixedCounters) {
+  Platform P = Platform::amdZen2Server();
+  EXPECT_EQ(P.Arch, Microarch::Zen2);
+  EXPECT_EQ(P.NumProgrammableCounters, 4u);
+  EXPECT_EQ(P.NumFixedCounters, 0u);
+  EXPECT_EQ(P.pmuSpec().NumProgrammable, 4u);
+  EXPECT_EQ(P.pmuSpec().NumFixed, 0u);
+  EXPECT_EQ(P.totalCores(), 32u);
+  EXPECT_FALSE(P.isHeterogeneous());
+  auto Ok = P.validate();
+  EXPECT_TRUE(bool(Ok));
+}
+
+TEST(Platform, BigLittleClusters) {
+  Platform P = Platform::armBigLittle();
+  ASSERT_TRUE(P.isHeterogeneous());
+  ASSERT_EQ(P.numClusters(), 2u);
+  // The LITTLE (A7) cluster always comes first.
+  EXPECT_EQ(P.Clusters[0].Name, "A7");
+  EXPECT_EQ(P.Clusters[0].Arch, Microarch::CortexA7);
+  EXPECT_EQ(P.Clusters[1].Name, "A15");
+  EXPECT_EQ(P.Clusters[1].Arch, Microarch::CortexA15);
+  // Distinct per-cluster shapes: frequency ranges and counter budgets.
+  EXPECT_LT(P.Clusters[0].MaxFreqGHz, P.Clusters[1].MaxFreqGHz);
+  EXPECT_EQ(P.Clusters[0].NumProgrammableCounters, 4u);
+  EXPECT_EQ(P.Clusters[1].NumProgrammableCounters, 6u);
+  // totalCores and peakGflops derive from the clusters.
+  EXPECT_EQ(P.totalCores(), 8u);
+  EXPECT_NEAR(P.peakGflops(), 4 * 1.4 * 2 + 4 * 2.0 * 4, 1e-9);
+  EXPECT_TRUE(bool(P.validate()));
+}
+
+TEST(Platform, ClusterPlatformExtractsOneCluster) {
+  Platform Board = Platform::armBigLittle();
+  Platform Little = Board.clusterPlatform(0);
+  EXPECT_EQ(Little.Arch, Microarch::CortexA7);
+  EXPECT_EQ(Little.totalCores(), 4u);
+  EXPECT_FALSE(Little.isHeterogeneous());
+  EXPECT_DOUBLE_EQ(Little.TdpWatts, Board.Clusters[0].TdpWatts);
+  EXPECT_EQ(Little.NumProgrammableCounters, 4u);
+  EXPECT_EQ(Little.buildRegistry().size(), 44u);
+  EXPECT_GT(Little.l3Bytes(), 0.0); // Cluster L2 serves as the LLC.
+  Platform Big = Board.clusterPlatform(1);
+  EXPECT_EQ(Big.Arch, Microarch::CortexA15);
+  EXPECT_EQ(Big.buildRegistry().size(), 62u);
+  EXPECT_TRUE(bool(Big.validate()));
+  EXPECT_TRUE(bool(Little.validate()));
+}
+
+TEST(Platform, IntelPlatformsValidate) {
+  EXPECT_TRUE(bool(Platform::intelHaswellServer().validate()));
+  EXPECT_TRUE(bool(Platform::intelSkylakeServer().validate()));
+}
+
+TEST(PlatformValidate, RejectsZeroCores) {
+  Platform P = Platform::intelHaswellServer();
+  P.CoresPerSocket = 0;
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("no cores"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsZeroCounterBudget) {
+  Platform P = Platform::intelSkylakeServer();
+  P.NumProgrammableCounters = 0;
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("counter budget"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsEmptyCluster) {
+  Platform P = Platform::armBigLittle();
+  P.Clusters[1].Cores = 0;
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("no cores"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsClusterWithZeroCounters) {
+  Platform P = Platform::armBigLittle();
+  P.Clusters[0].NumProgrammableCounters = 0;
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("counter budget"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsEventSetForUnknownCluster) {
+  Platform P = Platform::armBigLittle();
+  P.ClusterEvents[0].Cluster = "M4"; // No such cluster on this board.
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("unknown cluster"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsEventSetWithUnknownEvent) {
+  Platform P = Platform::armBigLittle();
+  P.ClusterEvents[0].Events.push_back("NO_SUCH_EVENT");
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("NO_SUCH_EVENT"), std::string::npos);
+}
+
+TEST(PlatformValidate, RejectsDuplicateClusterNames) {
+  Platform P = Platform::armBigLittle();
+  P.Clusters[1].Name = P.Clusters[0].Name;
+  auto Ok = P.validate();
+  ASSERT_FALSE(bool(Ok));
+  EXPECT_NE(Ok.error().message().find("duplicate"), std::string::npos);
+}
+
+TEST(Platform, ClusterEventSetsNameRealCounters) {
+  // The shipped big.LITTLE event sets must themselves validate (they
+  // reference per-cluster registry events by name) and mirror the
+  // published A7/A15 model counter lists: PMCCNTR on both, vector/FP
+  // events only on the A15.
+  Platform P = Platform::armBigLittle();
+  ASSERT_EQ(P.ClusterEvents.size(), 2u);
+  const ClusterEventSet &Little = P.ClusterEvents[0];
+  const ClusterEventSet &Big = P.ClusterEvents[1];
+  EXPECT_EQ(Little.Cluster, "A7");
+  EXPECT_EQ(Big.Cluster, "A15");
+  auto Has = [](const ClusterEventSet &Set, const char *Name) {
+    return std::find(Set.Events.begin(), Set.Events.end(), Name) !=
+           Set.Events.end();
+  };
+  EXPECT_TRUE(Has(Little, "PMCCNTR"));
+  EXPECT_TRUE(Has(Big, "PMCCNTR"));
+  EXPECT_FALSE(Has(Little, "VFP_SPEC"));
+  EXPECT_TRUE(Has(Big, "VFP_SPEC"));
+  EXPECT_LT(Little.Events.size(), Big.Events.size());
 }
